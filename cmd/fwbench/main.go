@@ -1,0 +1,67 @@
+// Command fwbench reproduces the paper's evaluation: every table and
+// figure of Section V and Appendix C has a named experiment that prints
+// the corresponding rows.
+//
+// Usage:
+//
+//	fwbench -list
+//	fwbench -exp fig11 -events 2000000
+//	fwbench -exp table1 -reps 3
+//	fwbench -exp all
+//
+// Dataset sizes default to a laptop-friendly 400k events; pass
+// -events 10000000 to match Synthetic-10M exactly (runs take
+// correspondingly longer). Results print to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment name (see -list)")
+		events = flag.Int("events", 400_000, "synthetic dataset size (Synthetic-10M = 10000000)")
+		keys   = flag.Int("keys", 4, "number of device keys")
+		pace   = flag.Int("pace", 4, "events per tick (steady ingestion rate η)")
+		seed   = flag.Int64("seed", 42, "workload generator seed")
+		reps   = flag.Int("reps", 1, "best-of-N repetitions per throughput measurement")
+		fnName = flag.String("fn", "MIN", "aggregate function")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	fn, err := agg.ParseFn(*fnName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := harness.Config{
+		Events:        *events,
+		Keys:          *keys,
+		EventsPerTick: *pace,
+		Seed:          *seed,
+		Reps:          *reps,
+		Fn:            fn,
+		Out:           os.Stdout,
+	}
+	if err := harness.RunExperiment(*exp, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/harness"
+)
+
+// TestCatalogNamesUnique guards the experiment registry the command
+// exposes via -list and -exp.
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range harness.Experiments() {
+		if e.Name == "" || e.Paper == "" {
+			t.Errorf("experiment %+v missing name or description", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Run == nil {
+			t.Errorf("experiment %q has no Run", e.Name)
+		}
+	}
+	for _, want := range []string{
+		"fig11", "table1", "table2", "table3", "fig12", "fig13", "fig19",
+		"fig22", "baselines", "steiner",
+	} {
+		if !seen[want] {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+}
+
+// TestSteinerExperimentRuns smoke-tests the cost-only experiment at tiny
+// scale through the same path the command uses.
+func TestSteinerExperimentRuns(t *testing.T) {
+	var out strings.Builder
+	cfg := harness.Config{Events: 1000, Fn: agg.Min, Out: &out}
+	if err := harness.RunExperiment("steiner", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm3", "steiner", "optimum", "R-5-tumbling"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	err := harness.RunExperiment("nope", harness.Config{Events: 10, Fn: agg.Min, Out: &out})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("expected unknown-experiment error, got %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+// Command fwgen generates the evaluation workloads: window sets (via the
+// RandomGen and SequentialGen generators of Section V-A) and event
+// streams (synthetic constant-pace or DEBS-like sensor data) as CSV.
+//
+// Usage:
+//
+//	fwgen -kind windows -gen R -n 5 -tumbling -runs 10
+//	fwgen -kind stream -dataset synthetic -events 1000000 > events.csv
+//	fwgen -kind stream -dataset debs -events 1000000 -keys 8
+//
+// Window sets print one set per line as "r1,s1;r2,s2;..."; streams print
+// "time,key,value" rows.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/streamio"
+	"factorwindows/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "windows", "what to generate: windows or stream")
+		gen      = flag.String("gen", "R", "window-set generator: R (RandomGen) or S (SequentialGen)")
+		n        = flag.Int("n", 5, "window-set size")
+		tumbling = flag.Bool("tumbling", true, "tumbling (true) or hopping (false) windows")
+		runs     = flag.Int("runs", 10, "number of window sets")
+		dataset  = flag.String("dataset", "synthetic", "stream dataset: synthetic or debs")
+		events   = flag.Int("events", 1_000_000, "number of events")
+		keys     = flag.Int("keys", 4, "number of device keys")
+		pace     = flag.Int("pace", 4, "events per tick")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "windows":
+		if err := genWindows(os.Stdout, *gen, *n, *tumbling, *runs, *seed); err != nil {
+			fatal(err)
+		}
+	case "stream":
+		if err := genStream(os.Stdout, *dataset, *events, *keys, *pace, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+}
+
+func genWindows(out io.Writer, gen string, n int, tumbling bool, runs int, seed int64) error {
+	cfg := workload.PaperDefaults(n, tumbling)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(seed + int64(run)*7919))
+		var parts []string
+		switch gen {
+		case "R":
+			s, err := workload.RandomGen(cfg, rng)
+			if err != nil {
+				return err
+			}
+			for _, win := range s.Sorted() {
+				parts = append(parts, fmt.Sprintf("%d,%d", win.Range, win.Slide))
+			}
+		case "S":
+			s, err := workload.SequentialGen(cfg, rng)
+			if err != nil {
+				return err
+			}
+			for _, win := range s.Sorted() {
+				parts = append(parts, fmt.Sprintf("%d,%d", win.Range, win.Slide))
+			}
+		default:
+			return fmt.Errorf("unknown generator %q", gen)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ";"))
+	}
+	return nil
+}
+
+func genStream(out io.Writer, dataset string, events, keys, pace int, seed int64) error {
+	cfg := workload.StreamConfig{Events: events, Keys: keys, EventsPerTick: pace, Seed: seed}
+	var es []stream.Event
+	switch dataset {
+	case "synthetic":
+		es = workload.Synthetic(cfg)
+	case "debs":
+		es = workload.DEBSLike(cfg)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return streamio.WriteCSV(out, es)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwgen:", err)
+	os.Exit(1)
+}

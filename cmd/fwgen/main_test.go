@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/streamio"
+)
+
+func TestGenWindows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := genWindows(&buf, "S", 5, true, 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	for _, line := range lines {
+		if strings.Count(line, ";") != 4 {
+			t.Fatalf("line %q should have 5 windows", line)
+		}
+	}
+	if err := genWindows(&buf, "X", 5, true, 1, 1); err == nil {
+		t.Fatal("unknown generator must fail")
+	}
+}
+
+func TestGenStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := genStream(&buf, "synthetic", 20, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	events, err := streamio.ReadEvents(&buf, "csv", true)
+	if err != nil || len(events) != 20 {
+		t.Fatalf("round trip: %d %v", len(events), err)
+	}
+	if err := genStream(&buf, "nope", 1, 1, 1, 1); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Command fwopt optimizes a multi-window aggregate query and explains the
+// result: the min-cost window coverage graph, the chosen factor windows,
+// the predicted speedup, and the rewritten plan as a Trill-style
+// expression or Graphviz DOT.
+//
+// Usage:
+//
+//	fwopt -query "SELECT k, MIN(v) FROM s GROUP BY k, Windows(...)"
+//	fwopt -file query.sql -factors=false -dot
+//	fwopt -windows "20,20;30,30;40,40" -fn MIN
+//
+// Windows may be given either through an ASA-style query (-query/-file)
+// or directly as a semicolon-separated list of range,slide pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/asaql"
+	"factorwindows/internal/core"
+	"factorwindows/internal/flinkgen"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/window"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "ASA-style query text")
+		queryFile = flag.String("file", "", "file containing an ASA-style query")
+		windows   = flag.String("windows", "", `window list as "r1,s1;r2,s2;..." (alternative to -query)`)
+		fnName    = flag.String("fn", "MIN", "aggregate function when using -windows")
+		factors   = flag.Bool("factors", true, "enable factor-window exploration (Algorithm 3)")
+		steiner   = flag.Bool("steiner", false, "use the Steiner-pool factor search instead of Algorithm 3")
+		semName   = flag.String("semantics", "auto", "force semantics: auto, covered-by, partitioned-by, no-sharing")
+		dot       = flag.Bool("dot", false, "emit the min-cost WCG as Graphviz DOT")
+		trill     = flag.Bool("trill", true, "emit the rewritten plan as a Trill-style expression")
+		flink     = flag.Bool("flink", false, "emit the rewritten plan as an Apache Flink DataStream job")
+	)
+	flag.Parse()
+
+	set, fn, err := inputs(*queryText, *queryFile, *windows, *fnName)
+	if err != nil {
+		fatal(err)
+	}
+	sem, err := parseSemantics(*semName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *core.Result
+	if *steiner {
+		res, err = core.OptimizeSteiner(set, fn, core.Options{Semantics: sem}, 0)
+	} else {
+		res, err = core.Optimize(set, fn, core.Options{Factors: *factors, Semantics: sem})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	kind := plan.Rewritten
+	if *factors || *steiner {
+		kind = plan.Factored
+	}
+	p, err := plan.FromGraph(res.Graph, fn, kind)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("windows:            %v\n", set)
+	fmt.Printf("aggregate function: %v (%v semantics)\n", fn, res.Semantics)
+	fmt.Printf("original plan cost: %v\n", res.NaiveCost)
+	fmt.Printf("optimized cost:     %v\n", res.OptimizedCost)
+	sp, _ := res.Speedup().Float64()
+	fmt.Printf("predicted speedup:  %.3fx\n", sp)
+	if len(res.FactorWindows) > 0 {
+		fmt.Printf("factor windows:     %v\n", res.FactorWindows)
+	}
+	fmt.Printf("optimization time:  %v\n\n", res.Elapsed)
+	fmt.Println(res.Graph.String())
+	fmt.Println(p.String())
+	if *trill {
+		fmt.Println("Trill-style expression:")
+		fmt.Println(p.Trill())
+	}
+	if *flink {
+		src, err := flinkgen.Generate(p, flinkgen.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(src)
+	}
+	if *dot {
+		fmt.Println()
+		fmt.Println(res.Graph.Dot())
+	}
+}
+
+func inputs(queryText, queryFile, windows, fnName string) (*window.Set, agg.Fn, error) {
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		queryText = string(data)
+	}
+	if queryText != "" {
+		q, err := asaql.Parse(queryText)
+		if err != nil {
+			return nil, 0, err
+		}
+		set, err := q.Set()
+		return set, q.Fn, err
+	}
+	if windows == "" {
+		return nil, 0, fmt.Errorf("one of -query, -file or -windows is required")
+	}
+	fn, err := agg.ParseFn(fnName)
+	if err != nil {
+		return nil, 0, err
+	}
+	set, err := parseWindows(windows)
+	return set, fn, err
+}
+
+func parseWindows(spec string) (*window.Set, error) {
+	set := &window.Set{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("window %q: want r,s", part)
+		}
+		r, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("window %q: %v", part, err)
+		}
+		s, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("window %q: %v", part, err)
+		}
+		w, err := window.New(r, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.Add(w); err != nil {
+			return nil, err
+		}
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("no windows in %q", spec)
+	}
+	return set, nil
+}
+
+func parseSemantics(name string) (agg.Semantics, error) {
+	switch strings.ToLower(name) {
+	case "auto", "":
+		return agg.Auto, nil
+	case "covered-by", "covered":
+		return agg.CoveredBy, nil
+	case "partitioned-by", "partitioned":
+		return agg.PartitionedBy, nil
+	case "no-sharing", "none":
+		return agg.NoSharing, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwopt:", err)
+	os.Exit(1)
+}

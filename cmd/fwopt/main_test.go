@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/window"
+)
+
+func TestParseWindows(t *testing.T) {
+	set, err := parseWindows("20,20; 30,30 ;40,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 || !set.Contains(window.Hopping(40, 20)) {
+		t.Fatalf("set = %v", set)
+	}
+	for _, bad := range []string{"", "20", "a,b", "20,20;20,20", "7,3", ";;"} {
+		if _, err := parseWindows(bad); err == nil {
+			t.Fatalf("spec %q must fail", bad)
+		}
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	cases := map[string]agg.Semantics{
+		"auto": agg.Auto, "": agg.Auto,
+		"covered-by": agg.CoveredBy, "covered": agg.CoveredBy,
+		"partitioned-by": agg.PartitionedBy, "partitioned": agg.PartitionedBy,
+		"no-sharing": agg.NoSharing, "NONE": agg.NoSharing,
+	}
+	for in, want := range cases {
+		got, err := parseSemantics(in)
+		if err != nil || got != want {
+			t.Errorf("parseSemantics(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSemantics("bogus"); err == nil {
+		t.Fatal("unknown semantics must fail")
+	}
+}
+
+func TestInputs(t *testing.T) {
+	set, fn, err := inputs("", "", "20,20;40,40", "SUM")
+	if err != nil || fn != agg.Sum || set.Len() != 2 {
+		t.Fatalf("windows path: %v %v %v", set, fn, err)
+	}
+	q := `SELECT k, MIN(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 5))`
+	set, fn, err = inputs(q, "", "", "MAX") // -fn ignored when query given
+	if err != nil || fn != agg.Min || set.Len() != 1 {
+		t.Fatalf("query path: %v %v %v", set, fn, err)
+	}
+	if _, _, err := inputs("", "", "", "MIN"); err == nil {
+		t.Fatal("no input must fail")
+	}
+	if _, _, err := inputs("", "", "20,20", "MODE"); err == nil {
+		t.Fatal("bad fn must fail")
+	}
+	if _, _, err := inputs("garbage query", "", "", ""); err == nil {
+		t.Fatal("bad query must fail")
+	}
+	if _, _, err := inputs("", "/nonexistent/q.sql", "", ""); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if !strings.Contains(q, "Windows") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadQuery(t *testing.T) {
+	q, err := loadQuery(`SELECT k, MIN(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 5))`, "")
+	if err != nil || q.KeyColumn != "k" {
+		t.Fatalf("%v %v", q, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.sql")
+	if err := os.WriteFile(path, []byte(`SELECT k, MAX(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 7))`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	q, err = loadQuery("", path)
+	if err != nil || q.Windows[0].W.Range != 7 {
+		t.Fatalf("%v %v", q, err)
+	}
+	if _, err := loadQuery("", ""); err == nil {
+		t.Fatal("no query must fail")
+	}
+	if _, err := loadQuery("", filepath.Join(dir, "missing.sql")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestLoadEventsGeneratedAndFile(t *testing.T) {
+	es, err := loadEvents("", "csv", "synthetic", 100, 2, 2, 1)
+	if err != nil || len(es) != 100 {
+		t.Fatalf("synthetic: %d %v", len(es), err)
+	}
+	es, err = loadEvents("", "csv", "debs", 50, 2, 2, 1)
+	if err != nil || len(es) != 50 {
+		t.Fatalf("debs: %d %v", len(es), err)
+	}
+	if _, err := loadEvents("", "csv", "mystery", 10, 1, 1, 1); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.csv")
+	if err := os.WriteFile(path, []byte("time,key,value\n0,1,5\n1,1,6\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	es, err = loadEvents(path, "csv", "", 0, 0, 0, 0)
+	if err != nil || len(es) != 2 {
+		t.Fatalf("file: %d %v", len(es), err)
+	}
+	if _, err := loadEvents(filepath.Join(dir, "missing.csv"), "csv", "", 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

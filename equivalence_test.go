@@ -1,0 +1,188 @@
+package factorwindows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/slicing"
+	"factorwindows/internal/sliding"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// TestQuickCrossExecutorEquivalence is the library's master invariant as
+// a property test: for random window sets, every shareable aggregate
+// function, and random event streams, the original plan, the rewritten
+// plan, the factored plan, the slicing baseline and the sliding baseline
+// all produce identical window results.
+func TestQuickCrossExecutorEquivalence(t *testing.T) {
+	ranges := []int64{2, 3, 4, 5, 6, 8, 10, 12, 15, 20}
+	f := func(seed int64, fnPick, nWindows uint8, hopping bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		fns := agg.ShareableFns()
+		fn := fns[int(fnPick)%len(fns)]
+
+		set := &window.Set{}
+		for set.Len() < 2+int(nWindows)%3 {
+			rr := ranges[r.Intn(len(ranges))]
+			w := window.Tumbling(rr)
+			if hopping && rr%2 == 0 {
+				w = window.Hopping(rr, rr/2)
+			}
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					return false
+				}
+			}
+		}
+
+		events := make([]stream.Event, 0, 600)
+		tick := int64(0)
+		for i := 0; i < 600; i++ {
+			tick += int64(r.Intn(2))
+			events = append(events, stream.Event{
+				Time: tick, Key: uint64(r.Intn(3)), Value: float64(r.Intn(100)),
+			})
+		}
+
+		var reference []stream.Result
+		check := func(rs []stream.Result) bool {
+			stream.SortResults(rs)
+			if reference == nil {
+				reference = rs
+				return true
+			}
+			if len(rs) != len(reference) {
+				return false
+			}
+			for i := range reference {
+				a, b := reference[i], rs[i]
+				if a.W != b.W || a.Start != b.Start || a.End != b.End || a.Key != b.Key {
+					return false
+				}
+				if a.Value != b.Value &&
+					math.Abs(a.Value-b.Value) > 1e-9*math.Max(1, math.Abs(a.Value)) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Original, rewritten, factored — all through the engine.
+		for _, variant := range []struct {
+			factors bool
+			kind    plan.Kind
+		}{{false, plan.Original}, {false, plan.Rewritten}, {true, plan.Factored}} {
+			var p *plan.Plan
+			var err error
+			if variant.kind == plan.Original {
+				p, err = plan.NewOriginal(set, fn)
+			} else {
+				var res *core.Result
+				res, err = core.Optimize(set, fn, core.Options{Factors: variant.factors})
+				if err == nil {
+					p, err = plan.FromGraph(res.Graph, fn, variant.kind)
+				}
+			}
+			if err != nil {
+				return false
+			}
+			sink := &stream.CollectingSink{}
+			if err := Run(p, events, sink); err != nil {
+				return false
+			}
+			if !check(sink.Results) {
+				return false
+			}
+		}
+		// Steiner-mode plan.
+		opt, err := OptimizeSteiner(set, fn, Options{}, 0)
+		if err != nil {
+			return false
+		}
+		steinerSink := &stream.CollectingSink{}
+		if err := Run(opt.Plan, events, steinerSink); err != nil {
+			return false
+		}
+		if !check(steinerSink.Results) {
+			return false
+		}
+		// Slicing and sliding baselines.
+		sliceSink := &stream.CollectingSink{}
+		if _, err := slicing.Run(set, fn, events, sliceSink); err != nil {
+			return false
+		}
+		if !check(sliceSink.Results) {
+			return false
+		}
+		slideSink := &stream.CollectingSink{}
+		if _, err := sliding.Run(set, fn, events, slideSink); err != nil {
+			return false
+		}
+		return check(slideSink.Results)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelEquivalence extends the invariant to the key-sharded
+// executor: shard-count and batch-size must never change results.
+func TestQuickParallelEquivalence(t *testing.T) {
+	f := func(seed int64, shards uint8, batch uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		set := window.MustSet(window.Tumbling(8), window.Hopping(16, 8), window.Tumbling(32))
+		res, err := core.Optimize(set, agg.Sum, core.Options{Factors: true})
+		if err != nil {
+			return false
+		}
+		p, err := plan.FromGraph(res.Graph, agg.Sum, plan.Factored)
+		if err != nil {
+			return false
+		}
+		events := make([]stream.Event, 0, 2000)
+		tick := int64(0)
+		for i := 0; i < 2000; i++ {
+			tick += int64(r.Intn(2))
+			events = append(events, stream.Event{
+				Time: tick, Key: uint64(r.Intn(16)), Value: float64(r.Intn(50)),
+			})
+		}
+		single := &stream.CollectingSink{}
+		if err := Run(p, events, single); err != nil {
+			return false
+		}
+		multi := &stream.CollectingSink{}
+		pr, err := NewParallelRunner(p, multi, 1+int(shards)%7)
+		if err != nil {
+			return false
+		}
+		step := 1 + int(batch)%977
+		for i := 0; i < len(events); i += step {
+			end := i + step
+			if end > len(events) {
+				end = len(events)
+			}
+			pr.Process(events[i:end])
+		}
+		pr.Close()
+		a, b := single.Sorted(), multi.Sorted()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package factorwindows
+
+import (
+	"io"
+
+	"factorwindows/internal/adaptive"
+	"factorwindows/internal/core"
+	"factorwindows/internal/distinct"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/flinkgen"
+	"factorwindows/internal/multiquery"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/quantile"
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/session"
+	"factorwindows/internal/sliding"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/streamio"
+)
+
+// This file exposes the substrate extensions around the core optimizer:
+// the incremental sliding-window baseline, bounded-disorder ingestion,
+// engine checkpointing, multi-query optimization, and stream I/O.
+
+// RunSliding evaluates the window set with per-window incremental
+// aggregation (panes + a Two-Stacks FIFO aggregator, after Tangwongsan
+// et al., the paper's reference [45]). No cross-window sharing happens;
+// this is the "smart single-window engine" baseline.
+func RunSliding(set *WindowSet, fn AggFn, events []Event, sink Sink) error {
+	_, err := sliding.Run(set, fn, events, sink)
+	return err
+}
+
+// FlinkOptions configures Flink DataStream code generation.
+type FlinkOptions = flinkgen.Options
+
+// Flink renders a plan as an Apache Flink DataStream job — the
+// translation the paper performs for its Scotty comparison (Section V-F).
+func Flink(p *Plan, opts FlinkOptions) (string, error) {
+	return flinkgen.Generate(p, opts)
+}
+
+// ParallelRunner executes a plan across several key-sharded engines.
+// The paper's experiments are single-core; this is the production
+// scale-out: the stream partitions by key hash, every shard runs the
+// identical rewritten plan, and the union of shard outputs equals the
+// single-core output exactly.
+type ParallelRunner = parallel.Runner
+
+// NewParallelRunner compiles the plan onto n key shards (n ≤ 0 selects
+// GOMAXPROCS).
+func NewParallelRunner(p *Plan, sink Sink, n int) (*ParallelRunner, error) {
+	return parallel.New(p, sink, n)
+}
+
+// RunParallel executes the plan over all events on n key shards.
+func RunParallel(p *Plan, events []Event, sink Sink, n int) error {
+	_, err := parallel.Run(p, events, sink, n)
+	return err
+}
+
+// SessionResult is one closed session window.
+type SessionResult = session.Result
+
+// SessionSink consumes session results.
+type SessionSink = session.Sink
+
+// CollectingSessionSink stores all session results.
+type CollectingSessionSink = session.CollectingSink
+
+// SessionRunner evaluates an aggregate over several session-window gaps
+// in one pass. Gaps share computation the way correlated windows do:
+// sessions with gap g1 ≤ g2 partition sessions with gap g2 (the session
+// analogue of Theorem 4), so larger gaps merge the sub-aggregates of the
+// smallest gap's sessions instead of re-reading raw events. This extends
+// the paper's approach to one of the window types it lists as future
+// work.
+type SessionRunner = session.Runner
+
+// NewSessionRunner builds an incremental session runner.
+func NewSessionRunner(gaps []int64, fn AggFn, sink SessionSink) (*SessionRunner, error) {
+	return session.New(gaps, fn, sink)
+}
+
+// RunSessions processes all events through a session gap chain and
+// flushes.
+func RunSessions(gaps []int64, fn AggFn, events []Event, sink SessionSink) (*SessionRunner, error) {
+	return session.Run(gaps, fn, events, sink)
+}
+
+// QuantileOptions configures sketch-backed approximate quantile
+// evaluation (phi, sketch size K, factor windows).
+type QuantileOptions = quantile.Options
+
+// QuantileRunner evaluates approximate phi-quantiles (MEDIAN and friends)
+// over a window set with shared computation: mergeable sketches make the
+// holistic function algebraic, so the optimizer's "partitioned by"
+// sharing — including factor windows — applies. This is the Section
+// III-A future-work extension; answers carry a small rank error governed
+// by QuantileOptions.K (exact below K values per instance).
+type QuantileRunner = quantile.Runner
+
+// RunQuantile optimizes the set for a sketch-backed quantile, processes
+// all events, and flushes.
+func RunQuantile(set *WindowSet, opts QuantileOptions, events []Event, sink Sink) (*QuantileRunner, error) {
+	return quantile.Run(set, opts, events, sink)
+}
+
+// NewQuantileRunner is the incremental form of RunQuantile.
+func NewQuantileRunner(set *WindowSet, opts QuantileOptions, sink Sink) (*QuantileRunner, error) {
+	return quantile.New(set, opts, sink)
+}
+
+// RestoreQuantileRunner resumes a quantile runner for the identical
+// window set and options from a snapshot taken with its Snapshot method
+// (the sketch-executor analogue of Restore for engine Runners).
+func RestoreQuantileRunner(set *WindowSet, opts QuantileOptions, sink Sink, snapshot []byte) (*QuantileRunner, error) {
+	return quantile.Restore(set, opts, sink, snapshot)
+}
+
+// DistinctOptions configures HyperLogLog-backed COUNT DISTINCT (HLL
+// precision P, factor windows).
+type DistinctOptions = distinct.Options
+
+// DistinctRunner evaluates approximate COUNT(DISTINCT value) per window
+// instance per key with shared computation. Distinct counting is
+// holistic, but HyperLogLog sketches merge exactly (register-wise max),
+// so the optimizer's "partitioned by" sharing applies and — unlike the
+// quantile sketch — sharing introduces no error beyond the HLL's own
+// ≈ 1.04/√(2^P) standard error.
+type DistinctRunner = distinct.Runner
+
+// RunDistinct optimizes the set for sketch-backed distinct counting,
+// processes all events, and flushes.
+func RunDistinct(set *WindowSet, opts DistinctOptions, events []Event, sink Sink) (*DistinctRunner, error) {
+	return distinct.Run(set, opts, events, sink)
+}
+
+// NewDistinctRunner is the incremental form of RunDistinct.
+func NewDistinctRunner(set *WindowSet, opts DistinctOptions, sink Sink) (*DistinctRunner, error) {
+	return distinct.New(set, opts, sink)
+}
+
+// RestoreDistinctRunner resumes a distinct-count runner for the identical
+// window set and options from a snapshot taken with its Snapshot method.
+func RestoreDistinctRunner(set *WindowSet, opts DistinctOptions, sink Sink, snapshot []byte) (*DistinctRunner, error) {
+	return distinct.Restore(set, opts, sink, snapshot)
+}
+
+// ReorderPolicy selects the late-event policy of a ReorderBuffer.
+type ReorderPolicy = reorder.Policy
+
+// Late-event policies: DropLate discards events older than the disorder
+// bound; AdjustLate rewrites their timestamp to the oldest open tick
+// (ASA's "adjust" mode).
+const (
+	DropLate   = reorder.Drop
+	AdjustLate = reorder.Adjust
+)
+
+// ReorderBuffer turns a stream with bounded disorder into the in-order
+// stream the executors require.
+type ReorderBuffer = reorder.Buffer
+
+// NewReorderBuffer wraps a Runner (or any batch consumer) with a
+// bounded-disorder buffer. Push accepts out-of-order batches; Close
+// drains the buffer (the runner's own Close still flushes windows).
+func NewReorderBuffer(r *Runner, bound int64, policy ReorderPolicy) (*ReorderBuffer, error) {
+	return reorder.New(r, bound, policy, nil)
+}
+
+// Snapshot serializes a Runner's in-flight window state; see Restore.
+func Snapshot(r *Runner) ([]byte, error) { return r.Snapshot() }
+
+// Restore resumes a Runner for the identical plan from a snapshot taken
+// with Snapshot; processing continues at the next batch.
+func Restore(p *Plan, sink Sink, snapshot []byte) (*Runner, error) {
+	return engine.Restore(p, sink, snapshot)
+}
+
+// MultiQuery is one subscriber in a jointly optimized query batch: an
+// identifier plus the windows it wants over the shared stream.
+type MultiQuery = multiquery.Query
+
+// MultiPlan is the jointly optimized plan for a query batch.
+type MultiPlan = multiquery.Plan
+
+// RoutedResult is a window result tagged with its subscriber queries.
+type RoutedResult = multiquery.Routed
+
+// OptimizeAll merges the windows of several queries over the same stream
+// and aggregate function, optimizes the union once (so queries share
+// computation with each other), and routes each result row to its
+// subscribers — the paper's IoT Central scenario.
+func OptimizeAll(queries []MultiQuery, fn AggFn, opts Options) (*MultiPlan, error) {
+	return multiquery.Optimize(queries, fn, core.Options{
+		Factors:   opts.Factors,
+		Semantics: opts.Semantics,
+	})
+}
+
+// ReadEventsCSV parses "time,key,value" rows (optional header) and
+// validates time ordering.
+func ReadEventsCSV(r io.Reader) ([]Event, error) {
+	return streamio.ReadEvents(r, "csv", true)
+}
+
+// ReadEventsJSONL parses one JSON event object per line and validates
+// time ordering.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	return streamio.ReadEvents(r, "jsonl", true)
+}
+
+// WriteEventsCSV writes events as CSV with a header.
+func WriteEventsCSV(w io.Writer, events []Event) error {
+	return streamio.WriteCSV(w, events)
+}
+
+// WriteResultsCSV writes window results as CSV with a header.
+func WriteResultsCSV(w io.Writer, rs []Result) error {
+	return streamio.WriteResultsCSV(w, rs)
+}
+
+// ValidateEvents checks the in-order input contract.
+func ValidateEvents(events []Event) error { return stream.Validate(events) }
+
+// RateEstimator tracks the observed events-per-tick rate (EWMA).
+type RateEstimator = adaptive.RateEstimator
+
+// ReoptimizeAdvice is the outcome of re-costing a deployed plan under an
+// observed event rate.
+type ReoptimizeAdvice = adaptive.Advice
+
+// RateMonitor couples a rate estimator with periodic re-optimization
+// checks (the paper's future-work item on dynamic cost estimates).
+type RateMonitor = adaptive.Monitor
+
+// NewRateMonitor builds a monitor for a deployed optimization: feed it
+// the same batches the Runner processes, and it reports advice whenever
+// the observed rate makes a different plan cheaper.
+func NewRateMonitor(set *WindowSet, fn AggFn, opts Options, deployed *Optimization, epochTicks int64) (*RateMonitor, error) {
+	adv, err := adaptive.NewAdvisor(set, fn, core.Options{
+		Factors:   opts.Factors,
+		Semantics: opts.Semantics,
+	}, deployed.res)
+	if err != nil {
+		return nil, err
+	}
+	return &adaptive.Monitor{Advisor: adv, EpochTicks: epochTicks}, nil
+}

@@ -1,0 +1,175 @@
+package factorwindows
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunSlidingMatchesOriginal(t *testing.T) {
+	set, _ := NewWindowSet(Hopping(12, 4), Tumbling(6))
+	events := SyntheticStream(StreamConfig{Events: 20_000, Keys: 2, EventsPerTick: 2, Seed: 9})
+	a, b := &CollectingSink{}, &CollectingSink{}
+	if err := RunSliding(set, Min, events, a); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := OriginalPlan(set, Min)
+	if err := Run(orig, events, b); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Sorted(), b.Sorted()
+	if len(ra) != len(rb) {
+		t.Fatalf("rows: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("row %d: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestReorderBufferIntegration(t *testing.T) {
+	set, _ := NewWindowSet(Tumbling(10))
+	p, _ := OriginalPlan(set, Sum)
+	sink := &CollectingSink{}
+	r, err := NewRunner(p, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewReorderBuffer(r, 5, DropLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Push([]Event{{Time: 2, Key: 1, Value: 1}, {Time: 0, Key: 1, Value: 2}, {Time: 4, Key: 1, Value: 4}})
+	buf.Close()
+	r.Close()
+	if len(sink.Results) != 1 || sink.Results[0].Value != 7 {
+		t.Fatalf("results = %v", sink.Results)
+	}
+	if buf.Late() != 0 {
+		t.Fatalf("late = %d", buf.Late())
+	}
+}
+
+func TestSnapshotRestoreIntegration(t *testing.T) {
+	set, _ := NewWindowSet(Tumbling(20), Tumbling(40))
+	o, err := Optimize(set, Min, Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := SyntheticStream(StreamConfig{Events: 4000, Keys: 2, EventsPerTick: 2, Seed: 10})
+
+	whole := &CollectingSink{}
+	if err := Run(o.Plan, events, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	split := &CollectingSink{}
+	r1, err := NewRunner(o.Plan, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Process(events[:1777])
+	snap, err := Snapshot(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restore(o.Plan, split, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Process(events[1777:])
+	r2.Close()
+
+	a, b := split.Sorted(), whole.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("rows: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOptimizeAllIntegration(t *testing.T) {
+	qs := []MultiQuery{
+		{ID: "a", Windows: []Window{Tumbling(20), Tumbling(40)}},
+		{ID: "b", Windows: []Window{Tumbling(30)}},
+	}
+	mp, err := OptimizeAll(qs, Min, Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := SyntheticStream(StreamConfig{Events: 2000, Keys: 1, EventsPerTick: 2, Seed: 11})
+	got := map[string]int{}
+	if err := mp.Run(events, func(rr RoutedResult) {
+		for _, id := range rr.QueryIDs {
+			got[id]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] == 0 || got["b"] == 0 {
+		t.Fatalf("routing counts = %v", got)
+	}
+}
+
+func TestStreamIOIntegration(t *testing.T) {
+	events := SyntheticStream(StreamConfig{Events: 50, Keys: 2, EventsPerTick: 2, Seed: 12})
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEventsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("rows: %d vs %d", len(back), len(events))
+	}
+	if err := ValidateEvents(back); err != nil {
+		t.Fatal(err)
+	}
+	var rbuf bytes.Buffer
+	if err := WriteResultsCSV(&rbuf, []Result{{W: Tumbling(5), Start: 0, End: 5, Key: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if rbuf.Len() == 0 {
+		t.Fatal("empty results CSV")
+	}
+}
+
+func TestRateMonitorIntegration(t *testing.T) {
+	set, _ := NewWindowSet(Tumbling(20), Tumbling(30), Tumbling(40))
+	// Deploy without factor windows; at a high observed rate the monitor
+	// must advise switching to the factor-window plan.
+	deployed, err := Optimize(set, Sum, Options{Factors: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRateMonitor(set, Sum, Options{Factors: true}, deployed, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := SyntheticStream(StreamConfig{Events: 4000, Keys: 4, EventsPerTick: 8, Seed: 13})
+	var last *ReoptimizeAdvice
+	for i := 0; i < len(events); i += 512 {
+		end := i + 512
+		if end > len(events) {
+			end = len(events)
+		}
+		adv, err := m.Feed(events[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv != nil {
+			last = adv
+		}
+	}
+	if last == nil {
+		t.Fatal("monitor never evaluated")
+	}
+	if !last.Reoptimize || last.Overpay() <= 1 {
+		t.Fatalf("expected re-optimization advice, got %+v", last)
+	}
+}

@@ -1,0 +1,176 @@
+package factorwindows
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const exampleQuery = `
+SELECT DeviceID, MIN(Temp) AS MinTemp
+FROM Input TIMESTAMP BY EntryTime
+GROUP BY DeviceID, Windows(
+    Window('20', TumblingWindow(tick, 20)),
+    Window('30', TumblingWindow(tick, 30)),
+    Window('40', TumblingWindow(tick, 40)))
+`
+
+func TestEndToEndQuery(t *testing.T) {
+	q, err := ParseQuery(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(q, Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Optimization.FactorWindows) != 1 || c.Optimization.FactorWindows[0] != Tumbling(10) {
+		t.Fatalf("factor windows = %v", c.Optimization.FactorWindows)
+	}
+	if got := c.Optimization.PredictedSpeedup; math.Abs(got-2.4) > 1e-9 {
+		t.Fatalf("predicted speedup = %v, want 2.4", got)
+	}
+
+	events := SyntheticStream(StreamConfig{Events: 50_000, Keys: 3, EventsPerTick: 2, Seed: 1})
+	optSink := &CollectingSink{}
+	if err := c.Run(events, optSink); err != nil {
+		t.Fatal(err)
+	}
+	origSink := &CollectingSink{}
+	if err := Run(c.Optimization.Original, events, origSink); err != nil {
+		t.Fatal(err)
+	}
+	got, want := optSink.Sorted(), origSink.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("result counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOptimizeDirect(t *testing.T) {
+	set, err := NewWindowSet(Tumbling(20), Tumbling(30), Tumbling(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Optimize(set, Min, Options{Factors: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.FactorWindows) != 0 {
+		t.Fatal("factors disabled")
+	}
+	if o.PredictedSpeedup <= 1 {
+		t.Fatalf("speedup = %v", o.PredictedSpeedup)
+	}
+	if !strings.Contains(o.Explain(), "W(40,40)") {
+		t.Fatalf("Explain missing windows:\n%s", o.Explain())
+	}
+	if !strings.Contains(o.Dot(), "digraph") {
+		t.Fatal("Dot output malformed")
+	}
+}
+
+func TestForcedSemantics(t *testing.T) {
+	set, _ := NewWindowSet(Tumbling(20), Tumbling(40))
+	if _, err := Optimize(set, Min, Options{Semantics: PartitionedBy}); err != nil {
+		t.Fatalf("MIN under partitioned-by must be allowed: %v", err)
+	}
+	if _, err := Optimize(set, Sum, Options{Semantics: CoveredBy}); err == nil {
+		t.Fatal("SUM under covered-by must be rejected")
+	}
+}
+
+func TestSlicingBaseline(t *testing.T) {
+	set, _ := NewWindowSet(Hopping(8, 2), Tumbling(6))
+	events := SyntheticStream(StreamConfig{Events: 10_000, Keys: 2, EventsPerTick: 2, Seed: 3})
+
+	sliceSink := &CollectingSink{}
+	if err := RunSlicing(set, Max, events, sliceSink); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := OriginalPlan(set, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSink := &CollectingSink{}
+	if err := Run(orig, events, origSink); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sliceSink.Sorted(), origSink.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIncrementalRunner(t *testing.T) {
+	set, _ := NewWindowSet(Tumbling(10))
+	p, err := OriginalPlan(set, Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &CollectingSink{}
+	r, err := NewRunner(p, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := SyntheticStream(StreamConfig{Events: 100, Keys: 1, EventsPerTick: 1, Seed: 4})
+	r.Process(events[:40])
+	r.Process(events[40:])
+	r.Close()
+	if len(sink.Results) != 10 {
+		t.Fatalf("results = %d, want 10", len(sink.Results))
+	}
+	for _, res := range sink.Results {
+		if res.Value != 10 {
+			t.Fatalf("COUNT = %v", res.Value)
+		}
+	}
+}
+
+func TestSensorStream(t *testing.T) {
+	events := SensorStream(StreamConfig{Events: 1000, Keys: 2, EventsPerTick: 2, Seed: 5})
+	if len(events) != 1000 {
+		t.Fatalf("len = %d", len(events))
+	}
+}
+
+func TestCoverageHelpers(t *testing.T) {
+	if !Covers(Tumbling(40), Tumbling(20)) || Covers(Tumbling(30), Tumbling(20)) {
+		t.Fatal("Covers re-export broken")
+	}
+	if !Partitions(Tumbling(40), Tumbling(20)) || Partitions(Hopping(10, 2), Hopping(8, 2)) {
+		t.Fatal("Partitions re-export broken")
+	}
+	if _, err := NewWindow(10, 3); err == nil {
+		t.Fatal("NewWindow must validate")
+	}
+	if _, err := ParseAggFn("avg"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileNil(t *testing.T) {
+	if _, err := Compile(nil, Options{}); err == nil {
+		t.Fatal("nil query must fail")
+	}
+}
+
+func TestSortResultsExport(t *testing.T) {
+	rs := []Result{
+		{W: Tumbling(20), Start: 20, Key: 1},
+		{W: Tumbling(10), Start: 0, Key: 2},
+	}
+	SortResults(rs)
+	if rs[0].W != Tumbling(10) {
+		t.Fatal("SortResults re-export broken")
+	}
+}

@@ -1,0 +1,224 @@
+// Package adaptive implements the runtime side of the paper's "future
+// work" on cost estimation (Section VI): tracking the observed input
+// event rate η and deciding when the currently deployed plan should be
+// re-optimized.
+//
+// The event rate matters because the cost model charges a raw-reading
+// window n·(η·r) but a sharing window only n·M — independent of η
+// (Observation 1). A higher observed rate therefore shifts the optimum
+// toward more sharing and more factor windows; a rate near or below one
+// event per tick can make a previously inserted factor window pointless.
+// The Advisor re-runs the (microsecond-scale) optimizer under the
+// estimated rate and reports whether the min-cost plan changed and by
+// how much the current plan overpays.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// RateEstimator tracks the stream's events-per-tick rate with an
+// exponentially weighted moving average over observed batches.
+type RateEstimator struct {
+	// Alpha is the EWMA weight of the newest batch (0 < Alpha ≤ 1);
+	// the zero value uses 0.25.
+	Alpha float64
+
+	rate     float64
+	lastTick int64
+	started  bool
+	events   int64 // events seen since lastTick
+}
+
+// Observe folds one in-order batch into the estimate.
+func (e *RateEstimator) Observe(events []stream.Event) {
+	if len(events) == 0 {
+		return
+	}
+	if !e.started {
+		e.started = true
+		e.lastTick = events[0].Time
+	}
+	for i := range events {
+		t := events[i].Time
+		if t == e.lastTick {
+			e.events++
+			continue
+		}
+		// One or more ticks completed: fold the finished tick, account
+		// empty ticks in between at rate zero.
+		e.fold(float64(e.events))
+		for gap := e.lastTick + 1; gap < t; gap++ {
+			e.fold(0)
+		}
+		e.lastTick = t
+		e.events = 1
+	}
+}
+
+func (e *RateEstimator) fold(perTick float64) {
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	if e.rate == 0 {
+		e.rate = perTick
+		return
+	}
+	e.rate = alpha*perTick + (1-alpha)*e.rate
+}
+
+// Rate returns the current events-per-tick estimate. Before any complete
+// tick has been observed it reports the running count of the first tick.
+func (e *RateEstimator) Rate() float64 {
+	if e.rate == 0 && e.started {
+		return float64(e.events)
+	}
+	return e.rate
+}
+
+// EtaForCostModel rounds the estimate to the positive integer η the cost
+// model needs (minimum 1).
+func (e *RateEstimator) EtaForCostModel() int64 {
+	r := int64(math.Round(e.Rate()))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// Advice is the outcome of re-costing the deployed plan under a new rate.
+type Advice struct {
+	// Eta is the rate the advice was computed for.
+	Eta int64
+	// Reoptimize reports whether the min-cost plan under Eta differs
+	// from the deployed plan's sharing structure.
+	Reoptimize bool
+	// CurrentCost is the deployed structure's cost re-priced at Eta;
+	// BestCost is the optimum at Eta. Equal when Reoptimize is false.
+	CurrentCost, BestCost *big.Int
+	// Result is the fresh optimization under Eta (the plan to deploy if
+	// Reoptimize is true).
+	Result *core.Result
+}
+
+// Overpay returns CurrentCost/BestCost as a float (1.0 = optimal).
+func (a Advice) Overpay() float64 {
+	f, _ := new(big.Rat).SetFrac(a.CurrentCost, a.BestCost).Float64()
+	return f
+}
+
+// Advisor re-optimizes a deployed query when the observed rate drifts.
+type Advisor struct {
+	Set *window.Set
+	Fn  agg.Fn
+	Opt core.Options
+
+	deployed *core.Result
+}
+
+// NewAdvisor captures the deployed plan's optimization result.
+func NewAdvisor(set *window.Set, fn agg.Fn, opt core.Options, deployed *core.Result) (*Advisor, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, fmt.Errorf("adaptive: empty window set")
+	}
+	if deployed == nil {
+		return nil, fmt.Errorf("adaptive: nil deployed result")
+	}
+	return &Advisor{Set: set, Fn: fn, Opt: opt, deployed: deployed}, nil
+}
+
+// Evaluate re-runs the optimizer under eta and compares structures.
+func (a *Advisor) Evaluate(eta int64) (Advice, error) {
+	if eta < 1 {
+		eta = 1
+	}
+	opt := a.Opt
+	opt.Model = cost.Model{Eta: eta}
+	fresh, err := core.Optimize(a.Set, a.Fn, opt)
+	if err != nil {
+		return Advice{}, err
+	}
+	current, err := repriceStructure(a.deployed, a.Set, a.Fn, opt)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv := Advice{
+		Eta:         eta,
+		CurrentCost: current,
+		BestCost:    fresh.OptimizedCost,
+		Result:      fresh,
+	}
+	adv.Reoptimize = current.Cmp(fresh.OptimizedCost) > 0
+	return adv, nil
+}
+
+// repriceStructure computes the deployed sharing structure's total cost
+// under the new model: every node keeps its parent, but raw readers are
+// re-priced with the new η.
+func repriceStructure(deployed *core.Result, set *window.Set, fn agg.Fn, opt core.Options) (*big.Int, error) {
+	model := opt.Model
+	R := cost.Period(set.Windows())
+	total := new(big.Int)
+	for _, n := range deployed.Graph.Nodes() {
+		if n.Root {
+			continue
+		}
+		if n.Parent == nil {
+			total.Add(total, model.Initial(n.W, R))
+		} else {
+			total.Add(total, model.Shared(n.W, n.Parent.W, R))
+		}
+	}
+	return total, nil
+}
+
+// Monitor couples a rate estimator with an advisor: feed it batches, and
+// every epoch ticks it checks whether the deployed plan is still the
+// min-cost one under the observed rate.
+type Monitor struct {
+	Estimator RateEstimator
+	Advisor   *Advisor
+
+	// EpochTicks is how often (in stream time) to re-evaluate; zero
+	// means every 1024 ticks.
+	EpochTicks int64
+
+	lastEval int64
+	advice   *Advice
+}
+
+// Feed observes a batch and re-evaluates at epoch boundaries. It returns
+// fresh advice when a re-evaluation happened, else nil.
+func (m *Monitor) Feed(events []stream.Event) (*Advice, error) {
+	m.Estimator.Observe(events)
+	if len(events) == 0 {
+		return nil, nil
+	}
+	epoch := m.EpochTicks
+	if epoch <= 0 {
+		epoch = 1024
+	}
+	now := events[len(events)-1].Time
+	if now-m.lastEval < epoch {
+		return nil, nil
+	}
+	m.lastEval = now
+	adv, err := m.Advisor.Evaluate(m.Estimator.EtaForCostModel())
+	if err != nil {
+		return nil, err
+	}
+	m.advice = &adv
+	return &adv, nil
+}
+
+// Last returns the most recent advice, or nil.
+func (m *Monitor) Last() *Advice { return m.advice }

@@ -1,0 +1,207 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+func constantRate(ticks int64, perTick int) []stream.Event {
+	var out []stream.Event
+	for t := int64(0); t < ticks; t++ {
+		for i := 0; i < perTick; i++ {
+			out = append(out, stream.Event{Time: t, Key: uint64(i)})
+		}
+	}
+	return out
+}
+
+func TestRateEstimatorConstant(t *testing.T) {
+	var e RateEstimator
+	e.Observe(constantRate(100, 4))
+	if got := e.Rate(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("rate = %v, want 4", got)
+	}
+	if e.EtaForCostModel() != 4 {
+		t.Fatalf("eta = %d", e.EtaForCostModel())
+	}
+}
+
+func TestRateEstimatorConverges(t *testing.T) {
+	var e RateEstimator
+	e.Observe(constantRate(50, 2))
+	// Rate doubles; EWMA must move toward 4.
+	shifted := constantRate(200, 4)
+	for i := range shifted {
+		shifted[i].Time += 50
+	}
+	e.Observe(shifted)
+	if got := e.Rate(); math.Abs(got-4) > 0.1 {
+		t.Fatalf("rate = %v, want ≈ 4", got)
+	}
+}
+
+func TestRateEstimatorGapsCountAsIdle(t *testing.T) {
+	var e RateEstimator
+	// 4 events at tick 0, then nothing until tick 99: the gap drags the
+	// EWMA down close to zero, so η clamps to 1.
+	events := []stream.Event{
+		{Time: 0}, {Time: 0}, {Time: 0}, {Time: 0},
+		{Time: 99},
+	}
+	e.Observe(events)
+	if e.Rate() > 1 {
+		t.Fatalf("rate = %v, want < 1 after a long gap", e.Rate())
+	}
+	if e.EtaForCostModel() != 1 {
+		t.Fatalf("eta = %d, want clamp to 1", e.EtaForCostModel())
+	}
+}
+
+func TestRateEstimatorEmptyAndPartialTick(t *testing.T) {
+	var e RateEstimator
+	e.Observe(nil)
+	if e.Rate() != 0 {
+		t.Fatalf("rate = %v before input", e.Rate())
+	}
+	e.Observe([]stream.Event{{Time: 5}, {Time: 5}, {Time: 5}})
+	if e.Rate() != 3 {
+		t.Fatalf("first-tick running rate = %v, want 3", e.Rate())
+	}
+}
+
+// deploy optimizes the set at η=1 and builds an Advisor for it.
+func deploy(t *testing.T, set *window.Set, fn agg.Fn) *Advisor {
+	t.Helper()
+	opts := core.Options{Factors: true, Model: cost.Model{Eta: 1}}
+	res, err := core.Optimize(set, fn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAdvisor(set, fn, opts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAdvisorStableWhenRateUnchanged(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	a := deploy(t, set, agg.Sum)
+	adv, err := a.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Reoptimize {
+		t.Fatalf("same rate must not trigger re-optimization: %+v", adv)
+	}
+	if adv.Overpay() != 1 {
+		t.Fatalf("overpay = %v", adv.Overpay())
+	}
+}
+
+func TestAdvisorDetectsRateShift(t *testing.T) {
+	// At η=1 the optimizer keeps W(19,19) reading raw input next to a
+	// chain it cannot join (mutually prime with the others). Raising η
+	// makes every raw read pricier but cannot change this structure —
+	// instead use a set where η=1 rejects a factor window that becomes
+	// attractive at high η: factor cost is n_f·M (η-free) while the
+	// savings replace η-scaled raw reads.
+	set := window.MustSet(window.Tumbling(15), window.Tumbling(21))
+	a := deploy(t, set, agg.Sum)
+	// Deployed at η=1: gcd(15,21)=3; factor W(3,3) costs R while saving
+	// (η·15−5·1)·n₁-ish per window — at η=1 the optimizer's choice is
+	// whatever it is; at η=8 sharing must be at least as attractive.
+	low, err := a.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := a.Evaluate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advice must be internally consistent.
+	if low.CurrentCost.Cmp(low.BestCost) < 0 || high.CurrentCost.Cmp(high.BestCost) < 0 {
+		t.Fatal("deployed structure cannot beat the optimum")
+	}
+	if high.Reoptimize {
+		if high.Overpay() <= 1 {
+			t.Fatalf("reoptimize advised but overpay = %v", high.Overpay())
+		}
+		if high.Result.OptimizedCost.Cmp(high.BestCost) != 0 {
+			t.Fatal("advice result inconsistent")
+		}
+	}
+}
+
+func TestAdvisorFactorWindowAppearsAtHighRate(t *testing.T) {
+	// Deploy WITHOUT factor windows at η=1, then evaluate with factors
+	// enabled at high η: the optimum must improve and advise a change
+	// for Example 7's window set.
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	opts := core.Options{Factors: false, Model: cost.Model{Eta: 1}}
+	res, err := core.Optimize(set, agg.Sum, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsF := core.Options{Factors: true}
+	a, err := NewAdvisor(set, agg.Sum, optsF, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := a.Evaluate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Reoptimize {
+		t.Fatalf("factor windows at η=4 must beat the factor-free deployment: %v vs %v",
+			adv.CurrentCost, adv.BestCost)
+	}
+	if len(adv.Result.FactorWindows) == 0 {
+		t.Fatal("fresh optimization should carry factor windows")
+	}
+}
+
+func TestAdvisorValidation(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	if _, err := NewAdvisor(nil, agg.Min, core.Options{}, nil); err == nil {
+		t.Fatal("nil set must fail")
+	}
+	if _, err := NewAdvisor(set, agg.Min, core.Options{}, nil); err == nil {
+		t.Fatal("nil deployed must fail")
+	}
+}
+
+func TestMonitorEpochs(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(40))
+	a := deploy(t, set, agg.Sum)
+	m := &Monitor{Advisor: a, EpochTicks: 64}
+	var got int
+	for start := int64(0); start < 512; start += 32 {
+		batch := constantRate(32, 2)
+		for i := range batch {
+			batch[i].Time += start
+		}
+		adv, err := m.Feed(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv != nil {
+			got++
+			if m.Last() != adv {
+				t.Fatal("Last() must return the most recent advice")
+			}
+		}
+	}
+	if got < 6 || got > 9 {
+		t.Fatalf("expected roughly one evaluation per epoch, got %d", got)
+	}
+	if _, err := m.Feed(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package agg implements the aggregate functions the paper optimizes and
+// the Gray et al. taxonomy it relies on (Section III-A): distributive,
+// algebraic and holistic functions; which functions may be computed from
+// sub-aggregates ("partitioned by" semantics, Theorem 5) and which remain
+// distributive even over overlapping partitions ("covered by" semantics,
+// Theorem 6: MIN and MAX).
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fn identifies an aggregate function.
+type Fn int
+
+// The aggregate functions supported by the library. MEDIAN is holistic and
+// included to exercise the paper's fallback path (no sharing).
+const (
+	Min Fn = iota
+	Max
+	Sum
+	Count
+	Avg
+	StdDev
+	Median
+	numFns
+)
+
+var fnNames = [...]string{"MIN", "MAX", "SUM", "COUNT", "AVG", "STDEV", "MEDIAN"}
+
+// String returns the SQL-ish name of the function (e.g. "MIN").
+func (f Fn) String() string {
+	if f < 0 || int(f) >= len(fnNames) {
+		return fmt.Sprintf("Fn(%d)", int(f))
+	}
+	return fnNames[f]
+}
+
+// Valid reports whether f is a known aggregate function.
+func (f Fn) Valid() bool { return f >= 0 && f < numFns }
+
+// ParseFn parses a (case-insensitive) aggregate function name.
+func ParseFn(name string) (Fn, error) {
+	for i, n := range fnNames {
+		if equalFold(name, n) || (n == "STDEV" && equalFold(name, "STDDEV")) {
+			return Fn(i), nil
+		}
+	}
+	return 0, fmt.Errorf("agg: unknown aggregate function %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Class is the Gray et al. classification of an aggregate function.
+type Class int
+
+// The three classes of Section III-A.
+const (
+	Distributive Class = iota
+	Algebraic
+	Holistic
+)
+
+func (c Class) String() string {
+	switch c {
+	case Distributive:
+		return "distributive"
+	case Algebraic:
+		return "algebraic"
+	default:
+		return "holistic"
+	}
+}
+
+// ClassOf returns the taxonomy class of f.
+func ClassOf(f Fn) Class {
+	switch f {
+	case Min, Max, Sum, Count:
+		return Distributive
+	case Avg, StdDev:
+		return Algebraic
+	default:
+		return Holistic
+	}
+}
+
+// Semantics selects which coverage relation the optimizer may exploit for
+// an aggregate function (Section III, footnote 2).
+type Semantics int
+
+// Auto (the zero value) lets the optimizer pick the semantics from the
+// aggregate function via SemanticsOf. CoveredBy permits sharing across
+// overlapping sub-aggregates (MIN/MAX, Theorem 6). PartitionedBy requires
+// disjoint sub-aggregates (SUM, COUNT, AVG, STDEV; Theorem 5). NoSharing
+// is the holistic fallback: each window is evaluated independently from
+// raw events.
+const (
+	Auto Semantics = iota
+	NoSharing
+	PartitionedBy
+	CoveredBy
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case CoveredBy:
+		return "covered-by"
+	case PartitionedBy:
+		return "partitioned-by"
+	case NoSharing:
+		return "no-sharing"
+	default:
+		return "auto"
+	}
+}
+
+// SemanticsOf returns the sharing semantics the optimizer uses for f:
+// "covered by" for MIN and MAX, "partitioned by" for the remaining
+// distributive/algebraic functions, and NoSharing for holistic ones.
+func SemanticsOf(f Fn) Semantics {
+	switch f {
+	case Min, Max:
+		return CoveredBy
+	case Sum, Count, Avg, StdDev:
+		return PartitionedBy
+	default:
+		return NoSharing
+	}
+}
+
+// OverlapSafe reports whether f stays distributive over overlapping
+// partitions (Theorem 6), i.e. whether "covered by" sharing is sound.
+func OverlapSafe(f Fn) bool { return f == Min || f == Max }
+
+// Shareable reports whether f can be computed from sub-aggregates at all.
+func Shareable(f Fn) bool { return ClassOf(f) != Holistic }
+
+// State is the partial-aggregate state for one (window instance, key)
+// pair. A single struct serves every function; only the fields relevant to
+// the function are maintained, keeping the hot path branch-free per
+// function kind. Vals is used only by holistic functions.
+type State struct {
+	Cnt   int64
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+	Vals  []float64
+}
+
+// Reset clears s for reuse (pooling in the engine).
+func (s *State) Reset() {
+	s.Cnt = 0
+	s.Sum = 0
+	s.SumSq = 0
+	s.Min = 0
+	s.Max = 0
+	s.Vals = s.Vals[:0]
+}
+
+// Empty reports whether s has absorbed no input.
+func (s *State) Empty() bool { return s.Cnt == 0 }
+
+// Add folds one raw event value into s.
+func Add(f Fn, s *State, v float64) {
+	switch f {
+	case Min:
+		if s.Cnt == 0 || v < s.Min {
+			s.Min = v
+		}
+	case Max:
+		if s.Cnt == 0 || v > s.Max {
+			s.Max = v
+		}
+	case Sum, Count:
+		s.Sum += v
+	case Avg:
+		s.Sum += v
+	case StdDev:
+		s.Sum += v
+		s.SumSq += v * v
+	case Median:
+		s.Vals = append(s.Vals, v)
+	default:
+		panic(fmt.Sprintf("agg: Add on unknown function %v", f))
+	}
+	s.Cnt++
+}
+
+// Merge folds the sub-aggregate sub into s. It panics for holistic
+// functions, which cannot be computed from sub-aggregates (Section III-A).
+// For "partitioned by" functions the caller must guarantee the
+// sub-aggregates are disjoint; for MIN/MAX overlap is safe (Theorem 6).
+func Merge(f Fn, s *State, sub *State) {
+	if sub.Cnt == 0 {
+		return
+	}
+	switch f {
+	case Min:
+		if s.Cnt == 0 || sub.Min < s.Min {
+			s.Min = sub.Min
+		}
+	case Max:
+		if s.Cnt == 0 || sub.Max > s.Max {
+			s.Max = sub.Max
+		}
+	case Sum, Count, Avg:
+		s.Sum += sub.Sum
+	case StdDev:
+		s.Sum += sub.Sum
+		s.SumSq += sub.SumSq
+	default:
+		panic(fmt.Sprintf("agg: Merge unsupported for %v (%v)", f, ClassOf(f)))
+	}
+	s.Cnt += sub.Cnt
+}
+
+// MergeRaw folds sub into s for any function, including holistic ones,
+// by carrying raw values where necessary. This is how window slicing
+// "supports" holistic functions per Section III-A: the slices contain
+// all input events rather than constant-size sub-aggregates, so storage
+// grows with the data. The sub-aggregates must be disjoint.
+func MergeRaw(f Fn, s *State, sub *State) {
+	if ClassOf(f) != Holistic {
+		Merge(f, s, sub)
+		return
+	}
+	if sub.Cnt == 0 {
+		return
+	}
+	s.Vals = append(s.Vals, sub.Vals...)
+	s.Cnt += sub.Cnt
+}
+
+// Final computes the aggregate result from s. For an empty state it
+// returns NaN for value aggregates and 0 for COUNT, matching SQL-ish
+// expectations (windows with no events are normally not emitted at all).
+func Final(f Fn, s *State) float64 {
+	if s.Cnt == 0 {
+		if f == Count {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch f {
+	case Min:
+		return s.Min
+	case Max:
+		return s.Max
+	case Sum:
+		return s.Sum
+	case Count:
+		return float64(s.Cnt)
+	case Avg:
+		return s.Sum / float64(s.Cnt)
+	case StdDev:
+		// Population standard deviation from (count, sum, sum of squares).
+		n := float64(s.Cnt)
+		mean := s.Sum / n
+		v := s.SumSq/n - mean*mean
+		if v < 0 {
+			v = 0 // guard tiny negative from float rounding
+		}
+		return math.Sqrt(v)
+	case Median:
+		vals := append([]float64(nil), s.Vals...)
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			return vals[n/2]
+		}
+		return (vals[n/2-1] + vals[n/2]) / 2
+	default:
+		panic(fmt.Sprintf("agg: Final on unknown function %v", f))
+	}
+}
+
+// Functions returns all supported aggregate functions.
+func Functions() []Fn {
+	out := make([]Fn, numFns)
+	for i := range out {
+		out[i] = Fn(i)
+	}
+	return out
+}
+
+// ShareableFns returns the functions eligible for shared computation.
+func ShareableFns() []Fn {
+	var out []Fn
+	for _, f := range Functions() {
+		if Shareable(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fold(f Fn, vals []float64) *State {
+	s := &State{}
+	for _, v := range vals {
+		Add(f, s, v)
+	}
+	return s
+}
+
+func TestTaxonomy(t *testing.T) {
+	cases := []struct {
+		f     Fn
+		class Class
+		sem   Semantics
+	}{
+		{Min, Distributive, CoveredBy},
+		{Max, Distributive, CoveredBy},
+		{Sum, Distributive, PartitionedBy},
+		{Count, Distributive, PartitionedBy},
+		{Avg, Algebraic, PartitionedBy},
+		{StdDev, Algebraic, PartitionedBy},
+		{Median, Holistic, NoSharing},
+	}
+	for _, c := range cases {
+		if ClassOf(c.f) != c.class {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.f, ClassOf(c.f), c.class)
+		}
+		if SemanticsOf(c.f) != c.sem {
+			t.Errorf("SemanticsOf(%v) = %v, want %v", c.f, SemanticsOf(c.f), c.sem)
+		}
+		if OverlapSafe(c.f) != (c.sem == CoveredBy) {
+			t.Errorf("OverlapSafe(%v) inconsistent with semantics", c.f)
+		}
+		if Shareable(c.f) != (c.class != Holistic) {
+			t.Errorf("Shareable(%v) inconsistent with class", c.f)
+		}
+	}
+}
+
+func TestParseFn(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Fn
+	}{
+		{"min", Min}, {"MIN", Min}, {"Max", Max}, {"sum", Sum},
+		{"COUNT", Count}, {"avg", Avg}, {"stdev", StdDev},
+		{"STDDEV", StdDev}, {"median", Median},
+	} {
+		got, err := ParseFn(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseFn(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseFn("mode"); err == nil {
+		t.Fatal("unknown function must fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, f := range Functions() {
+		got, err := ParseFn(f.String())
+		if err != nil || got != f {
+			t.Errorf("round trip %v failed: %v, %v", f, got, err)
+		}
+	}
+	if Fn(42).String() == "" || Fn(42).Valid() {
+		t.Error("out-of-range Fn handling wrong")
+	}
+}
+
+func TestFinalBasics(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	checks := map[Fn]float64{
+		Min:    1,
+		Max:    9,
+		Sum:    31,
+		Count:  8,
+		Avg:    31.0 / 8,
+		Median: 3.5,
+	}
+	for f, want := range checks {
+		if got := Final(f, fold(f, vals)); got != want {
+			t.Errorf("%v = %v, want %v", f, got, want)
+		}
+	}
+	// STDEV: population stddev of the values.
+	mean := 31.0 / 8
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	want := math.Sqrt(ss / 8)
+	if got := Final(StdDev, fold(StdDev, vals)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("STDEV = %v, want %v", got, want)
+	}
+}
+
+func TestMedianOddAndEven(t *testing.T) {
+	if got := Final(Median, fold(Median, []float64{5, 1, 3})); got != 3 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Final(Median, fold(Median, []float64{4, 2})); got != 3 {
+		t.Errorf("even median = %v", got)
+	}
+}
+
+func TestEmptyState(t *testing.T) {
+	s := &State{}
+	if !s.Empty() {
+		t.Fatal("zero state must be empty")
+	}
+	if got := Final(Count, s); got != 0 {
+		t.Errorf("COUNT of empty = %v", got)
+	}
+	for _, f := range []Fn{Min, Max, Sum, Avg, StdDev} {
+		if got := Final(f, s); !math.IsNaN(got) {
+			t.Errorf("%v of empty = %v, want NaN", f, got)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := fold(Median, []float64{1, 2, 3})
+	s.Reset()
+	if !s.Empty() || len(s.Vals) != 0 {
+		t.Fatal("Reset must clear state")
+	}
+}
+
+func TestMergeEqualsDirectOnPartitions(t *testing.T) {
+	// Theorem 5: for distributive/algebraic f, folding disjoint chunks
+	// and merging their states equals folding everything directly.
+	cfg := &quick.Config{MaxCount: 500}
+	for _, f := range []Fn{Min, Max, Sum, Count, Avg, StdDev} {
+		f := f
+		prop := func(raw []float64, cut uint8) bool {
+			if len(raw) < 2 {
+				return true
+			}
+			for i, v := range raw {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					raw[i] = float64(i)
+				}
+				// Keep magnitudes sane so float association error is negligible.
+				raw[i] = math.Mod(raw[i], 1e6)
+			}
+			k := int(cut)%(len(raw)-1) + 1
+			direct := Final(f, fold(f, raw))
+			merged := &State{}
+			Merge(f, merged, fold(f, raw[:k]))
+			Merge(f, merged, fold(f, raw[k:]))
+			got := Final(f, merged)
+			if math.IsNaN(direct) && math.IsNaN(got) {
+				return true
+			}
+			return math.Abs(got-direct) <= 1e-6*math.Max(1, math.Abs(direct))
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestMinMaxOverlapSafe(t *testing.T) {
+	// Theorem 6: MIN/MAX stay correct when the sub-aggregates overlap.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 1000; trial++ {
+		n := r.Intn(20) + 1
+		raw := make([]float64, n)
+		for i := range raw {
+			raw[i] = r.NormFloat64() * 100
+		}
+		for _, f := range []Fn{Min, Max} {
+			direct := Final(f, fold(f, raw))
+			merged := &State{}
+			// Random overlapping chunks that together cover all of raw.
+			covered := make([]bool, n)
+			for c := 0; c < 4; c++ {
+				lo := r.Intn(n)
+				hi := lo + r.Intn(n-lo) + 1
+				for i := lo; i < hi; i++ {
+					covered[i] = true
+				}
+				Merge(f, merged, fold(f, raw[lo:hi]))
+			}
+			for i, ok := range covered {
+				if !ok {
+					Merge(f, merged, fold(f, raw[i:i+1]))
+				}
+			}
+			if got := Final(f, merged); got != direct {
+				t.Fatalf("%v over overlapping chunks = %v, want %v", f, got, direct)
+			}
+		}
+	}
+}
+
+func TestMergeHolisticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge(Median) must panic")
+		}
+	}()
+	Merge(Median, &State{}, fold(Median, []float64{1}))
+}
+
+func TestMergeEmptySubIsNoop(t *testing.T) {
+	s := fold(Sum, []float64{1, 2})
+	Merge(Sum, s, &State{})
+	if Final(Sum, s) != 3 || s.Cnt != 2 {
+		t.Fatal("merging an empty sub-state must be a no-op")
+	}
+}
+
+func TestCountIgnoresValues(t *testing.T) {
+	s := fold(Count, []float64{math.Inf(1), -5, 0})
+	if Final(Count, s) != 3 {
+		t.Fatal("COUNT must count events, not values")
+	}
+}
+
+func TestShareableFns(t *testing.T) {
+	fs := ShareableFns()
+	if len(fs) != 6 {
+		t.Fatalf("ShareableFns = %v", fs)
+	}
+	if !reflect.DeepEqual(fs, []Fn{Min, Max, Sum, Count, Avg, StdDev}) {
+		t.Fatalf("ShareableFns = %v", fs)
+	}
+}
+
+func TestStdDevNeverNegativeSqrt(t *testing.T) {
+	// Constant input: variance should be exactly 0 even with float noise.
+	s := fold(StdDev, []float64{1e8, 1e8, 1e8, 1e8})
+	if got := Final(StdDev, s); got != 0 {
+		t.Fatalf("STDEV of constants = %v", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package asaql parses the declarative, SQL-like query dialect of Azure
+// Stream Analytics that the paper's Figure 1(a) shows, e.g.:
+//
+//	SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp
+//	FROM Input TIMESTAMP BY EntryTime
+//	GROUP BY DeviceID, Windows(
+//	    Window('20 min', TumblingWindow(minute, 20)),
+//	    Window('30 min', TumblingWindow(minute, 30)),
+//	    Window('40 min', HoppingWindow(minute, 40, 20)))
+//
+// The parsed Query carries the aggregate function, the grouping key, the
+// value column and the window set — everything the optimizer needs. Time
+// units (second/minute/hour/day/tick) are normalized to integer ticks.
+package asaql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokStar
+	tokOp // comparison operator in WHERE: < <= > >= = != <>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokStar:
+		return "'*'"
+	default:
+		return "comparison operator"
+	}
+}
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src completely, returning a syntax error with position on
+// any unexpected byte.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '<' || c == '>' || c == '=' || c == '!':
+		return l.lexOp()
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		l.pos++
+		tok, err := l.lexNumber()
+		if err != nil {
+			return tok, err
+		}
+		tok.text = "-" + tok.text
+		tok.pos = start
+		return tok, nil
+	case isDigit(c):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return token{}, fmt.Errorf("asaql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+// lexOp consumes one comparison operator: < <= <> > >= = !=.
+func (l *lexer) lexOp() (token, error) {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	two := func(second byte) bool {
+		if l.pos < len(l.src) && l.src[l.pos] == second {
+			l.pos++
+			return true
+		}
+		return false
+	}
+	switch c {
+	case '<':
+		if two('=') {
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		if two('>') {
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case '>':
+		if two('=') {
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case '=':
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	default: // '!'
+		if two('=') {
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("asaql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("asaql: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	// Decimal fraction — only when a digit follows the dot, so that
+	// "System.Window" style member access is untouched.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigit(l.src[l.pos+1]) {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isDigit(c byte) bool      { return '0' <= c && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || isAlpha(c) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+func isAlpha(c byte) bool      { return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' }

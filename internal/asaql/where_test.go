@@ -1,0 +1,184 @@
+package asaql
+
+import (
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+)
+
+func TestWhereClause(t *testing.T) {
+	q, err := Parse(`
+		SELECT DeviceID, MIN(T) FROM Input TIMESTAMP BY EntryTime
+		WHERE T >= 10 AND T < 99.5 AND DeviceID != 3
+		GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 3 {
+		t.Fatalf("got %d conditions: %v", len(q.Where), q.Where)
+	}
+	want := []Condition{
+		{Column: "T", Op: ">=", Value: 10},
+		{Column: "T", Op: "<", Value: 99.5},
+		{Column: "DeviceID", Op: "!=", Value: 3},
+	}
+	for i, c := range want {
+		if q.Where[i] != c {
+			t.Errorf("condition %d = %+v, want %+v", i, q.Where[i], c)
+		}
+	}
+	filter, err := q.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key  uint64
+		v    float64
+		want bool
+	}{
+		{1, 50, true},
+		{1, 5, false},    // T >= 10 fails
+		{1, 99.5, false}, // T < 99.5 fails
+		{3, 50, false},   // DeviceID != 3 fails
+		{4, 10, true},    // boundary: T >= 10 holds
+	}
+	for _, c := range cases {
+		if got := filter(c.key, c.v); got != c.want {
+			t.Errorf("filter(%d, %v) = %v, want %v", c.key, c.v, got, c.want)
+		}
+	}
+}
+
+func TestWhereFlippedLiteral(t *testing.T) {
+	q, err := Parse(`
+		SELECT k, MAX(v) FROM s WHERE 10 <= v AND 100 > v
+		GROUP BY k, Windows(TumblingWindow(tick, 5))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Condition{
+		{Column: "v", Op: ">=", Value: 10},
+		{Column: "v", Op: "<", Value: 100},
+	}
+	for i, c := range want {
+		if q.Where[i] != c {
+			t.Errorf("condition %d = %+v, want %+v", i, q.Where[i], c)
+		}
+	}
+}
+
+func TestWhereNegativeAndSQLNotEqual(t *testing.T) {
+	q, err := Parse(`
+		SELECT k, SUM(v) FROM s WHERE v > -5 AND v <> 0
+		GROUP BY k, Windows(TumblingWindow(tick, 5))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Value != -5 {
+		t.Errorf("negative literal parsed as %v", q.Where[0].Value)
+	}
+	if q.Where[1].Op != "!=" {
+		t.Errorf("<> normalized to %q, want !=", q.Where[1].Op)
+	}
+	filter, err := q.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter(1, 0) {
+		t.Error("v <> 0 should reject 0")
+	}
+	if !filter(1, -1) {
+		t.Error("v > -5 AND v <> 0 should accept -1")
+	}
+}
+
+func TestWhereUnknownColumn(t *testing.T) {
+	_, err := Parse(`
+		SELECT k, MIN(v) FROM s WHERE other > 3
+		GROUP BY k, Windows(TumblingWindow(tick, 5))`)
+	if err == nil || !strings.Contains(err.Error(), "neither value column") {
+		t.Fatalf("expected unknown-column error, got %v", err)
+	}
+}
+
+func TestWhereSyntaxErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no op", `SELECT k, MIN(v) FROM s WHERE v 3 GROUP BY k, Windows(TumblingWindow(tick, 5))`, "comparison operator"},
+		{"no literal", `SELECT k, MIN(v) FROM s WHERE v > GROUP BY k, Windows(TumblingWindow(tick, 5))`, "number"},
+		{"dangling and", `SELECT k, MIN(v) FROM s WHERE v > 1 AND GROUP BY k, Windows(TumblingWindow(tick, 5))`, "comparison operator"},
+		{"lone bang", `SELECT k, MIN(v) FROM s WHERE v ! 3 GROUP BY k, Windows(TumblingWindow(tick, 5))`, "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("expected error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestMultipleAggregates(t *testing.T) {
+	q, err := Parse(`
+		SELECT DeviceID, MIN(T) AS Lo, MAX(T) AS Hi, AVG(T)
+		FROM Input GROUP BY DeviceID, Windows(
+			TumblingWindow(tick, 20), TumblingWindow(tick, 40))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggregates) != 3 {
+		t.Fatalf("got %d aggregates", len(q.Aggregates))
+	}
+	want := []AggCall{
+		{Fn: agg.Min, Column: "T", Alias: "Lo"},
+		{Fn: agg.Max, Column: "T", Alias: "Hi"},
+		{Fn: agg.Avg, Column: "T"},
+	}
+	for i, c := range want {
+		if q.Aggregates[i] != c {
+			t.Errorf("aggregate %d = %+v, want %+v", i, q.Aggregates[i], c)
+		}
+	}
+	// Fn/ValueColumn/Alias mirror the first call.
+	if q.Fn != agg.Min || q.ValueColumn != "T" || q.Alias != "Lo" {
+		t.Errorf("first-call mirror wrong: %v %q %q", q.Fn, q.ValueColumn, q.Alias)
+	}
+}
+
+func TestNoFilterWithoutWhere(t *testing.T) {
+	q, err := Parse(`SELECT k, MIN(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 5))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := q.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter != nil {
+		t.Error("no WHERE clause should give a nil filter")
+	}
+}
+
+func TestStringIncludesWhereAndAggregates(t *testing.T) {
+	q, err := Parse(`
+		SELECT k, MIN(v), MAX(v) FROM s WHERE v >= 1 AND k < 5
+		GROUP BY k, Windows(TumblingWindow(tick, 5))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"MIN(v)", "MAX(v)", "WHERE v >= 1", "AND k < 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// The rendering must re-parse to the same query.
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("String() output does not re-parse: %v\n%s", err, s)
+	}
+	if len(q2.Where) != 2 || len(q2.Aggregates) != 2 {
+		t.Errorf("round trip lost clauses: %+v", q2)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/factor"
+	"factorwindows/internal/window"
+)
+
+// TestAlgorithm3GapToOptimal answers the paper's open question (Section
+// IV-C footnote 3) at small scale: how far is Algorithm 3's heuristic
+// factor selection from the true optimum? The exhaustive search
+// enumerates every subset of tumbling factor candidates; small ranges
+// keep the period (and so the pool) tractable.
+func TestAlgorithm3GapToOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	trials, matches := 0, 0
+	worst := 1.0
+	for trials < 150 {
+		// Tumbling sets with ranges that are small multiples of a seed,
+		// so R stays tiny and the candidate pool enumerable.
+		seed := []int64{2, 3, 4, 5}[r.Intn(4)]
+		set := &window.Set{}
+		n := r.Intn(3) + 2
+		for set.Len() < n {
+			w := window.Tumbling(seed * int64(r.Intn(8)+2))
+			if !set.Contains(w) {
+				_ = set.Add(w)
+			}
+		}
+		R := cost.Period(set.Windows())
+		if !R.IsInt64() || R.Int64() > 2000 {
+			continue
+		}
+		trials++
+
+		res, err := Optimize(set, agg.Sum, Options{Factors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := factor.OptimalPartitioned(set, cost.Default, 18)
+		if opt.Cost == nil {
+			t.Fatalf("optimal search failed for %v", set)
+		}
+		// Soundness: the heuristic can never beat the optimum.
+		if res.OptimizedCost.Cmp(opt.Cost) < 0 {
+			t.Fatalf("set %v: Algorithm 3 cost %v below exhaustive optimum %v",
+				set, res.OptimizedCost, opt.Cost)
+		}
+		if res.OptimizedCost.Cmp(opt.Cost) == 0 {
+			matches++
+		} else {
+			gap, _ := new(big.Rat).SetFrac(res.OptimizedCost, opt.Cost).Float64()
+			if gap > worst {
+				worst = gap
+			}
+		}
+	}
+	t.Logf("Algorithm 3 matched the exhaustive optimum in %d/%d small instances; worst gap %.3fx",
+		matches, trials, worst)
+	// The heuristic should find the optimum in the clear majority of
+	// small instances and never be catastrophically far off.
+	if matches*2 < trials {
+		t.Fatalf("Algorithm 3 optimal in only %d/%d instances", matches, trials)
+	}
+	if worst > 2.0 {
+		t.Fatalf("worst-case gap %.3fx exceeds 2x", worst)
+	}
+}
+
+// TestOptimalSearchExample7 sanity-checks the exhaustive search itself:
+// on Example 7 the optimum is 150 with factor W(10,10).
+func TestOptimalSearchExample7(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	opt := factor.OptimalPartitioned(set, cost.Default, 18)
+	if opt.Cost.Cmp(big.NewInt(150)) != 0 {
+		t.Fatalf("optimal cost = %v, want 150 (factors %v)", opt.Cost, opt.Factors)
+	}
+	found := false
+	for _, f := range opt.Factors {
+		if f == window.Tumbling(10) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("optimal factors %v should include W(10,10)", opt.Factors)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/window"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func optimize(t *testing.T, factors bool, fn agg.Fn, ws ...window.Window) *Result {
+	t.Helper()
+	res, err := Optimize(window.MustSet(ws...), fn, Options{Factors: factors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExample6EndToEnd(t *testing.T) {
+	// Algorithm 1 alone on {10,20,30,40} tumbling: 480 → 150. No factor
+	// window can improve it further (W(10,10) is already in the set).
+	for _, factors := range []bool{false, true} {
+		res := optimize(t, factors, agg.Sum,
+			window.Tumbling(10), window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+		if res.NaiveCost.Cmp(bi(480)) != 0 {
+			t.Fatalf("naive = %v", res.NaiveCost)
+		}
+		if res.OptimizedCost.Cmp(bi(150)) != 0 {
+			t.Fatalf("factors=%v: optimized = %v, want 150\n%s", factors, res.OptimizedCost, res.Graph)
+		}
+	}
+}
+
+func TestExample7EndToEnd(t *testing.T) {
+	// {20,30,40} tumbling: naive 360; Algorithm 1 alone 246; with factor
+	// window W(10,10) added back, 150 (Example 7 / Figure 7).
+	noF := optimize(t, false, agg.Sum, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if noF.NaiveCost.Cmp(bi(360)) != 0 || noF.OptimizedCost.Cmp(bi(246)) != 0 {
+		t.Fatalf("w/o factors: naive=%v optimized=%v, want 360/246", noF.NaiveCost, noF.OptimizedCost)
+	}
+	if len(noF.FactorWindows) != 0 {
+		t.Fatalf("factors disabled but got %v", noF.FactorWindows)
+	}
+
+	withF := optimize(t, true, agg.Sum, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if withF.OptimizedCost.Cmp(bi(150)) != 0 {
+		t.Fatalf("with factors: optimized = %v, want 150\n%s", withF.OptimizedCost, withF.Graph)
+	}
+	if len(withF.FactorWindows) != 1 || withF.FactorWindows[0] != window.Tumbling(10) {
+		t.Fatalf("factor windows = %v, want [W(10,10)]", withF.FactorWindows)
+	}
+	// The factor window feeds W2 and W3; W4 still reads W2 (Figure 7(b)).
+	g := withF.Graph
+	f := g.Lookup(window.Tumbling(10))
+	for _, w := range []window.Window{window.Tumbling(20), window.Tumbling(30)} {
+		if n := g.Lookup(w); n.Parent != f {
+			t.Fatalf("%v parent = %v, want factor W(10,10)", w, n.Parent)
+		}
+	}
+	if n := g.Lookup(window.Tumbling(40)); n.Parent == nil || n.Parent.W != window.Tumbling(20) {
+		t.Fatalf("W(40,40) parent = %v, want W(20,20)", n.Parent)
+	}
+	// Speedup γC = 360/150 = 12/5.
+	if withF.Speedup().Cmp(big.NewRat(12, 5)) != 0 {
+		t.Fatalf("speedup = %v", withF.Speedup())
+	}
+}
+
+func TestCoveredBySemanticsSelectedForMin(t *testing.T) {
+	res := optimize(t, true, agg.Min, window.Hopping(20, 10), window.Hopping(40, 10))
+	if res.Semantics != agg.CoveredBy {
+		t.Fatalf("semantics = %v", res.Semantics)
+	}
+	if res.OptimizedCost.Cmp(res.NaiveCost) > 0 {
+		t.Fatal("optimized worse than naive")
+	}
+}
+
+func TestPartitionedBySemanticsSelectedForSum(t *testing.T) {
+	res := optimize(t, true, agg.Sum, window.Hopping(20, 10), window.Hopping(40, 10))
+	if res.Semantics != agg.PartitionedBy {
+		t.Fatalf("semantics = %v", res.Semantics)
+	}
+}
+
+func TestHolisticFallsBackToOriginalPlan(t *testing.T) {
+	res := optimize(t, true, agg.Median, window.Tumbling(10), window.Tumbling(20), window.Tumbling(40))
+	if res.Semantics != agg.NoSharing {
+		t.Fatalf("semantics = %v", res.Semantics)
+	}
+	if res.OptimizedCost.Cmp(res.NaiveCost) != 0 {
+		t.Fatal("holistic plan must equal the naive plan")
+	}
+	if len(res.FactorWindows) != 0 {
+		t.Fatal("holistic plan must not contain factor windows")
+	}
+	for _, n := range res.Graph.UserNodes() {
+		if n.Parent != nil {
+			t.Fatalf("%v must read raw input", n)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Optimize(nil, agg.Min, Options{}); err == nil {
+		t.Fatal("nil set must fail")
+	}
+	if _, err := Optimize(&window.Set{}, agg.Min, Options{}); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	if _, err := Optimize(window.MustSet(window.Tumbling(10)), agg.Fn(99), Options{}); err == nil {
+		t.Fatal("invalid fn must fail")
+	}
+}
+
+func TestFactorsNeverHurt(t *testing.T) {
+	// Algorithm 3's guarantee: the min-cost WCG with factor windows is
+	// never costlier than the one without (Section IV-C).
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 250; trial++ {
+		set := &window.Set{}
+		n := r.Intn(6) + 2
+		for set.Len() < n {
+			s := int64(r.Intn(12) + 1)
+			k := int64(1)
+			if r.Intn(2) == 0 {
+				k = int64(r.Intn(4) + 1)
+			}
+			w := window.Window{Range: s * k, Slide: s}
+			if !set.Contains(w) {
+				_ = set.Add(w)
+			}
+		}
+		for _, fn := range []agg.Fn{agg.Min, agg.Sum} {
+			noF, err := Optimize(set, fn, Options{Factors: false})
+			if err != nil {
+				t.Fatal(err)
+			}
+			withF, err := Optimize(set, fn, Options{Factors: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withF.OptimizedCost.Cmp(noF.OptimizedCost) > 0 {
+				t.Fatalf("set %v fn %v: with factors %v > without %v\nwith:\n%s\nwithout:\n%s",
+					set, fn, withF.OptimizedCost, noF.OptimizedCost, withF.Graph, noF.Graph)
+			}
+			if noF.OptimizedCost.Cmp(noF.NaiveCost) > 0 {
+				t.Fatalf("set %v fn %v: optimized above naive", set, fn)
+			}
+		}
+	}
+}
+
+func TestFactorWindowsAreInternal(t *testing.T) {
+	// Factor windows must be marked and excluded from UserNodes.
+	res := optimize(t, true, agg.Sum, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if len(res.Graph.UserNodes()) != 3 {
+		t.Fatalf("UserNodes = %v", res.Graph.UserNodes())
+	}
+}
+
+func TestElapsedRecorded(t *testing.T) {
+	res := optimize(t, true, agg.Sum, window.Tumbling(20), window.Tumbling(30))
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/factor"
+	"factorwindows/internal/window"
+)
+
+func mustSetOf(t *testing.T, ws ...window.Window) *window.Set {
+	t.Helper()
+	set, err := window.NewSet(ws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// randomTumblingSet draws n distinct tumbling windows with ranges that are
+// products of small primes, keeping the period R small enough for the
+// exhaustive optimal search.
+func randomTumblingSet(r *rand.Rand, n int) *window.Set {
+	ranges := []int64{2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 24, 30, 40, 60}
+	set := &window.Set{}
+	for set.Len() < n {
+		w := window.Tumbling(ranges[r.Intn(len(ranges))])
+		if set.Contains(w) {
+			continue
+		}
+		if err := set.Add(w); err != nil {
+			panic(err)
+		}
+	}
+	return set
+}
+
+func TestSteinerExample7(t *testing.T) {
+	// Example 7: {20,30,40} tumbling — the optimum inserts W(10,10) and
+	// reaches total cost 150 (from naive 360).
+	set := mustSetOf(t, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	res, err := OptimizeSteiner(set, agg.Sum, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NaiveCost.Cmp(big.NewInt(360)) != 0 {
+		t.Errorf("naive cost %v, want 360", res.NaiveCost)
+	}
+	if res.OptimizedCost.Cmp(big.NewInt(150)) != 0 {
+		t.Errorf("steiner cost %v, want 150", res.OptimizedCost)
+	}
+	found := false
+	for _, f := range res.FactorWindows {
+		if f == window.Tumbling(10) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("factor windows %v do not include W(10,10)", res.FactorWindows)
+	}
+}
+
+func TestSteinerNeverWorseThanAlgorithm1(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		set := randomTumblingSet(r, 3+r.Intn(4))
+		base, err := Optimize(set, agg.Sum, Options{Factors: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := OptimizeSteiner(set, agg.Sum, Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.OptimizedCost.Cmp(base.OptimizedCost) > 0 {
+			t.Errorf("set %v: steiner %v worse than factor-free %v",
+				set, st.OptimizedCost, base.OptimizedCost)
+		}
+		if st.OptimizedCost.Cmp(st.NaiveCost) > 0 {
+			t.Errorf("set %v: steiner %v worse than naive %v", set, st.OptimizedCost, st.NaiveCost)
+		}
+		if err := st.Graph.Validate(); err != nil {
+			t.Errorf("set %v: invalid graph: %v", set, err)
+		}
+	}
+}
+
+// TestSteinerGapToOptimal characterizes the gap footnote 3 leaves open:
+// on small instances the exhaustive optimum lower-bounds the Steiner
+// heuristic, which in turn should never lose to Algorithm 3 (it searches
+// a superset of Algorithm 3's per-vertex candidates on these instances).
+func TestSteinerGapToOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	model := cost.Default
+	steinerAtOpt, algo3AtOpt, runs := 0, 0, 0
+	for i := 0; i < 25; i++ {
+		set := randomTumblingSet(r, 3+r.Intn(3))
+		R := cost.Period(set.Sorted())
+		if pool := factor.PoolPartitioned(set.Sorted(), R, 0); len(pool) > 14 {
+			continue // keep the 2^pool search cheap
+		}
+		runs++
+		opt := factor.OptimalPartitioned(set, model, 20)
+		st, err := OptimizeSteiner(set, agg.Sum, Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a3, err := Optimize(set, agg.Sum, Options{Factors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.OptimizedCost.Cmp(opt.Cost) < 0 {
+			t.Fatalf("set %v: steiner %v beat the exhaustive optimum %v (optimum is wrong)",
+				set, st.OptimizedCost, opt.Cost)
+		}
+		if st.OptimizedCost.Cmp(a3.OptimizedCost) > 0 {
+			t.Errorf("set %v: steiner %v worse than Algorithm 3 %v",
+				set, st.OptimizedCost, a3.OptimizedCost)
+		}
+		if st.OptimizedCost.Cmp(opt.Cost) == 0 {
+			steinerAtOpt++
+		}
+		if a3.OptimizedCost.Cmp(opt.Cost) == 0 {
+			algo3AtOpt++
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no instances small enough for the exhaustive search")
+	}
+	t.Logf("instances=%d steiner@optimal=%d algorithm3@optimal=%d", runs, steinerAtOpt, algo3AtOpt)
+	if steinerAtOpt < algo3AtOpt {
+		t.Errorf("steiner hit the optimum on %d/%d instances, fewer than Algorithm 3's %d",
+			steinerAtOpt, runs, algo3AtOpt)
+	}
+	if steinerAtOpt*2 < runs {
+		t.Errorf("steiner hit the optimum on only %d/%d instances", steinerAtOpt, runs)
+	}
+}
+
+func TestSteinerCoveredBy(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		// Hopping windows with r = 2s, the RandomGen shape.
+		set := &window.Set{}
+		for set.Len() < 3 {
+			s := int64(2+r.Intn(10)) * 2
+			w := window.Hopping(2*s, s)
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		base, err := Optimize(set, agg.Min, Options{Factors: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := OptimizeSteiner(set, agg.Min, Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a3, err := Optimize(set, agg.Min, Options{Factors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.OptimizedCost.Cmp(base.OptimizedCost) > 0 {
+			t.Errorf("set %v: steiner %v worse than factor-free %v", set, st.OptimizedCost, base.OptimizedCost)
+		}
+		if st.OptimizedCost.Cmp(a3.OptimizedCost) > 0 {
+			t.Errorf("set %v: steiner %v worse than Algorithm 3's %v", set, st.OptimizedCost, a3.OptimizedCost)
+		}
+		if err := st.Graph.Validate(); err != nil {
+			t.Errorf("set %v: invalid graph: %v", set, err)
+		}
+		if st.Semantics != agg.CoveredBy {
+			t.Errorf("semantics %v, want covered-by", st.Semantics)
+		}
+	}
+}
+
+func TestSteinerHolisticFallsBack(t *testing.T) {
+	set := mustSetOf(t, window.Tumbling(10), window.Tumbling(20))
+	res, err := OptimizeSteiner(set, agg.Median, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FactorWindows) != 0 {
+		t.Errorf("holistic plan grew factor windows %v", res.FactorWindows)
+	}
+	if res.OptimizedCost.Cmp(res.NaiveCost) != 0 {
+		t.Errorf("holistic cost %v != naive %v", res.OptimizedCost, res.NaiveCost)
+	}
+}
+
+func TestSteinerPoolCap(t *testing.T) {
+	set := mustSetOf(t, window.Tumbling(60), window.Tumbling(90), window.Tumbling(120))
+	// A cap of 1 allows at most one candidate; the result must still be
+	// sound and no worse than factor-free.
+	capped, err := OptimizeSteiner(set, agg.Sum, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := OptimizeSteiner(set, agg.Sum, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.OptimizedCost.Cmp(capped.NaiveCost) > 0 {
+		t.Errorf("capped cost %v worse than naive %v", capped.OptimizedCost, capped.NaiveCost)
+	}
+	if full.OptimizedCost.Cmp(capped.OptimizedCost) > 0 {
+		t.Errorf("full pool %v worse than capped pool %v", full.OptimizedCost, capped.OptimizedCost)
+	}
+}
+
+func TestSteinerInvalidInputs(t *testing.T) {
+	if _, err := OptimizeSteiner(nil, agg.Sum, Options{}, 0); err == nil {
+		t.Error("nil set should fail")
+	}
+	if _, err := OptimizeSteiner(&window.Set{}, agg.Sum, Options{}, 0); err == nil {
+		t.Error("empty set should fail")
+	}
+	set := mustSetOf(t, window.Tumbling(10))
+	if _, err := OptimizeSteiner(set, agg.Fn(99), Options{}, 0); err == nil {
+		t.Error("invalid fn should fail")
+	}
+	if _, err := OptimizeSteiner(set, agg.Sum, Options{Semantics: agg.CoveredBy}, 0); err == nil {
+		t.Error("covered-by for SUM should fail (not overlap-safe)")
+	}
+}

@@ -1,0 +1,90 @@
+// Package cost implements the cost model of Section III-B of the Factor
+// Windows paper: the evaluation period R = lcm(r1,...,rn), the recurrence
+// count n_i (Equation 1), instance costs with and without sharing
+// (Observation 1), and total plan cost.
+//
+// All quantities are exact. Because window ranges may be arbitrary
+// integers, R can exceed 64 bits for larger window sets, so the model
+// computes in math/big integers. The optimizer is off the hot path, so the
+// extra allocation cost is irrelevant.
+package cost
+
+import (
+	"math/big"
+
+	"factorwindows/internal/window"
+)
+
+// Model carries the cost-model parameters. Eta is the steady input event
+// rate η ≥ 1 (events per tick); the paper's experiments use η = 1.
+type Model struct {
+	Eta int64
+}
+
+// Default is the paper's experimental setting η = 1.
+var Default = Model{Eta: 1}
+
+// Period returns R = lcm of the ranges of ws. It panics on an empty slice.
+func Period(ws []window.Window) *big.Int {
+	if len(ws) == 0 {
+		panic("cost: Period of empty window slice")
+	}
+	r := big.NewInt(ws[0].Range)
+	g := new(big.Int)
+	for _, w := range ws[1:] {
+		rw := big.NewInt(w.Range)
+		g.GCD(nil, nil, r, rw)
+		r.Div(r, g).Mul(r, rw)
+	}
+	return r
+}
+
+// DividesPeriod reports whether w's range divides the period R, the
+// integrality condition the paper assumes for recurrence counts.
+func DividesPeriod(w window.Window, R *big.Int) bool {
+	m := new(big.Int).Mod(R, big.NewInt(w.Range))
+	return m.Sign() == 0
+}
+
+// Recurrence returns n_i, the number of instances of w in a period of
+// length R (Equation 1): n = 1 + (m-1)·r/s with m = R/r, which simplifies
+// to n = 1 + (R-r)/s. R must be a multiple of r (see DividesPeriod).
+func Recurrence(w window.Window, R *big.Int) *big.Int {
+	n := new(big.Int).Sub(R, big.NewInt(w.Range))
+	n.Div(n, big.NewInt(w.Slide))
+	return n.Add(n, big.NewInt(1))
+}
+
+// Multiplicity returns m_i = R/r_i.
+func Multiplicity(w window.Window, R *big.Int) *big.Int {
+	return new(big.Int).Div(R, big.NewInt(w.Range))
+}
+
+// Initial returns the unshared cost of w over one period: n_i · (η · r_i),
+// the line-3 initialisation of Algorithm 1.
+func (m Model) Initial(w window.Window, R *big.Int) *big.Int {
+	c := Recurrence(w, R)
+	return c.Mul(c, big.NewInt(m.Eta*w.Range))
+}
+
+// Shared returns the cost of computing w from sub-aggregates of parent:
+// n_i · M(w, parent) (Observation 1). parent must cover w.
+func (m Model) Shared(w, parent window.Window, R *big.Int) *big.Int {
+	c := Recurrence(w, R)
+	return c.Mul(c, big.NewInt(window.Multiplier(w, parent)))
+}
+
+// Sum returns the total of the given costs (Σ c_i of Section III-B).
+func Sum(cs []*big.Int) *big.Int {
+	t := new(big.Int)
+	for _, c := range cs {
+		t.Add(t, c)
+	}
+	return t
+}
+
+// Speedup returns the ratio a/b as an exact rational; used for the
+// predicted speedup γ_C of the cost-model validation (Fig. 19).
+func Speedup(a, b *big.Int) *big.Rat {
+	return new(big.Rat).SetFrac(a, b)
+}

@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/window"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestPeriod(t *testing.T) {
+	ws := []window.Window{window.Tumbling(10), window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)}
+	if got := Period(ws); got.Cmp(bi(120)) != 0 {
+		t.Fatalf("Period = %v, want 120", got)
+	}
+	// Mutually-prime ranges from the paper's "Limitations" paragraph.
+	ws = []window.Window{window.Tumbling(15), window.Tumbling(17), window.Tumbling(19)}
+	if got := Period(ws); got.Cmp(bi(15*17*19)) != 0 {
+		t.Fatalf("Period = %v, want %d", got, 15*17*19)
+	}
+}
+
+func TestPeriodLargeDoesNotOverflow(t *testing.T) {
+	// 20 pairwise-coprime-ish ranges blow far past int64; big.Int must cope.
+	primes := []int64{101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+		151, 157, 163, 167, 173, 179, 181, 191, 193, 197}
+	ws := make([]window.Window, len(primes))
+	for i, p := range primes {
+		ws[i] = window.Tumbling(p)
+	}
+	R := Period(ws)
+	want := big.NewInt(1)
+	for _, p := range primes {
+		want.Mul(want, bi(p))
+	}
+	if R.Cmp(want) != 0 {
+		t.Fatalf("Period = %v, want %v", R, want)
+	}
+	if R.IsInt64() {
+		t.Fatal("expected a period beyond int64 range in this test")
+	}
+}
+
+func TestRecurrenceEquation1(t *testing.T) {
+	R := bi(120)
+	cases := []struct {
+		w    window.Window
+		want int64
+	}{
+		{window.Tumbling(10), 12}, // tumbling: n = m = R/r
+		{window.Tumbling(20), 6},
+		{window.Tumbling(30), 4},
+		{window.Tumbling(40), 3},
+		{window.Hopping(20, 10), 11}, // n = 1 + (120-20)/10
+		{window.Hopping(40, 20), 5},
+		{window.Hopping(120, 60), 1},
+	}
+	for _, c := range cases {
+		if got := Recurrence(c.w, R); got.Cmp(bi(c.want)) != 0 {
+			t.Errorf("Recurrence(%v, 120) = %v, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRecurrenceMatchesInstanceCount(t *testing.T) {
+	// n_i must equal the number of instances fully inside [0, R]: the
+	// paper counts instances starting in [0, R-r] (Figure 5), i.e.
+	// m·s ≤ R-r, which is exactly InstancesIn(R)... plus the fence
+	// instance ending at R. Cross-check by direct enumeration.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		s := int64(r.Intn(6) + 1)
+		k := int64(r.Intn(4) + 1)
+		w := window.Window{Range: s * k, Slide: s}
+		mult := int64(r.Intn(5) + 1)
+		R := w.Range * mult
+		var count int64
+		for m := int64(0); m*w.Slide+w.Range <= R; m++ {
+			count++
+		}
+		if got := Recurrence(w, bi(R)); got.Cmp(bi(count)) != 0 {
+			t.Fatalf("Recurrence(%v, %d) = %v, enumeration says %d", w, R, got, count)
+		}
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	if got := Multiplicity(window.Tumbling(30), bi(120)); got.Cmp(bi(4)) != 0 {
+		t.Fatalf("Multiplicity = %v", got)
+	}
+}
+
+func TestDividesPeriod(t *testing.T) {
+	if !DividesPeriod(window.Tumbling(30), bi(120)) {
+		t.Fatal("30 divides 120")
+	}
+	if DividesPeriod(window.Tumbling(50), bi(120)) {
+		t.Fatal("50 does not divide 120")
+	}
+}
+
+func TestInitialCostExample6(t *testing.T) {
+	// Example 6: with η=1 and R=120, the naive total is 4·R = 480.
+	R := bi(120)
+	m := Default
+	total := new(big.Int)
+	for _, w := range []window.Window{window.Tumbling(10), window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)} {
+		total.Add(total, m.Initial(w, R))
+	}
+	if total.Cmp(bi(480)) != 0 {
+		t.Fatalf("naive total = %v, want 480", total)
+	}
+}
+
+func TestSharedCostExample6(t *testing.T) {
+	// Figure 6(b): c2 = n2·M(W2,W1) = 12, c3 = 12, c4 = n4·M(W4,W2) = 6.
+	R := bi(120)
+	m := Default
+	if c := m.Shared(window.Tumbling(20), window.Tumbling(10), R); c.Cmp(bi(12)) != 0 {
+		t.Fatalf("c2 = %v, want 12", c)
+	}
+	if c := m.Shared(window.Tumbling(30), window.Tumbling(10), R); c.Cmp(bi(12)) != 0 {
+		t.Fatalf("c3 = %v, want 12", c)
+	}
+	if c := m.Shared(window.Tumbling(40), window.Tumbling(20), R); c.Cmp(bi(6)) != 0 {
+		t.Fatalf("c4 = %v, want 6", c)
+	}
+}
+
+func TestEtaScalesInitialCost(t *testing.T) {
+	R := bi(120)
+	m1 := Model{Eta: 1}
+	m5 := Model{Eta: 5}
+	w := window.Tumbling(20)
+	c1 := m1.Initial(w, R)
+	c5 := m5.Initial(w, R)
+	if new(big.Int).Mul(c1, bi(5)).Cmp(c5) != 0 {
+		t.Fatalf("η must scale the initial cost linearly: %v vs %v", c1, c5)
+	}
+	// Shared cost counts sub-aggregates, not raw events: independent of η.
+	if m1.Shared(window.Tumbling(40), w, R).Cmp(m5.Shared(window.Tumbling(40), w, R)) != 0 {
+		t.Fatal("shared cost must not depend on η")
+	}
+}
+
+func TestSumAndSpeedup(t *testing.T) {
+	s := Sum([]*big.Int{bi(120), bi(12), bi(12), bi(6)})
+	if s.Cmp(bi(150)) != 0 {
+		t.Fatalf("Sum = %v", s)
+	}
+	sp := Speedup(bi(480), bi(150))
+	if sp.Cmp(big.NewRat(16, 5)) != 0 {
+		t.Fatalf("Speedup = %v, want 16/5", sp)
+	}
+}

@@ -1,0 +1,68 @@
+package distinct
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+func TestSnapshotRestoreResumes(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	opts := Options{Factors: true, P: 8}
+	r := rand.New(rand.NewSource(13))
+	events := steady(200, 2, 400, r)
+
+	whole := &stream.CollectingSink{}
+	if _, err := Run(set, opts, events, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	cut := len(events) / 3
+	first := &stream.CollectingSink{}
+	run, err := New(set, opts, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Process(events[:cut])
+	snap, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(set, opts, first, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Process(events[cut:])
+	resumed.Close()
+
+	a, b := whole.Sorted(), first.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRestoreRejectsWrongPrecision(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20))
+	run, err := New(set, Options{P: 8}, &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+	snap, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(set, Options{P: 12}, &stream.CollectingSink{}, snap); err == nil {
+		t.Error("restore with different precision must fail")
+	}
+	if _, err := Restore(set, Options{P: 8}, &stream.CollectingSink{}, snap); err != nil {
+		t.Errorf("matching restore failed: %v", err)
+	}
+}

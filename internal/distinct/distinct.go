@@ -1,0 +1,149 @@
+// Package distinct evaluates approximate COUNT(DISTINCT value) over
+// correlated window sets with shared computation. Like MEDIAN
+// (internal/quantile), distinct counting is holistic in the Gray et al.
+// taxonomy — no constant-size exact sub-aggregate exists — so the paper's
+// optimizer would evaluate every window independently (Section III-A).
+// A HyperLogLog sketch (internal/sketch) makes the aggregate algebraic:
+// sub-sketches merge by register-wise maximum, and the merge is exact
+// (merging equals observing the union), so unlike the quantile sketch no
+// additional error is introduced by sharing. The full cost-based
+// framework — min-cost WCG, factor windows — then applies under
+// "partitioned by" semantics via internal/sketchrun.
+//
+// Results carry the HLL estimate, with standard error ≈ 1.04/√(2^p).
+package distinct
+
+import (
+	"fmt"
+	"math/big"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/sketch"
+	"factorwindows/internal/sketchrun"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// Options configures distinct counting.
+type Options struct {
+	// P is the HLL precision (2^P registers); 0 defaults to
+	// sketch.DefaultP (≈ 2.3% standard error, 2 KiB per state).
+	P int
+	// Factors enables factor-window exploration (Algorithm 3).
+	Factors bool
+}
+
+// Optimize runs the cost-based optimizer for sketch-backed distinct
+// counting: "partitioned by" semantics forced sound by HLL mergeability.
+func Optimize(set *window.Set, opts Options) (*core.Result, error) {
+	return core.OptimizeForced(set, agg.Median, agg.PartitionedBy, core.Options{
+		Factors: opts.Factors,
+	})
+}
+
+// Runner executes a distinct-count sharing tree. Not safe for concurrent
+// use.
+type Runner struct {
+	*sketchrun.Runner[*sketch.HLL]
+
+	opts Options
+
+	// Cost bookkeeping from the optimizer, for reporting.
+	NaiveCost     *big.Int
+	OptimizedCost *big.Int
+	Factors       []window.Window
+}
+
+// ops builds the sketch operations for the given (defaulted) options.
+func ops(opts Options) sketchrun.Ops[*sketch.HLL] {
+	return sketchrun.Ops[*sketch.HLL]{
+		New: func() *sketch.HLL { return sketch.NewHLL(opts.P) },
+		Add: func(s *sketch.HLL, v float64) { s.Add(v) },
+		Merge: func(dst, src *sketch.HLL) {
+			// Same precision by construction; a mismatch is a bug.
+			if err := dst.Merge(src); err != nil {
+				panic(fmt.Sprintf("distinct: %v", err))
+			}
+		},
+		Reset: func(s *sketch.HLL) { s.Reset() },
+		Final: func(s *sketch.HLL) float64 { return s.Estimate() },
+	}
+}
+
+func codec(opts Options) sketchrun.Codec[*sketch.HLL] {
+	return sketchrun.Codec[*sketch.HLL]{
+		Fingerprint: fmt.Sprintf("hll p=%d", opts.P),
+		Encode:      func(s *sketch.HLL) ([]byte, error) { return s.MarshalBinary() },
+		Decode: func(data []byte) (*sketch.HLL, error) {
+			s := new(sketch.HLL)
+			if err := s.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+	}
+}
+
+// New optimizes the window set and compiles the resulting sharing tree
+// into a Runner delivering per-window distinct-count estimates to sink.
+func New(set *window.Set, opts Options, sink stream.Sink) (*Runner, error) {
+	if opts.P == 0 {
+		opts.P = sketch.DefaultP
+	}
+	res, err := Optimize(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sketchrun.New(res, ops(opts), sink)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Runner:        inner,
+		opts:          opts,
+		NaiveCost:     res.NaiveCost,
+		OptimizedCost: res.OptimizedCost,
+		Factors:       res.FactorWindows,
+	}, nil
+}
+
+// Snapshot serializes the runner's in-flight sketches (take it between
+// Process calls); see Restore.
+func (r *Runner) Snapshot() ([]byte, error) {
+	return r.Runner.Snapshot(codec(r.opts))
+}
+
+// Restore resumes a runner for the identical window set and options from
+// a snapshot taken with Snapshot.
+func Restore(set *window.Set, opts Options, sink stream.Sink, data []byte) (*Runner, error) {
+	if opts.P == 0 {
+		opts.P = sketch.DefaultP
+	}
+	res, err := Optimize(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sketchrun.Restore(res, ops(opts), codec(opts), sink, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Runner:        inner,
+		opts:          opts,
+		NaiveCost:     res.NaiveCost,
+		OptimizedCost: res.OptimizedCost,
+		Factors:       res.FactorWindows,
+	}, nil
+}
+
+// Run is a convenience wrapper: optimize, process all events, flush.
+func Run(set *window.Set, opts Options, events []stream.Event, sink stream.Sink) (*Runner, error) {
+	r, err := New(set, opts, sink)
+	if err != nil {
+		return nil, err
+	}
+	r.Process(events)
+	r.Close()
+	return r, nil
+}

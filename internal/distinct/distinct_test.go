@@ -1,0 +1,183 @@
+package distinct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// exactDistinct counts distinct values per window instance per key.
+func exactDistinct(ws []window.Window, events []stream.Event) map[stream.Result]float64 {
+	out := map[stream.Result]float64{}
+	if len(events) == 0 {
+		return out
+	}
+	maxT := events[len(events)-1].Time
+	for _, w := range ws {
+		for m := int64(0); m*w.Slide <= maxT; m++ {
+			iv := w.Instance(m)
+			byKey := map[uint64]map[float64]bool{}
+			for _, e := range events {
+				if iv.Contains(e.Time) {
+					if byKey[e.Key] == nil {
+						byKey[e.Key] = map[float64]bool{}
+					}
+					byKey[e.Key][e.Value] = true
+				}
+			}
+			for key, vals := range byKey {
+				k := stream.Result{W: w, Start: iv.Start, End: iv.End, Key: key}
+				out[k] = float64(len(vals))
+			}
+		}
+	}
+	return out
+}
+
+func steady(ticks int64, keys, valueRange int, r *rand.Rand) []stream.Event {
+	var events []stream.Event
+	for t := int64(0); t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			for j := 0; j < 4; j++ {
+				events = append(events, stream.Event{
+					Time: t, Key: uint64(k), Value: float64(r.Intn(valueRange)),
+				})
+			}
+		}
+	}
+	return events
+}
+
+func TestEstimatesWithinError(t *testing.T) {
+	sets := []*window.Set{
+		window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40)),
+		window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)), // factor inserted
+	}
+	r := rand.New(rand.NewSource(4))
+	events := steady(130, 2, 5000, r)
+	for i, set := range sets {
+		for _, factors := range []bool{false, true} {
+			sink := &stream.CollectingSink{}
+			run, err := Run(set, Options{Factors: factors}, events, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if factors && i == 1 && len(run.Factors) == 0 {
+				t.Errorf("set %d: expected factor windows", i)
+			}
+			truth := exactDistinct(set.Sorted(), events)
+			if len(sink.Results) == 0 {
+				t.Fatal("no results")
+			}
+			for _, res := range sink.Sorted() {
+				key := stream.Result{W: res.W, Start: res.Start, End: res.End, Key: res.Key}
+				exact, ok := truth[key]
+				if !ok {
+					t.Fatalf("unexpected result %+v", res)
+				}
+				// p=11 → ~2.3% standard error; allow 5 sigma.
+				if e := math.Abs(res.Value-exact) / exact; e > 0.12 {
+					t.Errorf("set %d factors=%v %v [%d,%d): estimate %.0f vs exact %.0f (err %.3f)",
+						i, factors, res.W, res.Start, res.End, res.Value, exact, e)
+				}
+			}
+		}
+	}
+}
+
+// TestSharingIsLossless: HLL merges are register-exact, so the shared
+// plan must produce bit-identical estimates to independent evaluation.
+func TestSharingIsLossless(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40))
+	r := rand.New(rand.NewSource(5))
+	events := steady(160, 3, 1000, r)
+
+	shared := &stream.CollectingSink{}
+	runShared, err := Run(set, Options{Factors: true}, events, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent evaluation: one single-window run per window.
+	independent := &stream.CollectingSink{}
+	for _, w := range set.Sorted() {
+		if _, err := Run(window.MustSet(w), Options{}, events, independent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := shared.Sorted(), independent.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(a), len(b))
+	}
+	for i := range b {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v (HLL sharing must be lossless)", i, a[i], b[i])
+		}
+	}
+	if runShared.Merges() == 0 {
+		t.Error("shared run performed no merges; sharing tree missing")
+	}
+}
+
+func TestSharedDoesLessWork(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40), window.Tumbling(80))
+	r := rand.New(rand.NewSource(6))
+	events := steady(400, 2, 100, r)
+	run, err := Run(set, Options{}, events, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.OptimizedCost.Cmp(run.NaiveCost) >= 0 {
+		t.Fatalf("no predicted sharing: %v vs %v", run.OptimizedCost, run.NaiveCost)
+	}
+	// Only W(10,10) reads raw events; merges replace the other three
+	// windows' per-event adds.
+	if got := run.Merges(); got >= int64(len(events)) {
+		t.Errorf("merges = %d for %d events; sharing ineffective", got, len(events))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	if _, err := New(nil, Options{}, &stream.CollectingSink{}); err == nil {
+		t.Error("nil set should fail")
+	}
+	if _, err := New(set, Options{}, nil); err == nil {
+		t.Error("nil sink should fail")
+	}
+}
+
+func TestIncrementalBatches(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20))
+	r := rand.New(rand.NewSource(7))
+	events := steady(100, 2, 300, r)
+
+	whole := &stream.CollectingSink{}
+	if _, err := Run(set, Options{}, events, whole); err != nil {
+		t.Fatal(err)
+	}
+	batched := &stream.CollectingSink{}
+	run, err := New(set, Options{}, batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(events); i += 101 {
+		end := i + 101
+		if end > len(events) {
+			end = len(events)
+		}
+		run.Process(events[i:end])
+	}
+	run.Close()
+	a, b := whole.Sorted(), batched.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

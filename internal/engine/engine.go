@@ -1,0 +1,481 @@
+// Package engine executes multi-window aggregation plans over in-order
+// event streams. It is the library's stand-in for the Trill/ASA runtime
+// the paper rewrites queries for: a single-core, push-based pipeline with
+// the three operators the rewritten plans need — MultiCast (implicit in
+// plan fan-out), windowed GroupAggregate, and Union (the shared sink).
+//
+// Each plan operator maintains per-(window instance, key) partial
+// aggregates. Raw events fold in with agg.Add; operators with a plan
+// parent consume the parent's per-instance sub-aggregates with agg.Merge,
+// which is exactly the computation-sharing the cost model prices: an
+// instance fed from a parent performs M(W, parent) merges instead of η·r
+// event updates.
+//
+// Window instances complete by watermark: inputs arrive ordered by
+// interval end (raw events are unit intervals [t, t+1); parents emit
+// instances in increasing end order), so once an input with end v
+// arrives, every instance with end < v can fire and be reclaimed.
+package engine
+
+import (
+	"fmt"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// subAgg is one per-instance, per-key sub-aggregate flowing from a parent
+// operator to its children, identified by the canonical key slot (slot
+// numbering is shared across the whole plan, so children consume
+// sub-aggregates without re-keying — they arrive pre-grouped, exactly as
+// a keyed sub-aggregate stream does in Trill). The state pointer stays
+// owned by the parent; children must consume it synchronously.
+type subAgg struct {
+	start, end int64
+	slot       int32
+	state      *agg.State
+}
+
+// instance is one active window instance. states is a dense per-slot
+// array indexed by the node's key-slot table; live counts the non-nil
+// entries so empty instances can be skipped cheaply.
+type instance struct {
+	m      int64
+	states []*agg.State
+	live   int
+}
+
+// node is the runtime form of a plan operator.
+type node struct {
+	w       window.Window
+	k       int64 // w.Range / w.Slide, cached for the raw fast path
+	fn      agg.Fn
+	exposed bool
+	sink    stream.Sink
+
+	children []*node
+
+	// Active instances insts[head:] hold consecutive m values starting at
+	// base (the m of insts[head]).
+	insts []*instance
+	head  int
+	base  int64
+
+	// curInst/curEnd cache the single active instance of tumbling (k=1)
+	// operators, giving the raw path the same per-event shape as a plain
+	// slice store: one comparison, one map access.
+	curInst *instance
+	curEnd  int64
+
+	// shared points at the Runner's canonical key table. Raw readers
+	// still pay one grouping lookup per event (as Trill's per-operator
+	// GroupAggregate does); sub-aggregates arrive pre-slotted.
+	shared *keyTable
+
+	instPool  []*instance
+	statePool []*agg.State
+	emitBuf   []subAgg
+
+	// stats
+	inputs  int64 // items consumed (raw events or sub-aggregates)
+	updates int64 // per-instance state updates (Add/Merge operations)
+	fired   int64 // instances emitted
+}
+
+// Runner executes one plan. It is not safe for concurrent use; the
+// paper's experiments (and our benchmarks) are single-core.
+type Runner struct {
+	fn    agg.Fn
+	roots []*node
+	all   []*node
+	sink  stream.Sink
+
+	keyed keyTable
+
+	closed bool
+	events int64
+}
+
+// keyTable assigns dense canonical slots to group keys, shared by every
+// operator of a plan so sub-aggregate slots mean the same thing
+// everywhere.
+type keyTable struct {
+	slots map[uint64]int32
+	keys  []uint64
+}
+
+func (t *keyTable) slot(key uint64) int32 {
+	if s, ok := t.slots[key]; ok {
+		return s
+	}
+	s := int32(len(t.keys))
+	t.slots[key] = s
+	t.keys = append(t.keys, key)
+	return s
+}
+
+// New compiles a plan into an executable Runner delivering results to
+// sink. The plan must validate.
+func New(p *plan.Plan, sink stream.Sink) (*Runner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("engine: nil sink")
+	}
+	r := &Runner{fn: p.Fn, sink: sink, keyed: keyTable{slots: make(map[uint64]int32)}}
+	byOp := make(map[*plan.Operator]*node)
+	ops := p.Operators()
+	for _, op := range ops {
+		n := &node{w: op.W, k: op.W.K(), fn: p.Fn, exposed: op.Exposed, sink: sink,
+			shared: &r.keyed}
+		byOp[op] = n
+		r.all = append(r.all, n)
+	}
+	for _, op := range ops {
+		n := byOp[op]
+		for _, c := range op.Children {
+			n.children = append(n.children, byOp[c])
+		}
+		if op.Parent == nil {
+			r.roots = append(r.roots, n)
+		}
+	}
+	return r, nil
+}
+
+// Process pushes a batch of in-order events through the plan. Events must
+// be globally in non-decreasing time order across calls.
+func (r *Runner) Process(events []stream.Event) {
+	if r.closed {
+		panic("engine: Process after Close")
+	}
+	r.events += int64(len(events))
+	for _, root := range r.roots {
+		root.processRaw(events)
+	}
+}
+
+// Close flushes all open window instances and finalizes the run. The
+// Runner cannot be reused afterwards.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	// Roots first: their final emissions feed children before those are
+	// flushed. flushAll recurses depth-first, and children appear after
+	// parents in the recursion, so every node drains completely.
+	for _, root := range r.roots {
+		root.flushAll()
+	}
+}
+
+// Events returns the number of raw events processed.
+func (r *Runner) Events() int64 { return r.events }
+
+// Stats describes per-operator work counters, used by tests to confirm
+// that the rewritten plans really do less work.
+type Stats struct {
+	W       window.Window
+	Inputs  int64 // raw events or sub-aggregates consumed
+	Updates int64 // per-instance state updates (the cost model's unit)
+	Fired   int64 // window instances emitted
+}
+
+// Stats returns per-operator counters in plan order.
+func (r *Runner) Stats() []Stats {
+	out := make([]Stats, 0, len(r.all))
+	for _, n := range r.all {
+		out = append(out, Stats{W: n.w, Inputs: n.inputs, Updates: n.updates, Fired: n.fired})
+	}
+	return out
+}
+
+// TotalInputs sums the per-operator input counters (items consumed).
+func (r *Runner) TotalInputs() int64 {
+	var t int64
+	for _, n := range r.all {
+		t += n.inputs
+	}
+	return t
+}
+
+// TotalUpdates sums per-instance state updates across operators: the
+// engine-measured analogue of the paper's total computation cost C, which
+// prices each event (or sub-aggregate) once per window instance it feeds.
+func (r *Runner) TotalUpdates() int64 {
+	var t int64
+	for _, n := range r.all {
+		t += n.updates
+	}
+	return t
+}
+
+// Run is a convenience wrapper: compile p, push all events, flush.
+func Run(p *plan.Plan, events []stream.Event, sink stream.Sink) (*Runner, error) {
+	r, err := New(p, sink)
+	if err != nil {
+		return nil, err
+	}
+	r.Process(events)
+	r.Close()
+	return r, nil
+}
+
+func (n *node) processRaw(events []stream.Event) {
+	n.inputs += int64(len(events))
+	if n.k == 1 {
+		n.processRawTumbling(events)
+		return
+	}
+	slide := n.w.Slide
+	for i := range events {
+		e := &events[i]
+		// An event at tick t is the unit interval [t, t+1); with r = k·s
+		// the covering instances are exactly m in [t/s − k + 1, t/s]
+		// (clamped at 0), avoiding the general interval arithmetic of
+		// InstancesCovering on this hot path.
+		hi := e.Time / slide
+		lo := hi - n.k + 1
+		if lo < 0 {
+			lo = 0
+		}
+		n.advance(e.Time + 1)
+		n.ensure(lo, hi)
+		n.updates += hi - lo + 1
+		slot := n.shared.slot(e.Key)
+		for m := lo; m <= hi; m++ {
+			inst := n.insts[n.head+int(m-n.base)]
+			st := inst.state(n, slot)
+			agg.Add(n.fn, st, e.Value)
+		}
+	}
+}
+
+// processRawTumbling is the k=1 fast path: every event belongs to
+// exactly one instance, which is cached until its end tick passes.
+func (n *node) processRawTumbling(events []stream.Event) {
+	slide := n.w.Slide
+	for i := range events {
+		e := &events[i]
+		if e.Time >= n.curEnd || n.curInst == nil {
+			m := e.Time / slide
+			n.advance(e.Time + 1)
+			n.ensure(m, m)
+			n.curInst = n.insts[n.head+int(m-n.base)]
+			n.curEnd = (m + 1) * slide
+		}
+		st := n.curInst.state(n, n.shared.slot(e.Key))
+		agg.Add(n.fn, st, e.Value)
+	}
+	n.updates += int64(len(events))
+}
+
+// state returns the aggregate state for slot in inst, materializing it
+// (and growing the dense array) on first touch.
+func (inst *instance) state(n *node, slot int32) *agg.State {
+	if int(slot) >= len(inst.states) {
+		if cap(inst.states) > int(slot) {
+			inst.states = inst.states[:cap(inst.states)]
+		}
+		for len(inst.states) <= int(slot) {
+			inst.states = append(inst.states, nil)
+		}
+	}
+	st := inst.states[slot]
+	if st == nil {
+		st = n.newState()
+		inst.states[slot] = st
+		inst.live++
+	}
+	return st
+}
+
+func (n *node) processSub(items []subAgg) {
+	n.inputs += int64(len(items))
+	if n.k == 1 {
+		n.processSubTumbling(items)
+		return
+	}
+	for i := range items {
+		it := &items[i]
+		n.advance(it.end)
+		lo, hi, ok := n.w.InstancesCovering(it.start, it.end)
+		if !ok {
+			// Under "covered by" semantics a hopping parent emits
+			// intervals that straddle this window's instance boundaries;
+			// they are not part of any covering set (Definition 2) and
+			// the remaining intervals still union to each instance, so
+			// dropping them is correct for overlap-safe functions.
+			// Under "partitioned by" every parent interval must land in
+			// an instance; anything else is plan corruption.
+			if !agg.OverlapSafe(n.fn) {
+				panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
+					n.w, it.start, it.end, n.fn))
+			}
+			continue
+		}
+		n.ensure(lo, hi)
+		n.updates += hi - lo + 1
+		for m := lo; m <= hi; m++ {
+			inst := n.insts[n.head+int(m-n.base)]
+			st := inst.state(n, it.slot)
+			agg.Merge(n.fn, st, it.state)
+		}
+	}
+}
+
+// processSubTumbling is the k=1 fast path for sub-aggregate consumers:
+// under "partitioned by" semantics every parent interval falls inside
+// exactly one instance of a tumbling window, which stays cached until
+// its end passes (mirroring processRawTumbling).
+func (n *node) processSubTumbling(items []subAgg) {
+	slide := n.w.Slide
+	for i := range items {
+		it := &items[i]
+		if it.end > n.curEnd || n.curInst == nil {
+			m := it.start / slide
+			n.advance(it.end)
+			n.ensure(m, m)
+			n.curInst = n.insts[n.head+int(m-n.base)]
+			n.curEnd = (m + 1) * slide
+		}
+		if it.start < n.curInst.m*slide || it.end > n.curEnd {
+			// Straddling interval from a hopping parent: not part of
+			// any covering set; safe to drop only for overlap-safe
+			// functions (see processSub's general path).
+			if !agg.OverlapSafe(n.fn) {
+				panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
+					n.w, it.start, it.end, n.fn))
+			}
+			continue
+		}
+		st := n.curInst.state(n, it.slot)
+		agg.Merge(n.fn, st, it.state)
+		n.updates++
+	}
+}
+
+// advance fires every active instance whose interval end is < bound: no
+// future input (all with end ≥ bound) can contribute to it.
+func (n *node) advance(bound int64) {
+	for n.head < len(n.insts) {
+		inst := n.insts[n.head]
+		end := inst.m*n.w.Slide + n.w.Range
+		if end >= bound {
+			return
+		}
+		n.fire(inst, end)
+		n.insts[n.head] = nil
+		n.head++
+		n.base = inst.m + 1
+		n.releaseInstance(inst)
+	}
+	if n.head == len(n.insts) {
+		n.insts = n.insts[:0]
+		n.head = 0
+	}
+}
+
+// ensure materializes instances for m in [base, hi], extending the active
+// run to include lo..hi. lo is never below base: inputs arrive with
+// non-decreasing interval ends and advance() only retires instances whose
+// end precedes the current input.
+func (n *node) ensure(lo, hi int64) {
+	if n.head == len(n.insts) {
+		n.insts = n.insts[:0]
+		n.head = 0
+		n.base = lo
+	}
+	if lo < n.base {
+		panic(fmt.Sprintf("engine: %v out-of-order instance %d < base %d", n.w, lo, n.base))
+	}
+	for next := n.base + int64(len(n.insts)-n.head); next <= hi; next++ {
+		n.insts = append(n.insts, n.newInstance(next))
+	}
+}
+
+// fire emits one completed instance downstream and to the sink.
+func (n *node) fire(inst *instance, end int64) {
+	if inst.live == 0 {
+		return // empty windows are not emitted
+	}
+	n.fired++
+	start := inst.m * n.w.Slide
+	if n.exposed {
+		keys := n.shared.keys
+		for slot, st := range inst.states {
+			if st == nil {
+				continue
+			}
+			n.sink.Emit(stream.Result{
+				W: n.w, Start: start, End: end, Key: keys[slot], Value: agg.Final(n.fn, st),
+			})
+		}
+	}
+	if len(n.children) > 0 {
+		n.emitBuf = n.emitBuf[:0]
+		for slot, st := range inst.states {
+			if st == nil {
+				continue
+			}
+			n.emitBuf = append(n.emitBuf, subAgg{start: start, end: end, slot: int32(slot), state: st})
+		}
+		for _, c := range n.children {
+			c.processSub(n.emitBuf)
+		}
+	}
+}
+
+// flushAll fires every remaining instance, then flushes children.
+func (n *node) flushAll() {
+	for n.head < len(n.insts) {
+		inst := n.insts[n.head]
+		n.fire(inst, inst.m*n.w.Slide+n.w.Range)
+		n.insts[n.head] = nil
+		n.head++
+		n.releaseInstance(inst)
+	}
+	n.insts = n.insts[:0]
+	n.head = 0
+	for _, c := range n.children {
+		c.flushAll()
+	}
+}
+
+func (n *node) newInstance(m int64) *instance {
+	if k := len(n.instPool); k > 0 {
+		inst := n.instPool[k-1]
+		n.instPool = n.instPool[:k-1]
+		inst.m = m
+		return inst
+	}
+	return &instance{m: m, states: make([]*agg.State, 0, len(n.shared.keys))}
+}
+
+func (n *node) releaseInstance(inst *instance) {
+	if inst.live > 0 {
+		for slot, st := range inst.states {
+			if st != nil {
+				st.Reset()
+				n.statePool = append(n.statePool, st)
+				inst.states[slot] = nil
+			}
+		}
+	}
+	inst.live = 0
+	inst.states = inst.states[:0]
+	n.instPool = append(n.instPool, inst)
+}
+
+func (n *node) newState() *agg.State {
+	if k := len(n.statePool); k > 0 {
+		st := n.statePool[k-1]
+		n.statePool = n.statePool[:k-1]
+		return st
+	}
+	return &agg.State{}
+}

@@ -1,0 +1,117 @@
+package factor
+
+import (
+	"math/big"
+
+	"factorwindows/internal/cost"
+	"factorwindows/internal/window"
+)
+
+// This file implements an exhaustive optimal factor-window search for
+// small instances. The paper notes (Section IV-C, footnote 3) that the
+// cost minimization with factor windows is an instance of the NP-hard
+// Steiner tree problem and leaves "characterizing the gap" between
+// Algorithm 3 and the optimum as future work; OptimalPartitioned answers
+// that question exactly on small inputs, and the tests and EXPERIMENTS.md
+// report the measured gap.
+//
+// The search exploits that, once the *set* of windows (user + factor) is
+// fixed, the optimal parent assignment decomposes per node: every window
+// independently takes its cheapest coverer (or the raw stream). So the
+// optimum over factor subsets is found by enumerating subsets of the
+// candidate pool and summing per-node minima — exponential in the pool
+// size, which is small when candidates are tumbling windows with ranges
+// dividing the period R.
+
+// OptimalResult is the outcome of the exhaustive search.
+type OptimalResult struct {
+	// Cost is the optimal total cost over all factor subsets.
+	Cost *big.Int
+	// Factors is one optimal subset of factor windows (empty when no
+	// factor helps).
+	Factors []window.Window
+	// Candidates is the size of the enumerated candidate pool.
+	Candidates int
+}
+
+// OptimalPartitioned exhaustively finds the min-cost sharing structure
+// for the window set under "partitioned by" semantics, allowing any
+// subset of tumbling factor windows whose range divides the period R.
+// It panics if the candidate pool exceeds maxCandidates (the search is
+// 2^pool); callers should keep R modest.
+func OptimalPartitioned(set *window.Set, model cost.Model, maxCandidates int) OptimalResult {
+	users := set.Sorted()
+	R := cost.Period(users)
+
+	// Candidate pool: tumbling windows with range dividing R, excluding
+	// ranges already present as tumbling user windows. Only candidates
+	// that partition at least one user window can ever help.
+	pool := PoolPartitioned(users, R, 0)
+	if len(pool) > maxCandidates {
+		panic("factor: optimal search pool too large; reduce the period R")
+	}
+
+	return searchSubsets(users, pool, R, model, window.Partitions)
+}
+
+// OptimalCoveredBy is the "covered by" analogue of OptimalPartitioned:
+// it exhaustively searches subsets of the PoolCoveredBy candidate
+// universe (hopping factor windows included). The pool is typically much
+// larger than the partitioned one, so maxCandidates guards the 2^pool
+// search the same way.
+func OptimalCoveredBy(set *window.Set, model cost.Model, maxCandidates int) OptimalResult {
+	users := set.Sorted()
+	R := cost.Period(users)
+	pool := PoolCoveredBy(users, 0)
+	if len(pool) > maxCandidates {
+		panic("factor: optimal search pool too large; reduce slides/ranges")
+	}
+	return searchSubsets(users, pool, R, model, window.Covers)
+}
+
+// searchSubsets enumerates every subset of the candidate pool and returns
+// the best total cost under the given sharing relation.
+func searchSubsets(users, pool []window.Window, R *big.Int, model cost.Model,
+	rel func(w1, w2 window.Window) bool) OptimalResult {
+	best := OptimalResult{Candidates: len(pool)}
+	for mask := 0; mask < 1<<len(pool); mask++ {
+		var factors []window.Window
+		for i, f := range pool {
+			if mask&(1<<i) != 0 {
+				factors = append(factors, f)
+			}
+		}
+		total := evalSubset(users, factors, R, model, rel)
+		if best.Cost == nil || total.Cmp(best.Cost) < 0 {
+			best.Cost = total
+			best.Factors = factors
+		}
+	}
+	return best
+}
+
+// evalSubset computes the min total cost when exactly the given factor
+// windows exist: each node (user or factor) takes its cheapest parent
+// among all other nodes that cover it under the given sharing relation,
+// or the raw stream. Subsets containing a factor window no node reads
+// from are still evaluated faithfully (the factor's cost counts), so
+// such subsets simply lose to the subset without it.
+func evalSubset(users, factors []window.Window, R *big.Int, model cost.Model,
+	rel func(w1, w2 window.Window) bool) *big.Int {
+	all := append(append([]window.Window(nil), users...), factors...)
+	total := new(big.Int)
+	for _, w := range all {
+		best := model.Initial(w, R)
+		for _, p := range all {
+			if p == w || !rel(w, p) {
+				continue
+			}
+			c := model.Shared(w, p, R)
+			if c.Cmp(best) < 0 {
+				best = c
+			}
+		}
+		total.Add(total, best)
+	}
+	return total
+}

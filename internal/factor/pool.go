@@ -1,0 +1,104 @@
+package factor
+
+import (
+	"math/big"
+	"sort"
+
+	"factorwindows/internal/window"
+)
+
+// This file generates the *global* candidate pools used by the
+// Steiner-style optimizer mode (core.OptimizeSteiner) and the exhaustive
+// optimal search. Algorithms 2 and 5 generate candidates per target
+// vertex; footnote 3 of the paper points out that an ideal solution
+// "needs to generate all valid candidate factor windows, insert them into
+// the WCG, and then solve the Steiner tree problem". These pools are that
+// full candidate universe (within the paper's own eligibility bounds).
+
+// gcd64 returns the greatest common divisor of a and b (both > 0).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PoolPartitioned returns every candidate tumbling factor window under
+// "partitioned by" semantics: windows W⟨r,r⟩ whose range divides the
+// period R, excluding windows already in users, keeping only candidates
+// that partition at least one user window (others can never carry
+// sub-aggregates anywhere). Candidates are returned in ascending range
+// order, truncated at max (max ≤ 0 means no limit).
+func PoolPartitioned(users []window.Window, R *big.Int, max int) []window.Window {
+	present := make(map[window.Window]bool, len(users))
+	for _, w := range users {
+		present[w] = true
+	}
+	var pool []window.Window
+	if !R.IsInt64() {
+		return nil
+	}
+	for _, rf := range divisors(R.Int64()) {
+		f := window.Tumbling(rf)
+		if present[f] {
+			continue
+		}
+		for _, u := range users {
+			if u != f && window.Partitions(u, f) {
+				pool = append(pool, f)
+				break
+			}
+		}
+		if max > 0 && len(pool) >= max {
+			break
+		}
+	}
+	return pool
+}
+
+// PoolCoveredBy returns the candidate factor-window universe under
+// "covered by" semantics: every window f that covers at least one user
+// window u (Theorem 1: f's slide divides u's slide and u's range minus
+// f's range is a multiple of f's slide), excluding windows already in
+// users. This is a strict superset of Algorithm 2's per-vertex candidate
+// sets, whose slide/range bounds depend on each vertex's downstream
+// windows. Candidates are ordered by descending slide then descending
+// range — coarse candidates are both cheaper to maintain and cut more
+// downstream work, so they survive truncation at max (max ≤ 0 means no
+// limit).
+func PoolCoveredBy(users []window.Window, max int) []window.Window {
+	if len(users) == 0 {
+		return nil
+	}
+	present := make(map[window.Window]bool, len(users))
+	for _, w := range users {
+		present[w] = true
+	}
+	seen := make(map[window.Window]bool)
+	var pool []window.Window
+	for _, u := range users {
+		for _, sf := range divisors(u.Slide) {
+			// rf steps down from u.Range in sf strides, so rf stays a
+			// multiple of sf (u.Range is a multiple of u.Slide, hence of
+			// sf) and the library's r-multiple-of-s invariant holds.
+			for rf := u.Range - sf; rf >= sf; rf -= sf {
+				f := window.Window{Range: rf, Slide: sf}
+				if present[f] || seen[f] {
+					continue
+				}
+				seen[f] = true
+				pool = append(pool, f)
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Slide != pool[j].Slide {
+			return pool[i].Slide > pool[j].Slide
+		}
+		return pool[i].Range > pool[j].Range
+	})
+	if max > 0 && len(pool) > max {
+		pool = pool[:max]
+	}
+	return pool
+}

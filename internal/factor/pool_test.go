@@ -1,0 +1,151 @@
+package factor
+
+import (
+	"testing"
+
+	"factorwindows/internal/cost"
+	"factorwindows/internal/window"
+)
+
+func TestPoolPartitionedExample7(t *testing.T) {
+	users := []window.Window{window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)}
+	R := cost.Period(users) // 120
+	pool := PoolPartitioned(users, R, 0)
+	want := map[window.Window]bool{}
+	// Divisors of 120 that partition at least one user window and are not
+	// user windows themselves: 1, 2, 4, 5, 10 (partition 20/30/40), plus
+	// 3, 6, 15 (partition 30), 8 (40), 60/120 partition nothing upward —
+	// they partition no user window (60 > all except via coverage going
+	// the wrong way), so they must be absent.
+	for _, r := range []int64{1, 2, 3, 4, 5, 6, 8, 10, 15} {
+		want[window.Tumbling(r)] = true
+	}
+	got := map[window.Window]bool{}
+	for _, f := range pool {
+		got[f] = true
+	}
+	for f := range want {
+		if !got[f] {
+			t.Errorf("pool missing %v", f)
+		}
+	}
+	for f := range got {
+		if !want[f] {
+			t.Errorf("pool has unexpected %v", f)
+		}
+	}
+	// Ascending order and no user windows.
+	for i := 1; i < len(pool); i++ {
+		if pool[i].Range <= pool[i-1].Range {
+			t.Fatalf("pool not ascending: %v", pool)
+		}
+	}
+}
+
+func TestPoolPartitionedCap(t *testing.T) {
+	users := []window.Window{window.Tumbling(60), window.Tumbling(120)}
+	R := cost.Period(users)
+	pool := PoolPartitioned(users, R, 3)
+	if len(pool) != 3 {
+		t.Fatalf("capped pool has %d entries", len(pool))
+	}
+}
+
+func TestPoolCoveredBySuperset(t *testing.T) {
+	// Every pool member must cover at least one user window; every user
+	// window must not be in the pool.
+	users := []window.Window{window.Hopping(8, 4), window.Hopping(28, 14), window.Hopping(32, 16)}
+	pool := PoolCoveredBy(users, 0)
+	present := map[window.Window]bool{}
+	for _, u := range users {
+		present[u] = true
+	}
+	seen := map[window.Window]bool{}
+	for _, f := range pool {
+		if present[f] {
+			t.Errorf("user window %v in pool", f)
+		}
+		if seen[f] {
+			t.Errorf("duplicate %v in pool", f)
+		}
+		seen[f] = true
+		ok := false
+		for _, u := range users {
+			if window.Covers(u, f) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%v covers no user window", f)
+		}
+		if err := f.Validate(); err != nil {
+			t.Errorf("invalid candidate %v: %v", f, err)
+		}
+	}
+	// The per-vertex Algorithm 2 candidate W<24,8>-style windows (slides
+	// not dividing the global gcd) must now be present: W<16,16> covers
+	// W<32,16>, so it belongs to the universe.
+	if !seen[window.Tumbling(16)] {
+		t.Errorf("pool missing W(16,16), which covers W<32,16>")
+	}
+}
+
+func TestPoolCoveredByTruncationKeepsCoarse(t *testing.T) {
+	users := []window.Window{window.Hopping(40, 20)}
+	full := PoolCoveredBy(users, 0)
+	capped := PoolCoveredBy(users, 5)
+	if len(capped) != 5 {
+		t.Fatalf("capped pool has %d entries", len(capped))
+	}
+	for i, f := range capped {
+		if f != full[i] {
+			t.Fatalf("truncation reordered the pool: %v vs %v", capped, full[:5])
+		}
+	}
+	// Descending (slide, range): the first entry has the largest slide.
+	for i := 1; i < len(full); i++ {
+		a, b := full[i-1], full[i]
+		if a.Slide < b.Slide || (a.Slide == b.Slide && a.Range < b.Range) {
+			t.Fatalf("pool not in descending (slide, range) order: %v before %v", a, b)
+		}
+	}
+}
+
+func TestPoolEmptyUsers(t *testing.T) {
+	if p := PoolCoveredBy(nil, 0); p != nil {
+		t.Errorf("nil users should give nil pool, got %v", p)
+	}
+}
+
+func TestOptimalCoveredBySmall(t *testing.T) {
+	// Two hopping windows W<4,2> and W<8,2>: the optimum should not be
+	// worse than evaluating both from raw events, and the exhaustive
+	// search must agree with a no-factor lower bound check.
+	set, err := window.NewSet(window.Hopping(4, 2), window.Hopping(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := OptimalCoveredBy(set, cost.Default, 16)
+	if res.Cost == nil {
+		t.Fatal("no cost computed")
+	}
+	// Baseline: no factor windows, each node takes its cheapest coverer.
+	users := set.Sorted()
+	R := cost.Period(users)
+	base := evalSubset(users, nil, R, cost.Default, window.Covers)
+	if res.Cost.Cmp(base) > 0 {
+		t.Errorf("optimal %v worse than factor-free %v", res.Cost, base)
+	}
+}
+
+func TestGCD64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{4, 6, 2}, {14, 21, 7}, {5, 5, 5}, {1, 9, 1}, {12, 8, 4},
+	}
+	for _, c := range cases {
+		if got := gcd64(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package flinkgen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/window"
+)
+
+func mustPlan(t *testing.T, factors bool, fn agg.Fn, ws ...window.Window) *plan.Plan {
+	t.Helper()
+	set := window.MustSet(ws...)
+	if agg.SemanticsOf(fn) == agg.NoSharing {
+		p, err := plan.NewOriginal(set, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	res, err := core.Optimize(set, fn, core.Options{Factors: factors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind := plan.Rewritten
+	if factors {
+		kind = plan.Factored
+	}
+	p, err := plan.FromGraph(res.Graph, fn, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateOriginalPlan(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	p, err := plan.NewOriginal(set, agg.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"public class FactorWindowsJob",
+		"TumblingEventTimeWindows.of(Time.seconds(20))",
+		"TumblingEventTimeWindows.of(Time.seconds(30))",
+		"TumblingEventTimeWindows.of(Time.seconds(40))",
+		".union(tumble30)",
+		".union(tumble40)",
+		"class MinOfEvents",
+		"env.execute(\"FactorWindowsJob\")",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q\n%s", want, src)
+		}
+	}
+	// An unshared plan needs no sub-aggregate merge class.
+	if strings.Contains(src, "class MinOfAggs") {
+		t.Errorf("original plan should not emit a merge aggregate class")
+	}
+	// Every operator reads the raw input.
+	if got, want := strings.Count(src, "= input\n"), 3; got != want {
+		t.Errorf("input readers = %d, want %d", got, want)
+	}
+}
+
+func TestGenerateFactoredPlan(t *testing.T) {
+	// Example 7: {20,30,40} tumbling; the optimizer inserts W(10,10).
+	p := mustPlan(t, true, agg.Min,
+		window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if p.CountFactors() == 0 {
+		t.Fatal("expected a factor window in the plan")
+	}
+	src, err := Generate(p, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "env.setParallelism(1)") {
+		t.Errorf("missing parallelism setting")
+	}
+	// The factor window stream exists but is not unioned into the output.
+	if !strings.Contains(src, "DataStream<Agg> tumble10Factor = input") {
+		t.Errorf("factor window should read the raw input:\n%s", src)
+	}
+	if strings.Contains(src, ".union(tumble10Factor)") {
+		t.Errorf("factor window must not appear in the job output union")
+	}
+	// Downstream windows read the factor stream and use the merge class.
+	if !strings.Contains(src, "DataStream<Agg> tumble20 = tumble10Factor") {
+		t.Errorf("W(20,20) should consume the factor stream:\n%s", src)
+	}
+	if !strings.Contains(src, "class MinOfAggs") {
+		t.Errorf("shared plan needs the sub-aggregate merge class")
+	}
+	// Output union contains exactly the three query windows.
+	if got := strings.Count(src, ".union("); got != 2 {
+		t.Errorf("union calls = %d, want 2", got)
+	}
+}
+
+func TestGenerateHoppingAssigner(t *testing.T) {
+	p := mustPlan(t, false, agg.Max, window.Hopping(20, 10), window.Hopping(40, 10))
+	src, err := Generate(p, Options{TimeUnit: "minutes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "SlidingEventTimeWindows.of(Time.minutes(20), Time.minutes(10))") {
+		t.Errorf("missing sliding assigner:\n%s", src)
+	}
+}
+
+func TestGenerateAllFunctions(t *testing.T) {
+	for _, fn := range agg.Functions() {
+		fn := fn
+		t.Run(fn.String(), func(t *testing.T) {
+			p := mustPlan(t, false, fn, window.Tumbling(10), window.Tumbling(20))
+			src, err := Generate(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(src, "class "+fnClass(fn)+"OfEvents") {
+				t.Errorf("%v: missing leaf aggregate class", fn)
+			}
+			if !balanced(src) {
+				t.Errorf("%v: unbalanced braces/parens", fn)
+			}
+		})
+	}
+}
+
+func TestGenerateHolisticUsesListAccumulator(t *testing.T) {
+	p := mustPlan(t, false, agg.Median, window.Tumbling(10), window.Tumbling(20))
+	src, err := Generate(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "ArrayList<Double> vals") {
+		t.Errorf("holistic plan should use a list accumulator:\n%s", src)
+	}
+	if strings.Contains(src, "OfAggs") {
+		t.Errorf("holistic plan must not emit a merge class")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, Options{}); err == nil {
+		t.Error("nil plan should fail")
+	}
+	p := mustPlan(t, false, agg.Min, window.Tumbling(10))
+	if _, err := Generate(p, Options{TimeUnit: "fortnights"}); err != nil {
+		if !strings.Contains(err.Error(), "time unit") {
+			t.Errorf("unexpected error %v", err)
+		}
+	} else {
+		t.Error("bad time unit should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := mustPlan(t, true, agg.Min,
+		window.Tumbling(20), window.Tumbling(30), window.Tumbling(40), window.Tumbling(60))
+	a, err := Generate(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := Generate(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	cases := []struct {
+		op   plan.Operator
+		want string
+	}{
+		{plan.Operator{W: window.Tumbling(20), Exposed: true}, "tumble20"},
+		{plan.Operator{W: window.Tumbling(10), Exposed: false}, "tumble10Factor"},
+		{plan.Operator{W: window.Hopping(40, 10), Exposed: true}, "hop40By10"},
+		{plan.Operator{W: window.Hopping(20, 5), Exposed: false}, "hop20By5Factor"},
+	}
+	for _, c := range cases {
+		if got := varName(&c.op); got != c.want {
+			t.Errorf("varName(%v exposed=%v) = %q, want %q", c.op.W, c.op.Exposed, got, c.want)
+		}
+	}
+}
+
+// balanced checks (), {} and [] nesting, ignoring string literals loosely
+// (the generated code has no braces inside strings except the class name).
+func balanced(src string) bool {
+	var stack []byte
+	pairs := map[byte]byte{')': '(', '}': '{', ']': '['}
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '"' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			continue
+		}
+		switch c {
+		case '(', '{', '[':
+			stack = append(stack, c)
+		case ')', '}', ']':
+			if len(stack) == 0 || stack[len(stack)-1] != pairs[c] {
+				return false
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return len(stack) == 0 && !inStr
+}
+
+func ExampleGenerate() {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(40))
+	res, _ := core.Optimize(set, agg.Min, core.Options{})
+	p, _ := plan.FromGraph(res.Graph, agg.Min, plan.Rewritten)
+	src, _ := Generate(p, Options{ClassName: "TwoWindows"})
+	// Print just the plan body lines mentioning window assigners.
+	for _, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, ".window(") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+	// Output:
+	// .window(TumblingEventTimeWindows.of(Time.seconds(20)))
+	// .window(TumblingEventTimeWindows.of(Time.seconds(40)))
+}

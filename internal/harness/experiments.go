@@ -1,0 +1,390 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/factor"
+	"factorwindows/internal/stats"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/workload"
+)
+
+// Config parameterizes an experiment run. The defaults reproduce the
+// paper's setup at a laptop-friendly scale; raise Events toward 10M/32M
+// to match the paper's dataset sizes exactly.
+type Config struct {
+	// Events is the synthetic dataset size (Synthetic-10M uses 10_000_000;
+	// benchmarks default much lower so suites finish quickly).
+	Events int
+	// Keys is the number of device keys.
+	Keys int
+	// EventsPerTick is the constant ingestion pace η.
+	EventsPerTick int
+	// Seed fixes the workload generators.
+	Seed int64
+	// Fn is the aggregate function; the paper uses MIN throughout.
+	Fn agg.Fn
+	// Reps is the best-of-N repetition count per throughput measurement
+	// (default 1; raise it for low-noise runs).
+	Reps int
+	// Out receives the report. Required.
+	Out io.Writer
+}
+
+// Defaults fills unset fields: MIN, 4 keys, 4 events/tick, seed 42.
+func (c Config) defaults() Config {
+	if c.Events <= 0 {
+		c.Events = 400_000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4
+	}
+	if c.EventsPerTick <= 0 {
+		c.EventsPerTick = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	return c
+}
+
+func (c Config) synthetic(scale float64) []stream.Event {
+	n := int(float64(c.Events) * scale)
+	return workload.Synthetic(workload.StreamConfig{
+		Events: n, Keys: c.Keys, EventsPerTick: c.EventsPerTick, Seed: c.Seed,
+	})
+}
+
+func (c Config) debs(scale float64) []stream.Event {
+	n := int(float64(c.Events) * scale)
+	return workload.DEBSLike(workload.StreamConfig{
+		Events: n, Keys: c.Keys, EventsPerTick: c.EventsPerTick, Seed: c.Seed,
+	})
+}
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name  string
+	Paper string // what it reproduces
+	Run   func(Config) error
+}
+
+// Experiments returns the full catalog, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig11", "Fig. 11: throughput, Synthetic-10M, |W|=5", func(c Config) error {
+			return figThroughput(c, 5, c.synthetic(1))
+		}},
+		{"table1", "Table I: throughput boosts, Synthetic-10M", func(c Config) error {
+			return tableBoosts(c, []int{5, 10}, c.synthetic(1), "SYNTHETIC-10M")
+		}},
+		{"table2", "Table II: throughput boosts, Real-32M (DEBS-like)", func(c Config) error {
+			return tableBoosts(c, []int{5, 10}, c.debs(1), "REAL-32M (SIMULATED)")
+		}},
+		{"table3", "Table III: scalability, |W| ∈ {15,20}, Synthetic-10M", func(c Config) error {
+			return tableBoosts(c, []int{15, 20}, c.synthetic(1), "SYNTHETIC-10M (SCALABILITY)")
+		}},
+		{"fig12", "Fig. 12: optimization overhead vs |W|", figOverhead},
+		{"fig13", "Fig. 13: Flink vs Scotty vs Factor Windows, |W|=10", func(c Config) error {
+			return figScotty(c, 10, c.synthetic(1))
+		}},
+		{"fig14", "Fig. 14: throughput, Synthetic-10M, |W|=10", func(c Config) error {
+			return figThroughput(c, 10, c.synthetic(1))
+		}},
+		{"fig15", "Fig. 15: throughput, Synthetic-1M, |W|=5", func(c Config) error {
+			return figThroughput(c, 5, c.synthetic(0.1))
+		}},
+		{"fig16", "Fig. 16: throughput, Synthetic-1M, |W|=10", func(c Config) error {
+			return figThroughput(c, 10, c.synthetic(0.1))
+		}},
+		{"table4", "Table IV: throughput boosts, Synthetic-1M", func(c Config) error {
+			return tableBoosts(c, []int{5, 10}, c.synthetic(0.1), "SYNTHETIC-1M")
+		}},
+		{"fig17", "Fig. 17: throughput, Real-32M (DEBS-like), |W|=5", func(c Config) error {
+			return figThroughput(c, 5, c.debs(1))
+		}},
+		{"fig18", "Fig. 18: throughput, Real-32M (DEBS-like), |W|=10", func(c Config) error {
+			return figThroughput(c, 10, c.debs(1))
+		}},
+		{"fig19", "Fig. 19: cost-model validation (γC vs γT correlation)", figCorrelation},
+		{"fig20", "Fig. 20: throughput, Synthetic-10M, |W|=15", func(c Config) error {
+			return figThroughput(c, 15, c.synthetic(1))
+		}},
+		{"fig21", "Fig. 21: throughput, Synthetic-10M, |W|=20", func(c Config) error {
+			return figThroughput(c, 20, c.synthetic(1))
+		}},
+		{"fig22", "Fig. 22: Flink vs Scotty vs Factor Windows, |W|=5", func(c Config) error {
+			return figScotty(c, 5, c.synthetic(1))
+		}},
+		{"baselines", "Extension: original vs factor windows vs slicing vs sliding (Two-Stacks)", func(c Config) error {
+			return extBaselines(c, c.synthetic(1))
+		}},
+		{"steiner", "Extension: Algorithm 3 vs Steiner-pool vs exhaustive optimum (footnote 3 gap)", extSteiner},
+	}
+}
+
+// extSteiner characterizes the optimality gap of footnote 3: plan cost
+// and optimization time of Algorithm 3 versus the Steiner-pool search,
+// with the exhaustive optimum as ground truth where its 2^pool search is
+// feasible.
+func extSteiner(c Config) error {
+	fmt.Fprintf(c.Out, "\n== Factor search: Algorithm 3 vs Steiner pool vs optimum (plan cost) ==\n")
+	for _, suite := range []Suite{
+		{Gen: "R", N: 5, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "R", N: 10, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "R", N: 5, Tumbling: false, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: 5, Tumbling: true, Runs: 10, Seed: c.Seed},
+	} {
+		sets, err := suite.Sets()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "-- %s --\n", suite.Name())
+		fmt.Fprintf(c.Out, "%-4s %14s %14s %14s %10s %10s\n",
+			"run", "algorithm3", "steiner", "optimum", "t_alg3", "t_steiner")
+		for i, set := range sets {
+			a3, err := core.Optimize(set, c.Fn, core.Options{Factors: true, Semantics: suite.Semantics()})
+			if err != nil {
+				return err
+			}
+			st, err := core.OptimizeSteiner(set, c.Fn, core.Options{Semantics: suite.Semantics()}, 0)
+			if err != nil {
+				return err
+			}
+			optimum := "(pool too large)"
+			if suite.Tumbling {
+				R := cost.Period(set.Sorted())
+				if pool := factor.PoolPartitioned(set.Sorted(), R, 0); len(pool) <= 16 {
+					optimum = factor.OptimalPartitioned(set, cost.Default, 16).Cost.String()
+				}
+			}
+			fmt.Fprintf(c.Out, "%-4d %14s %14s %14s %10s %10s\n", i+1,
+				a3.OptimizedCost, st.OptimizedCost, optimum,
+				a3.Elapsed.Round(time.Microsecond), st.Elapsed.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+// extBaselines compares all four executors per suite (an extension of
+// Section V-F using the additional baseline from reference [45]).
+func extBaselines(c Config, events []stream.Event) error {
+	fmt.Fprintf(c.Out, "\n== Baselines: original vs factor windows vs slicing vs sliding, %d events ==\n", len(events))
+	for _, suite := range []Suite{
+		{Gen: "R", N: 5, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "R", N: 5, Tumbling: false, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: 5, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: 5, Tumbling: false, Runs: 10, Seed: c.Seed},
+	} {
+		sets, err := suite.Sets()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "-- %s --\n", suite.Name())
+		fmt.Fprintf(c.Out, "%-4s %13s %13s %13s %13s\n", "run", "original", "factorwin", "slicing", "sliding")
+		for i, set := range sets {
+			run, err := CompareBaselines(set, c.Fn, suite.Semantics(), events)
+			if err != nil {
+				return fmt.Errorf("%s run %d: %w", suite.Name(), i+1, err)
+			}
+			fmt.Fprintf(c.Out, "%-4d %10.0f K %10.0f K %10.0f K %10.0f K\n", i+1,
+				run.TputOriginal/1e3, run.TputFactored/1e3, run.TputSlicing/1e3, run.TputSliding/1e3)
+		}
+	}
+	return nil
+}
+
+// RunExperiment runs the named experiment ("all" runs the catalog).
+func RunExperiment(name string, cfg Config) error {
+	cfg = cfg.defaults()
+	if cfg.Out == nil {
+		return fmt.Errorf("harness: Config.Out is required")
+	}
+	if name == "all" {
+		for _, e := range Experiments() {
+			if err := e.Run(cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e.Run(cfg)
+		}
+	}
+	return fmt.Errorf("harness: unknown experiment %q (see Experiments())", name)
+}
+
+// figThroughput reproduces one throughput figure: four panels
+// (RandomGen/SequentialGen × partitioned-by/covered-by), ten runs each,
+// three bars per run.
+func figThroughput(c Config, n int, events []stream.Event) error {
+	fmt.Fprintf(c.Out, "\n== Throughput, |W|=%d, %d events, fn=%v ==\n", n, len(events), c.Fn)
+	for _, suite := range []Suite{
+		{Gen: "R", N: n, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "R", N: n, Tumbling: false, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: n, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: n, Tumbling: false, Runs: 10, Seed: c.Seed},
+	} {
+		sets, err := suite.Sets()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "-- %s (%v semantics) --\n", suite.Name(), suite.Semantics())
+		fmt.Fprintf(c.Out, "%-4s %15s %15s %15s %9s %9s\n",
+			"run", "original", "w/o FW", "w/ FW", "boost", "boostFW")
+		for i, set := range sets {
+			run, err := CompareN(set, c.Fn, suite.Semantics(), events, c.Reps)
+			if err != nil {
+				return fmt.Errorf("%s run %d (%v): %w", suite.Name(), i+1, set, err)
+			}
+			fmt.Fprintf(c.Out, "%-4d %12.0f K %12.0f K %12.0f K %8.2fx %8.2fx\n",
+				i+1, run.TputOriginal/1e3, run.TputRewritten/1e3, run.TputFactored/1e3,
+				run.BoostNoF(), run.BoostFac())
+		}
+	}
+	return nil
+}
+
+// tableBoosts reproduces a Table I/II/III/IV style summary: mean and max
+// throughput boosts per suite.
+func tableBoosts(c Config, sizes []int, events []stream.Event, label string) error {
+	fmt.Fprintf(c.Out, "\n== Throughput boosts over original plans, %s (%d events) ==\n", label, len(events))
+	fmt.Fprintf(c.Out, "%-16s %12s %12s %12s %12s\n",
+		"Setup", "w/o FW mean", "w/o FW max", "w/ FW mean", "w/ FW max")
+	for _, suite := range StandardSuites(sizes, c.Seed) {
+		sets, err := suite.Sets()
+		if err != nil {
+			return err
+		}
+		var noF, fac []float64
+		for _, set := range sets {
+			run, err := CompareN(set, c.Fn, suite.Semantics(), events, c.Reps)
+			if err != nil {
+				return fmt.Errorf("%s (%v): %w", suite.Name(), set, err)
+			}
+			noF = append(noF, run.BoostNoF())
+			fac = append(fac, run.BoostFac())
+		}
+		fmt.Fprintf(c.Out, "%-16s %11.2fx %11.2fx %11.2fx %11.2fx\n",
+			suite.Name(), stats.Mean(noF), stats.Max(noF), stats.Mean(fac), stats.Max(fac))
+	}
+	return nil
+}
+
+// figOverhead reproduces Fig. 12: average optimization time and standard
+// deviation for |W| from 5 to 20, under both semantics.
+func figOverhead(c Config) error {
+	fmt.Fprintf(c.Out, "\n== Optimization overhead (factor windows enabled) ==\n")
+	fmt.Fprintf(c.Out, "%-8s %-16s %14s %14s\n", "setting", "semantics", "mean", "stddev")
+	for _, n := range []int{5, 10, 15, 20} {
+		for _, gen := range []string{"R", "S"} {
+			for _, tumbling := range []bool{true, false} {
+				suite := Suite{Gen: gen, N: n, Tumbling: tumbling, Runs: 10, Seed: c.Seed}
+				mean, sd, err := OptimizerOverhead(suite, c.Fn, 3)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(c.Out, "%-8s %-16s %14s %14s\n",
+					fmt.Sprintf("%s-%d", gen, n), suite.Semantics().String(),
+					mean.Round(time.Microsecond), sd.Round(time.Microsecond))
+			}
+		}
+	}
+	return nil
+}
+
+// figScotty reproduces Fig. 13 / Fig. 22: Flink default plan vs Scotty
+// slicing vs factor-window plans.
+func figScotty(c Config, n int, events []stream.Event) error {
+	fmt.Fprintf(c.Out, "\n== Flink vs Scotty(slicing) vs Factor Windows, |W|=%d, %d events ==\n", n, len(events))
+	for _, suite := range []Suite{
+		{Gen: "R", N: n, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "R", N: n, Tumbling: false, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: n, Tumbling: true, Runs: 10, Seed: c.Seed},
+		{Gen: "S", N: n, Tumbling: false, Runs: 10, Seed: c.Seed},
+	} {
+		sets, err := suite.Sets()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "-- %s (%v semantics) --\n", suite.Name(), suite.Semantics())
+		fmt.Fprintf(c.Out, "%-4s %15s %15s %15s\n", "run", "Flink", "Scotty", "FactorWindows")
+		for i, set := range sets {
+			run, err := CompareScotty(set, c.Fn, suite.Semantics(), events)
+			if err != nil {
+				return fmt.Errorf("%s run %d: %w", suite.Name(), i+1, err)
+			}
+			fmt.Fprintf(c.Out, "%-4d %12.0f K %12.0f K %12.0f K\n",
+				i+1, run.TputFlink/1e3, run.TputScotty/1e3, run.TputFactored/1e3)
+		}
+	}
+	return nil
+}
+
+// figCorrelation reproduces Fig. 19: per panel, the (γC, γT) points for
+// |W| ∈ {5, 10} merged, the least-squares fit, and the Pearson r.
+func figCorrelation(c Config) error {
+	events := c.synthetic(1)
+	fmt.Fprintf(c.Out, "\n== Cost model validation: predicted (γC) vs measured (γT) speedup ==\n")
+	for _, gen := range []string{"R", "S"} {
+		for _, tumbling := range []bool{true, false} {
+			var xs, ys []float64
+			var sem agg.Semantics
+			for _, n := range []int{5, 10} {
+				suite := Suite{Gen: gen, N: n, Tumbling: tumbling, Runs: 10, Seed: c.Seed}
+				sem = suite.Semantics()
+				sets, err := suite.Sets()
+				if err != nil {
+					return err
+				}
+				for _, set := range sets {
+					run, err := CompareN(set, c.Fn, sem, events, c.Reps)
+					if err != nil {
+						return err
+					}
+					xs = append(xs, run.PredictedFacOverNoF)
+					ys = append(ys, run.MeasuredFacOverNoF())
+				}
+			}
+			r := stats.Pearson(xs, ys)
+			slope, intercept := stats.LinearFit(xs, ys)
+			fmt.Fprintf(c.Out, "-- %s/%s, %v --\n", genName(gen), tumblingName(tumbling), sem)
+			fmt.Fprintf(c.Out, "   points=%d  pearson r=%.3f  best-fit y=%.3fx%+.3f\n",
+				len(xs), r, slope, intercept)
+			idx := make([]int, len(xs))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+			for _, i := range idx {
+				fmt.Fprintf(c.Out, "   γC=%7.3f  γT=%7.3f\n", xs[i], ys[i])
+			}
+		}
+	}
+	return nil
+}
+
+func tumblingName(t bool) string {
+	if t {
+		return "tumbling"
+	}
+	return "hopping"
+}
+
+func genName(g string) string {
+	if g == "R" {
+		return "RandomGen"
+	}
+	return "SequentialGen"
+}

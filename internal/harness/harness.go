@@ -1,0 +1,356 @@
+// Package harness reproduces the paper's evaluation (Section V and
+// Appendix C): it generates the window-set workloads, builds the three
+// plan variants (original, rewritten without factor windows, rewritten
+// with factor windows), measures their throughput on the execution
+// engine, runs the Scotty-style slicing baseline, and prints the rows
+// behind every table and figure.
+//
+// Experiment naming follows the paper: suites are identified as
+// R-5-tumbling, S-10-hopping, etc., where 'R' is RandomGen, 'S' is
+// SequentialGen and the number is the window-set size |W|. Tumbling
+// suites exercise "partitioned by" semantics, hopping suites the general
+// "covered by" semantics (Section V-B), both with MIN as the aggregate.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/slicing"
+	"factorwindows/internal/sliding"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+	"factorwindows/internal/workload"
+)
+
+// Suite identifies one experimental configuration: a window-set
+// generator, a set size, a window type, and the number of generated sets
+// (the paper uses 10 per configuration).
+type Suite struct {
+	Gen      string // "R" (RandomGen) or "S" (SequentialGen)
+	N        int    // window-set size |W|
+	Tumbling bool
+	Runs     int
+	Seed     int64
+}
+
+// Name returns the paper's label for the suite, e.g. "R-5-tumbling".
+func (s Suite) Name() string {
+	kind := "hopping"
+	if s.Tumbling {
+		kind = "tumbling"
+	}
+	return fmt.Sprintf("%s-%d-%s", s.Gen, s.N, kind)
+}
+
+// Semantics returns the coverage semantics the paper uses for the suite:
+// "partitioned by" for tumbling sets, "covered by" for hopping sets.
+func (s Suite) Semantics() agg.Semantics {
+	if s.Tumbling {
+		return agg.PartitionedBy
+	}
+	return agg.CoveredBy
+}
+
+// Sets generates the suite's window sets deterministically.
+func (s Suite) Sets() ([]*window.Set, error) {
+	runs := s.Runs
+	if runs <= 0 {
+		runs = 10
+	}
+	out := make([]*window.Set, 0, runs)
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(s.Seed + int64(run)*7919))
+		cfg := workload.PaperDefaults(s.N, s.Tumbling)
+		var (
+			set *window.Set
+			err error
+		)
+		switch s.Gen {
+		case "R":
+			set, err = workload.RandomGen(cfg, rng)
+		case "S":
+			set, err = workload.SequentialGen(cfg, rng)
+		default:
+			return nil, fmt.Errorf("harness: unknown generator %q", s.Gen)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// StandardSuites returns the paper's eight Table I configurations for the
+// given sizes (e.g. {5, 10} for Tables I/II, {15, 20} for Table III).
+func StandardSuites(sizes []int, seed int64) []Suite {
+	var out []Suite
+	for _, gen := range []string{"R", "S"} {
+		for _, n := range sizes {
+			for _, tumbling := range []bool{true, false} {
+				out = append(out, Suite{Gen: gen, N: n, Tumbling: tumbling, Runs: 10, Seed: seed})
+			}
+		}
+	}
+	return out
+}
+
+// Run is the outcome of one window set evaluated under the three plans.
+type Run struct {
+	Set *window.Set
+
+	// Throughput in events/second for the three plan variants.
+	TputOriginal  float64
+	TputRewritten float64
+	TputFactored  float64
+
+	// Predicted speedups from the cost model: naive/optimized cost
+	// ratios, and the w/o-FW vs w/-FW ratio used by Fig. 19.
+	PredictedNoF        float64 // C_naive / C_rewritten
+	PredictedFac        float64 // C_naive / C_factored
+	PredictedFacOverNoF float64 // C_rewritten / C_factored (γ_C)
+
+	// FactorCount is the number of factor windows in the factored plan.
+	FactorCount int
+
+	// OptTime is the factor-window optimization time (Fig. 12).
+	OptTime time.Duration
+}
+
+// BoostNoF returns the throughput boost of the rewritten plan over the
+// original plan.
+func (r Run) BoostNoF() float64 { return r.TputRewritten / r.TputOriginal }
+
+// BoostFac returns the throughput boost of the factored plan.
+func (r Run) BoostFac() float64 { return r.TputFactored / r.TputOriginal }
+
+// MeasuredFacOverNoF is γ_T of the cost-model validation (Fig. 19).
+func (r Run) MeasuredFacOverNoF() float64 { return r.TputFactored / r.TputRewritten }
+
+// Throughput measures a plan's throughput (events/second) over events.
+func Throughput(p *plan.Plan, events []stream.Event) (float64, error) {
+	sink := &stream.CountingSink{}
+	r, err := engine.New(p, sink)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	r.Process(events)
+	r.Close()
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(len(events)) / elapsed.Seconds(), nil
+}
+
+// Plans builds the three plan variants for a window set under the given
+// aggregate function and (optionally forced) semantics.
+func Plans(set *window.Set, fn agg.Fn, sem agg.Semantics) (orig, noF, fac *plan.Plan, noFRes, facRes *core.Result, err error) {
+	orig, err = plan.NewOriginal(set, fn)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	noFRes, err = core.Optimize(set, fn, core.Options{Factors: false, Semantics: sem})
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	noF, err = plan.FromGraph(noFRes.Graph, fn, plan.Rewritten)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	facRes, err = core.Optimize(set, fn, core.Options{Factors: true, Semantics: sem})
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	fac, err = plan.FromGraph(facRes.Graph, fn, plan.Factored)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	return orig, noF, fac, noFRes, facRes, nil
+}
+
+// Compare evaluates one window set end to end: optimize, build the three
+// plans, and measure throughput for each.
+func Compare(set *window.Set, fn agg.Fn, sem agg.Semantics, events []stream.Event) (Run, error) {
+	return CompareN(set, fn, sem, events, 1)
+}
+
+// CompareN is Compare with best-of-reps throughput measurement, which
+// suppresses scheduler and GC noise on short runs.
+func CompareN(set *window.Set, fn agg.Fn, sem agg.Semantics, events []stream.Event, reps int) (Run, error) {
+	run := Run{Set: set}
+	orig, noF, fac, noFRes, facRes, err := Plans(set, fn, sem)
+	if err != nil {
+		return run, err
+	}
+	run.FactorCount = fac.CountFactors()
+	run.OptTime = facRes.Elapsed
+	pn, _ := noFRes.Speedup().Float64()
+	pf, _ := facRes.Speedup().Float64()
+	run.PredictedNoF = pn
+	run.PredictedFac = pf
+	ratio, _ := new(big.Rat).SetFrac(noFRes.OptimizedCost, facRes.OptimizedCost).Float64()
+	run.PredictedFacOverNoF = ratio
+
+	if run.TputOriginal, err = bestThroughput(orig, events, reps); err != nil {
+		return run, err
+	}
+	if run.TputRewritten, err = bestThroughput(noF, events, reps); err != nil {
+		return run, err
+	}
+	if run.TputFactored, err = bestThroughput(fac, events, reps); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// bestThroughput returns the best of reps throughput measurements; plans
+// are recompiled each rep (Runners are single-use).
+func bestThroughput(p *plan.Plan, events []stream.Event, reps int) (float64, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		t, err := Throughput(p, events)
+		if err != nil {
+			return 0, err
+		}
+		if t > best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// ScottyRun is one window set evaluated for the Section V-F comparison.
+type ScottyRun struct {
+	Set *window.Set
+
+	// TputFlink is the default plan (each window independent) — what
+	// vanilla Flink does. TputScotty is the slicing baseline.
+	// TputFactored is our optimized plan with factor windows.
+	TputFlink    float64
+	TputScotty   float64
+	TputFactored float64
+}
+
+// BaselineRun compares all four executors on one window set: the
+// original plan, the factor-window plan, Scotty-style slicing, and
+// per-window incremental sliding aggregation (Two-Stacks). This extends
+// the paper's Section V-F with the additional baseline its reference
+// [45] suggests.
+type BaselineRun struct {
+	Set *window.Set
+
+	TputOriginal float64
+	TputFactored float64
+	TputSlicing  float64
+	TputSliding  float64
+}
+
+// CompareBaselines measures all four executors on one window set.
+func CompareBaselines(set *window.Set, fn agg.Fn, sem agg.Semantics, events []stream.Event) (BaselineRun, error) {
+	out := BaselineRun{Set: set}
+	orig, _, fac, _, _, err := Plans(set, fn, sem)
+	if err != nil {
+		return out, err
+	}
+	if out.TputOriginal, err = Throughput(orig, events); err != nil {
+		return out, err
+	}
+	if out.TputFactored, err = Throughput(fac, events); err != nil {
+		return out, err
+	}
+	start := time.Now()
+	if _, err = slicing.Run(set, fn, events, &stream.CountingSink{}); err != nil {
+		return out, err
+	}
+	out.TputSlicing = float64(len(events)) / time.Since(start).Seconds()
+	start = time.Now()
+	if _, err = sliding.Run(set, fn, events, &stream.CountingSink{}); err != nil {
+		return out, err
+	}
+	out.TputSliding = float64(len(events)) / time.Since(start).Seconds()
+	return out, nil
+}
+
+// CompareScotty evaluates one window set against the slicing baseline.
+func CompareScotty(set *window.Set, fn agg.Fn, sem agg.Semantics, events []stream.Event) (ScottyRun, error) {
+	out := ScottyRun{Set: set}
+	orig, _, fac, _, _, err := Plans(set, fn, sem)
+	if err != nil {
+		return out, err
+	}
+	if out.TputFlink, err = Throughput(orig, events); err != nil {
+		return out, err
+	}
+	start := time.Now()
+	if _, err = slicing.Run(set, fn, events, &stream.CountingSink{}); err != nil {
+		return out, err
+	}
+	out.TputScotty = float64(len(events)) / time.Since(start).Seconds()
+	if out.TputFactored, err = Throughput(fac, events); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// OptimizerOverhead measures the average factor-window optimization time
+// and its standard deviation over the suite's window sets (Fig. 12). It
+// re-runs each optimization reps times for a stable clock reading.
+func OptimizerOverhead(suite Suite, fn agg.Fn, reps int) (mean, stddev time.Duration, err error) {
+	sets, err := suite.Sets()
+	if err != nil {
+		return 0, 0, err
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	var samples []float64
+	for _, set := range sets {
+		best := time.Duration(1 << 62)
+		for i := 0; i < reps; i++ {
+			res, err := core.Optimize(set, fn, core.Options{Factors: true, Semantics: suite.Semantics()})
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Elapsed < best {
+				best = res.Elapsed
+			}
+		}
+		samples = append(samples, float64(best))
+	}
+	m := meanOf(samples)
+	sd := stddevOf(samples, m)
+	return time.Duration(m), time.Duration(sd), nil
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddevOf(xs []float64, mean float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

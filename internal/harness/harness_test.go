@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/window"
+	"factorwindows/internal/workload"
+)
+
+func TestSuiteNaming(t *testing.T) {
+	s := Suite{Gen: "R", N: 5, Tumbling: true}
+	if s.Name() != "R-5-tumbling" || s.Semantics() != agg.PartitionedBy {
+		t.Fatalf("%s %v", s.Name(), s.Semantics())
+	}
+	h := Suite{Gen: "S", N: 10, Tumbling: false}
+	if h.Name() != "S-10-hopping" || h.Semantics() != agg.CoveredBy {
+		t.Fatalf("%s %v", h.Name(), h.Semantics())
+	}
+}
+
+func TestSuiteSetsDeterministic(t *testing.T) {
+	s := Suite{Gen: "R", N: 5, Tumbling: true, Runs: 3, Seed: 42}
+	a, err := s.Sets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Sets()
+	for i := range a {
+		aw, bw := a[i].Windows(), b[i].Windows()
+		for j := range aw {
+			if aw[j] != bw[j] {
+				t.Fatal("suite sets must be deterministic")
+			}
+		}
+	}
+	// Different runs within the suite differ.
+	if a[0].String() == a[1].String() && a[1].String() == a[2].String() {
+		t.Fatal("runs should vary")
+	}
+}
+
+func TestSuiteSetsBadGen(t *testing.T) {
+	if _, err := (Suite{Gen: "X", N: 5}).Sets(); err == nil {
+		t.Fatal("unknown generator must fail")
+	}
+}
+
+func TestStandardSuites(t *testing.T) {
+	suites := StandardSuites([]int{5, 10}, 1)
+	if len(suites) != 8 {
+		t.Fatalf("got %d suites", len(suites))
+	}
+	names := map[string]bool{}
+	for _, s := range suites {
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"R-5-tumbling", "R-10-hopping", "S-5-tumbling", "S-10-hopping"} {
+		if !names[want] {
+			t.Fatalf("missing suite %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestCompareSmall(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	events := workload.Synthetic(workload.StreamConfig{Events: 20000, Keys: 2, EventsPerTick: 2, Seed: 1})
+	run, err := Compare(set, agg.Min, agg.PartitionedBy, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.TputOriginal <= 0 || run.TputRewritten <= 0 || run.TputFactored <= 0 {
+		t.Fatalf("non-positive throughput: %+v", run)
+	}
+	// Example 7 numbers: predicted speedups 360/246 and 360/150.
+	if run.PredictedNoF < 1.45 || run.PredictedNoF > 1.47 {
+		t.Fatalf("PredictedNoF = %v, want ≈ 1.463", run.PredictedNoF)
+	}
+	if run.PredictedFac < 2.39 || run.PredictedFac > 2.41 {
+		t.Fatalf("PredictedFac = %v, want 2.4", run.PredictedFac)
+	}
+	if run.FactorCount != 1 {
+		t.Fatalf("factor count = %d", run.FactorCount)
+	}
+	if run.OptTime <= 0 {
+		t.Fatal("optimization time missing")
+	}
+}
+
+func TestCompareScottySmall(t *testing.T) {
+	set := window.MustSet(window.Hopping(20, 10), window.Hopping(40, 10))
+	events := workload.Synthetic(workload.StreamConfig{Events: 20000, Keys: 2, EventsPerTick: 2, Seed: 2})
+	run, err := CompareScotty(set, agg.Min, agg.CoveredBy, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.TputFlink <= 0 || run.TputScotty <= 0 || run.TputFactored <= 0 {
+		t.Fatalf("non-positive throughput: %+v", run)
+	}
+}
+
+func TestOptimizerOverheadRuns(t *testing.T) {
+	mean, sd, err := OptimizerOverhead(Suite{Gen: "S", N: 5, Tumbling: true, Runs: 3, Seed: 7}, agg.Min, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || sd < 0 {
+		t.Fatalf("mean=%v sd=%v", mean, sd)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig99", Config{Out: &buf}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	if err := RunExperiment("fig11", Config{}); err == nil {
+		t.Fatal("missing Out must fail")
+	}
+}
+
+func TestExperimentCatalogComplete(t *testing.T) {
+	want := []string{
+		"fig11", "table1", "table2", "table3", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "table4", "fig17", "fig18", "fig19", "fig20",
+		"fig21", "fig22", "baselines", "steiner",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.Name, want[i])
+		}
+		if e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.Name)
+		}
+	}
+}
+
+func TestRunExperimentTinyBaselinesAndSteiner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny experiment runs skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Events: 4000, Keys: 2, EventsPerTick: 2, Fn: agg.Min, Out: &buf}
+	if err := RunExperiment("baselines", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"original", "factorwin", "slicing", "sliding"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("baselines report missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := RunExperiment("steiner", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("steiner")) {
+		t.Error("steiner report missing header")
+	}
+}
+
+func TestRunExperimentTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny end-to-end experiment run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Events: 6000, Keys: 2, EventsPerTick: 2, Fn: agg.Min, Out: &buf}
+	if err := RunExperiment("fig11", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"R-5-tumbling", "R-5-hopping", "S-5-tumbling", "S-5-hopping", "boostFW"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig11 output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := RunExperiment("fig13", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Scotty") {
+		t.Fatalf("fig13 output missing Scotty column:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := RunExperiment("fig12", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Optimization overhead") {
+		t.Fatalf("fig12 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestThroughputOnEmptyPlanErrors(t *testing.T) {
+	if _, _, _, _, _, err := Plans(&window.Set{}, agg.Min, agg.Auto); err == nil {
+		t.Fatal("empty set must fail")
+	}
+}

@@ -1,0 +1,172 @@
+// Package multiquery optimizes a whole *set of queries* together. The
+// paper's motivating scenario (Section I) is Azure IoT Central hosting
+// many concurrent dashboard queries over the same device stream, each
+// with its own window sizes. Optimizing the union of all their windows
+// as one window set lets queries share computation with each other —
+// and gives the factor-window search a richer graph to work with —
+// while each query still receives exactly its own result rows.
+package multiquery
+
+import (
+	"fmt"
+	"sort"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// Query is one subscriber: an identifier plus the windows it wants. All
+// queries in a batch share the aggregate function, key and value columns
+// (the IoT-dashboard pattern: same telemetry, different periods).
+type Query struct {
+	ID      string
+	Windows []window.Window
+}
+
+// Plan is the jointly optimized execution plan for a query batch.
+type Plan struct {
+	// Fn is the common aggregate function.
+	Fn agg.Fn
+
+	// Combined is the single executable plan over the union window set.
+	Combined *plan.Plan
+
+	// Optimization carries the cost bookkeeping of the combined set.
+	Optimization *core.Result
+
+	// SeparateCost and CombinedCost compare the total cost of optimizing
+	// each query alone vs. together (both with the same options).
+	SeparateCost, CombinedCost string
+
+	routes map[window.Window][]string
+}
+
+// Routed is one result row tagged with the queries it belongs to.
+type Routed struct {
+	QueryIDs []string
+	Result   stream.Result
+}
+
+// Optimize merges the queries' windows, optimizes the union once, and
+// prepares per-query routing.
+func Optimize(queries []Query, fn agg.Fn, opts core.Options) (*Plan, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("multiquery: no queries")
+	}
+	union := &window.Set{}
+	routes := make(map[window.Window][]string)
+	for _, q := range queries {
+		if q.ID == "" {
+			return nil, fmt.Errorf("multiquery: query with empty ID")
+		}
+		if len(q.Windows) == 0 {
+			return nil, fmt.Errorf("multiquery: query %s has no windows", q.ID)
+		}
+		for _, w := range q.Windows {
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("multiquery: query %s: %w", q.ID, err)
+			}
+			if contains(routes[w], q.ID) {
+				return nil, fmt.Errorf("multiquery: query %s lists %v twice", q.ID, w)
+			}
+			routes[w] = append(routes[w], q.ID)
+			if !union.Contains(w) {
+				if err := union.Add(w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res, err := core.Optimize(union, fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	kind := plan.Rewritten
+	if opts.Factors {
+		kind = plan.Factored
+	}
+	combined, err := plan.FromGraph(res.Graph, fn, kind)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cost comparison: per-query optimization (no cross-query sharing)
+	// vs. the union. Periods differ per query, so the comparison uses
+	// each query's own optimum summed — an upper bound on what separate
+	// deployments would cost relative to their own periods; we therefore
+	// report both as strings rather than pretending they share a unit.
+	separate := "n/a"
+	total := int64(0)
+	comparable := true
+	for _, q := range queries {
+		set, err := window.NewSet(q.Windows...)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.Optimize(set, fn, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.OptimizedCost.IsInt64() {
+			total += r.OptimizedCost.Int64()
+		} else {
+			comparable = false
+		}
+	}
+	if comparable {
+		separate = fmt.Sprintf("%d (per-query periods)", total)
+	}
+
+	for w := range routes {
+		sort.Strings(routes[w])
+	}
+	return &Plan{
+		Fn:           fn,
+		Combined:     combined,
+		Optimization: res,
+		SeparateCost: separate,
+		CombinedCost: res.OptimizedCost.String(),
+		routes:       routes,
+	}, nil
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribers returns the query IDs receiving results of w.
+func (p *Plan) Subscribers(w window.Window) []string {
+	return append([]string(nil), p.routes[w]...)
+}
+
+// Run executes the combined plan over events, delivering every result to
+// emit once, tagged with all subscribed queries.
+func (p *Plan) Run(events []stream.Event, emit func(Routed)) error {
+	sink := &routingSink{plan: p, emit: emit}
+	_, err := engine.Run(p.Combined, events, sink)
+	return err
+}
+
+// routingSink tags engine results with their subscriber queries.
+type routingSink struct {
+	plan *Plan
+	emit func(Routed)
+}
+
+func (s *routingSink) Emit(r stream.Result) {
+	ids := s.plan.routes[r.W]
+	if len(ids) == 0 {
+		return // factor windows and unsubscribed internals
+	}
+	s.emit(Routed{QueryIDs: ids, Result: r})
+}

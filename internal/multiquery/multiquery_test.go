@@ -1,0 +1,144 @@
+package multiquery
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+func steadyStream(ticks int64, keys int, r *rand.Rand) []stream.Event {
+	events := make([]stream.Event, 0, ticks*int64(keys))
+	for t := int64(0); t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			events = append(events, stream.Event{Time: t, Key: uint64(k), Value: float64(r.Intn(1000))})
+		}
+	}
+	return events
+}
+
+func TestOptimizeAndRoute(t *testing.T) {
+	queries := []Query{
+		{ID: "dash-a", Windows: []window.Window{window.Tumbling(20), window.Tumbling(40)}},
+		{ID: "dash-b", Windows: []window.Window{window.Tumbling(20), window.Tumbling(30)}},
+	}
+	p, err := Optimize(queries, agg.Min, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The union is Example 7's window set; the factor window W(10,10)
+	// must appear, and W(20,20) must be routed to both queries.
+	if got := p.Subscribers(window.Tumbling(20)); !reflect.DeepEqual(got, []string{"dash-a", "dash-b"}) {
+		t.Fatalf("subscribers(W20) = %v", got)
+	}
+	if got := p.Subscribers(window.Tumbling(40)); !reflect.DeepEqual(got, []string{"dash-a"}) {
+		t.Fatalf("subscribers(W40) = %v", got)
+	}
+	if len(p.Optimization.FactorWindows) != 1 {
+		t.Fatalf("factors = %v", p.Optimization.FactorWindows)
+	}
+
+	r := rand.New(rand.NewSource(1))
+	events := steadyStream(240, 2, r)
+	perQuery := map[string][]stream.Result{}
+	if err := p.Run(events, func(rr Routed) {
+		for _, id := range rr.QueryIDs {
+			perQuery[id] = append(perQuery[id], rr.Result)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each query's routed rows must equal running that query alone.
+	for _, q := range queries {
+		set, _ := window.NewSet(q.Windows...)
+		alone, _ := plan.NewOriginal(set, agg.Min)
+		sink := &stream.CollectingSink{}
+		if _, err := engine.Run(alone, events, sink); err != nil {
+			t.Fatal(err)
+		}
+		want := sink.Sorted()
+		got := perQuery[q.ID]
+		stream.SortResults(got)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", q.ID, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: %v vs %v", q.ID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFactorWindowsNotRouted(t *testing.T) {
+	p, err := Optimize([]Query{
+		{ID: "q", Windows: []window.Window{window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)}},
+	}, agg.Min, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs := p.Subscribers(window.Tumbling(10)); len(subs) != 0 {
+		t.Fatalf("factor window must have no subscribers: %v", subs)
+	}
+	events := steadyStream(120, 1, rand.New(rand.NewSource(2)))
+	if err := p.Run(events, func(rr Routed) {
+		if rr.Result.W == window.Tumbling(10) {
+			t.Fatalf("factor window result leaked: %v", rr.Result)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Optimize(nil, agg.Min, core.Options{}); err == nil {
+		t.Fatal("no queries must fail")
+	}
+	if _, err := Optimize([]Query{{ID: "", Windows: []window.Window{window.Tumbling(5)}}}, agg.Min, core.Options{}); err == nil {
+		t.Fatal("empty ID must fail")
+	}
+	if _, err := Optimize([]Query{{ID: "q"}}, agg.Min, core.Options{}); err == nil {
+		t.Fatal("no windows must fail")
+	}
+	if _, err := Optimize([]Query{{ID: "q", Windows: []window.Window{window.Tumbling(5), window.Tumbling(5)}}}, agg.Min, core.Options{}); err == nil {
+		t.Fatal("duplicate window in one query must fail")
+	}
+	if _, err := Optimize([]Query{{ID: "q", Windows: []window.Window{{Range: 7, Slide: 3}}}}, agg.Min, core.Options{}); err == nil {
+		t.Fatal("invalid window must fail")
+	}
+}
+
+func TestSharedWindowComputedOnce(t *testing.T) {
+	// Two queries both containing W(20,20): the combined plan holds one
+	// operator for it, and each emitted row is tagged with both IDs.
+	p, err := Optimize([]Query{
+		{ID: "a", Windows: []window.Window{window.Tumbling(20)}},
+		{ID: "b", Windows: []window.Window{window.Tumbling(20)}},
+	}, agg.Sum, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Combined.Operators()) != 1 {
+		t.Fatalf("combined plan has %d operators", len(p.Combined.Operators()))
+	}
+	events := steadyStream(40, 1, rand.New(rand.NewSource(3)))
+	n := 0
+	if err := p.Run(events, func(rr Routed) {
+		n++
+		if !reflect.DeepEqual(rr.QueryIDs, []string{"a", "b"}) {
+			t.Fatalf("routing = %v", rr.QueryIDs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("emitted %d rows, want 2", n)
+	}
+}

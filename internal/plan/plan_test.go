@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/window"
+)
+
+func factoredGraph(t *testing.T, fn agg.Fn, ws ...window.Window) *Plan {
+	t.Helper()
+	res, err := core.Optimize(window.MustSet(ws...), fn, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromGraph(res.Graph, fn, Factored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewOriginal(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	p, err := NewOriginal(set, agg.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 3 || p.Depth() != 1 || p.CountFactors() != 0 {
+		t.Fatalf("original plan malformed:\n%s", p)
+	}
+	if p.Kind != Original {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Exposed()) != 3 {
+		t.Fatalf("exposed = %v", p.Exposed())
+	}
+}
+
+func TestNewOriginalRejectsEmpty(t *testing.T) {
+	if _, err := NewOriginal(&window.Set{}, agg.Min); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	if _, err := NewOriginal(nil, agg.Min); err == nil {
+		t.Fatal("nil set must fail")
+	}
+}
+
+func TestFromGraphPaperExample7(t *testing.T) {
+	// Figure 7(b): factored plan has W(10,10)* feeding W(20,20) and
+	// W(30,30); W(40,40) reads W(20,20); only the factor reads raw input.
+	p := factoredGraph(t, agg.Sum, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if got := p.CountFactors(); got != 1 {
+		t.Fatalf("factors = %d\n%s", got, p)
+	}
+	if len(p.Roots) != 1 || p.Roots[0].W != window.Tumbling(10) {
+		t.Fatalf("roots = %v", p.Roots)
+	}
+	if p.Roots[0].Exposed {
+		t.Fatal("factor operator must not be exposed")
+	}
+	if got := len(p.Exposed()); got != 3 {
+		t.Fatalf("exposed = %d", got)
+	}
+	if p.Depth() != 3 { // W(10)* -> W(20) -> W(40)
+		t.Fatalf("depth = %d\n%s", p.Depth(), p)
+	}
+}
+
+func TestFromGraphNil(t *testing.T) {
+	if _, err := FromGraph(nil, agg.Min, Rewritten); err == nil {
+		t.Fatal("nil graph must fail")
+	}
+}
+
+func TestValidateCatchesBadSharing(t *testing.T) {
+	// Hand-build a plan whose sharing edge violates partitioning.
+	parent := &Operator{W: window.Hopping(10, 5), Exposed: true}
+	child := &Operator{W: window.Tumbling(20), Exposed: true, Parent: parent}
+	parent.Children = []*Operator{child}
+	p := &Plan{Fn: agg.Sum, Kind: Rewritten, Roots: []*Operator{parent}, ops: []*Operator{parent, child}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("SUM over a non-partitioning parent must fail validation")
+	}
+	// The same edge is legal for MIN ("covered by").
+	p.Fn = agg.Min
+	if err := p.Validate(); err != nil {
+		t.Fatalf("MIN over covering parent should validate: %v", err)
+	}
+}
+
+func TestValidateCatchesHolisticSharing(t *testing.T) {
+	parent := &Operator{W: window.Tumbling(10), Exposed: true}
+	child := &Operator{W: window.Tumbling(20), Exposed: true, Parent: parent}
+	parent.Children = []*Operator{child}
+	p := &Plan{Fn: agg.Median, Roots: []*Operator{parent}, ops: []*Operator{parent, child}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("holistic sharing must fail validation")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	a := &Operator{W: window.Tumbling(20), Exposed: true}
+	b := &Operator{W: window.Tumbling(40), Exposed: true}
+	a.Parent, b.Parent = b, a
+	p := &Plan{Fn: agg.Min, Roots: nil, ops: []*Operator{a, b}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("cycle must fail validation")
+	}
+}
+
+func TestValidateCatchesUselessFactor(t *testing.T) {
+	f := &Operator{W: window.Tumbling(10), Exposed: false}
+	p := &Plan{Fn: agg.Min, Roots: []*Operator{f}, ops: []*Operator{f}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("factor without consumers must fail validation")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := factoredGraph(t, agg.Sum, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	s := p.String()
+	for _, want := range []string{"factored plan", "W(10,10)*", "W(20,20)", "W(40,40)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTrillRendering(t *testing.T) {
+	// Original plan renders like Figure 1(b): top Multicast + Unions.
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	orig, _ := NewOriginal(set, agg.Min)
+	s := orig.Trill()
+	if !strings.Contains(s, "Input.Multicast(s => s") {
+		t.Fatalf("Trill original missing top multicast:\n%s", s)
+	}
+	if strings.Count(s, ".Union(") != 2 {
+		t.Fatalf("Trill original should union 3 branches:\n%s", s)
+	}
+	if !strings.Contains(s, "Tumbling(20).GroupAggregate('W(20,20)', w => w.Min(e => e.V))") {
+		t.Fatalf("Trill aggregate call malformed:\n%s", s)
+	}
+
+	// Factored plan renders like Figure 2(c): single chain from Input
+	// through the factor window, with nested Multicasts.
+	p := factoredGraph(t, agg.Min, window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	f := p.Trill()
+	if !strings.Contains(f, "Tumbling(10).GroupAggregate('W(10,10)*'") {
+		t.Fatalf("Trill factored missing factor stage:\n%s", f)
+	}
+	if !strings.Contains(f, ".Multicast(s1 =>") {
+		t.Fatalf("Trill factored missing nested multicast:\n%s", f)
+	}
+	// Hopping windows render as Hopping(r, s).
+	hp, _ := NewOriginal(window.MustSet(window.Hopping(20, 10)), agg.Max)
+	if !strings.Contains(hp.Trill(), "Hopping(20, 10)") {
+		t.Fatalf("hopping Trill malformed:\n%s", hp.Trill())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Original.String() != "original" || Rewritten.String() != "rewritten" || Factored.String() != "factored" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestOperatorsSortedAndCopied(t *testing.T) {
+	p := factoredGraph(t, agg.Sum, window.Tumbling(40), window.Tumbling(20), window.Tumbling(30))
+	ops := p.Operators()
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].W.Range > ops[i].W.Range {
+			t.Fatal("Operators not sorted")
+		}
+	}
+	ops[0] = nil
+	if p.Operators()[0] == nil {
+		t.Fatal("Operators must return a copy")
+	}
+}

@@ -1,0 +1,99 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// TestSnapshotRestoreResumes: split a stream at an arbitrary point,
+// snapshot, restore into a fresh runner, finish — results must equal the
+// uninterrupted run exactly (sketches serialize bit-faithfully).
+func TestSnapshotRestoreResumes(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	opts := Options{Factors: true, K: 64}
+	r := rand.New(rand.NewSource(11))
+	events := steady(200, 3, r)
+
+	whole := &stream.CollectingSink{}
+	if _, err := Run(set, opts, events, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{0, 137, len(events) / 2, len(events) - 1} {
+		first := &stream.CollectingSink{}
+		run, err := New(set, opts, first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Process(events[:cut])
+		snap, err := run.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resumed, err := Restore(set, opts, first, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed.Events() != int64(cut) {
+			t.Fatalf("cut %d: restored event count %d", cut, resumed.Events())
+		}
+		resumed.Process(events[cut:])
+		resumed.Close()
+
+		a, b := whole.Sorted(), first.Sorted()
+		if len(a) != len(b) {
+			t.Fatalf("cut %d: %d vs %d results", cut, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cut %d row %d: %+v vs %+v", cut, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsWrongConfig(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20))
+	run, err := New(set, Options{K: 64}, &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+	snap, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different K → different sketch configuration.
+	if _, err := Restore(set, Options{K: 128}, &stream.CollectingSink{}, snap); err == nil {
+		t.Error("restore with different K must fail")
+	}
+	// Different window set → different tree.
+	other := window.MustSet(window.Tumbling(10), window.Tumbling(40))
+	if _, err := Restore(other, Options{K: 64}, &stream.CollectingSink{}, snap); err == nil {
+		t.Error("restore with different window set must fail")
+	}
+	// Garbage payload.
+	if _, err := Restore(set, Options{K: 64}, &stream.CollectingSink{}, []byte("junk")); err == nil {
+		t.Error("garbage snapshot must fail")
+	}
+	// Different phi is allowed: phi is query-time only.
+	if _, err := Restore(set, Options{K: 64, Phi: 0.9}, &stream.CollectingSink{}, snap); err != nil {
+		t.Errorf("restore under a different phi should work: %v", err)
+	}
+}
+
+func TestSnapshotAfterCloseFails(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	run, err := New(set, Options{}, &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	if _, err := run.Snapshot(); err == nil {
+		t.Error("Snapshot after Close must fail")
+	}
+}

@@ -1,0 +1,168 @@
+// Package quantile evaluates approximate rank aggregates (MEDIAN and
+// general phi-quantiles) over correlated window sets with shared
+// computation — the extension Section III-A of the Factor Windows paper
+// leaves as future work.
+//
+// Exact holistic functions cannot be computed from constant-size
+// sub-aggregates, so the optimizer normally falls back to the original
+// plan for them. Replacing the exact per-window state with a mergeable
+// quantile sketch (internal/sketch) makes the function algebraic in the
+// Gray et al. taxonomy: g produces a sketch per partition, h merges
+// sketches and queries the quantile. Sharing is then sound under
+// "partitioned by" semantics (sketch merges assume disjoint inputs, so
+// "covered by" sharing remains off the table), and the whole cost-based
+// framework — min-cost WCG, factor windows — applies unchanged.
+//
+// Execution runs on internal/sketchrun's generic sharing-tree executor
+// with *sketch.Quantile states. Answers are approximate with rank error
+// governed by the sketch parameter K; with fewer than K values per
+// window instance no compaction happens and results are exact.
+package quantile
+
+import (
+	"fmt"
+	"math/big"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/sketch"
+	"factorwindows/internal/sketchrun"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// Options configures quantile evaluation.
+type Options struct {
+	// Phi is the quantile in (0, 1]; 0 defaults to 0.5 (MEDIAN).
+	Phi float64
+	// K is the sketch compactor capacity; 0 defaults to sketch.DefaultK.
+	// Larger K means lower rank error and more memory.
+	K int
+	// Factors enables factor-window exploration (Algorithm 3).
+	Factors bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Phi == 0 {
+		o.Phi = 0.5
+	}
+	if o.Phi < 0 || o.Phi > 1 {
+		return o, fmt.Errorf("quantile: phi %v out of (0, 1]", o.Phi)
+	}
+	if o.K == 0 {
+		o.K = sketch.DefaultK
+	}
+	return o, nil
+}
+
+// Optimize runs the cost-based optimizer for a sketch-backed quantile:
+// "partitioned by" semantics forced sound by sketch mergeability.
+func Optimize(set *window.Set, opts Options) (*core.Result, error) {
+	return core.OptimizeForced(set, agg.Median, agg.PartitionedBy, core.Options{
+		Factors: opts.Factors,
+	})
+}
+
+// Runner executes a quantile sharing tree. Not safe for concurrent use.
+type Runner struct {
+	*sketchrun.Runner[*sketch.Quantile]
+
+	opts Options
+
+	// Cost bookkeeping from the optimizer, for reporting.
+	NaiveCost     *big.Int
+	OptimizedCost *big.Int
+	Factors       []window.Window
+}
+
+// ops builds the sketch operations for the given (defaulted) options.
+func ops(opts Options) sketchrun.Ops[*sketch.Quantile] {
+	return sketchrun.Ops[*sketch.Quantile]{
+		New:   func() *sketch.Quantile { return sketch.New(opts.K) },
+		Add:   func(s *sketch.Quantile, v float64) { s.Add(v) },
+		Merge: func(dst, src *sketch.Quantile) { dst.Merge(src) },
+		Reset: func(s *sketch.Quantile) { s.Reset() },
+		Final: func(s *sketch.Quantile) float64 { return s.Query(opts.Phi) },
+	}
+}
+
+// New optimizes the window set and compiles the resulting sharing tree
+// into a Runner delivering phi-quantile results to sink.
+func New(set *window.Set, opts Options, sink stream.Sink) (*Runner, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res, err := Optimize(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sketchrun.New(res, ops(opts), sink)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Runner:        inner,
+		opts:          opts,
+		NaiveCost:     res.NaiveCost,
+		OptimizedCost: res.OptimizedCost,
+		Factors:       res.FactorWindows,
+	}, nil
+}
+
+// Run is a convenience wrapper: optimize, process all events, flush.
+func Run(set *window.Set, opts Options, events []stream.Event, sink stream.Sink) (*Runner, error) {
+	r, err := New(set, opts, sink)
+	if err != nil {
+		return nil, err
+	}
+	r.Process(events)
+	r.Close()
+	return r, nil
+}
+
+func codec(opts Options) sketchrun.Codec[*sketch.Quantile] {
+	return sketchrun.Codec[*sketch.Quantile]{
+		// Phi is a query-time parameter, not state; only K shapes the
+		// sketches, so snapshots may be restored under a different phi.
+		Fingerprint: fmt.Sprintf("quantile k=%d", opts.K),
+		Encode:      func(s *sketch.Quantile) ([]byte, error) { return s.MarshalBinary() },
+		Decode: func(data []byte) (*sketch.Quantile, error) {
+			s := new(sketch.Quantile)
+			if err := s.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+	}
+}
+
+// Snapshot serializes the runner's in-flight sketches (take it between
+// Process calls); see Restore.
+func (r *Runner) Snapshot() ([]byte, error) {
+	return r.Runner.Snapshot(codec(r.opts))
+}
+
+// Restore resumes a runner for the identical window set and options from
+// a snapshot taken with Snapshot.
+func Restore(set *window.Set, opts Options, sink stream.Sink, data []byte) (*Runner, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res, err := Optimize(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sketchrun.Restore(res, ops(opts), codec(opts), sink, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Runner:        inner,
+		opts:          opts,
+		NaiveCost:     res.NaiveCost,
+		OptimizedCost: res.OptimizedCost,
+		Factors:       res.FactorWindows,
+	}, nil
+}

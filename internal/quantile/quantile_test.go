@@ -1,0 +1,315 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// exactLowerQuantile is the oracle matching sketch.Quantile.Query's
+// definition: the value at rank ceil(phi·n) in sorted order.
+func exactLowerQuantile(vals []float64, phi float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if phi <= 0 {
+		return s[0]
+	}
+	idx := int(math.Ceil(phi*float64(len(s)))) - 1
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// directQuantiles evaluates the oracle per window instance per key.
+func directQuantiles(ws []window.Window, phi float64, events []stream.Event) []stream.Result {
+	var out []stream.Result
+	if len(events) == 0 {
+		return out
+	}
+	maxT := events[len(events)-1].Time
+	for _, w := range ws {
+		for m := int64(0); m*w.Slide <= maxT; m++ {
+			iv := w.Instance(m)
+			byKey := map[uint64][]float64{}
+			for _, e := range events {
+				if iv.Contains(e.Time) {
+					byKey[e.Key] = append(byKey[e.Key], e.Value)
+				}
+			}
+			for key, vals := range byKey {
+				out = append(out, stream.Result{
+					W: w, Start: iv.Start, End: iv.End, Key: key,
+					Value: exactLowerQuantile(vals, phi),
+				})
+			}
+		}
+	}
+	stream.SortResults(out)
+	return out
+}
+
+func steady(ticks int64, keys int, r *rand.Rand) []stream.Event {
+	events := make([]stream.Event, 0, ticks*int64(keys))
+	for t := int64(0); t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			events = append(events, stream.Event{Time: t, Key: uint64(k), Value: r.Float64() * 100})
+		}
+	}
+	return events
+}
+
+// TestExactWhenSmall: with per-instance data volumes below K, sketches
+// never compact, so shared evaluation must equal the exact oracle even
+// through factor windows.
+func TestExactWhenSmall(t *testing.T) {
+	sets := []*window.Set{
+		window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40)),
+		window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)), // Example 7: factor inserted
+		window.MustSet(window.Hopping(20, 10), window.Tumbling(10), window.Tumbling(40)),
+	}
+	r := rand.New(rand.NewSource(3))
+	events := steady(130, 3, r)
+	for i, set := range sets {
+		for _, factors := range []bool{false, true} {
+			sink := &stream.CollectingSink{}
+			run, err := Run(set, Options{Factors: factors, K: 4096}, events, sink)
+			if err != nil {
+				t.Fatalf("set %d: %v", i, err)
+			}
+			got := sink.Sorted()
+			want := directQuantiles(set.Sorted(), 0.5, events)
+			if len(got) != len(want) {
+				t.Fatalf("set %d factors=%v: %d results, want %d", i, factors, len(got), len(want))
+			}
+			for j := range want {
+				g, w := got[j], want[j]
+				if g.W != w.W || g.Start != w.Start || g.Key != w.Key || g.Value != w.Value {
+					t.Fatalf("set %d factors=%v row %d: %+v, want %+v", i, factors, j, g, w)
+				}
+			}
+			if factors && i == 1 && len(run.Factors) == 0 {
+				t.Errorf("set %d: expected a factor window on Example 7's set", i)
+			}
+		}
+	}
+}
+
+// TestApproxError: with compaction in play, the shared plan's answers
+// stay within a small rank error of the exact oracle.
+func TestApproxError(t *testing.T) {
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(40), window.Tumbling(80))
+	r := rand.New(rand.NewSource(9))
+	// 200 events per tick, one key: instances hold 4k-16k values, well
+	// above K=200, so sketches compact heavily.
+	var events []stream.Event
+	for t0 := int64(0); t0 < 160; t0++ {
+		for i := 0; i < 200; i++ {
+			events = append(events, stream.Event{Time: t0, Key: 1, Value: r.NormFloat64() * 50})
+		}
+	}
+	sink := &stream.CollectingSink{}
+	if _, err := Run(set, Options{Factors: true, K: 200}, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, res := range sink.Sorted() {
+		var vals []float64
+		for _, e := range events {
+			if e.Time >= res.Start && e.Time < res.End {
+				vals = append(vals, e.Value)
+			}
+		}
+		// Rank error of the reported value against the window's data.
+		n := float64(len(vals))
+		rank := 0.0
+		for _, v := range vals {
+			if v <= res.Value {
+				rank++
+			}
+		}
+		if e := math.Abs(rank-0.5*n) / n; e > 0.05 {
+			t.Errorf("%v [%d,%d): rank error %.4f > 5%%", res.W, res.Start, res.End, e)
+		}
+	}
+}
+
+func TestSharingReducesMerges(t *testing.T) {
+	// The shared tree must do far fewer state updates than feeding every
+	// window from raw events would: compare merges+raw-adds implicitly by
+	// running with and without sharing.
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40), window.Tumbling(80))
+	r := rand.New(rand.NewSource(5))
+	events := steady(400, 2, r)
+
+	shared := &stream.CountingSink{}
+	runShared, err := Run(set, Options{}, events, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runShared.OptimizedCost.Cmp(runShared.NaiveCost) >= 0 {
+		t.Fatalf("optimizer found no sharing: %v vs %v", runShared.OptimizedCost, runShared.NaiveCost)
+	}
+	// In the shared tree only W(10,10) reads raw events; the rest merge
+	// sub-sketches. Naive evaluation would fold every event into all four
+	// windows: 4×len(events) adds. Shared: len(events) adds + merges.
+	if got := runShared.Merges(); got >= 3*int64(len(events)) {
+		t.Errorf("merges = %d, want far fewer than the naive %d updates", got, 3*len(events))
+	}
+}
+
+func TestFactorWindowNotExposed(t *testing.T) {
+	// Example 7 set: W(10,10) comes back as a factor window; no result row
+	// may carry it.
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	r := rand.New(rand.NewSource(1))
+	events := steady(240, 1, r)
+	sink := &stream.CollectingSink{}
+	run, err := Run(set, Options{Factors: true}, events, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Factors) == 0 {
+		t.Fatal("expected factor windows")
+	}
+	factor := map[window.Window]bool{}
+	for _, f := range run.Factors {
+		factor[f] = true
+	}
+	for _, res := range sink.Results {
+		if factor[res.W] {
+			t.Fatalf("factor window %v leaked into results", res.W)
+		}
+	}
+}
+
+func TestPhiVariants(t *testing.T) {
+	set := window.MustSet(window.Tumbling(50))
+	var events []stream.Event
+	for i := 0; i < 50; i++ {
+		events = append(events, stream.Event{Time: int64(i), Key: 1, Value: float64(i + 1)})
+	}
+	for _, tc := range []struct {
+		phi  float64
+		want float64
+	}{
+		{0.1, 5}, {0.5, 25}, {0.9, 45}, {1.0, 50},
+	} {
+		sink := &stream.CollectingSink{}
+		if _, err := Run(set, Options{Phi: tc.phi, K: 1024}, events, sink); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.Results) != 1 {
+			t.Fatalf("phi=%v: %d results", tc.phi, len(sink.Results))
+		}
+		if got := sink.Results[0].Value; got != tc.want {
+			t.Errorf("phi=%v: got %v, want %v", tc.phi, got, tc.want)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	if _, err := New(set, Options{Phi: 2}, &stream.CollectingSink{}); err == nil {
+		t.Error("phi > 1 should fail")
+	}
+	if _, err := New(set, Options{Phi: -0.5}, &stream.CollectingSink{}); err == nil {
+		t.Error("negative phi should fail")
+	}
+	if _, err := New(set, Options{}, nil); err == nil {
+		t.Error("nil sink should fail")
+	}
+	if _, err := New(nil, Options{}, &stream.CollectingSink{}); err == nil {
+		t.Error("nil set should fail")
+	}
+}
+
+func TestIncrementalBatches(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20))
+	r := rand.New(rand.NewSource(17))
+	events := steady(100, 2, r)
+
+	whole := &stream.CollectingSink{}
+	if _, err := Run(set, Options{K: 4096}, events, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	batched := &stream.CollectingSink{}
+	run, err := New(set, Options{K: 4096}, batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(events); i += 37 {
+		end := i + 37
+		if end > len(events) {
+			end = len(events)
+		}
+		run.Process(events[i:end])
+	}
+	run.Close()
+
+	a, b := whole.Sorted(), batched.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProcessAfterClosePanics(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	run, err := New(set, Options{}, &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Process after Close should panic")
+		}
+	}()
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+}
+
+func BenchmarkSharedVsNaiveMedian(b *testing.B) {
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20), window.Tumbling(40), window.Tumbling(80))
+	r := rand.New(rand.NewSource(2))
+	events := steady(2000, 4, r)
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := &stream.CountingSink{}
+			if _, err := Run(set, Options{Factors: true}, events, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(events)) * 24)
+	})
+	b.Run("naive", func(b *testing.B) {
+		// Naive: one independent single-window runner per window, all
+		// reading raw events (the holistic fallback of Section III-A).
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := &stream.CountingSink{}
+			for _, w := range set.Sorted() {
+				single := window.MustSet(w)
+				if _, err := Run(single, Options{}, events, sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.SetBytes(int64(len(events)) * 24)
+	})
+}

@@ -1,0 +1,196 @@
+// Package reorder provides a bounded-disorder buffer that turns an
+// out-of-order event stream into the in-order stream the executors
+// require. Azure Stream Analytics exposes exactly this knob ("out of
+// order tolerance window"); the paper's setting assumes in-order input,
+// so this adapter is what connects the library to real event feeds.
+//
+// Events may arrive up to Bound ticks later than the maximum timestamp
+// seen so far. The buffer holds events in a min-heap on time and releases
+// everything with time ≤ watermark − Bound as the watermark advances.
+// Events older than that are late: they are either dropped or redirected
+// to a callback (dead-letter queue), matching ASA's drop/adjust policies.
+package reorder
+
+import (
+	"fmt"
+
+	"factorwindows/internal/stream"
+)
+
+// Consumer receives the re-ordered stream, batch by batch. Both
+// engine.Runner and the baseline runners satisfy it.
+type Consumer interface {
+	Process(events []stream.Event)
+}
+
+// Policy says what to do with events older than the tolerance bound.
+type Policy int
+
+// Drop discards late events silently (counting them); Adjust rewrites
+// their timestamp to the current release horizon, ASA's "adjust" mode.
+const (
+	Drop Policy = iota
+	Adjust
+)
+
+func (p Policy) String() string {
+	if p == Adjust {
+		return "adjust"
+	}
+	return "drop"
+}
+
+// Buffer is the bounded-disorder reorder buffer.
+type Buffer struct {
+	bound    int64
+	policy   Policy
+	consumer Consumer
+	onLate   func(stream.Event)
+
+	h         eventHeap
+	watermark int64 // max event time seen
+	released  int64 // all events with time < released have been emitted
+	out       []stream.Event
+
+	late   int64
+	seen   int64
+	closed bool
+}
+
+// New builds a reorder buffer feeding consumer. bound is the disorder
+// tolerance in ticks (0 admits only already-ordered input). onLate, if
+// non-nil, observes events that violated the bound (before the policy is
+// applied).
+func New(consumer Consumer, bound int64, policy Policy, onLate func(stream.Event)) (*Buffer, error) {
+	if consumer == nil {
+		return nil, fmt.Errorf("reorder: nil consumer")
+	}
+	if bound < 0 {
+		return nil, fmt.Errorf("reorder: negative bound %d", bound)
+	}
+	return &Buffer{bound: bound, policy: policy, consumer: consumer, onLate: onLate,
+		released: -1 << 62}, nil
+}
+
+// Push accepts a batch of possibly out-of-order events. Large batches
+// drain incrementally so the buffer never holds much more than the
+// disorder bound's worth of events.
+func (b *Buffer) Push(events []stream.Event) {
+	if b.closed {
+		panic("reorder: Push after Close")
+	}
+	for i, e := range events {
+		b.seen++
+		if i&0xfff == 0xfff {
+			b.release(b.watermark - b.bound)
+		}
+		if e.Time < b.released {
+			b.late++
+			if b.onLate != nil {
+				b.onLate(e)
+			}
+			if b.policy == Drop {
+				continue
+			}
+			e.Time = b.released // Adjust: move into the oldest open tick
+		}
+		b.h.push(e)
+		if e.Time > b.watermark {
+			b.watermark = e.Time
+		}
+	}
+	b.release(b.watermark - b.bound)
+}
+
+// release emits every buffered event with time ≤ horizon, in time order,
+// and seals the horizon: anything arriving at or below it afterwards is
+// late (ASA judges lateness against watermark − bound, whether or not an
+// event happened to be emitted there).
+func (b *Buffer) release(horizon int64) {
+	b.out = b.out[:0]
+	for b.h.len() > 0 && b.h.min().Time <= horizon {
+		b.out = append(b.out, b.h.pop())
+	}
+	if horizon+1 > b.released {
+		b.released = horizon + 1
+	}
+	if len(b.out) > 0 {
+		b.consumer.Process(b.out)
+	}
+}
+
+// Close drains the buffer into the consumer. The consumer's own Close
+// (flush) remains the caller's responsibility.
+func (b *Buffer) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.release(1<<62 - 1)
+}
+
+// Late returns the number of events that violated the disorder bound.
+func (b *Buffer) Late() int64 { return b.late }
+
+// Seen returns the total number of events pushed.
+func (b *Buffer) Seen() int64 { return b.seen }
+
+// Buffered returns the number of events currently held back.
+func (b *Buffer) Buffered() int { return b.h.len() }
+
+// eventHeap is a typed min-heap of events on (Time, Key) — the key
+// tiebreak keeps release order deterministic for equal timestamps, and
+// the typed implementation avoids container/heap's per-event interface
+// boxing on the ingest hot path.
+type eventHeap struct {
+	es []stream.Event
+}
+
+func (h *eventHeap) len() int           { return len(h.es) }
+func (h *eventHeap) min() *stream.Event { return &h.es[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.es[i], &h.es[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Key < b.Key
+}
+
+func (h *eventHeap) push(e stream.Event) {
+	h.es = append(h.es, e)
+	// Sift up.
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() stream.Event {
+	top := h.es[0]
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+}

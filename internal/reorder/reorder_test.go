@@ -1,0 +1,199 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// blockShuffle permutes events within disjoint blocks of the given size,
+// bounding every event's displacement (and therefore its disorder).
+func blockShuffle(events []stream.Event, block int, r *rand.Rand) {
+	for lo := 0; lo < len(events); lo += block {
+		hi := lo + block
+		if hi > len(events) {
+			hi = len(events)
+		}
+		r.Shuffle(hi-lo, func(i, j int) {
+			events[lo+i], events[lo+j] = events[lo+j], events[lo+i]
+		})
+	}
+}
+
+// collector implements Consumer and records the stream it receives.
+type collector struct {
+	events []stream.Event
+}
+
+func (c *collector) Process(events []stream.Event) {
+	c.events = append(c.events, events...)
+}
+
+func TestReorderRestoresOrder(t *testing.T) {
+	c := &collector{}
+	b, err := New(c, 10, Drop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	// Generate an in-order stream, then shuffle within blocks of 24
+	// positions (= 6 ticks at 4 events/tick), safely below the bound.
+	var shuffled []stream.Event
+	for i := 0; i < 5000; i++ {
+		shuffled = append(shuffled, stream.Event{Time: int64(i / 4), Key: uint64(i % 4), Value: float64(i)})
+	}
+	blockShuffle(shuffled, 24, r)
+	for i := 0; i < len(shuffled); i += 97 {
+		end := i + 97
+		if end > len(shuffled) {
+			end = len(shuffled)
+		}
+		b.Push(shuffled[i:end])
+	}
+	b.Close()
+	if b.Late() != 0 {
+		t.Fatalf("unexpected late events: %d", b.Late())
+	}
+	if len(c.events) != len(shuffled) {
+		t.Fatalf("got %d events, want %d", len(c.events), len(shuffled))
+	}
+	if err := stream.Validate(c.events); err != nil {
+		t.Fatalf("output not ordered: %v", err)
+	}
+}
+
+func TestReorderDropsLate(t *testing.T) {
+	c := &collector{}
+	var dead []stream.Event
+	b, err := New(c, 2, Drop, func(e stream.Event) { dead = append(dead, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Push([]stream.Event{{Time: 0}, {Time: 10}})
+	// Watermark 10, bound 2 → everything ≤ 8 released; t=3 is late.
+	b.Push([]stream.Event{{Time: 3, Key: 9}})
+	b.Close()
+	if b.Late() != 1 || len(dead) != 1 || dead[0].Key != 9 {
+		t.Fatalf("late handling wrong: late=%d dead=%v", b.Late(), dead)
+	}
+	for _, e := range c.events {
+		if e.Key == 9 {
+			t.Fatal("late event must be dropped")
+		}
+	}
+}
+
+func TestReorderAdjustsLate(t *testing.T) {
+	c := &collector{}
+	b, err := New(c, 2, Adjust, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Push([]stream.Event{{Time: 0}, {Time: 10}})
+	b.Push([]stream.Event{{Time: 3, Key: 9}})
+	b.Close()
+	if b.Late() != 1 {
+		t.Fatalf("late = %d", b.Late())
+	}
+	found := false
+	for _, e := range c.events {
+		if e.Key == 9 {
+			found = true
+			if e.Time < 8 {
+				t.Fatalf("adjusted event kept stale time %d", e.Time)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("adjusted event missing")
+	}
+	if err := stream.Validate(c.events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderFeedsEngine(t *testing.T) {
+	// End to end: a disordered stream through the buffer into an
+	// optimized plan must reproduce the in-order results.
+	set := window.MustSet(window.Tumbling(8), window.Tumbling(16))
+	ordered := make([]stream.Event, 0, 4000)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 4000; i++ {
+		ordered = append(ordered, stream.Event{Time: int64(i / 2), Key: uint64(i % 2), Value: float64(r.Intn(100))})
+	}
+	p, err := plan.NewOriginal(set, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &stream.CollectingSink{}
+	if _, err := engine.Run(p, ordered, want); err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := append([]stream.Event(nil), ordered...)
+	blockShuffle(shuffled, 32, r) // 16 ticks of disorder at 2 events/tick
+	p2, _ := plan.NewOriginal(set, agg.Sum)
+	got := &stream.CollectingSink{}
+	runner, err := engine.New(p2, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := New(runner, 32, Drop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Push(shuffled)
+	buf.Close()
+	runner.Close()
+	if buf.Late() != 0 {
+		t.Fatalf("late events despite generous bound: %d", buf.Late())
+	}
+	a, b := got.Sorted(), want.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("result counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReorderErrorsAndLifecycle(t *testing.T) {
+	if _, err := New(nil, 1, Drop, nil); err == nil {
+		t.Fatal("nil consumer must fail")
+	}
+	if _, err := New(&collector{}, -1, Drop, nil); err == nil {
+		t.Fatal("negative bound must fail")
+	}
+	b, _ := New(&collector{}, 0, Drop, nil)
+	b.Push([]stream.Event{{Time: 1}})
+	if b.Seen() != 1 {
+		t.Fatalf("seen = %d", b.Seen())
+	}
+	b.Close()
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Close must panic")
+		}
+	}()
+	b.Push([]stream.Event{{Time: 2}})
+}
+
+func TestReorderZeroBoundPassthrough(t *testing.T) {
+	c := &collector{}
+	b, _ := New(c, 0, Drop, nil)
+	b.Push([]stream.Event{{Time: 0}, {Time: 1}, {Time: 2}})
+	if len(c.events) != 3 {
+		t.Fatalf("zero bound should release everything seen: %d", len(c.events))
+	}
+	if b.Buffered() != 0 {
+		t.Fatalf("buffered = %d", b.Buffered())
+	}
+}

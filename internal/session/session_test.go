@@ -1,0 +1,374 @@
+package session
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/stream"
+)
+
+// directSessions is the oracle: sessions per gap per key computed
+// independently from raw events.
+func directSessions(gaps []int64, fn agg.Fn, events []stream.Event) []Result {
+	var out []Result
+	byKey := map[uint64][]stream.Event{}
+	var keys []uint64
+	for _, e := range events {
+		if _, ok := byKey[e.Key]; !ok {
+			keys = append(keys, e.Key)
+		}
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, g := range gaps {
+		for _, key := range keys {
+			evs := byKey[key]
+			var st *agg.State
+			var first, last int64
+			flush := func() {
+				if st == nil {
+					return
+				}
+				out = append(out, Result{Gap: g, Key: key, Start: first, End: last + 1,
+					Count: st.Cnt, Value: agg.Final(fn, st)})
+				st = nil
+			}
+			for _, e := range evs {
+				if st != nil && e.Time-last > g {
+					flush()
+				}
+				if st == nil {
+					st = &agg.State{}
+					first = e.Time
+				}
+				last = e.Time
+				agg.Add(fn, st, e.Value)
+			}
+			flush()
+		}
+	}
+	return out
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Gap != b.Gap {
+			return a.Gap < b.Gap
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Start < b.Start
+	})
+}
+
+func compare(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	sortResults(got)
+	sortResults(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d sessions, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		same := g.Gap == w.Gap && g.Key == w.Key && g.Start == w.Start && g.End == w.End && g.Count == w.Count
+		if same {
+			if g.Value != w.Value && !(math.IsNaN(g.Value) && math.IsNaN(w.Value)) {
+				same = math.Abs(g.Value-w.Value) <= 1e-9*math.Max(1, math.Abs(w.Value))
+			}
+		}
+		if !same {
+			t.Fatalf("%s: session %d is %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// burstyEvents generates per-key bursts separated by random quiet periods,
+// the natural shape for session workloads.
+func burstyEvents(r *rand.Rand, keys, bursts int) []stream.Event {
+	var events []stream.Event
+	t := int64(0)
+	for b := 0; b < bursts; b++ {
+		t += int64(1 + r.Intn(30)) // quiet period
+		burstLen := 1 + r.Intn(8)
+		for i := 0; i < burstLen; i++ {
+			t += int64(r.Intn(3)) // intra-burst spacing 0..2
+			for k := 0; k < keys; k++ {
+				if r.Intn(2) == 0 {
+					events = append(events, stream.Event{Time: t, Key: uint64(k), Value: r.Float64() * 100})
+				}
+			}
+		}
+	}
+	return events
+}
+
+func TestSingleGapMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	events := burstyEvents(r, 3, 40)
+	for _, fn := range agg.Functions() {
+		sink := &CollectingSink{}
+		if _, err := Run([]int64{5}, fn, events, sink); err != nil {
+			t.Fatal(err)
+		}
+		compare(t, fn.String(), sink.Results, directSessions([]int64{5}, fn, events))
+	}
+}
+
+func TestMultiGapChainMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	events := burstyEvents(r, 4, 60)
+	gaps := []int64{2, 5, 11, 40}
+	for _, fn := range agg.Functions() {
+		sink := &CollectingSink{}
+		if _, err := Run(gaps, fn, events, sink); err != nil {
+			t.Fatal(err)
+		}
+		compare(t, fn.String(), sink.Results, directSessions(gaps, fn, events))
+	}
+}
+
+func TestGapOrderIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	events := burstyEvents(r, 2, 30)
+	a, b := &CollectingSink{}, &CollectingSink{}
+	if _, err := Run([]int64{7, 3, 21}, agg.Sum, events, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]int64{21, 7, 3}, agg.Sum, events, b); err != nil {
+		t.Fatal(err)
+	}
+	compare(t, "permuted gaps", a.Results, b.Results)
+}
+
+func TestAdvanceInterleaved(t *testing.T) {
+	// Random Advance calls must not change the final result set.
+	r := rand.New(rand.NewSource(4))
+	events := burstyEvents(r, 3, 50)
+	gaps := []int64{3, 9, 27}
+
+	plain := &CollectingSink{}
+	if _, err := Run(gaps, agg.Avg, events, plain); err != nil {
+		t.Fatal(err)
+	}
+
+	advanced := &CollectingSink{}
+	run, err := New(gaps, agg.Avg, advanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(events); {
+		end := i + 1 + r.Intn(9)
+		if end > len(events) {
+			end = len(events)
+		}
+		run.Process(events[i:end])
+		// Watermark = the time of the last delivered event; future events
+		// are at or after it (the stream is in order).
+		run.Advance(events[end-1].Time)
+		i = end
+	}
+	run.Close()
+	compare(t, "advance interleaved", advanced.Results, plain.Results)
+}
+
+func TestAdvanceEmitsEagerly(t *testing.T) {
+	sink := &CollectingSink{}
+	run, err := New([]int64{2}, agg.Count, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}, {Time: 1, Key: 1, Value: 1}})
+	run.Advance(10)
+	if len(sink.Results) != 1 {
+		t.Fatalf("advance should close the stale session; got %d results", len(sink.Results))
+	}
+	if got := sink.Results[0]; got.Start != 0 || got.End != 2 || got.Count != 2 {
+		t.Fatalf("bad session %+v", got)
+	}
+	run.Close()
+	if len(sink.Results) != 1 {
+		t.Fatalf("close re-emitted: %d results", len(sink.Results))
+	}
+}
+
+func TestAdvanceDoesNotSplitAcrossLevels(t *testing.T) {
+	// Regression for the cross-level close hazard: a large-gap session
+	// must stay open while the small-gap level holds an open session that
+	// will merge into it, even when the watermark is far ahead.
+	sink := &CollectingSink{}
+	run, err := New([]int64{2, 10}, agg.Count, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: events at 0, then 9 — 9-0 ≤ 10, same 10-gap session, but
+	// different 2-gap sessions. Advance at 16: the open 2-gap session
+	// (last=9) must keep the 10-gap session (last=0 after absorbing the
+	// first sub-session) alive.
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+	run.Process([]stream.Event{{Time: 9, Key: 1, Value: 1}})
+	run.Advance(16)
+	run.Process([]stream.Event{{Time: 10, Key: 1, Value: 1}})
+	run.Close()
+	var g10 []Result
+	for _, res := range sink.Results {
+		if res.Gap == 10 {
+			g10 = append(g10, res)
+		}
+	}
+	if len(g10) != 1 {
+		t.Fatalf("10-gap sessions = %v, want one spanning [0,11)", g10)
+	}
+	if g10[0].Start != 0 || g10[0].End != 11 || g10[0].Count != 3 {
+		t.Fatalf("10-gap session %+v, want [0,11) count 3", g10[0])
+	}
+}
+
+func TestSharingDoesLessWork(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	events := burstyEvents(r, 4, 200)
+	gaps := []int64{2, 6, 18, 54}
+
+	shared := &CollectingSink{}
+	run, err := Run(gaps, agg.Sum, events, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &CollectingSink{}
+	naiveUpdates, err := RunNaive(gaps, agg.Sum, events, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, "shared vs naive", shared.Results, naive.Results)
+	if run.Updates() >= naiveUpdates {
+		t.Errorf("shared updates %d not below naive %d", run.Updates(), naiveUpdates)
+	}
+	// The chain folds each raw event once; everything above is merges.
+	if run.Updates() >= 2*int64(len(events)) {
+		t.Logf("note: merge-heavy workload (updates=%d, events=%d)", run.Updates(), len(events))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sink := &CollectingSink{}
+	if _, err := New(nil, agg.Min, sink); err == nil {
+		t.Error("no gaps should fail")
+	}
+	if _, err := New([]int64{0}, agg.Min, sink); err == nil {
+		t.Error("zero gap should fail")
+	}
+	if _, err := New([]int64{3, 3}, agg.Min, sink); err == nil {
+		t.Error("duplicate gaps should fail")
+	}
+	if _, err := New([]int64{3}, agg.Min, nil); err == nil {
+		t.Error("nil sink should fail")
+	}
+	if _, err := New([]int64{3}, agg.Fn(99), sink); err == nil {
+		t.Error("invalid fn should fail")
+	}
+}
+
+func TestProcessAfterClosePanics(t *testing.T) {
+	run, err := New([]int64{3}, agg.Min, &CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Process after Close should panic")
+		}
+	}()
+	run.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+}
+
+func TestSingleEventSessions(t *testing.T) {
+	// Events far apart: every event is its own session at every gap.
+	var events []stream.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, stream.Event{Time: int64(i * 1000), Key: 7, Value: float64(i)})
+	}
+	sink := &CollectingSink{}
+	if _, err := Run([]int64{1, 10, 100}, agg.Max, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Results) != 30 {
+		t.Fatalf("%d sessions, want 30", len(sink.Results))
+	}
+	for _, res := range sink.Results {
+		if res.Count != 1 || res.End != res.Start+1 {
+			t.Fatalf("bad singleton session %+v", res)
+		}
+	}
+}
+
+// Property: the chain equals the oracle on random event sequences for a
+// random pair of gaps.
+func TestQuickChainEqualsOracle(t *testing.T) {
+	f := func(seed int64, g1, g2 uint8, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		gaps := []int64{int64(g1%20 + 1), int64(g2%50 + 25)}
+		if gaps[0] == gaps[1] {
+			gaps[1]++
+		}
+		var events []stream.Event
+		t0 := int64(0)
+		for i := 0; i < int(n)+1; i++ {
+			t0 += int64(r.Intn(60))
+			events = append(events, stream.Event{Time: t0, Key: uint64(r.Intn(3)), Value: r.Float64()})
+		}
+		sink := &CollectingSink{}
+		if _, err := Run(gaps, agg.Sum, events, sink); err != nil {
+			return false
+		}
+		got := sink.Results
+		want := directSessions(gaps, agg.Sum, events)
+		sortResults(got)
+		sortResults(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.Gap != w.Gap || g.Key != w.Key || g.Start != w.Start || g.End != w.End || g.Count != w.Count {
+				return false
+			}
+			if math.Abs(g.Value-w.Value) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSessionChain(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	events := burstyEvents(r, 8, 2000)
+	gaps := []int64{2, 6, 18, 54}
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(gaps, agg.Sum, events, &CollectingSink{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(events)) * 24)
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunNaive(gaps, agg.Sum, events, &CollectingSink{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(events)) * 24)
+	})
+}

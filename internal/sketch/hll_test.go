@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return est
+	}
+	return math.Abs(est-truth) / truth
+}
+
+func TestHLLEmpty(t *testing.T) {
+	h := NewHLL(11)
+	if !h.Empty() || h.Estimate() != 0 || h.Count() != 0 {
+		t.Fatal("new HLL should be empty with estimate 0")
+	}
+}
+
+func TestHLLSmallCardinalities(t *testing.T) {
+	// Linear counting makes small cardinalities near-exact.
+	h := NewHLL(11)
+	for i := 0; i < 100; i++ {
+		for rep := 0; rep < 7; rep++ { // duplicates must not matter
+			h.Add(float64(i))
+		}
+	}
+	if e := relErr(h.Estimate(), 100); e > 0.05 {
+		t.Errorf("estimate %.1f for 100 distinct (err %.3f)", h.Estimate(), e)
+	}
+	if h.Count() != 700 {
+		t.Errorf("count %d, want 700 (with multiplicity)", h.Count())
+	}
+}
+
+func TestHLLAccuracyAcrossScales(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, distinct := range []int{1_000, 20_000, 300_000} {
+		h := NewHLL(11)
+		for i := 0; i < distinct; i++ {
+			v := float64(r.Int63n(1 << 40))
+			h.Add(v)
+			if r.Intn(3) == 0 {
+				h.Add(v) // sprinkle duplicates
+			}
+		}
+		// 1.04/sqrt(2048) ≈ 2.3% standard error; allow 4 sigma.
+		if e := relErr(h.Estimate(), float64(distinct)); e > 0.10 {
+			t.Errorf("distinct=%d: estimate %.0f (err %.3f)", distinct, h.Estimate(), e)
+		}
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	whole := NewHLL(10)
+	parts := make([]*HLL, 8)
+	seen := map[float64]bool{}
+	for i := range parts {
+		parts[i] = NewHLL(10)
+		for j := 0; j < 5_000; j++ {
+			v := float64(r.Int63n(30_000)) // heavy overlap across parts
+			parts[i].Add(v)
+			whole.Add(v)
+			seen[v] = true
+		}
+	}
+	merged := NewHLL(10)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merge must be register-exact: identical estimate to the single
+	// sketch that saw the same multiset.
+	if merged.Estimate() != whole.Estimate() {
+		t.Errorf("merged estimate %.1f != whole %.1f", merged.Estimate(), whole.Estimate())
+	}
+	if e := relErr(merged.Estimate(), float64(len(seen))); e > 0.10 {
+		t.Errorf("estimate %.0f for %d distinct (err %.3f)", merged.Estimate(), len(seen), e)
+	}
+}
+
+func TestHLLMergeErrors(t *testing.T) {
+	a, b := NewHLL(10), NewHLL(12)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("precision mismatch must fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op, got %v", err)
+	}
+	if err := a.Merge(NewHLL(12)); err != nil {
+		t.Errorf("empty merge should be a no-op regardless of precision, got %v", err)
+	}
+}
+
+func TestHLLReset(t *testing.T) {
+	h := NewHLL(8)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i))
+	}
+	h.Reset()
+	if !h.Empty() || h.Estimate() != 0 {
+		t.Fatal("reset did not clear the sketch")
+	}
+	h.Add(5)
+	if e := h.Estimate(); math.Abs(e-1) > 0.5 {
+		t.Fatalf("estimate after reset+add = %v", e)
+	}
+}
+
+func TestHLLPrecisionClamp(t *testing.T) {
+	if got := NewHLL(1).P(); got != 4 {
+		t.Errorf("p=1 clamped to %d, want 4", got)
+	}
+	if got := NewHLL(30).P(); got != 18 {
+		t.Errorf("p=30 clamped to %d, want 18", got)
+	}
+}
+
+// Property: merge is commutative and idempotent on the estimate.
+func TestQuickHLLMergeCommutative(t *testing.T) {
+	f := func(seed int64, nA, nB uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		a1, b1 := NewHLL(8), NewHLL(8)
+		a2, b2 := NewHLL(8), NewHLL(8)
+		for i := 0; i < int(nA); i++ {
+			v := float64(r.Intn(500))
+			a1.Add(v)
+			a2.Add(v)
+		}
+		for i := 0; i < int(nB); i++ {
+			v := float64(r.Intn(500))
+			b1.Add(v)
+			b2.Add(v)
+		}
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		if a1.Estimate() != b2.Estimate() {
+			return false
+		}
+		// Idempotence: merging the same content again changes nothing.
+		before := a1.Estimate()
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		return a1.Estimate() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHLL(11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i))
+	}
+}

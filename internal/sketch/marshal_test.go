@@ -1,0 +1,97 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	q := New(64)
+	for i := 0; i < 25_000; i++ {
+		q.Add(r.NormFloat64())
+	}
+	data, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Quantile
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != q.Count() || back.K() != q.K() {
+		t.Fatalf("count/k mismatch: %d/%d vs %d/%d", back.Count(), back.K(), q.Count(), q.K())
+	}
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if back.Query(phi) != q.Query(phi) {
+			t.Errorf("phi=%v: %v vs %v", phi, back.Query(phi), q.Query(phi))
+		}
+	}
+	// The restored sketch must keep evolving identically.
+	q.Add(42)
+	back.Add(42)
+	if back.Query(0.5) != q.Query(0.5) {
+		t.Error("divergence after restore")
+	}
+	if err := back.Invariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileUnmarshalCorrupt(t *testing.T) {
+	var q Quantile
+	if err := q.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Error("garbage must fail")
+	}
+	// Weight-count mismatch.
+	bad := New(16)
+	bad.Add(1)
+	bad.n = 5 // corrupt
+	data, err := bad.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.UnmarshalBinary(data); err == nil {
+		t.Error("weight mismatch must fail")
+	}
+}
+
+func TestHLLRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	h := NewHLL(9)
+	for i := 0; i < 40_000; i++ {
+		h.Add(float64(r.Intn(10_000)))
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HLL
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != h.Estimate() || back.Count() != h.Count() || back.P() != h.P() {
+		t.Fatalf("restored HLL differs: %v/%d vs %v/%d", back.Estimate(), back.Count(), h.Estimate(), h.Count())
+	}
+	back.Add(1e18)
+	h.Add(1e18)
+	if back.Estimate() != h.Estimate() {
+		t.Error("divergence after restore")
+	}
+}
+
+func TestHLLUnmarshalCorrupt(t *testing.T) {
+	var h HLL
+	if err := h.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage must fail")
+	}
+	bad := NewHLL(8)
+	bad.regs = bad.regs[:17] // wrong register count
+	data, err := bad.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UnmarshalBinary(data); err == nil {
+		t.Error("register-count mismatch must fail")
+	}
+}

@@ -1,0 +1,178 @@
+// Checkpointing for sketch-tree runners, mirroring the engine's state
+// backend (internal/engine/checkpoint.go): serialize every open window
+// instance's sketches so a stream can resume after a restart. Snapshots
+// are valid only for the identical sharing tree and sketch
+// configuration; Restore verifies a fingerprint before accepting one.
+
+package sketchrun
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"factorwindows/internal/core"
+	"factorwindows/internal/stream"
+)
+
+// Codec extends Ops with state serialization for checkpointing.
+// Fingerprint must capture every parameter that affects state layout
+// (e.g. "quantile k=200" or "hll p=11"): restoring into a runner with a
+// different configuration is rejected.
+type Codec[S comparable] struct {
+	Fingerprint string
+	Encode      func(S) ([]byte, error)
+	Decode      func([]byte) (S, error)
+}
+
+func (c Codec[S]) validate() error {
+	if c.Fingerprint == "" || c.Encode == nil || c.Decode == nil {
+		return fmt.Errorf("sketchrun: incomplete Codec")
+	}
+	return nil
+}
+
+type snapshot struct {
+	Fingerprint string
+	Events      int64
+	Merges      int64
+	Keys        []uint64
+	Nodes       []nodeSnap
+}
+
+type nodeSnap struct {
+	Fingerprint string
+	Base        int64
+	Instances   []instSnap
+}
+
+type instSnap struct {
+	M      int64
+	States []slotSnap
+}
+
+type slotSnap struct {
+	Slot int32
+	Data []byte
+}
+
+// treeFingerprint identifies the sharing-tree shape plus the sketch
+// configuration.
+func (r *Runner[S]) treeFingerprint(codec Codec[S]) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cfg=%s;", codec.Fingerprint)
+	for _, n := range r.all {
+		fmt.Fprintf(&b, "%s;", nodeFingerprint(n))
+	}
+	return b.String()
+}
+
+func nodeFingerprint[S comparable](n *node[S]) string {
+	return fmt.Sprintf("w=%d/%d,x=%t,c=%d", n.w.Range, n.w.Slide, n.exposed, len(n.children))
+}
+
+// Snapshot serializes the runner's in-flight state. The runner remains
+// usable; take snapshots between Process calls.
+func (r *Runner[S]) Snapshot(codec Codec[S]) ([]byte, error) {
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	if r.closed {
+		return nil, fmt.Errorf("sketchrun: Snapshot after Close")
+	}
+	snap := snapshot{
+		Fingerprint: r.treeFingerprint(codec),
+		Events:      r.events,
+		Merges:      r.merges,
+		Keys:        append([]uint64(nil), r.keys...),
+	}
+	var zero S
+	for _, n := range r.all {
+		ns := nodeSnap{Fingerprint: nodeFingerprint(n), Base: n.base}
+		for i := n.head; i < len(n.insts); i++ {
+			in := n.insts[i]
+			is := instSnap{M: in.m}
+			for slot, st := range in.states {
+				if st == zero {
+					continue
+				}
+				data, err := codec.Encode(st)
+				if err != nil {
+					return nil, fmt.Errorf("sketchrun: encoding %v state: %w", n.w, err)
+				}
+				is.States = append(is.States, slotSnap{Slot: int32(slot), Data: data})
+			}
+			ns.Instances = append(ns.Instances, is)
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("sketchrun: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore builds a runner for the optimization result whose state is
+// resumed from a snapshot taken on an identical tree and configuration.
+func Restore[S comparable](res *core.Result, ops Ops[S], codec Codec[S],
+	sink stream.Sink, data []byte) (*Runner[S], error) {
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	r, err := New(res, ops, sink)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sketchrun: decoding snapshot: %w", err)
+	}
+	if fp := r.treeFingerprint(codec); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("sketchrun: snapshot belongs to a different tree or configuration (%q vs %q)",
+			snap.Fingerprint, fp)
+	}
+	if len(snap.Nodes) != len(r.all) {
+		return nil, fmt.Errorf("sketchrun: snapshot has %d operators, tree has %d",
+			len(snap.Nodes), len(r.all))
+	}
+	r.events = snap.Events
+	r.merges = snap.Merges
+	r.keys = append([]uint64(nil), snap.Keys...)
+	r.slots = make(map[uint64]int32, len(snap.Keys))
+	for slot, key := range snap.Keys {
+		r.slots[key] = int32(slot)
+	}
+	for i, n := range r.all {
+		ns := &snap.Nodes[i]
+		if nodeFingerprint(n) != ns.Fingerprint {
+			return nil, fmt.Errorf("sketchrun: operator %d mismatch", i)
+		}
+		n.base = ns.Base
+		sort.Slice(ns.Instances, func(a, b int) bool { return ns.Instances[a].M < ns.Instances[b].M })
+		n.insts = n.insts[:0]
+		n.head = 0
+		for j := range ns.Instances {
+			is := &ns.Instances[j]
+			if j > 0 && is.M != ns.Instances[j-1].M+1 {
+				return nil, fmt.Errorf("sketchrun: snapshot instances not consecutive at %v", n.w)
+			}
+			in := &inst[S]{m: is.M}
+			for _, ss := range is.States {
+				st, err := codec.Decode(ss.Data)
+				if err != nil {
+					return nil, fmt.Errorf("sketchrun: decoding %v state: %w", n.w, err)
+				}
+				in.state(n, ss.Slot) // materialize the slot
+				in.states[ss.Slot] = st
+			}
+			n.insts = append(n.insts, in)
+		}
+		if len(n.insts) > 0 && n.insts[0].m != n.base {
+			return nil, fmt.Errorf("sketchrun: snapshot base %d does not match first instance %d",
+				n.base, n.insts[0].m)
+		}
+	}
+	return r, nil
+}

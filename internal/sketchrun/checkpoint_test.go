@@ -1,0 +1,118 @@
+package sketchrun
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/stream"
+)
+
+func fakeCodec() Codec[*fake] {
+	return Codec[*fake]{
+		Fingerprint: "fake v1",
+		Encode:      func(f *fake) ([]byte, error) { return []byte(fmt.Sprintf("%g", f.sum)), nil },
+		Decode: func(data []byte) (*fake, error) {
+			v, err := strconv.ParseFloat(string(data), 64)
+			if err != nil {
+				return nil, err
+			}
+			return &fake{sum: v}, nil
+		},
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	res := optimized(t)
+	var events []stream.Event
+	for i := 0; i < 60; i++ {
+		events = append(events, stream.Event{Time: int64(i), Key: uint64(i % 2), Value: 1})
+	}
+
+	whole := &stream.CollectingSink{}
+	rw, err := New(res, fullOps(), whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.Process(events)
+	rw.Close()
+
+	split := &stream.CollectingSink{}
+	r1, err := New(res, fullOps(), split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 37
+	r1.Process(events[:cut])
+	snap, err := r1.Snapshot(fakeCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restore(res, fullOps(), fakeCodec(), split, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Events() != int64(cut) {
+		t.Fatalf("restored events %d, want %d", r2.Events(), cut)
+	}
+	r2.Process(events[cut:])
+	r2.Close()
+
+	a, b := whole.Sorted(), split.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	res := optimized(t)
+	r, err := New(res, fullOps(), &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+
+	// Incomplete codec.
+	if _, err := r.Snapshot(Codec[*fake]{}); err == nil {
+		t.Error("incomplete codec must fail")
+	}
+	snap, err := r.Snapshot(fakeCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fingerprint mismatch (different configuration).
+	other := fakeCodec()
+	other.Fingerprint = "fake v2"
+	if _, err := Restore(res, fullOps(), other, &stream.CollectingSink{}, snap); err == nil ||
+		!strings.Contains(err.Error(), "different tree") {
+		t.Errorf("config mismatch should fail, got %v", err)
+	}
+	// Garbage payload.
+	if _, err := Restore(res, fullOps(), fakeCodec(), &stream.CollectingSink{}, []byte("x")); err == nil {
+		t.Error("garbage snapshot must fail")
+	}
+	// Encode failure propagates.
+	bad := fakeCodec()
+	bad.Encode = func(*fake) ([]byte, error) { return nil, fmt.Errorf("boom") }
+	if _, err := r.Snapshot(bad); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("encode failure should propagate, got %v", err)
+	}
+	// Decode failure propagates.
+	bad = fakeCodec()
+	bad.Decode = func([]byte) (*fake, error) { return nil, fmt.Errorf("bang") }
+	if _, err := Restore(res, fullOps(), bad, &stream.CollectingSink{}, snap); err == nil ||
+		!strings.Contains(err.Error(), "bang") {
+		t.Errorf("decode failure should propagate, got %v", err)
+	}
+	// Snapshot after Close.
+	r.Close()
+	if _, err := r.Snapshot(fakeCodec()); err == nil {
+		t.Error("snapshot after close must fail")
+	}
+}

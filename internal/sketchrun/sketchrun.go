@@ -1,0 +1,368 @@
+// Package sketchrun is the generic executor behind the library's
+// sketch-backed holistic aggregates (internal/quantile for MEDIAN and
+// phi-quantiles, internal/distinct for COUNT DISTINCT).
+//
+// Exact holistic functions cannot be computed from constant-size
+// sub-aggregates (Section III-A of the Factor Windows paper), so the
+// optimizer normally falls back to independent evaluation for them.
+// Replacing the per-(instance, key) state with a *mergeable sketch* makes
+// the function algebraic: sharing under "partitioned by" semantics —
+// factor windows included — becomes sound, because sketch merges assume
+// exactly the disjointness that partitioning guarantees. This package
+// executes the min-cost sharing tree with such states; the concrete
+// sketch type, its fold/merge operations and its final answer are
+// supplied by the instantiating package through Ops.
+//
+// The instance bookkeeping mirrors internal/engine: per-operator runs of
+// consecutive window instances, watermark firing, dense per-key slots,
+// state and instance pooling.
+package sketchrun
+
+import (
+	"fmt"
+
+	"factorwindows/internal/core"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/wcg"
+	"factorwindows/internal/window"
+)
+
+// Ops supplies the sketch operations for state type S (a pointer type;
+// the zero value marks an absent state).
+type Ops[S comparable] struct {
+	// New allocates an empty state.
+	New func() S
+	// Add folds one raw event value into the state.
+	Add func(S, float64)
+	// Merge folds the sub-aggregate src into dst. The executor only
+	// merges disjoint partitions, per "partitioned by" semantics.
+	Merge func(dst, src S)
+	// Reset clears a state for pooling.
+	Reset func(S)
+	// Final computes the emitted result value.
+	Final func(S) float64
+}
+
+func (o Ops[S]) validate() error {
+	if o.New == nil || o.Add == nil || o.Merge == nil || o.Reset == nil || o.Final == nil {
+		return fmt.Errorf("sketchrun: incomplete Ops")
+	}
+	return nil
+}
+
+// node is the runtime form of one WCG vertex.
+type node[S comparable] struct {
+	w       window.Window
+	k       int64
+	exposed bool
+
+	children []*node[S]
+
+	insts []*inst[S]
+	head  int
+	base  int64
+
+	// emitBuf is per-node: a child's fire may recurse into its own
+	// children mid-iteration, so a shared buffer would be clobbered.
+	emitBuf []subState[S]
+
+	r *Runner[S]
+}
+
+type inst[S comparable] struct {
+	m      int64
+	states []S
+	live   int
+}
+
+type subState[S comparable] struct {
+	start, end int64
+	slot       int32
+	st         S
+}
+
+// Runner executes a sharing tree with sketch-valued states. It is
+// single-core and not safe for concurrent use.
+type Runner[S comparable] struct {
+	ops   Ops[S]
+	roots []*node[S]
+	all   []*node[S]
+	sink  stream.Sink
+
+	slots map[uint64]int32
+	keys  []uint64
+
+	statePool []S
+	instPool  []*inst[S]
+
+	closed bool
+	events int64
+	merges int64
+}
+
+// New compiles the min-cost WCG of an optimization result into an
+// executable tree. Every sharing edge must satisfy "partitioned by"
+// (Theorem 4); anything else would hand overlapping inputs to Merge.
+func New[S comparable](res *core.Result, ops Ops[S], sink stream.Sink) (*Runner[S], error) {
+	if err := ops.validate(); err != nil {
+		return nil, err
+	}
+	if res == nil || res.Graph == nil {
+		return nil, fmt.Errorf("sketchrun: nil optimization result")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("sketchrun: nil sink")
+	}
+	r := &Runner[S]{ops: ops, sink: sink, slots: make(map[uint64]int32)}
+	if err := r.build(res.Graph); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// build translates the min-cost WCG into runtime nodes (the rewriting of
+// plan.FromGraph, inlined because plan.Validate ties semantics to the
+// aggregate function and would reject a shared holistic plan).
+func (r *Runner[S]) build(g *wcg.Graph) error {
+	byW := make(map[window.Window]*node[S])
+	nodes := g.Nodes()
+	for _, gn := range nodes {
+		if gn.Root {
+			continue
+		}
+		n := &node[S]{w: gn.W, k: gn.W.K(), exposed: !gn.Factor, r: r}
+		byW[gn.W] = n
+		r.all = append(r.all, n)
+	}
+	for _, gn := range nodes {
+		if gn.Root {
+			continue
+		}
+		n := byW[gn.W]
+		if gn.Parent == nil || gn.Parent.Root {
+			r.roots = append(r.roots, n)
+			continue
+		}
+		p := byW[gn.Parent.W]
+		if p == nil {
+			return fmt.Errorf("sketchrun: parent %v of %v missing", gn.Parent.W, gn.W)
+		}
+		if !window.Partitions(n.w, p.w) {
+			return fmt.Errorf("sketchrun: %v not partitioned by %v; sketch merge unsound", n.w, p.w)
+		}
+		p.children = append(p.children, n)
+	}
+	if len(r.roots) == 0 {
+		return fmt.Errorf("sketchrun: no root operators")
+	}
+	return nil
+}
+
+// Process pushes a batch of in-order events through the tree.
+func (r *Runner[S]) Process(events []stream.Event) {
+	if r.closed {
+		panic("sketchrun: Process after Close")
+	}
+	r.events += int64(len(events))
+	for _, root := range r.roots {
+		root.processRaw(events)
+	}
+}
+
+// Close flushes every open window instance.
+func (r *Runner[S]) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, root := range r.roots {
+		root.flushAll()
+	}
+}
+
+// Events returns the number of raw events processed.
+func (r *Runner[S]) Events() int64 { return r.events }
+
+// Merges returns the number of sketch merge operations performed — the
+// runtime analogue of the cost model's shared-input count.
+func (r *Runner[S]) Merges() int64 { return r.merges }
+
+func (r *Runner[S]) slot(key uint64) int32 {
+	if s, ok := r.slots[key]; ok {
+		return s
+	}
+	s := int32(len(r.keys))
+	r.slots[key] = s
+	r.keys = append(r.keys, key)
+	return s
+}
+
+func (n *node[S]) processRaw(events []stream.Event) {
+	slide := n.w.Slide
+	for i := range events {
+		e := &events[i]
+		hi := e.Time / slide
+		lo := hi - n.k + 1
+		if lo < 0 {
+			lo = 0
+		}
+		n.advance(e.Time + 1)
+		n.ensure(lo, hi)
+		slot := n.r.slot(e.Key)
+		for m := lo; m <= hi; m++ {
+			in := n.insts[n.head+int(m-n.base)]
+			n.r.ops.Add(in.state(n, slot), e.Value)
+		}
+	}
+}
+
+func (n *node[S]) processSub(items []subState[S]) {
+	for i := range items {
+		it := &items[i]
+		n.advance(it.end)
+		lo, hi, ok := n.w.InstancesCovering(it.start, it.end)
+		if !ok {
+			// Partitioned-by parents are tumbling and every parent interval
+			// lands inside an instance of each child; a straddler means the
+			// tree is corrupt.
+			panic(fmt.Sprintf("sketchrun: %v cannot place sub-state [%d,%d)", n.w, it.start, it.end))
+		}
+		n.ensure(lo, hi)
+		for m := lo; m <= hi; m++ {
+			in := n.insts[n.head+int(m-n.base)]
+			n.r.ops.Merge(in.state(n, it.slot), it.st)
+			n.r.merges++
+		}
+	}
+}
+
+func (in *inst[S]) state(n *node[S], slot int32) S {
+	if int(slot) >= len(in.states) {
+		if cap(in.states) > int(slot) {
+			in.states = in.states[:cap(in.states)]
+		}
+		var zero S
+		for len(in.states) <= int(slot) {
+			in.states = append(in.states, zero)
+		}
+	}
+	var zero S
+	st := in.states[slot]
+	if st == zero {
+		st = n.r.newState()
+		in.states[slot] = st
+		in.live++
+	}
+	return st
+}
+
+func (n *node[S]) advance(bound int64) {
+	for n.head < len(n.insts) {
+		in := n.insts[n.head]
+		end := in.m*n.w.Slide + n.w.Range
+		if end >= bound {
+			return
+		}
+		n.fire(in, end)
+		n.insts[n.head] = nil
+		n.head++
+		n.base = in.m + 1
+		n.releaseInst(in)
+	}
+	if n.head == len(n.insts) {
+		n.insts = n.insts[:0]
+		n.head = 0
+	}
+}
+
+func (n *node[S]) ensure(lo, hi int64) {
+	if n.head == len(n.insts) {
+		n.insts = n.insts[:0]
+		n.head = 0
+		n.base = lo
+	}
+	if lo < n.base {
+		panic(fmt.Sprintf("sketchrun: %v out-of-order instance %d < base %d", n.w, lo, n.base))
+	}
+	for next := n.base + int64(len(n.insts)-n.head); next <= hi; next++ {
+		n.insts = append(n.insts, n.newInst(next))
+	}
+}
+
+func (n *node[S]) fire(in *inst[S], end int64) {
+	if in.live == 0 {
+		return
+	}
+	var zero S
+	start := in.m * n.w.Slide
+	if n.exposed {
+		for slot, st := range in.states {
+			if st == zero {
+				continue
+			}
+			n.r.sink.Emit(stream.Result{
+				W: n.w, Start: start, End: end, Key: n.r.keys[slot], Value: n.r.ops.Final(st),
+			})
+		}
+	}
+	if len(n.children) > 0 {
+		n.emitBuf = n.emitBuf[:0]
+		for slot, st := range in.states {
+			if st == zero {
+				continue
+			}
+			n.emitBuf = append(n.emitBuf, subState[S]{start: start, end: end, slot: int32(slot), st: st})
+		}
+		for _, c := range n.children {
+			c.processSub(n.emitBuf)
+		}
+	}
+}
+
+func (n *node[S]) flushAll() {
+	for n.head < len(n.insts) {
+		in := n.insts[n.head]
+		n.fire(in, in.m*n.w.Slide+n.w.Range)
+		n.insts[n.head] = nil
+		n.head++
+		n.releaseInst(in)
+	}
+	n.insts = n.insts[:0]
+	n.head = 0
+	for _, c := range n.children {
+		c.flushAll()
+	}
+}
+
+func (n *node[S]) newInst(m int64) *inst[S] {
+	if k := len(n.r.instPool); k > 0 {
+		in := n.r.instPool[k-1]
+		n.r.instPool = n.r.instPool[:k-1]
+		in.m = m
+		return in
+	}
+	return &inst[S]{m: m}
+}
+
+func (n *node[S]) releaseInst(in *inst[S]) {
+	var zero S
+	for slot, st := range in.states {
+		if st != zero {
+			n.r.ops.Reset(st)
+			n.r.statePool = append(n.r.statePool, st)
+			in.states[slot] = zero
+		}
+	}
+	in.live = 0
+	in.states = in.states[:0]
+	n.r.instPool = append(n.r.instPool, in)
+}
+
+func (r *Runner[S]) newState() S {
+	if k := len(r.statePool); k > 0 {
+		st := r.statePool[k-1]
+		r.statePool = r.statePool[:k-1]
+		return st
+	}
+	return r.ops.New()
+}

@@ -1,0 +1,113 @@
+// The executor's behaviour is covered end-to-end by internal/quantile
+// and internal/distinct (oracle comparisons, factor-window trees,
+// incremental batching). The tests here pin the construction-time error
+// paths shared by both instantiations.
+package sketchrun
+
+import (
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+type fake struct{ sum float64 }
+
+func fullOps() Ops[*fake] {
+	return Ops[*fake]{
+		New:   func() *fake { return &fake{} },
+		Add:   func(f *fake, v float64) { f.sum += v },
+		Merge: func(dst, src *fake) { dst.sum += src.sum },
+		Reset: func(f *fake) { f.sum = 0 },
+		Final: func(f *fake) float64 { return f.sum },
+	}
+}
+
+func optimized(t *testing.T) *core.Result {
+	t.Helper()
+	set := window.MustSet(window.Tumbling(10), window.Tumbling(20))
+	res, err := core.OptimizeForced(set, agg.Median, agg.PartitionedBy, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIncompleteOps(t *testing.T) {
+	res := optimized(t)
+	for _, breakIt := range []func(*Ops[*fake]){
+		func(o *Ops[*fake]) { o.New = nil },
+		func(o *Ops[*fake]) { o.Add = nil },
+		func(o *Ops[*fake]) { o.Merge = nil },
+		func(o *Ops[*fake]) { o.Reset = nil },
+		func(o *Ops[*fake]) { o.Final = nil },
+	} {
+		ops := fullOps()
+		breakIt(&ops)
+		if _, err := New(res, ops, &stream.CollectingSink{}); err == nil {
+			t.Error("incomplete Ops must be rejected")
+		}
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	res := optimized(t)
+	if _, err := New[*fake](nil, fullOps(), &stream.CollectingSink{}); err == nil {
+		t.Error("nil result must fail")
+	}
+	if _, err := New(res, fullOps(), nil); err == nil {
+		t.Error("nil sink must fail")
+	}
+}
+
+// TestFakeStateEndToEnd runs the executor with a trivial summing state:
+// the shared tree must agree with per-window sums.
+func TestFakeStateEndToEnd(t *testing.T) {
+	res := optimized(t)
+	r, err := New(res, fullOps(), &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &stream.CollectingSink{}
+	r2, err := New(res, fullOps(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	var events []stream.Event
+	for i := 0; i < 40; i++ {
+		events = append(events, stream.Event{Time: int64(i), Key: 1, Value: 1})
+	}
+	r2.Process(events)
+	r2.Close()
+	for _, got := range sink.Sorted() {
+		if want := float64(got.End - got.Start); got.Value != want {
+			t.Errorf("%v [%d,%d): sum %v, want %v", got.W, got.Start, got.End, got.Value, want)
+		}
+	}
+	if r2.Merges() == 0 {
+		t.Error("expected sub-state merges in the shared tree")
+	}
+	if r2.Events() != int64(len(events)) {
+		t.Errorf("events %d, want %d", r2.Events(), len(events))
+	}
+}
+
+func TestProcessAfterClose(t *testing.T) {
+	res := optimized(t)
+	r, err := New(res, fullOps(), &stream.CollectingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	defer func() {
+		if rec := recover(); rec == nil || !strings.Contains(rec.(string), "after Close") {
+			t.Errorf("expected Process-after-Close panic, got %v", rec)
+		}
+	}()
+	r.Process([]stream.Event{{Time: 0, Key: 1, Value: 1}})
+}

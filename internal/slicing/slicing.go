@@ -1,0 +1,339 @@
+// Package slicing implements a general stream-slicing executor in the
+// style of Scotty (Traub et al., [48][49]), the window-slicing baseline
+// the paper compares against in Section V-F.
+//
+// Stream slicing chops the input into non-overlapping slices whose edges
+// are all window start/end boundaries (every multiple of every window's
+// slide; window ends land on these edges too because ranges are multiples
+// of slides). Each event is folded into exactly one slice per key, and a
+// window instance [e−r, e) firing at edge e is answered by merging the
+// buffered slices spanning it. Slices are shared across all windows of
+// the set, which is the source of Scotty's aggregate sharing.
+//
+// Unlike the factor-window approach, slicing needs engine support for
+// user-defined operators (slices and their buffer live inside the
+// operator); here we simply implement that operator directly.
+package slicing
+
+import (
+	"fmt"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// slice is one chunk [start, end) with per-key pre-aggregates, stored
+// densely by key slot (see Runner.slots).
+type slice struct {
+	start, end int64
+	states     []*agg.State
+	live       int
+}
+
+// Runner evaluates an aggregate over a window set by general stream
+// slicing. It is single-core and not safe for concurrent use.
+type Runner struct {
+	fn      agg.Fn
+	windows []window.Window
+	sink    stream.Sink
+
+	slides   []int64
+	maxRange int64
+
+	cur    *slice // the open slice
+	buf    []*slice
+	head   int
+	closed bool
+	events int64
+	merges int64 // slice merges performed (work counter)
+
+	// slots maps group keys to dense slot indices; keys is the inverse.
+	// Slicing has a single shared operator, so one grouping table is
+	// faithful to how Scotty's slice store is keyed.
+	slots map[uint64]int32
+	keys  []uint64
+
+	mergeBuf  []*agg.State
+	statePool []*agg.State
+	slicePool []*slice
+}
+
+// New builds a slicing runner for the window set. Holistic functions
+// (MEDIAN) are supported the way Section III-A describes Scotty's
+// support: the slices then hold all raw event values rather than
+// constant-size sub-aggregates, so per-slice storage grows with data.
+func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, fmt.Errorf("slicing: empty window set")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("slicing: nil sink")
+	}
+	if !fn.Valid() {
+		return nil, fmt.Errorf("slicing: invalid aggregate function %v", fn)
+	}
+	r := &Runner{fn: fn, sink: sink, slots: make(map[uint64]int32)}
+	for _, w := range set.Sorted() {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		r.windows = append(r.windows, w)
+		r.slides = append(r.slides, w.Slide)
+		if w.Range > r.maxRange {
+			r.maxRange = w.Range
+		}
+	}
+	return r, nil
+}
+
+// nextEdge returns the smallest slice edge strictly greater than t.
+// Edges are the multiples of any window slide; computing the minimum over
+// windows avoids materializing the edge set (whose period is the lcm of
+// all slides and can be astronomically large).
+func (r *Runner) nextEdge(t int64) int64 {
+	next := int64(1) << 62
+	for _, s := range r.slides {
+		e := (t/s + 1) * s
+		if e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// prevEdge returns the largest edge ≤ t.
+func (r *Runner) prevEdge(t int64) int64 {
+	prev := int64(0)
+	for _, s := range r.slides {
+		e := t / s * s
+		if e > prev {
+			prev = e
+		}
+	}
+	return prev
+}
+
+// Process folds a batch of in-order events into the slice store, firing
+// windows whose end edges are crossed.
+func (r *Runner) Process(events []stream.Event) {
+	if r.closed {
+		panic("slicing: Process after Close")
+	}
+	for i := range events {
+		e := &events[i]
+		r.events++
+		if r.cur == nil {
+			r.openSliceAt(e.Time)
+		}
+		for e.Time >= r.cur.end {
+			r.roll()
+		}
+		st := r.cur.state(r, r.slot(e.Key))
+		agg.Add(r.fn, st, e.Value)
+	}
+}
+
+// slot returns the dense slot index for key, allocating one on first use.
+func (r *Runner) slot(key uint64) int32 {
+	if s, ok := r.slots[key]; ok {
+		return s
+	}
+	s := int32(len(r.keys))
+	r.slots[key] = s
+	r.keys = append(r.keys, key)
+	return s
+}
+
+// state returns the aggregate state for slot in sl, materializing it on
+// first touch.
+func (sl *slice) state(r *Runner, slot int32) *agg.State {
+	if int(slot) >= len(sl.states) {
+		if cap(sl.states) > int(slot) {
+			sl.states = sl.states[:cap(sl.states)]
+		}
+		for len(sl.states) <= int(slot) {
+			sl.states = append(sl.states, nil)
+		}
+	}
+	st := sl.states[slot]
+	if st == nil {
+		st = r.newState()
+		sl.states[slot] = st
+		sl.live++
+	}
+	return st
+}
+
+// openSliceAt opens the slice containing t.
+func (r *Runner) openSliceAt(t int64) {
+	start := r.prevEdge(t)
+	r.cur = r.newSlice(start, r.nextEdge(t))
+}
+
+// roll closes the current slice and advances one edge, firing windows at
+// the crossed edge (a skipped edge may still end a window instance that
+// holds older events, so the caller loops until the slice containing the
+// next event is open; intervening slices are empty placeholders).
+func (r *Runner) roll() {
+	edge := r.cur.end
+	r.closeCurrent()
+	r.fireAt(edge)
+	r.evict(edge)
+	r.cur = r.newSlice(edge, r.nextEdge(edge))
+}
+
+// closeCurrent appends the open slice to the buffer.
+func (r *Runner) closeCurrent() {
+	r.buf = append(r.buf, r.cur)
+	r.cur = nil
+}
+
+// fireAt emits every window instance ending exactly at edge e.
+func (r *Runner) fireAt(e int64) {
+	for _, w := range r.windows {
+		start := e - w.Range
+		if start < 0 || start%w.Slide != 0 {
+			continue
+		}
+		r.emitInstance(w, start, e)
+	}
+}
+
+// emitInstance merges the buffered slices spanning [start, end) and emits
+// one result per key present.
+func (r *Runner) emitInstance(w window.Window, start, end int64) {
+	if cap(r.mergeBuf) < len(r.keys) {
+		r.mergeBuf = make([]*agg.State, len(r.keys))
+	}
+	merged := r.mergeBuf[:len(r.keys)]
+	touched := false
+	for i := r.head; i < len(r.buf); i++ {
+		sl := r.buf[i]
+		if sl.end <= start {
+			continue
+		}
+		if sl.start >= end {
+			break
+		}
+		if sl.start < start || sl.end > end {
+			panic(fmt.Sprintf("slicing: slice [%d,%d) straddles window [%d,%d)",
+				sl.start, sl.end, start, end))
+		}
+		if sl.live == 0 {
+			continue
+		}
+		for slot, st := range sl.states {
+			if st == nil {
+				continue
+			}
+			m := merged[slot]
+			if m == nil {
+				m = r.newState()
+				merged[slot] = m
+				touched = true
+			}
+			agg.MergeRaw(r.fn, m, st)
+			r.merges++
+		}
+	}
+	if !touched {
+		return
+	}
+	for slot, st := range merged {
+		if st == nil {
+			continue
+		}
+		if !st.Empty() {
+			r.sink.Emit(stream.Result{W: w, Start: start, End: end, Key: r.keys[slot], Value: agg.Final(r.fn, st)})
+		}
+		st.Reset()
+		r.statePool = append(r.statePool, st)
+		merged[slot] = nil
+	}
+}
+
+// evict drops buffered slices no longer reachable by any future window
+// instance: anything ending at or before e − maxRange.
+func (r *Runner) evict(e int64) {
+	for r.head < len(r.buf) && r.buf[r.head].end <= e-r.maxRange {
+		r.releaseSlice(r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head++
+	}
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+}
+
+// Close flushes: the open slice is sealed and every pending window
+// instance that already contains data fires at its natural end edge.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.cur == nil {
+		return
+	}
+	lastData := r.cur.end
+	r.closeCurrent()
+	// Walk edges until every window instance overlapping the data has
+	// ended: the farthest relevant edge is lastData + maxRange.
+	for e := lastData; e <= lastData+r.maxRange; e = r.nextEdge(e) {
+		r.fireAt(e)
+	}
+}
+
+// Events returns the number of events processed.
+func (r *Runner) Events() int64 { return r.events }
+
+// Merges returns the number of per-key slice merges performed, the
+// slicing analogue of the engine's TotalInputs work counter.
+func (r *Runner) Merges() int64 { return r.merges }
+
+// Run is a convenience wrapper: process all events and flush.
+func Run(set *window.Set, fn agg.Fn, events []stream.Event, sink stream.Sink) (*Runner, error) {
+	r, err := New(set, fn, sink)
+	if err != nil {
+		return nil, err
+	}
+	r.Process(events)
+	r.Close()
+	return r, nil
+}
+
+func (r *Runner) newSlice(start, end int64) *slice {
+	if k := len(r.slicePool); k > 0 {
+		sl := r.slicePool[k-1]
+		r.slicePool = r.slicePool[:k-1]
+		sl.start, sl.end = start, end
+		return sl
+	}
+	return &slice{start: start, end: end, states: make([]*agg.State, 0, len(r.keys))}
+}
+
+func (r *Runner) releaseSlice(sl *slice) {
+	if sl.live > 0 {
+		for slot, st := range sl.states {
+			if st != nil {
+				st.Reset()
+				r.statePool = append(r.statePool, st)
+				sl.states[slot] = nil
+			}
+		}
+	}
+	sl.live = 0
+	sl.states = sl.states[:0]
+	r.slicePool = append(r.slicePool, sl)
+}
+
+func (r *Runner) newState() *agg.State {
+	if k := len(r.statePool); k > 0 {
+		st := r.statePool[k-1]
+		r.statePool = r.statePool[:k-1]
+		return st
+	}
+	return &agg.State{}
+}

@@ -1,0 +1,200 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+func steadyStream(ticks int64, keys int, r *rand.Rand) []stream.Event {
+	events := make([]stream.Event, 0, ticks*int64(keys))
+	for t := int64(0); t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			events = append(events, stream.Event{Time: t, Key: uint64(k), Value: float64(r.Intn(1000))})
+		}
+	}
+	return events
+}
+
+// runOriginal evaluates the window set with the engine's original
+// (independent) plan, the reference for slicing output.
+func runOriginal(t *testing.T, set *window.Set, fn agg.Fn, events []stream.Event) []stream.Result {
+	t.Helper()
+	p, err := plan.NewOriginal(set, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &stream.CollectingSink{}
+	if _, err := engine.Run(p, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Sorted()
+}
+
+func runSlicing(t *testing.T, set *window.Set, fn agg.Fn, events []stream.Event) []stream.Result {
+	t.Helper()
+	sink := &stream.CollectingSink{}
+	if _, err := Run(set, fn, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Sorted()
+}
+
+func sameResults(t *testing.T, label string, got, want []stream.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlicingMatchesEngineTumbling(t *testing.T) {
+	set := window.MustSet(window.Tumbling(4), window.Tumbling(6), window.Tumbling(10))
+	r := rand.New(rand.NewSource(1))
+	events := steadyStream(60, 2, r)
+	for _, fn := range []agg.Fn{agg.Min, agg.Max, agg.Sum, agg.Count} {
+		sameResults(t, fn.String(),
+			runSlicing(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlicingMatchesEngineHopping(t *testing.T) {
+	set := window.MustSet(window.Hopping(8, 2), window.Hopping(12, 4), window.Tumbling(6))
+	r := rand.New(rand.NewSource(2))
+	events := steadyStream(50, 3, r)
+	for _, fn := range []agg.Fn{agg.Min, agg.Sum, agg.Avg, agg.StdDev} {
+		sameResults(t, fn.String(),
+			runSlicing(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlicingRandomSets(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		set := &window.Set{}
+		n := r.Intn(4) + 2
+		for set.Len() < n {
+			s := int64(r.Intn(6) + 1)
+			k := int64(r.Intn(4) + 1)
+			w := window.Window{Range: s * k, Slide: s}
+			if !set.Contains(w) {
+				_ = set.Add(w)
+			}
+		}
+		events := steadyStream(int64(r.Intn(80)+20), r.Intn(3)+1, r)
+		fn := agg.ShareableFns()[r.Intn(len(agg.ShareableFns()))]
+		sameResults(t, set.String()+" "+fn.String(),
+			runSlicing(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlicingSparseStream(t *testing.T) {
+	// Large gaps between events force edge-by-edge catch-up; windows
+	// containing old data must still fire at skipped edges.
+	set := window.MustSet(window.Hopping(20, 5), window.Tumbling(10))
+	events := []stream.Event{
+		{Time: 3, Key: 1, Value: 7},
+		{Time: 64, Key: 1, Value: 9},
+		{Time: 190, Key: 2, Value: 1},
+	}
+	for _, fn := range []agg.Fn{agg.Min, agg.Sum} {
+		sameResults(t, fn.String(),
+			runSlicing(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlicingSupportsHolisticViaRawSlices(t *testing.T) {
+	// Section III-A: slicing can evaluate holistic functions by keeping
+	// all raw events per slice. MEDIAN results must match the engine's
+	// original plan (which also evaluates MEDIAN from raw events).
+	set := window.MustSet(window.Hopping(8, 2), window.Tumbling(6))
+	r := rand.New(rand.NewSource(77))
+	events := steadyStream(60, 2, r)
+	sameResults(t, "median",
+		runSlicing(t, set, agg.Median, events), runOriginal(t, set, agg.Median, events))
+	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Fn(99), &stream.CountingSink{}); err == nil {
+		t.Fatal("invalid function must be rejected")
+	}
+}
+
+func TestSlicingRejectsEmptyAndNil(t *testing.T) {
+	if _, err := New(&window.Set{}, agg.Min, &stream.CountingSink{}); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Min, nil); err == nil {
+		t.Fatal("nil sink must fail")
+	}
+}
+
+func TestSlicingLifecycle(t *testing.T) {
+	r, err := New(window.MustSet(window.Tumbling(4)), agg.Min, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Process([]stream.Event{{Time: 0, Key: 0, Value: 1}})
+	r.Close()
+	r.Close()
+	if r.Events() != 1 {
+		t.Fatalf("events = %d", r.Events())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Process after Close must panic")
+		}
+	}()
+	r.Process([]stream.Event{{Time: 5, Key: 0, Value: 1}})
+}
+
+func TestSlicingSharesWork(t *testing.T) {
+	// With many overlapping windows, slicing must do far fewer state
+	// updates than the original plan's per-window event assignment.
+	set := window.MustSet(window.Hopping(20, 2), window.Hopping(40, 2), window.Hopping(60, 2))
+	r := rand.New(rand.NewSource(4))
+	events := steadyStream(600, 1, r)
+
+	s, err := Run(set, agg.Min, events, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := plan.NewOriginal(set, agg.Min)
+	e, err := engine.Run(p, events, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine work: one state update per (event, covered instance).
+	// Slicing work: one Add per event plus one Merge per (instance,
+	// covered slice, key).
+	slicingWork := s.Events() + s.Merges()
+	engineWork := e.TotalUpdates()
+	if slicingWork >= engineWork {
+		t.Fatalf("slicing work %d not below original plan inputs %d", slicingWork, engineWork)
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	r, err := New(window.MustSet(window.Tumbling(4), window.Hopping(6, 3)), agg.Min, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: multiples of 4 and 3: 0,3,4,6,8,9,12...
+	cases := []struct{ t, next, prev int64 }{
+		{0, 3, 0}, {3, 4, 3}, {4, 6, 4}, {5, 6, 4}, {10, 12, 9},
+	}
+	for _, c := range cases {
+		if got := r.nextEdge(c.t); got != c.next {
+			t.Errorf("nextEdge(%d) = %d, want %d", c.t, got, c.next)
+		}
+		if got := r.prevEdge(c.t); got != c.prev {
+			t.Errorf("prevEdge(%d) = %d, want %d", c.t, got, c.prev)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package sliding implements per-window incremental sliding-window
+// aggregation — the classic alternative to both naive re-evaluation and
+// cross-window sharing, cited by the paper as Tangwongsan et al.,
+// "General incremental sliding-window aggregation" [45].
+//
+// Each window is evaluated independently (no cross-window sharing), but
+// *within* a window the aggregate is maintained incrementally: events
+// fold into per-slide panes ("no pane, no gain", Li et al. [37]) and a
+// Two-Stacks FIFO aggregator combines the r/s panes of the current
+// window instance in O(1) amortized time per pane, even for
+// non-invertible functions such as MIN and MAX.
+//
+// This gives the evaluation a third point of comparison: original
+// (per-instance re-aggregation), sliding (per-window incremental),
+// slicing (shared slices), and the paper's factor-window plans.
+package sliding
+
+import (
+	"fmt"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// twoStacks is the classic FIFO aggregator: push panes at the back, pop
+// from the front, query the aggregate of everything inside in O(1).
+// front holds suffix-aggregated states (top = aggregate of the whole
+// front stack); back holds raw pane states plus a running aggregate.
+type twoStacks struct {
+	fn      agg.Fn
+	front   []agg.State // front[i] aggregates front[i..] (flip order)
+	back    []agg.State // raw pane aggregates in arrival order
+	backAgg agg.State   // aggregate of everything in back
+}
+
+func (q *twoStacks) len() int { return len(q.front) + len(q.back) }
+
+// push appends one pane aggregate.
+func (q *twoStacks) push(p *agg.State) {
+	q.back = append(q.back, *p)
+	agg.Merge(q.fn, &q.backAgg, p)
+}
+
+// pop removes the oldest pane, flipping the back stack into the front
+// stack (computing suffix aggregates) when the front is empty.
+func (q *twoStacks) pop() {
+	if len(q.front) == 0 {
+		q.flip()
+	}
+	if len(q.front) == 0 {
+		panic("sliding: pop from empty two-stacks queue")
+	}
+	q.front = q.front[:len(q.front)-1]
+}
+
+func (q *twoStacks) flip() {
+	// Move back → front with running suffix aggregates: after the flip,
+	// front[len-1] is the oldest pane and front[i] aggregates panes
+	// front[i..len-1]... front is stored so that the TOP (last element)
+	// is the oldest pane's suffix; we build cumulative aggregates from
+	// newest to oldest.
+	n := len(q.back)
+	if n == 0 {
+		return
+	}
+	q.front = append(q.front[:0], make([]agg.State, n)...)
+	var acc agg.State
+	for i := 0; i < n; i++ {
+		// back[n-1-i] walks newest → oldest; accumulate into acc.
+		agg.Merge(q.fn, &acc, &q.back[n-1-i])
+		q.front[i] = acc
+	}
+	q.back = q.back[:0]
+	q.backAgg.Reset()
+}
+
+// query merges the front-stack aggregate and the back running aggregate
+// into out.
+func (q *twoStacks) query(out *agg.State) {
+	if len(q.front) > 0 {
+		agg.Merge(q.fn, out, &q.front[len(q.front)-1])
+	}
+	if q.backAgg.Cnt > 0 {
+		agg.Merge(q.fn, out, &q.backAgg)
+	}
+}
+
+// keyState is the per-(window, key) sliding state.
+type keyState struct {
+	queue twoStacks
+	pane  agg.State // the open pane
+}
+
+// winState drives one window over the stream.
+type winState struct {
+	w     window.Window
+	panes int64 // r/s: panes per instance
+
+	// paneEnd is the end tick of the open pane; paneIdx its index.
+	paneEnd int64
+	paneIdx int64
+	started bool
+
+	byKey []*keyState // dense by key slot
+}
+
+// Runner evaluates an aggregate over a window set with per-window
+// incremental aggregation. Like the other executors it is single-core.
+type Runner struct {
+	fn      agg.Fn
+	windows []*winState
+	sink    stream.Sink
+
+	slots  map[uint64]int32
+	keys   []uint64
+	closed bool
+	events int64
+	combs  int64 // pane combine operations (work counter)
+}
+
+// New builds the sliding-window runner. Holistic functions are rejected
+// (panes hold sub-aggregates).
+func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, fmt.Errorf("sliding: empty window set")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("sliding: nil sink")
+	}
+	if !agg.Shareable(fn) {
+		return nil, fmt.Errorf("sliding: %v is holistic; panes cannot express it", fn)
+	}
+	r := &Runner{fn: fn, sink: sink, slots: make(map[uint64]int32)}
+	for _, w := range set.Sorted() {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		r.windows = append(r.windows, &winState{w: w, panes: w.K()})
+	}
+	return r, nil
+}
+
+// Process folds a batch of in-order events.
+func (r *Runner) Process(events []stream.Event) {
+	if r.closed {
+		panic("sliding: Process after Close")
+	}
+	for i := range events {
+		e := &events[i]
+		r.events++
+		slot := r.slot(e.Key)
+		for _, ws := range r.windows {
+			r.advanceWindow(ws, e.Time)
+			ks := r.keyState(ws, slot)
+			agg.Add(r.fn, &ks.pane, e.Value)
+		}
+	}
+}
+
+func (r *Runner) slot(key uint64) int32 {
+	if s, ok := r.slots[key]; ok {
+		return s
+	}
+	s := int32(len(r.keys))
+	r.slots[key] = s
+	r.keys = append(r.keys, key)
+	return s
+}
+
+func (r *Runner) keyState(ws *winState, slot int32) *keyState {
+	for int(slot) >= len(ws.byKey) {
+		ws.byKey = append(ws.byKey, nil)
+	}
+	ks := ws.byKey[slot]
+	if ks == nil {
+		ks = &keyState{queue: twoStacks{fn: r.fn}}
+		ws.byKey[slot] = ks
+	}
+	return ks
+}
+
+// advanceWindow rolls the window's pane clock forward to cover tick t,
+// closing panes and emitting window instances as their last pane closes.
+func (r *Runner) advanceWindow(ws *winState, t int64) {
+	if !ws.started {
+		ws.paneIdx = t / ws.w.Slide
+		ws.paneEnd = (ws.paneIdx + 1) * ws.w.Slide
+		ws.started = true
+		// Panes before the first event are empty; pretend they were
+		// pushed so instance accounting stays aligned: the queue only
+		// ever holds panes that received data, and instances are
+		// emitted only when non-empty, so skipping them is safe.
+	}
+	for t >= ws.paneEnd {
+		r.closePane(ws)
+		ws.paneIdx++
+		ws.paneEnd += ws.w.Slide
+	}
+}
+
+// closePane seals the open pane of every key, pushes it into the queue,
+// emits the window instance that ends at this pane boundary (if any),
+// and evicts the pane that just left the window.
+func (r *Runner) closePane(ws *winState) {
+	end := ws.paneEnd
+	// A window instance [end-r, end) closes exactly when pane paneIdx
+	// closes and paneIdx+1 ≥ panes (instance index m = paneIdx+1-panes).
+	emit := ws.paneIdx+1 >= ws.panes
+	start := end - ws.w.Range
+	for slot, ks := range ws.byKey {
+		if ks == nil {
+			continue
+		}
+		ks.queue.push(&ks.pane)
+		ks.pane.Reset()
+		r.combs++
+		if emit {
+			var out agg.State
+			ks.queue.query(&out)
+			r.combs++
+			if out.Cnt > 0 {
+				r.sink.Emit(stream.Result{
+					W: ws.w, Start: start, End: end, Key: r.keys[slot],
+					Value: agg.Final(r.fn, &out),
+				})
+			}
+		}
+		// Evict the oldest pane once the queue holds a full window.
+		if int64(ks.queue.len()) >= ws.panes {
+			ks.queue.pop()
+			r.combs++
+		}
+	}
+}
+
+// Close seals the open pane and emits every pending window instance that
+// already contains data, at its natural boundary.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, ws := range r.windows {
+		if !ws.started {
+			continue
+		}
+		// Roll forward until every instance overlapping the data closed:
+		// the last data pane is paneIdx; instances end up to
+		// paneEnd + (panes-1) slides later.
+		for extra := int64(0); extra < ws.panes; extra++ {
+			r.closePane(ws)
+			ws.paneIdx++
+			ws.paneEnd += ws.w.Slide
+		}
+	}
+}
+
+// Events returns the number of events processed.
+func (r *Runner) Events() int64 { return r.events }
+
+// Combines returns the number of pane push/pop/query operations — the
+// work counter comparable to engine.TotalUpdates and slicing.Merges.
+func (r *Runner) Combines() int64 { return r.combs }
+
+// Run processes all events and flushes.
+func Run(set *window.Set, fn agg.Fn, events []stream.Event, sink stream.Sink) (*Runner, error) {
+	r, err := New(set, fn, sink)
+	if err != nil {
+		return nil, err
+	}
+	r.Process(events)
+	r.Close()
+	return r, nil
+}

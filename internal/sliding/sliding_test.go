@@ -1,0 +1,241 @@
+package sliding
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+func steadyStream(ticks int64, keys int, r *rand.Rand) []stream.Event {
+	events := make([]stream.Event, 0, ticks*int64(keys))
+	for t := int64(0); t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			events = append(events, stream.Event{Time: t, Key: uint64(k), Value: float64(r.Intn(1000))})
+		}
+	}
+	return events
+}
+
+func runOriginal(t *testing.T, set *window.Set, fn agg.Fn, events []stream.Event) []stream.Result {
+	t.Helper()
+	p, err := plan.NewOriginal(set, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &stream.CollectingSink{}
+	if _, err := engine.Run(p, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Sorted()
+}
+
+func runSliding(t *testing.T, set *window.Set, fn agg.Fn, events []stream.Event) []stream.Result {
+	t.Helper()
+	sink := &stream.CollectingSink{}
+	if _, err := Run(set, fn, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Sorted()
+}
+
+func sameResults(t *testing.T, label string, got, want []stream.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestTwoStacksFIFO(t *testing.T) {
+	q := twoStacks{fn: agg.Min}
+	push := func(v float64) {
+		var s agg.State
+		agg.Add(agg.Min, &s, v)
+		q.push(&s)
+	}
+	query := func() float64 {
+		var out agg.State
+		q.query(&out)
+		return agg.Final(agg.Min, &out)
+	}
+	push(5)
+	push(3)
+	push(7)
+	if got := query(); got != 3 {
+		t.Fatalf("min = %v, want 3", got)
+	}
+	q.pop() // drop 5
+	if got := query(); got != 3 {
+		t.Fatalf("min = %v, want 3", got)
+	}
+	q.pop() // drop 3
+	if got := query(); got != 7 {
+		t.Fatalf("min = %v, want 7", got)
+	}
+	push(1)
+	if got := query(); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if q.len() != 2 {
+		t.Fatalf("len = %d", q.len())
+	}
+}
+
+func TestTwoStacksRandomAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, fn := range []agg.Fn{agg.Min, agg.Max, agg.Sum, agg.Avg} {
+		q := twoStacks{fn: fn}
+		var fifo []float64
+		for step := 0; step < 4000; step++ {
+			if len(fifo) == 0 || r.Intn(3) > 0 {
+				v := float64(r.Intn(100))
+				var s agg.State
+				agg.Add(fn, &s, v)
+				q.push(&s)
+				fifo = append(fifo, v)
+			} else {
+				q.pop()
+				fifo = fifo[1:]
+			}
+			var out agg.State
+			q.query(&out)
+			want := &agg.State{}
+			for _, v := range fifo {
+				agg.Add(fn, want, v)
+			}
+			got, exp := agg.Final(fn, &out), agg.Final(fn, want)
+			if len(fifo) == 0 {
+				continue
+			}
+			if got != exp {
+				t.Fatalf("%v step %d: got %v want %v (fifo %v)", fn, step, got, exp, fifo)
+			}
+		}
+	}
+}
+
+func TestSlidingMatchesEngineTumbling(t *testing.T) {
+	set := window.MustSet(window.Tumbling(4), window.Tumbling(10))
+	r := rand.New(rand.NewSource(1))
+	events := steadyStream(60, 2, r)
+	for _, fn := range []agg.Fn{agg.Min, agg.Max, agg.Sum, agg.Count} {
+		sameResults(t, fn.String(), runSliding(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlidingMatchesEngineHopping(t *testing.T) {
+	set := window.MustSet(window.Hopping(8, 2), window.Hopping(12, 4), window.Tumbling(6))
+	r := rand.New(rand.NewSource(2))
+	events := steadyStream(70, 3, r)
+	for _, fn := range []agg.Fn{agg.Min, agg.Sum, agg.Avg, agg.StdDev} {
+		sameResults(t, fn.String(), runSliding(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlidingRandomSets(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		set := &window.Set{}
+		n := r.Intn(4) + 1
+		for set.Len() < n {
+			s := int64(r.Intn(6) + 1)
+			k := int64(r.Intn(4) + 1)
+			w := window.Window{Range: s * k, Slide: s}
+			if !set.Contains(w) {
+				_ = set.Add(w)
+			}
+		}
+		events := steadyStream(int64(r.Intn(80)+20), r.Intn(3)+1, r)
+		fn := agg.ShareableFns()[r.Intn(len(agg.ShareableFns()))]
+		sameResults(t, set.String()+" "+fn.String(),
+			runSliding(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlidingSparseStream(t *testing.T) {
+	set := window.MustSet(window.Hopping(20, 5), window.Tumbling(10))
+	events := []stream.Event{
+		{Time: 3, Key: 1, Value: 7},
+		{Time: 64, Key: 1, Value: 9},
+		{Time: 190, Key: 2, Value: 1},
+	}
+	for _, fn := range []agg.Fn{agg.Min, agg.Sum} {
+		sameResults(t, fn.String(), runSliding(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlidingLateKey(t *testing.T) {
+	// A key appearing mid-stream must see only its own events.
+	set := window.MustSet(window.Hopping(12, 4))
+	events := []stream.Event{
+		{Time: 0, Key: 1, Value: 10},
+		{Time: 5, Key: 1, Value: 20},
+		{Time: 9, Key: 2, Value: 1}, // key 2 appears in pane 2
+		{Time: 13, Key: 2, Value: 2},
+	}
+	for _, fn := range []agg.Fn{agg.Min, agg.Sum} {
+		sameResults(t, fn.String(), runSliding(t, set, fn, events), runOriginal(t, set, fn, events))
+	}
+}
+
+func TestSlidingRejections(t *testing.T) {
+	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Median, &stream.CountingSink{}); err == nil {
+		t.Fatal("holistic must be rejected")
+	}
+	if _, err := New(&window.Set{}, agg.Min, &stream.CountingSink{}); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Min, nil); err == nil {
+		t.Fatal("nil sink must fail")
+	}
+}
+
+func TestSlidingLifecycle(t *testing.T) {
+	r, err := New(window.MustSet(window.Tumbling(4)), agg.Min, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Process([]stream.Event{{Time: 0, Key: 0, Value: 1}})
+	r.Close()
+	r.Close()
+	if r.Events() != 1 || r.Combines() == 0 {
+		t.Fatalf("counters: events=%d combines=%d", r.Events(), r.Combines())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Process after Close must panic")
+		}
+	}()
+	r.Process([]stream.Event{{Time: 5, Key: 0, Value: 1}})
+}
+
+func TestSlidingBeatsNaiveOnWorkForLongHops(t *testing.T) {
+	// For a hopping window with large k = r/s, per-instance
+	// re-aggregation touches every event k times; sliding touches each
+	// event once plus O(1) pane work.
+	set := window.MustSet(window.Hopping(200, 10))
+	r := rand.New(rand.NewSource(4))
+	events := steadyStream(2000, 1, r)
+	s, err := Run(set, agg.Min, events, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := plan.NewOriginal(set, agg.Min)
+	e, err := engine.Run(p, events, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slidingWork := s.Events() + s.Combines()
+	if slidingWork >= e.TotalUpdates() {
+		t.Fatalf("sliding work %d not below per-instance updates %d", slidingWork, e.TotalUpdates())
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if !approx(Mean(xs), 2.8) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 5 || Min(xs) != 1 {
+		t.Fatal("Max/Min wrong")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Fatal("empty input must yield NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !approx(StdDev([]float64{2, 2, 2}), 0) {
+		t.Fatal("constant stddev must be 0")
+	}
+	// Population stddev of {1,2,3,4} is sqrt(1.25).
+	if !approx(StdDev([]float64{1, 2, 3, 4}), math.Sqrt(1.25)) {
+		t.Fatalf("StdDev = %v", StdDev([]float64{1, 2, 3, 4}))
+	}
+	if !math.IsNaN(StdDev(nil)) {
+		t.Fatal("empty stddev must be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Perfect positive and negative correlation.
+	if !approx(Pearson(xs, []float64{2, 4, 6, 8, 10}), 1) {
+		t.Fatal("perfect correlation must be 1")
+	}
+	if !approx(Pearson(xs, []float64{10, 8, 6, 4, 2}), -1) {
+		t.Fatal("perfect anticorrelation must be -1")
+	}
+	// Uncorrelated symmetric case.
+	if !approx(Pearson([]float64{-1, 0, 1, 0}, []float64{0, 1, 0, -1}), 0) {
+		t.Fatalf("r = %v", Pearson([]float64{-1, 0, 1, 0}, []float64{0, 1, 0, -1}))
+	}
+	// Degenerate cases.
+	if !math.IsNaN(Pearson(xs, []float64{1, 1, 1, 1, 1})) {
+		t.Fatal("constant series must yield NaN")
+	}
+	if !math.IsNaN(Pearson(xs, xs[:3])) {
+		t.Fatal("length mismatch must yield NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Fatal("single point must yield NaN")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	slope, intercept := LinearFit([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7})
+	if !approx(slope, 2) || !approx(intercept, 1) {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	s, i := LinearFit([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(s) || !math.IsNaN(i) {
+		t.Fatal("vertical fit must yield NaN")
+	}
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"factorwindows/internal/window"
+)
+
+func TestValidate(t *testing.T) {
+	ok := []Event{{Time: 0}, {Time: 0}, {Time: 1}, {Time: 5}}
+	if err := Validate(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(nil); err != nil {
+		t.Fatal("empty stream is valid")
+	}
+	if err := Validate([]Event{{Time: 2}, {Time: 1}}); err == nil {
+		t.Fatal("out-of-order must fail")
+	}
+	if err := Validate([]Event{{Time: -1}}); err == nil {
+		t.Fatal("negative time must fail")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{W: window.Tumbling(10), Start: 0, End: 10, Key: 3, Value: 7.5}
+	if got := r.String(); got != "W(10,10)[0,10) key=3 -> 7.5" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSortResultsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var rs []Result
+	for i := 0; i < 500; i++ {
+		rs = append(rs, Result{
+			W:     window.Window{Range: int64(rng.Intn(4)+1) * 10, Slide: 10},
+			Start: int64(rng.Intn(10) * 10),
+			Key:   uint64(rng.Intn(5)),
+		})
+	}
+	SortResults(rs)
+	if !sort.SliceIsSorted(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.W.Range != b.W.Range {
+			return a.W.Range < b.W.Range
+		}
+		if a.W.Slide != b.W.Slide {
+			return a.W.Slide < b.W.Slide
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Key < b.Key
+	}) {
+		t.Fatal("SortResults not canonical")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	var c CountingSink
+	c.Emit(Result{})
+	c.Emit(Result{})
+	if c.N != 2 {
+		t.Fatalf("count = %d", c.N)
+	}
+	var col CollectingSink
+	col.Emit(Result{W: window.Tumbling(20), Start: 20})
+	col.Emit(Result{W: window.Tumbling(10), Start: 0})
+	sorted := col.Sorted()
+	if sorted[0].W != window.Tumbling(10) {
+		t.Fatal("Sorted not sorted")
+	}
+}
+
+func TestFilterWindow(t *testing.T) {
+	rs := []Result{
+		{W: window.Tumbling(10), Key: 1},
+		{W: window.Tumbling(20), Key: 2},
+		{W: window.Tumbling(10), Key: 3},
+	}
+	got := FilterWindow(rs, window.Tumbling(10))
+	if len(got) != 2 || got[0].Key != 1 || got[1].Key != 3 {
+		t.Fatalf("FilterWindow = %v", got)
+	}
+	if len(FilterWindow(rs, window.Tumbling(99))) != 0 {
+		t.Fatal("absent window must filter to empty")
+	}
+}

@@ -1,0 +1,185 @@
+// Package streamio reads and writes event streams and result sets in the
+// two formats the command-line tools speak: CSV ("time,key,value" rows,
+// optional header) and JSON Lines (one object per line). Readers validate
+// ordering on request so executors can rely on the in-order contract.
+package streamio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"factorwindows/internal/stream"
+)
+
+// ReadCSV parses "time,key,value" rows. A first line starting with
+// "time" is treated as a header. Blank lines are skipped.
+func ReadCSV(r io.Reader) ([]stream.Event, error) {
+	var out []stream.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(strings.ToLower(text), "time")) {
+			continue
+		}
+		e, err := parseCSVEvent(text)
+		if err != nil {
+			return nil, fmt.Errorf("streamio: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("streamio: %w", err)
+	}
+	return out, nil
+}
+
+func parseCSVEvent(text string) (stream.Event, error) {
+	var e stream.Event
+	fields := strings.Split(text, ",")
+	if len(fields) != 3 {
+		return e, fmt.Errorf("want time,key,value; got %d fields", len(fields))
+	}
+	t, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("time: %v", err)
+	}
+	k, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("key: %v", err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+	if err != nil {
+		return e, fmt.Errorf("value: %v", err)
+	}
+	return stream.Event{Time: t, Key: k, Value: v}, nil
+}
+
+// WriteCSV writes events as "time,key,value" rows with a header.
+func WriteCSV(w io.Writer, events []stream.Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,key,value"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", e.Time, e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonEvent is the JSONL wire form of an event.
+type jsonEvent struct {
+	Time  int64   `json:"time"`
+	Key   uint64  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// ReadJSONL parses one JSON event object per line.
+func ReadJSONL(r io.Reader) ([]stream.Event, error) {
+	var out []stream.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("streamio: line %d: %w", line, err)
+		}
+		out = append(out, stream.Event{Time: je.Time, Key: je.Key, Value: je.Value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("streamio: %w", err)
+	}
+	return out, nil
+}
+
+// WriteJSONL writes one JSON event object per line.
+func WriteJSONL(w io.Writer, events []stream.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(jsonEvent{Time: e.Time, Key: e.Key, Value: e.Value}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonResult is the JSONL wire form of a window result.
+type jsonResult struct {
+	Range int64   `json:"range"`
+	Slide int64   `json:"slide"`
+	Start int64   `json:"start"`
+	End   int64   `json:"end"`
+	Key   uint64  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// WriteResultsCSV writes results as CSV with a header.
+func WriteResultsCSV(w io.Writer, rs []stream.Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "range,slide,start,end,key,value"); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%g\n",
+			r.W.Range, r.W.Slide, r.Start, r.End, r.Key, r.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteResultsJSONL writes one JSON result object per line.
+func WriteResultsJSONL(w io.Writer, rs []stream.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range rs {
+		if err := enc.Encode(jsonResult{
+			Range: r.W.Range, Slide: r.W.Slide,
+			Start: r.Start, End: r.End, Key: r.Key, Value: r.Value,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents dispatches on format ("csv" or "jsonl") and optionally
+// validates ordering.
+func ReadEvents(r io.Reader, format string, validate bool) ([]stream.Event, error) {
+	var (
+		events []stream.Event
+		err    error
+	)
+	switch strings.ToLower(format) {
+	case "csv", "":
+		events, err = ReadCSV(r)
+	case "jsonl", "json":
+		events, err = ReadJSONL(r)
+	default:
+		return nil, fmt.Errorf("streamio: unknown format %q", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if validate {
+		if err := stream.Validate(events); err != nil {
+			return nil, err
+		}
+	}
+	return events, nil
+}

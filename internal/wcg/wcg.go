@@ -1,0 +1,467 @@
+// Package wcg implements the window coverage graph (WCG) of Sections II-C
+// and III of the Factor Windows paper: graph construction under "covered
+// by" or "partitioned by" semantics, the augmented WCG with the virtual
+// root window S⟨1,1⟩ (Section IV-A), and Algorithm 1, which computes the
+// min-cost WCG — a forest (Theorem 7) in which every window reads its
+// input either from the raw stream or from the sub-aggregates of exactly
+// one other window.
+package wcg
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/window"
+)
+
+// Node is a vertex of the WCG: one window plus its optimization state.
+type Node struct {
+	W window.Window
+
+	// Root marks the virtual source window S⟨1,1⟩ added by augmentation.
+	// The root stands for the raw input stream; its cost is not part of
+	// the plan cost and it is never rewritten.
+	Root bool
+
+	// Factor marks auxiliary factor windows (Section IV) inserted by the
+	// optimizer; their results are not exposed to the user.
+	Factor bool
+
+	// Cost is the per-period computation cost c_i assigned by Algorithm 1
+	// (nil before MinCost runs, and always nil for the root).
+	Cost *big.Int
+
+	// Parent is the upstream window this node reads sub-aggregates from in
+	// the min-cost WCG. A node whose Parent is the root (or nil) reads the
+	// raw input stream.
+	Parent *Node
+
+	in  []*Node
+	out []*Node
+}
+
+// String renders the node's window, tagging the virtual root and factors.
+func (n *Node) String() string {
+	switch {
+	case n.Root:
+		return "S(1,1)"
+	case n.Factor:
+		return n.W.String() + "*"
+	default:
+		return n.W.String()
+	}
+}
+
+// In returns the nodes with an edge into n (n's coverers).
+func (n *Node) In() []*Node { return n.in }
+
+// Out returns the nodes n has an edge to (the windows n covers, i.e. n's
+// downstream windows in the sense of Figure 9).
+func (n *Node) Out() []*Node { return n.out }
+
+// Graph is a (possibly augmented) window coverage graph.
+type Graph struct {
+	Sem   agg.Semantics
+	Model cost.Model
+
+	// R is the evaluation period lcm(r_1, ..., r_n) over the original
+	// window set. Factor windows are constrained to ranges dividing R, so
+	// R never changes after construction.
+	R *big.Int
+
+	// Root is the virtual source S⟨1,1⟩ after Augment. If the user's
+	// window set already contains W(1,1), that real node doubles as the
+	// root (per Section IV-A) and Root.Root is false.
+	Root *Node
+
+	nodes []*Node
+	index map[window.Window]*Node
+}
+
+// relation returns the coverage predicate for the graph's semantics:
+// window.Covers for "covered by", window.Partitions for "partitioned by".
+// NoSharing admits no edges.
+func (g *Graph) relation() func(w1, w2 window.Window) bool {
+	switch g.Sem {
+	case agg.CoveredBy:
+		return window.Covers
+	case agg.PartitionedBy:
+		return window.Partitions
+	default:
+		return func(window.Window, window.Window) bool { return false }
+	}
+}
+
+// Build constructs the WCG for the window set under the semantics chosen
+// for the aggregate function (Algorithm 1, line 1): for every pair with
+// w1 ≤ w2 it adds the edge (w2, w1). The graph is not yet augmented.
+func Build(set *window.Set, sem agg.Semantics, model cost.Model) (*Graph, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("wcg: empty window set")
+	}
+	g := &Graph{
+		Sem:   sem,
+		Model: model,
+		R:     cost.Period(set.Windows()),
+		index: make(map[window.Window]*Node),
+	}
+	for _, w := range set.Sorted() {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		g.addNode(&Node{W: w})
+	}
+	rel := g.relation()
+	for _, n1 := range g.nodes {
+		for _, n2 := range g.nodes {
+			if n1 != n2 && rel(n1.W, n2.W) {
+				g.AddEdge(n2, n1)
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addNode(n *Node) {
+	if _, dup := g.index[n.W]; dup {
+		panic(fmt.Sprintf("wcg: duplicate node %v", n.W))
+	}
+	g.nodes = append(g.nodes, n)
+	g.index[n.W] = n
+}
+
+// Lookup returns the node for w, or nil.
+func (g *Graph) Lookup(w window.Window) *Node {
+	return g.index[w]
+}
+
+// Nodes returns all nodes including the root (if augmented), in
+// deterministic (range, slide) order with the root first.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.nodes))
+	copy(out, g.nodes)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Root != out[j].Root {
+			return out[i].Root
+		}
+		if out[i].W.Range != out[j].W.Range {
+			return out[i].W.Range < out[j].W.Range
+		}
+		return out[i].W.Slide < out[j].W.Slide
+	})
+	return out
+}
+
+// UserNodes returns the non-root, non-factor nodes (the query's windows).
+func (g *Graph) UserNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if !n.Root && !n.Factor {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether the edge (from, to) exists.
+func (g *Graph) HasEdge(from, to *Node) bool {
+	for _, n := range from.out {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the edge (from, to); duplicate edges are ignored.
+func (g *Graph) AddEdge(from, to *Node) {
+	if g.HasEdge(from, to) {
+		return
+	}
+	from.out = append(from.out, to)
+	to.in = append(to.in, from)
+}
+
+// AddFactor inserts a factor window node for w, or returns the existing
+// node for w if one is already present (real or factor). The caller is
+// responsible for wiring the Figure-9 edges.
+func (g *Graph) AddFactor(w window.Window) *Node {
+	if n := g.index[w]; n != nil {
+		return n
+	}
+	n := &Node{W: w, Factor: true}
+	g.addNode(n)
+	return n
+}
+
+// Augment adds the virtual root S⟨1,1⟩ (Section IV-A) and connects it to
+// every node that has no incoming edges. If the window set already
+// contains W(1,1) that node becomes the root instead, since it covers (and
+// partitions) every other window. Augment is idempotent.
+func (g *Graph) Augment() {
+	if g.Root != nil {
+		return
+	}
+	s := window.Window{Range: 1, Slide: 1}
+	if n := g.index[s]; n != nil {
+		g.Root = n
+		return
+	}
+	root := &Node{W: s, Root: true}
+	g.addNode(root)
+	g.Root = root
+	for _, n := range g.nodes {
+		if n != root && len(n.in) == 0 {
+			g.AddEdge(root, n)
+		}
+	}
+}
+
+// MinCost runs lines 2–7 of Algorithm 1 over the graph: it assigns each
+// non-root node its minimal cost per Observation 1 and keeps only the
+// incoming edge achieving it, recorded as Parent. Reading from the root is
+// equivalent to reading the raw stream and costs n_i·(η·r_i).
+//
+// Ties are broken toward the raw stream first (fewer dependencies), then
+// toward the coverer with the largest range (the tightest cover).
+func (g *Graph) MinCost() {
+	for _, n := range g.Nodes() {
+		if n.Root {
+			n.Cost = nil
+			n.Parent = nil
+			continue
+		}
+		best := g.Model.Initial(n.W, g.R)
+		var parent *Node
+		// Deterministic scan order: larger ranges first so equal-cost
+		// covers resolve to the tightest one.
+		ins := append([]*Node(nil), n.in...)
+		sort.SliceStable(ins, func(i, j int) bool {
+			if ins[i].W.Range != ins[j].W.Range {
+				return ins[i].W.Range > ins[j].W.Range
+			}
+			return ins[i].W.Slide > ins[j].W.Slide
+		})
+		for _, p := range ins {
+			if p.Root {
+				continue // virtual-root read == raw read == the initial cost
+			}
+			c := g.Model.Shared(n.W, p.W, g.R)
+			if c.Cmp(best) < 0 {
+				best = c
+				parent = p
+			}
+		}
+		n.Cost = best
+		n.Parent = parent
+	}
+}
+
+// PruneFactors removes factor windows that ended up with no dependents in
+// the min-cost forest: computing them would be pure overhead since their
+// results are not exposed (Definition 6). Chains of useless factors are
+// removed transitively. It must run after MinCost.
+func (g *Graph) PruneFactors() {
+	for {
+		used := make(map[*Node]bool)
+		for _, n := range g.nodes {
+			if n.Parent != nil {
+				used[n.Parent] = true
+			}
+		}
+		removed := false
+		keep := g.nodes[:0]
+		for _, n := range g.nodes {
+			if n.Factor && !used[n] {
+				g.detach(n)
+				delete(g.index, n.W)
+				removed = true
+				continue
+			}
+			keep = append(keep, n)
+		}
+		g.nodes = keep
+		if !removed {
+			return
+		}
+	}
+}
+
+// Remove deletes a factor node from the graph entirely (node, edges and
+// index entry). It panics on non-factor nodes: user windows and the root
+// are never removed.
+func (g *Graph) Remove(n *Node) {
+	if !n.Factor {
+		panic(fmt.Sprintf("wcg: Remove of non-factor node %v", n))
+	}
+	g.detach(n)
+	delete(g.index, n.W)
+	keep := g.nodes[:0]
+	for _, x := range g.nodes {
+		if x != n {
+			keep = append(keep, x)
+		}
+	}
+	g.nodes = keep
+	for _, x := range g.nodes {
+		if x.Parent == n {
+			x.Parent = nil // stale; caller re-runs MinCost
+		}
+	}
+}
+
+func (g *Graph) detach(n *Node) {
+	for _, p := range n.in {
+		p.out = removeNode(p.out, n)
+	}
+	for _, c := range n.out {
+		c.in = removeNode(c.in, n)
+	}
+	n.in, n.out = nil, nil
+}
+
+func removeNode(s []*Node, n *Node) []*Node {
+	out := s[:0]
+	for _, x := range s {
+		if x != n {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TotalCost sums the costs of all non-root nodes (factor windows
+// included): the objective C of Section III-B. It must run after MinCost.
+func (g *Graph) TotalCost() *big.Int {
+	t := new(big.Int)
+	for _, n := range g.nodes {
+		if n.Root {
+			continue
+		}
+		if n.Cost == nil {
+			panic("wcg: TotalCost before MinCost")
+		}
+		t.Add(t, n.Cost)
+	}
+	return t
+}
+
+// NaiveCost returns the cost of evaluating every user window independently
+// from the raw stream — the baseline C = Σ n_i·(η·r_i) of the original
+// plan. Factor windows are excluded (they exist only under sharing).
+func (g *Graph) NaiveCost() *big.Int {
+	t := new(big.Int)
+	for _, n := range g.nodes {
+		if n.Root || n.Factor {
+			continue
+		}
+		t.Add(t, g.Model.Initial(n.W, g.R))
+	}
+	return t
+}
+
+// Children returns the nodes whose Parent is n, in deterministic order.
+// Valid after MinCost.
+func (g *Graph) Children(n *Node) []*Node {
+	var out []*Node
+	for _, c := range g.Nodes() {
+		if c.Parent == n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RawReaders returns the nodes that read the raw input stream in the
+// min-cost forest (Parent == nil), in deterministic order.
+func (g *Graph) RawReaders() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.Root {
+			continue
+		}
+		if n.Parent == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: the min-cost result is a forest
+// (Theorem 7) reaching every non-root node, and every Parent edge is a
+// genuine coverage edge under the graph's semantics.
+func (g *Graph) Validate() error {
+	rel := g.relation()
+	for _, n := range g.nodes {
+		if n.Root {
+			continue
+		}
+		seen := map[*Node]bool{n: true}
+		for p := n.Parent; p != nil; p = p.Parent {
+			if seen[p] {
+				return fmt.Errorf("wcg: parent cycle at %v", n)
+			}
+			seen[p] = true
+		}
+		if n.Parent != nil && !rel(n.W, n.Parent.W) {
+			return fmt.Errorf("wcg: parent %v does not cover %v under %v",
+				n.Parent, n, g.Sem)
+		}
+	}
+	return nil
+}
+
+// String renders the min-cost forest, one node per line.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WCG[%v] R=%v\n", g.Sem, g.R)
+	for _, n := range g.Nodes() {
+		if n.Root {
+			continue
+		}
+		src := "raw"
+		if n.Parent != nil {
+			src = n.Parent.String()
+		}
+		if n.Cost != nil {
+			fmt.Fprintf(&b, "  %v <- %s cost=%v\n", n, src, n.Cost)
+		} else {
+			fmt.Fprintf(&b, "  %v <- %s\n", n, src)
+		}
+	}
+	return b.String()
+}
+
+// Dot renders the full coverage graph in Graphviz DOT format, highlighting
+// min-cost parent edges (solid) vs. unused coverage edges (dashed), the
+// virtual root (box) and factor windows (dashed border).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph wcg {\n  rankdir=TB;\n")
+	id := func(n *Node) string { return fmt.Sprintf("%q", n.String()) }
+	for _, n := range g.Nodes() {
+		attr := ""
+		switch {
+		case n.Root:
+			attr = " [shape=box]"
+		case n.Factor:
+			attr = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  %s%s;\n", id(n), attr)
+	}
+	for _, from := range g.Nodes() {
+		for _, to := range from.out {
+			style := "dashed,color=gray"
+			if to.Parent == from {
+				style = "solid"
+			}
+			fmt.Fprintf(&b, "  %s -> %s [style=%q];\n", id(from), id(to), style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

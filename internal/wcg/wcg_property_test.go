@@ -1,0 +1,162 @@
+package wcg
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/window"
+)
+
+// randSet draws a random valid window set.
+func randSet(r *rand.Rand, maxN int) *window.Set {
+	set := &window.Set{}
+	n := r.Intn(maxN) + 1
+	for set.Len() < n {
+		s := int64(r.Intn(12) + 1)
+		k := int64(1)
+		if r.Intn(2) == 0 {
+			k = int64(r.Intn(5) + 1)
+		}
+		w := window.Window{Range: s * k, Slide: s}
+		if !set.Contains(w) {
+			_ = set.Add(w)
+		}
+	}
+	return set
+}
+
+// bruteMinCost exhaustively computes the optimal per-node parent choice:
+// since Algorithm 1 minimizes each node independently (each node's cost
+// depends only on its own parent), the global optimum is the sum of
+// per-node minima over all coverers — which is what Algorithm 1 computes.
+// This oracle recomputes it from scratch, without the graph machinery.
+func bruteMinCost(set *window.Set, sem agg.Semantics, model cost.Model) *big.Int {
+	ws := set.Windows()
+	R := cost.Period(ws)
+	rel := window.Covers
+	if sem == agg.PartitionedBy {
+		rel = window.Partitions
+	}
+	total := new(big.Int)
+	for _, w := range ws {
+		best := model.Initial(w, R)
+		for _, p := range ws {
+			if p == w || !rel(w, p) {
+				continue
+			}
+			c := model.Shared(w, p, R)
+			if c.Cmp(best) < 0 {
+				best = c
+			}
+		}
+		total.Add(total, best)
+	}
+	return total
+}
+
+func TestAlgorithm1MatchesExhaustiveOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 400; trial++ {
+		set := randSet(r, 7)
+		for _, sem := range []agg.Semantics{agg.CoveredBy, agg.PartitionedBy} {
+			g, err := Build(set, sem, cost.Default)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Augment()
+			g.MinCost()
+			want := bruteMinCost(set, sem, cost.Default)
+			if g.TotalCost().Cmp(want) != 0 {
+				t.Fatalf("set %v sem %v: Algorithm 1 total %v, oracle %v\n%s",
+					set, sem, g.TotalCost(), want, g)
+			}
+		}
+	}
+}
+
+func TestCoveredByNeverWorseThanPartitionedBy(t *testing.T) {
+	// Partition edges are a subset of coverage edges, so the covered-by
+	// optimum can only be at least as good.
+	r := rand.New(rand.NewSource(272))
+	for trial := 0; trial < 300; trial++ {
+		set := randSet(r, 6)
+		gc, err := Build(set, agg.CoveredBy, cost.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc.Augment()
+		gc.MinCost()
+		gp, err := Build(set, agg.PartitionedBy, cost.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp.Augment()
+		gp.MinCost()
+		if gc.TotalCost().Cmp(gp.TotalCost()) > 0 {
+			t.Fatalf("set %v: covered-by %v > partitioned-by %v",
+				set, gc.TotalCost(), gp.TotalCost())
+		}
+	}
+}
+
+func TestEdgesAreExactlyTheRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(273))
+	for trial := 0; trial < 200; trial++ {
+		set := randSet(r, 6)
+		for _, sem := range []agg.Semantics{agg.CoveredBy, agg.PartitionedBy} {
+			g, err := Build(set, sem, cost.Default)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := window.Covers
+			if sem == agg.PartitionedBy {
+				rel = window.Partitions
+			}
+			for _, a := range g.Nodes() {
+				for _, b := range g.Nodes() {
+					if a == b {
+						continue
+					}
+					// Edge (a, b) means b is covered by a.
+					if g.HasEdge(a, b) != rel(b.W, a.W) {
+						t.Fatalf("set %v sem %v: edge (%v,%v)=%v but relation=%v",
+							set, sem, a, b, g.HasEdge(a, b), rel(b.W, a.W))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCostEqualsSumOfNodeCosts(t *testing.T) {
+	r := rand.New(rand.NewSource(274))
+	for trial := 0; trial < 200; trial++ {
+		set := randSet(r, 6)
+		g, err := Build(set, agg.CoveredBy, cost.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Augment()
+		g.MinCost()
+		sum := new(big.Int)
+		for _, n := range g.UserNodes() {
+			// Recompute the node's cost from its chosen parent.
+			var c *big.Int
+			if n.Parent == nil {
+				c = g.Model.Initial(n.W, g.R)
+			} else {
+				c = g.Model.Shared(n.W, n.Parent.W, g.R)
+			}
+			if c.Cmp(n.Cost) != 0 {
+				t.Fatalf("node %v: stored cost %v, recomputed %v", n, n.Cost, c)
+			}
+			sum.Add(sum, c)
+		}
+		if sum.Cmp(g.TotalCost()) != 0 {
+			t.Fatalf("sum %v != total %v", sum, g.TotalCost())
+		}
+	}
+}

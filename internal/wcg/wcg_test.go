@@ -1,0 +1,317 @@
+package wcg
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/window"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func buildMin(t *testing.T, sem agg.Semantics, ws ...window.Window) *Graph {
+	t.Helper()
+	g, err := Build(window.MustSet(ws...), sem, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Augment()
+	g.MinCost()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPaperExample6(t *testing.T) {
+	// Four tumbling windows 10/20/30/40: naive cost 480, min-cost 150
+	// with W2,W3 fed by W1 and W4 fed by W2 (Figure 6).
+	g := buildMin(t, agg.PartitionedBy,
+		window.Tumbling(10), window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+
+	if g.R.Cmp(bi(120)) != 0 {
+		t.Fatalf("R = %v, want 120", g.R)
+	}
+	if got := g.NaiveCost(); got.Cmp(bi(480)) != 0 {
+		t.Fatalf("naive = %v, want 480", got)
+	}
+	if got := g.TotalCost(); got.Cmp(bi(150)) != 0 {
+		t.Fatalf("min-cost total = %v, want 150\n%s", got, g)
+	}
+
+	wantCost := map[window.Window]int64{
+		window.Tumbling(10): 120,
+		window.Tumbling(20): 12,
+		window.Tumbling(30): 12,
+		window.Tumbling(40): 6,
+	}
+	wantParent := map[window.Window]window.Window{
+		window.Tumbling(20): window.Tumbling(10),
+		window.Tumbling(30): window.Tumbling(10),
+		window.Tumbling(40): window.Tumbling(20),
+	}
+	for _, n := range g.UserNodes() {
+		if n.Cost.Cmp(bi(wantCost[n.W])) != 0 {
+			t.Errorf("cost(%v) = %v, want %d", n.W, n.Cost, wantCost[n.W])
+		}
+		if p, ok := wantParent[n.W]; ok {
+			if n.Parent == nil || n.Parent.W != p {
+				t.Errorf("parent(%v) = %v, want %v", n.W, n.Parent, p)
+			}
+		} else if n.Parent != nil {
+			t.Errorf("parent(%v) = %v, want raw input", n.W, n.Parent)
+		}
+	}
+}
+
+func TestPaperExample7NoFactors(t *testing.T) {
+	// Tumbling 20/30/40 without W(10,10): naive 360, Algorithm 1 alone
+	// reaches 246 (W4 from W2; W2, W3 from raw input) — Figure 7(a).
+	g := buildMin(t, agg.PartitionedBy,
+		window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	if got := g.NaiveCost(); got.Cmp(bi(360)) != 0 {
+		t.Fatalf("naive = %v, want 360", got)
+	}
+	if got := g.TotalCost(); got.Cmp(bi(246)) != 0 {
+		t.Fatalf("total = %v, want 246\n%s", got, g)
+	}
+	w4 := g.Lookup(window.Tumbling(40))
+	if w4.Parent == nil || w4.Parent.W != window.Tumbling(20) {
+		t.Fatalf("W4 parent = %v, want W(20,20)", w4.Parent)
+	}
+	for _, w := range []window.Window{window.Tumbling(20), window.Tumbling(30)} {
+		if n := g.Lookup(w); n.Parent != nil {
+			t.Fatalf("%v parent = %v, want raw", w, n.Parent)
+		}
+	}
+}
+
+func TestBuildEdgesCoveredVsPartitioned(t *testing.T) {
+	// W<10,2> is covered but not partitioned by W<8,2> (Examples 2 and 5).
+	set := window.MustSet(window.Hopping(10, 2), window.Hopping(8, 2))
+	gc, err := Build(set, agg.CoveredBy, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n10 := gc.Lookup(window.Hopping(10, 2))
+	n8 := gc.Lookup(window.Hopping(8, 2))
+	if !gc.HasEdge(n8, n10) {
+		t.Fatal("covered-by graph must contain edge W<8,2> -> W<10,2>")
+	}
+	gp, err := Build(set, agg.PartitionedBy, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.HasEdge(gp.Lookup(window.Hopping(8, 2)), gp.Lookup(window.Hopping(10, 2))) {
+		t.Fatal("partitioned-by graph must not contain that edge")
+	}
+}
+
+func TestNoSharingSemanticsHasNoEdges(t *testing.T) {
+	g := buildMin(t, agg.NoSharing,
+		window.Tumbling(10), window.Tumbling(20), window.Tumbling(40))
+	for _, n := range g.UserNodes() {
+		if n.Parent != nil {
+			t.Fatalf("NoSharing: %v should read raw input", n)
+		}
+	}
+	if g.TotalCost().Cmp(g.NaiveCost()) != 0 {
+		t.Fatal("NoSharing total must equal naive cost")
+	}
+}
+
+func TestMutuallyPrimeRangesGainNothing(t *testing.T) {
+	// The "Limitations" example: W(15,15), W(17,17), W(19,19).
+	g := buildMin(t, agg.PartitionedBy,
+		window.Tumbling(15), window.Tumbling(17), window.Tumbling(19))
+	if g.TotalCost().Cmp(g.NaiveCost()) != 0 {
+		t.Fatalf("mutually-prime ranges: total %v != naive %v", g.TotalCost(), g.NaiveCost())
+	}
+}
+
+func TestAugmentConnectsUncoveredNodes(t *testing.T) {
+	g, err := Build(window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40)),
+		agg.PartitionedBy, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Augment()
+	if g.Root == nil || !g.Root.Root {
+		t.Fatal("expected virtual root")
+	}
+	// W2(20) and W3(30) have no coverer: root edges. W4(40) is covered by
+	// W2, so no root edge (Section IV-A).
+	if !g.HasEdge(g.Root, g.Lookup(window.Tumbling(20))) {
+		t.Fatal("missing root edge to W(20,20)")
+	}
+	if !g.HasEdge(g.Root, g.Lookup(window.Tumbling(30))) {
+		t.Fatal("missing root edge to W(30,30)")
+	}
+	if g.HasEdge(g.Root, g.Lookup(window.Tumbling(40))) {
+		t.Fatal("unexpected root edge to W(40,40)")
+	}
+	g.Augment() // idempotent
+	if len(g.Nodes()) != 4 {
+		t.Fatalf("Augment not idempotent: %d nodes", len(g.Nodes()))
+	}
+}
+
+func TestRealUnitWindowActsAsRoot(t *testing.T) {
+	// If the query itself contains W(1,1), no virtual root is added and
+	// the real node's cost counts toward the plan. With η=2 reading the
+	// real W(1,1) is strictly cheaper than re-reading the raw stream (at
+	// η=1 the two tie and the optimizer prefers the raw read).
+	g, err := Build(window.MustSet(window.Tumbling(1), window.Tumbling(4)),
+		agg.PartitionedBy, cost.Model{Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Augment()
+	g.MinCost()
+	if g.Root == nil || g.Root.Root {
+		t.Fatal("real W(1,1) should double as root without a virtual node")
+	}
+	n1 := g.Lookup(window.Tumbling(1))
+	if n1.Cost == nil || n1.Cost.Cmp(bi(8)) != 0 { // n=4, η·r=2: cost 8
+		t.Fatalf("W(1,1) cost = %v, want 8", n1.Cost)
+	}
+	n4 := g.Lookup(window.Tumbling(4))
+	if n4.Parent != n1 {
+		t.Fatalf("W(4,4) should read from real W(1,1), got %v", n4.Parent)
+	}
+	// total = 8 (W(1,1) from raw) + n4·M(W4,W1) = 1·4 = 4 → 12.
+	if g.TotalCost().Cmp(bi(12)) != 0 {
+		t.Fatalf("total = %v, want 12", g.TotalCost())
+	}
+}
+
+func TestMinCostNeverWorseThanNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		n := r.Intn(6) + 2
+		set := &window.Set{}
+		for set.Len() < n {
+			s := int64(r.Intn(10) + 1)
+			k := int64(r.Intn(5) + 1)
+			w := window.Window{Range: s * k, Slide: s}
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, sem := range []agg.Semantics{agg.CoveredBy, agg.PartitionedBy} {
+			g, err := Build(set, sem, cost.Default)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Augment()
+			g.MinCost()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("set %v: %v", set, err)
+			}
+			if g.TotalCost().Cmp(g.NaiveCost()) > 0 {
+				t.Fatalf("set %v (%v): total %v > naive %v", set, sem, g.TotalCost(), g.NaiveCost())
+			}
+		}
+	}
+}
+
+func TestMinCostForestTheorem7(t *testing.T) {
+	// Every node has at most one parent and parent chains terminate: the
+	// min-cost WCG is a forest.
+	g := buildMin(t, agg.CoveredBy,
+		window.Hopping(20, 10), window.Hopping(40, 10), window.Hopping(60, 10))
+	for _, n := range g.UserNodes() {
+		depth := 0
+		for p := n.Parent; p != nil; p = p.Parent {
+			depth++
+			if depth > 100 {
+				t.Fatalf("parent chain too long at %v", n)
+			}
+		}
+	}
+}
+
+func TestPruneFactorsRemovesUnusedChains(t *testing.T) {
+	g, err := Build(window.MustSet(window.Tumbling(20), window.Tumbling(40)),
+		agg.PartitionedBy, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Augment()
+	// Insert two chained factors nobody will use: W(2,2) <- W(4,4),
+	// wired so that they are syntactically present but costlier than the
+	// direct edges, so MinCost will not pick them as parents... except
+	// they'd actually be attractive; instead wire them with no outgoing
+	// edges at all so they cannot be parents.
+	f2 := g.AddFactor(window.Tumbling(2))
+	f4 := g.AddFactor(window.Tumbling(4))
+	g.AddEdge(g.Root, f2)
+	g.AddEdge(f2, f4)
+	g.MinCost()
+	g.PruneFactors()
+	if g.Lookup(window.Tumbling(2)) != nil || g.Lookup(window.Tumbling(4)) != nil {
+		t.Fatal("unused factor chain must be pruned")
+	}
+	if got := g.TotalCost(); got.Cmp(bi(60)) != 0 { // R=40: c20=40, c40=n4*M=1*2...
+		// c20 = 40 (raw), c40 = n(40)*M(40,20) = 1*2 = 2 → 42.
+		if got.Cmp(bi(42)) != 0 {
+			t.Fatalf("total = %v, want 42", got)
+		}
+	}
+}
+
+func TestChildrenAndRawReaders(t *testing.T) {
+	g := buildMin(t, agg.PartitionedBy,
+		window.Tumbling(10), window.Tumbling(20), window.Tumbling(40))
+	n10 := g.Lookup(window.Tumbling(10))
+	kids := g.Children(n10)
+	if len(kids) != 1 || kids[0].W != window.Tumbling(20) {
+		t.Fatalf("Children(W10) = %v", kids)
+	}
+	raw := g.RawReaders()
+	if len(raw) != 1 || raw[0].W != window.Tumbling(10) {
+		t.Fatalf("RawReaders = %v", raw)
+	}
+}
+
+func TestStringAndDot(t *testing.T) {
+	g := buildMin(t, agg.PartitionedBy, window.Tumbling(10), window.Tumbling(20))
+	s := g.String()
+	if !strings.Contains(s, "W(20,20) <- W(10,10)") {
+		t.Fatalf("String output missing edge:\n%s", s)
+	}
+	d := g.Dot()
+	if !strings.Contains(d, "digraph wcg") || !strings.Contains(d, "W(10,10)") {
+		t.Fatalf("Dot output malformed:\n%s", d)
+	}
+}
+
+func TestBuildRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := Build(&window.Set{}, agg.CoveredBy, cost.Default); err == nil {
+		t.Fatal("empty set must fail")
+	}
+}
+
+func TestLookupAndAddFactorDedup(t *testing.T) {
+	g, err := Build(window.MustSet(window.Tumbling(20)), agg.CoveredBy, cost.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lookup(window.Tumbling(99)) != nil {
+		t.Fatal("Lookup of absent window must be nil")
+	}
+	n := g.AddFactor(window.Tumbling(20))
+	if n.Factor {
+		t.Fatal("AddFactor must return the existing real node, not create a factor")
+	}
+	f := g.AddFactor(window.Tumbling(5))
+	if !f.Factor || g.AddFactor(window.Tumbling(5)) != f {
+		t.Fatal("AddFactor must dedupe")
+	}
+}

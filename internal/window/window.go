@@ -1,0 +1,349 @@
+// Package window implements the formal window model of Section II of the
+// Factor Windows paper: range/slide windows, their interval representation,
+// the window-coverage relation (Theorem 1), window partitioning (Theorem 4)
+// and the covering multiplier (Theorem 3).
+//
+// All times are integer ticks in an arbitrary but uniform unit (the paper
+// uses minutes in its examples). A window W⟨r,s⟩ has range r (duration of
+// each instance) and slide s (gap between consecutive firings), with
+// 0 < s ≤ r. The interval representation of W is the infinite sequence of
+// left-closed right-open intervals [m·s, m·s+r) for m = 0, 1, 2, ...
+package window
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Window is a range/slide window W⟨r,s⟩.
+//
+// The zero Window is invalid; construct windows with New, Tumbling or
+// Hopping, or validate hand-built values with Validate.
+type Window struct {
+	Range int64 // r: duration of each instance, in ticks
+	Slide int64 // s: gap between consecutive firings, in ticks
+}
+
+// Tumbling returns the tumbling window W⟨r,r⟩.
+func Tumbling(r int64) Window { return Window{Range: r, Slide: r} }
+
+// Hopping returns the hopping window W⟨r,s⟩ with s < r.
+func Hopping(r, s int64) Window { return Window{Range: r, Slide: s} }
+
+// New returns W⟨r,s⟩ after validating it.
+func New(r, s int64) (Window, error) {
+	w := Window{Range: r, Slide: s}
+	if err := w.Validate(); err != nil {
+		return Window{}, err
+	}
+	return w, nil
+}
+
+// ErrInvalid reports a window violating 0 < s ≤ r or r % s != 0.
+var ErrInvalid = errors.New("window: invalid range/slide")
+
+// Validate checks the structural assumptions the paper makes throughout:
+// 0 < s ≤ r and r a multiple of s (the latter guarantees integer
+// recurrence counts; see the discussion below Equation 1).
+func (w Window) Validate() error {
+	switch {
+	case w.Slide <= 0:
+		return fmt.Errorf("%w: slide %d must be positive", ErrInvalid, w.Slide)
+	case w.Range < w.Slide:
+		return fmt.Errorf("%w: range %d < slide %d", ErrInvalid, w.Range, w.Slide)
+	case w.Range%w.Slide != 0:
+		return fmt.Errorf("%w: range %d not a multiple of slide %d", ErrInvalid, w.Range, w.Slide)
+	default:
+		return nil
+	}
+}
+
+// IsTumbling reports whether w is a tumbling window (s = r).
+func (w Window) IsTumbling() bool { return w.Range == w.Slide }
+
+// IsHopping reports whether w is a hopping window (s < r).
+func (w Window) IsHopping() bool { return w.Slide < w.Range }
+
+// K returns r/s, the per-window overlap factor k used throughout
+// Section IV (k=1 iff the window is tumbling).
+func (w Window) K() int64 { return w.Range / w.Slide }
+
+// String renders the window in the paper's W⟨r,s⟩ notation.
+func (w Window) String() string {
+	if w.IsTumbling() {
+		return fmt.Sprintf("W(%d,%d)", w.Range, w.Slide)
+	}
+	return fmt.Sprintf("W<%d,%d>", w.Range, w.Slide)
+}
+
+// Interval is one left-closed right-open interval [Start, End) of a
+// window's interval representation.
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// Len returns End-Start.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t int64) bool { return iv.Start <= t && t < iv.End }
+
+// Covers reports whether iv fully contains other ([u,v) with Start ≤ u and
+// v ≤ End), the membership test of Definition 2.
+func (iv Interval) Covers(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// Instance returns the m-th interval [m·s, m·s+r) of w's interval
+// representation. m must be ≥ 0.
+func (w Window) Instance(m int64) Interval {
+	return Interval{Start: m * w.Slide, End: m*w.Slide + w.Range}
+}
+
+// InstancesIn returns the indices m of all instances [m·s, m·s+r) fully
+// contained in [0, horizon); used by tests and the brute-force oracles.
+func (w Window) InstancesIn(horizon int64) []int64 {
+	var ms []int64
+	for m := int64(0); m*w.Slide+w.Range <= horizon; m++ {
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// InstancesCovering returns the inclusive index range [lo, hi] of window
+// instances [m·s, m·s+r) that fully cover the item interval [a, b), i.e.
+// m·s ≤ a and b ≤ m·s + r, clamped to m ≥ 0. ok is false when no instance
+// covers the item (b-a > r, or the item precedes instance 0's reach).
+//
+// This is the engine's assignment rule: a raw event at tick t is the unit
+// interval [t, t+1), and a sub-aggregate for an upstream instance [u,v)
+// feeds exactly the downstream instances whose interval covers [u,v)
+// (Definition 2).
+func (w Window) InstancesCovering(a, b int64) (lo, hi int64, ok bool) {
+	if b-a > w.Range || b <= a {
+		return 0, 0, false
+	}
+	// Need m·s + r ≥ b  ⇒  m ≥ (b - r)/s  (ceil), and m·s ≤ a ⇒ m ≤ a/s (floor).
+	lo = ceilDiv(b-w.Range, w.Slide)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = floorDiv(a, w.Slide)
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) != (b > 0) {
+		q--
+	}
+	return q
+}
+
+// Covers reports whether w1 is covered by w2 (w1 ≤ w2 in the paper's
+// notation, Definition 1), using the closed-form test of Theorem 1:
+// w1 ≤ w2 iff s1 is a multiple of s2 and r1−r2 is a multiple of s2.
+// A window is covered by itself (reflexivity, Theorem 2).
+func Covers(w1, w2 Window) bool {
+	if w1 == w2 {
+		return true
+	}
+	if w1.Range <= w2.Range {
+		return false // Definition 1 requires r1 > r2 for distinct windows.
+	}
+	return w1.Slide%w2.Slide == 0 && (w1.Range-w2.Range)%w2.Slide == 0
+}
+
+// Partitions reports whether w1 is partitioned by w2 (Definition 5), using
+// Theorem 4: s1 a multiple of s2, r1 a multiple of s2, and w2 tumbling.
+// Like coverage, partitioning is reflexive for identical windows.
+func Partitions(w1, w2 Window) bool {
+	if w1 == w2 {
+		return true
+	}
+	if w1.Range <= w2.Range {
+		return false
+	}
+	return w1.Slide%w2.Slide == 0 && w1.Range%w2.Slide == 0 && w2.IsTumbling()
+}
+
+// Multiplier returns the covering multiplier M(w1, w2) = 1 + (r1−r2)/s2
+// (Theorem 3): the number of w2 instances in the covering set of each w1
+// instance. It panics if w1 is not covered by w2; callers must check
+// Covers (or Partitions) first.
+func Multiplier(w1, w2 Window) int64 {
+	if !Covers(w1, w2) {
+		panic(fmt.Sprintf("window: Multiplier(%v, %v): not covered", w1, w2))
+	}
+	return 1 + (w1.Range-w2.Range)/w2.Slide
+}
+
+// CoveringSet returns the w2 instance indexes forming the covering set
+// (Definition 2) of w1's m-th instance. It panics if w1 is not covered by
+// w2. The result always has length Multiplier(w1, w2).
+func CoveringSet(w1, w2 Window, m int64) []int64 {
+	if !Covers(w1, w2) {
+		panic(fmt.Sprintf("window: CoveringSet(%v, %v): not covered", w1, w2))
+	}
+	iv := w1.Instance(m)
+	lo, hi, ok := coveredRange(iv, w2)
+	if !ok {
+		panic("window: CoveringSet: empty covering set (unreachable for covered windows)")
+	}
+	out := make([]int64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// coveredRange returns the inclusive range of w2 instance indexes whose
+// interval lies inside iv.
+func coveredRange(iv Interval, w2 Window) (lo, hi int64, ok bool) {
+	lo = ceilDiv(iv.Start, w2.Slide)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = floorDiv(iv.End-w2.Range, w2.Slide)
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Set is a duplicate-free collection of windows, the "window set" W of the
+// paper. Order is preserved as given (queries list windows in user order).
+type Set struct {
+	ws []Window
+}
+
+// NewSet builds a Set, rejecting invalid windows and duplicates.
+func NewSet(windows ...Window) (*Set, error) {
+	s := &Set{}
+	for _, w := range windows {
+		if err := s.Add(w); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSet is NewSet that panics on error; for tests and examples.
+func MustSet(windows ...Window) *Set {
+	s, err := NewSet(windows...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add appends w, validating it and rejecting duplicates.
+func (s *Set) Add(w Window) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if s.Contains(w) {
+		return fmt.Errorf("window: duplicate %v in set", w)
+	}
+	s.ws = append(s.ws, w)
+	return nil
+}
+
+// Contains reports whether w is in the set.
+func (s *Set) Contains(w Window) bool {
+	for _, x := range s.ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of windows.
+func (s *Set) Len() int { return len(s.ws) }
+
+// Windows returns a copy of the windows in insertion order.
+func (s *Set) Windows() []Window {
+	out := make([]Window, len(s.ws))
+	copy(out, s.ws)
+	return out
+}
+
+// Period returns R = lcm(r1, ..., rn), the evaluation period of the cost
+// model (Section III-B). It panics on an empty set.
+func (s *Set) Period() int64 {
+	if len(s.ws) == 0 {
+		panic("window: Period of empty set")
+	}
+	r := s.ws[0].Range
+	for _, w := range s.ws[1:] {
+		r = Lcm(r, w.Range)
+	}
+	return r
+}
+
+// Sorted returns the windows ordered by (range, slide); handy for
+// deterministic output.
+func (s *Set) Sorted() []Window {
+	out := s.Windows()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Range != out[j].Range {
+			return out[i].Range < out[j].Range
+		}
+		return out[i].Slide < out[j].Slide
+	})
+	return out
+}
+
+// String renders the set as {W(...), ...} in insertion order.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, w := range s.ws {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(w.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Gcd returns the greatest common divisor of a and b (both > 0).
+func Gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Lcm returns the least common multiple of a and b (both > 0).
+func Lcm(a, b int64) int64 { return a / Gcd(a, b) * b }
+
+// GcdAll returns the gcd of vs; panics on empty input.
+func GcdAll(vs []int64) int64 {
+	if len(vs) == 0 {
+		panic("window: GcdAll of empty slice")
+	}
+	g := vs[0]
+	for _, v := range vs[1:] {
+		g = Gcd(g, v)
+	}
+	return g
+}

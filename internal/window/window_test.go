@@ -1,0 +1,420 @@
+package window
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// bruteCovers checks Definition 1 directly on the interval representation:
+// w1 ≤ w2 iff r1 > r2 and for every interval I=[a,b) of w1 there are
+// intervals Ia=[a,x) and Ib=[y,b) of w2 with a < y and x < b. Both window
+// sequences are periodic with period lcm(s1,s2), so checking the first few
+// intervals suffices; we check a generous prefix.
+func bruteCovers(w1, w2 Window, intervals int64) bool {
+	if w1 == w2 {
+		return true
+	}
+	if w1.Range <= w2.Range {
+		return false
+	}
+	for m := int64(0); m < intervals; m++ {
+		iv := w1.Instance(m)
+		a, b := iv.Start, iv.End
+		foundIa, foundIb := false, false
+		for m2 := int64(0); ; m2++ {
+			j := w2.Instance(m2)
+			if j.Start > b {
+				break
+			}
+			if j.Start == a && j.End < b {
+				foundIa = true
+			}
+			if j.End == b && j.Start > a {
+				foundIb = true
+			}
+		}
+		if !foundIa || !foundIb {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteCoveringSet returns the w2 instances [u,v) with a ≤ u and v ≤ b for
+// w1's m-th interval (Definition 2).
+func bruteCoveringSet(w1, w2 Window, m int64) []Interval {
+	iv := w1.Instance(m)
+	var out []Interval
+	for m2 := int64(0); ; m2++ {
+		j := w2.Instance(m2)
+		if j.Start >= iv.End {
+			break
+		}
+		if iv.Covers(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// brutePartitions checks Definition 5 directly: covered, and every
+// interval's covering set is disjoint and unions exactly to the interval.
+func brutePartitions(w1, w2 Window, intervals int64) bool {
+	if w1 == w2 {
+		return true
+	}
+	if !bruteCovers(w1, w2, intervals) {
+		return false
+	}
+	for m := int64(0); m < intervals; m++ {
+		iv := w1.Instance(m)
+		cs := bruteCoveringSet(w1, w2, m)
+		var total int64
+		for i, j := range cs {
+			total += j.Len()
+			if i > 0 && cs[i-1].End > j.Start {
+				return false // overlap
+			}
+		}
+		if total != iv.Len() {
+			return false // union does not tile the interval exactly
+		}
+	}
+	return true
+}
+
+// randWindow draws a small valid window (r a multiple of s).
+func randWindow(r *rand.Rand) Window {
+	s := int64(r.Intn(12) + 1)
+	k := int64(r.Intn(6) + 1)
+	return Window{Range: s * k, Slide: s}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		w  Window
+		ok bool
+	}{
+		{Window{Range: 10, Slide: 10}, true},
+		{Window{Range: 10, Slide: 2}, true},
+		{Window{Range: 10, Slide: 3}, false}, // r not multiple of s
+		{Window{Range: 2, Slide: 10}, false}, // s > r
+		{Window{Range: 10, Slide: 0}, false},
+		{Window{Range: 0, Slide: 0}, false},
+		{Window{Range: -5, Slide: -5}, false},
+		{Window{Range: 1, Slide: 1}, true},
+	}
+	for _, c := range cases {
+		if err := c.w.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.w, err, c.ok)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(10, 3); err == nil {
+		t.Fatal("New(10,3) should fail")
+	}
+	w, err := New(10, 2)
+	if err != nil || w != (Window{10, 2}) {
+		t.Fatalf("New(10,2) = %v, %v", w, err)
+	}
+}
+
+func TestTumblingHopping(t *testing.T) {
+	if w := Tumbling(20); !w.IsTumbling() || w.IsHopping() || w.K() != 1 {
+		t.Errorf("Tumbling(20) misclassified: %v", w)
+	}
+	if w := Hopping(10, 2); w.IsTumbling() || !w.IsHopping() || w.K() != 5 {
+		t.Errorf("Hopping(10,2) misclassified: %v", w)
+	}
+}
+
+func TestInstance(t *testing.T) {
+	w := Hopping(10, 2)
+	// Interval representation of W(10,2) is {[0,10), [2,12), ...} (paper §II-A).
+	want := []Interval{{0, 10}, {2, 12}, {4, 14}}
+	for m, iv := range want {
+		if got := w.Instance(int64(m)); got != iv {
+			t.Errorf("Instance(%d) = %v, want %v", m, got, iv)
+		}
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: 4, End: 10}
+	if iv.Len() != 6 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(4) || iv.Contains(10) || iv.Contains(3) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !iv.Covers(Interval{5, 9}) || !iv.Covers(iv) || iv.Covers(Interval{3, 9}) || iv.Covers(Interval{5, 11}) {
+		t.Error("Covers boundary behaviour wrong")
+	}
+}
+
+func TestCoversPaperExample2(t *testing.T) {
+	// Example 2/3: W1⟨r=10,s=2⟩ is covered by W2⟨r=8,s=2⟩.
+	w1 := Hopping(10, 2)
+	w2 := Hopping(8, 2)
+	if !Covers(w1, w2) {
+		t.Fatal("W<10,2> should be covered by W<8,2>")
+	}
+	if Covers(w2, w1) {
+		t.Fatal("coverage should not be symmetric here")
+	}
+	// Example 5: W1 is NOT partitioned by W2 (W2 not tumbling).
+	if Partitions(w1, w2) {
+		t.Fatal("W<10,2> must not be partitioned by W<8,2>")
+	}
+}
+
+func TestMultiplierTheorem3(t *testing.T) {
+	// M(W1,W2) = 1 + (r1-r2)/s2; Figure 4 example has M = 2.
+	w1 := Hopping(10, 2)
+	w2 := Hopping(8, 2)
+	if got := Multiplier(w1, w2); got != 2 {
+		t.Errorf("M = %d, want 2", got)
+	}
+	// Tumbling chain from Example 6: M(W4(40,40), W2(20,20)) = 2.
+	if got := Multiplier(Tumbling(40), Tumbling(20)); got != 2 {
+		t.Errorf("M(40,20) = %d, want 2", got)
+	}
+	if got := Multiplier(Tumbling(30), Tumbling(10)); got != 3 {
+		t.Errorf("M(30,10) = %d, want 3", got)
+	}
+}
+
+func TestMultiplierPanicsWhenNotCovered(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Multiplier(Tumbling(30), Tumbling(20))
+}
+
+func TestCoveringSetMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		w1, w2 := randWindow(r), randWindow(r)
+		if !Covers(w1, w2) || w1 == w2 {
+			continue
+		}
+		m := int64(r.Intn(4))
+		got := CoveringSet(w1, w2, m)
+		want := bruteCoveringSet(w1, w2, m)
+		if len(got) != len(want) {
+			t.Fatalf("CoveringSet(%v,%v,%d): %d intervals, brute force %d",
+				w1, w2, m, len(got), len(want))
+		}
+		for k, idx := range got {
+			if w2.Instance(idx) != want[k] {
+				t.Fatalf("CoveringSet(%v,%v,%d)[%d] = %v, want %v",
+					w1, w2, m, k, w2.Instance(idx), want[k])
+			}
+		}
+		if int64(len(got)) != Multiplier(w1, w2) {
+			t.Fatalf("|covering set| = %d != M = %d for %v,%v",
+				len(got), Multiplier(w1, w2), w1, w2)
+		}
+	}
+}
+
+func TestCoversMatchesDefinition(t *testing.T) {
+	// Property: Theorem 1's closed form agrees with Definition 1 checked
+	// on the interval representation.
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(randWindow(r))
+			vs[1] = reflect.ValueOf(randWindow(r))
+		},
+	}
+	prop := func(w1, w2 Window) bool {
+		return Covers(w1, w2) == bruteCovers(w1, w2, 6)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionsMatchesDefinition(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(randWindow(r))
+			vs[1] = reflect.ValueOf(randWindow(r))
+		},
+	}
+	prop := func(w1, w2 Window) bool {
+		return Partitions(w1, w2) == brutePartitions(w1, w2, 6)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageIsPartialOrder(t *testing.T) {
+	// Theorem 2: reflexive, antisymmetric, transitive.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		w1, w2, w3 := randWindow(r), randWindow(r), randWindow(r)
+		if !Covers(w1, w1) {
+			t.Fatalf("reflexivity fails for %v", w1)
+		}
+		if Covers(w1, w2) && Covers(w2, w1) && w1 != w2 {
+			t.Fatalf("antisymmetry fails for %v, %v", w1, w2)
+		}
+		if Covers(w1, w2) && Covers(w2, w3) && !Covers(w1, w3) {
+			t.Fatalf("transitivity fails for %v ≤ %v ≤ %v", w1, w2, w3)
+		}
+	}
+}
+
+func TestPartitionsImpliesCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 5000; i++ {
+		w1, w2 := randWindow(r), randWindow(r)
+		if Partitions(w1, w2) && !Covers(w1, w2) {
+			t.Fatalf("Partitions(%v,%v) without Covers", w1, w2)
+		}
+	}
+}
+
+func TestInstancesCovering(t *testing.T) {
+	w := Hopping(10, 2)
+	// Event at tick 9 is the unit interval [9,10): instances m with
+	// m*2 ≤ 9 and 10 ≤ m*2+10, i.e. m ∈ [0,4].
+	lo, hi, ok := w.InstancesCovering(9, 10)
+	if !ok || lo != 0 || hi != 4 {
+		t.Fatalf("got lo=%d hi=%d ok=%v, want 0,4,true", lo, hi, ok)
+	}
+	// Sub-aggregate for [8,16): needs m*2 ≤ 8 and 16 ≤ m*2+10 → m ∈ [3,4].
+	lo, hi, ok = w.InstancesCovering(8, 16)
+	if !ok || lo != 3 || hi != 4 {
+		t.Fatalf("got lo=%d hi=%d ok=%v, want 3,4,true", lo, hi, ok)
+	}
+	// Too long an interval cannot be covered.
+	if _, _, ok = w.InstancesCovering(0, 11); ok {
+		t.Fatal("interval longer than range must not be covered")
+	}
+	// Degenerate interval.
+	if _, _, ok = w.InstancesCovering(5, 5); ok {
+		t.Fatal("empty interval must not be covered")
+	}
+}
+
+func TestInstancesCoveringMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		w := randWindow(r)
+		a := int64(r.Intn(60))
+		b := a + int64(r.Intn(10)) + 1
+		lo, hi, ok := w.InstancesCovering(a, b)
+		// Brute force over a safe index range.
+		var want []int64
+		for m := int64(0); m*w.Slide <= a+w.Range; m++ {
+			iv := w.Instance(m)
+			if iv.Start <= a && b <= iv.End {
+				want = append(want, m)
+			}
+		}
+		if !ok {
+			if len(want) != 0 {
+				t.Fatalf("%v [%d,%d): ok=false but brute force found %v", w, a, b, want)
+			}
+			continue
+		}
+		if len(want) == 0 || lo != want[0] || hi != want[len(want)-1] {
+			t.Fatalf("%v [%d,%d): got [%d,%d], brute force %v", w, a, b, lo, hi, want)
+		}
+		if hi-lo+1 != int64(len(want)) {
+			t.Fatalf("%v [%d,%d): non-contiguous brute-force set %v", w, a, b, want)
+		}
+	}
+}
+
+func TestInstancesIn(t *testing.T) {
+	w := Tumbling(10)
+	if got := w.InstancesIn(35); len(got) != 3 {
+		t.Fatalf("InstancesIn(35) = %v, want 3 instances", got)
+	}
+	h := Hopping(10, 5)
+	if got := h.InstancesIn(21); len(got) != 3 { // [0,10) [5,15) [10,20)
+		t.Fatalf("hopping InstancesIn(21) = %v", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s, err := NewSet(Tumbling(20), Tumbling(30), Tumbling(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || !s.Contains(Tumbling(30)) || s.Contains(Tumbling(10)) {
+		t.Fatal("Set membership wrong")
+	}
+	if err := s.Add(Tumbling(20)); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if err := s.Add(Window{Range: 7, Slide: 3}); err == nil {
+		t.Fatal("invalid Add must fail")
+	}
+	if got := s.Period(); got != 120 {
+		t.Fatalf("Period = %d, want 120", got)
+	}
+	sorted := s.Sorted()
+	if sorted[0] != Tumbling(20) || sorted[2] != Tumbling(40) {
+		t.Fatalf("Sorted = %v", sorted)
+	}
+	if s.String() != "{W(20,20), W(30,30), W(40,40)}" {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+func TestSetWindowsIsCopy(t *testing.T) {
+	s := MustSet(Tumbling(10), Tumbling(20))
+	ws := s.Windows()
+	ws[0] = Tumbling(99)
+	if s.Contains(Tumbling(99)) {
+		t.Fatal("Windows() must return a copy")
+	}
+}
+
+func TestGcdLcm(t *testing.T) {
+	if Gcd(12, 18) != 6 || Gcd(7, 13) != 1 || Gcd(5, 5) != 5 {
+		t.Fatal("Gcd wrong")
+	}
+	if Lcm(4, 6) != 12 || Lcm(10, 20) != 20 {
+		t.Fatal("Lcm wrong")
+	}
+	if GcdAll([]int64{20, 30, 40}) != 10 {
+		t.Fatal("GcdAll wrong")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	if Tumbling(20).String() != "W(20,20)" {
+		t.Fatalf("tumbling String = %s", Tumbling(20))
+	}
+	if Hopping(10, 2).String() != "W<10,2>" {
+		t.Fatalf("hopping String = %s", Hopping(10, 2))
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {8, 2, 4, 4}, {-8, 2, -4, -4}, {0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
