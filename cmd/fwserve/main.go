@@ -1,0 +1,104 @@
+// Command fwserve hosts the factor-window engine as a concurrent
+// streaming query service: clients register ASAQL queries over HTTP,
+// stream events in, and read or stream per-query window results out,
+// with the live query set jointly optimized into one shared plan.
+//
+// Usage:
+//
+//	fwserve -addr :8080 -shards 4 -reorder-bound 8
+//
+// Quickstart:
+//
+//	curl -X POST localhost:8080/queries -d \
+//	  "SELECT DeviceID, MIN(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))"
+//	curl -X POST localhost:8080/ingest -H 'Content-Type: application/json' \
+//	  -d '[{"time":1,"key":7,"value":21.5},{"time":2,"key":7,"value":19.0}]'
+//	curl "localhost:8080/queries/q1/results?after=-1"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 0, "key shards (0 = GOMAXPROCS)")
+		factors      = flag.Bool("factors", true, "enable factor-window expansion (Algorithm 3)")
+		reorderBound = flag.Int64("reorder-bound", 0, "out-of-order tolerance in ticks")
+		policy       = flag.String("policy", "drop", "late-event policy: drop or adjust")
+		resultBuffer = flag.Int("result-buffer", 4096, "per-query result ring capacity")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*shards, *factors, *reorderBound, *policy, *resultBuffer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("fwserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close() // ends result streams so Shutdown can drain them
+		httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s)",
+		*addr, cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// buildConfig validates the flag values into a server configuration.
+func buildConfig(shards int, factors bool, bound int64, policy string, resultBuffer int) (server.Config, error) {
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		return server.Config{}, err
+	}
+	if bound < 0 {
+		return server.Config{}, fmt.Errorf("fwserve: negative -reorder-bound %d", bound)
+	}
+	if resultBuffer <= 0 {
+		return server.Config{}, fmt.Errorf("fwserve: -result-buffer must be positive, got %d", resultBuffer)
+	}
+	return server.Config{
+		Shards:       shards,
+		Factors:      factors,
+		ReorderBound: bound,
+		Policy:       pol,
+		ResultBuffer: resultBuffer,
+	}, nil
+}
+
+func parsePolicy(s string) (reorder.Policy, error) {
+	switch s {
+	case "drop", "":
+		return reorder.Drop, nil
+	case "adjust":
+		return reorder.Adjust, nil
+	default:
+		return 0, fmt.Errorf("fwserve: unknown -policy %q (want drop or adjust)", s)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/server"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]reorder.Policy{"drop": reorder.Drop, "": reorder.Drop, "adjust": reorder.Adjust}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig(4, true, 8, "adjust", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 4 || !cfg.Factors || cfg.ReorderBound != 8 ||
+		cfg.Policy != reorder.Adjust || cfg.ResultBuffer != 128 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, bad := range []func() (server.Config, error){
+		func() (server.Config, error) { return buildConfig(4, true, -1, "drop", 128) },
+		func() (server.Config, error) { return buildConfig(4, true, 0, "drop", 0) },
+		func() (server.Config, error) { return buildConfig(4, true, 0, "nope", 128) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Fatal("invalid config must fail")
+		}
+	}
+}
+
+// TestQuickstart drives the README / doc-comment curl sequence against
+// the wired handler: register via raw text body, ingest a JSON batch,
+// read the query's results.
+func TestQuickstart(t *testing.T) {
+	cfg, err := buildConfig(2, true, 0, "drop", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cfg)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/queries", "text/plain", strings.NewReader(
+		"SELECT DeviceID, MIN(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	var qi struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qi.ID != "q1" {
+		t.Fatalf("generated id = %q", qi.ID)
+	}
+
+	resp, err = http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(
+		`[{"time":1,"key":7,"value":21.5},{"time":2,"key":7,"value":19.0},{"time":25,"key":7,"value":5}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/queries/q1/results?after=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		Results []struct {
+			Start, End int64
+			Key        uint64
+			Value      float64
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	// The tick-25 event completed window [0,20): MIN(21.5, 19.0) = 19.
+	if len(rr.Results) != 1 || rr.Results[0].Value != 19 ||
+		rr.Results[0].Start != 0 || rr.Results[0].End != 20 || rr.Results[0].Key != 7 {
+		t.Fatalf("results = %+v", rr.Results)
+	}
+}

@@ -131,6 +131,124 @@ func TestQuickCrossExecutorEquivalence(t *testing.T) {
 	}
 }
 
+// TestQuickShardedFactorEquivalence draws random window sets and random
+// event streams and asserts that the optimized factor-window plan, the
+// naive per-window plan, and key-sharded execution of the factored plan
+// at shard counts 1, 4 and 7 all produce identical results. Unlike
+// TestQuickParallelEquivalence below (fixed window set, random batching)
+// the window set itself is random here, so the sharding invariant is
+// exercised across the whole plan space, including watermark advances
+// interleaved mid-stream as the serving layer issues them.
+func TestQuickShardedFactorEquivalence(t *testing.T) {
+	ranges := []int64{2, 3, 4, 6, 8, 9, 12, 16, 18, 24}
+	f := func(seed int64, fnPick, nWindows uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		fns := agg.ShareableFns()
+		fn := fns[int(fnPick)%len(fns)]
+
+		set := &window.Set{}
+		for set.Len() < 2+int(nWindows)%3 {
+			rr := ranges[r.Intn(len(ranges))]
+			w := window.Tumbling(rr)
+			if rr%2 == 0 && r.Intn(2) == 0 {
+				w = window.Hopping(rr, rr/2)
+			}
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					return false
+				}
+			}
+		}
+
+		events := make([]stream.Event, 0, 800)
+		tick := int64(0)
+		for i := 0; i < 800; i++ {
+			tick += int64(r.Intn(2))
+			events = append(events, stream.Event{
+				Time: tick, Key: uint64(r.Intn(8)), Value: float64(r.Intn(100)),
+			})
+		}
+
+		var reference []stream.Result
+		check := func(rs []stream.Result) bool {
+			stream.SortResults(rs)
+			if reference == nil {
+				reference = rs
+				return true
+			}
+			if len(rs) != len(reference) {
+				return false
+			}
+			for i := range reference {
+				a, b := reference[i], rs[i]
+				if a.W != b.W || a.Start != b.Start || a.End != b.End || a.Key != b.Key {
+					return false
+				}
+				if a.Value != b.Value &&
+					math.Abs(a.Value-b.Value) > 1e-9*math.Max(1, math.Abs(a.Value)) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Naive plan on the single-core engine sets the reference.
+		naive, err := plan.NewOriginal(set, fn)
+		if err != nil {
+			return false
+		}
+		naiveSink := &stream.CollectingSink{}
+		if err := Run(naive, events, naiveSink); err != nil {
+			return false
+		}
+		check(naiveSink.Results)
+
+		// Optimized factor-window plan, single-core.
+		res, err := core.Optimize(set, fn, core.Options{Factors: true})
+		if err != nil {
+			return false
+		}
+		factored, err := plan.FromGraph(res.Graph, fn, plan.Factored)
+		if err != nil {
+			return false
+		}
+		engSink := &stream.CollectingSink{}
+		if err := Run(factored, events, engSink); err != nil {
+			return false
+		}
+		if !check(engSink.Results) {
+			return false
+		}
+
+		// The same factored plan on 1, 4 and 7 key shards, fed in batches
+		// with a watermark advance between them.
+		for _, shards := range []int{1, 4, 7} {
+			sink := &stream.CollectingSink{}
+			pr, err := NewParallelRunner(factored, sink, shards)
+			if err != nil {
+				return false
+			}
+			step := 100 + r.Intn(200)
+			for i := 0; i < len(events); i += step {
+				end := i + step
+				if end > len(events) {
+					end = len(events)
+				}
+				pr.Process(events[i:end])
+				pr.Advance(events[end-1].Time)
+			}
+			pr.Close()
+			if !check(sink.Results) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickParallelEquivalence extends the invariant to the key-sharded
 // executor: shard-count and batch-size must never change results.
 func TestQuickParallelEquivalence(t *testing.T) {

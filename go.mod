@@ -1,0 +1,3 @@
+module factorwindows
+
+go 1.24

@@ -1,0 +1,79 @@
+package asaql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary input at the lexer and parser. The hard
+// guarantee is no panic — a serving layer hands Parse raw client bytes.
+// On inputs that do parse, it additionally checks the render/re-parse
+// property: Query.String() must itself parse, to an equivalent query,
+// and re-rendering must reach a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure1Query,
+		`SELECT k, SUM(v) FROM s GROUP BY k, Windows(
+			Window('h', HoppingWindow(tick, 20, 10)),
+			TumblingWindow(hour, 2))`,
+		`SELECT MAX(temp) AS m, dev FROM in GROUP BY dev, Windows(TumblingWindow(tick, 5))`,
+		`SELECT DeviceID, MIN(T) FROM Input TIMESTAMP BY EntryTime
+		WHERE T > 20.5 AND DeviceID != 3
+		GROUP BY DeviceID, Windows(TumblingWindow(minute, 20))`,
+		`SELECT k, MAX(v) FROM s WHERE 10 <= v AND 100 > v GROUP BY k, Windows(HoppingWindow(tick, 8, 4))`,
+		`SELECT k, SUM(v) FROM s WHERE v > -5 AND v <> 0 GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+		`SELECT k, COUNT(v) FROM events GROUP BY k, Windows(TumblingWindow(second, 30))`,
+		// Invalid inputs keep the error paths in the corpus.
+		``,
+		`SELECT`,
+		`SELECT k; MIN(v)`,
+		`SELECT k, MIN(v) FROM s GROUP BY k, Windows(Window('x, TumblingWindow(tick, 5)))`,
+		`SELECT k, MIN(v) FROM s GROUP BY k, Windows(HoppingWindow(tick, 10, 3))`,
+		`SELECT k, MIN(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 99999999999999999999))`,
+		"SELECT \x00\xff", "((((((((", `'unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src) // must not panic, whatever src is
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query with nil error")
+		}
+		// Window names come from string literals; a name holding a quote
+		// character cannot be re-rendered by the quote-escape-free
+		// grammar, so the round-trip property does not apply.
+		for _, nw := range q.Windows {
+			if strings.ContainsAny(nw.Name, `'"`) {
+				return
+			}
+		}
+		out := q.String()
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of rendered query failed: %v\nrendered:\n%s", err, out)
+		}
+		if q2.KeyColumn != q.KeyColumn || q2.ValueColumn != q.ValueColumn ||
+			q2.Fn != q.Fn || q2.SelectsWindowID != q.SelectsWindowID ||
+			len(q2.Aggregates) != len(q.Aggregates) ||
+			len(q2.Where) != len(q.Where) || len(q2.Windows) != len(q.Windows) {
+			t.Fatalf("round-trip changed the query:\n%+v\nvs\n%+v", q, q2)
+		}
+		for i := range q.Windows {
+			if q2.Windows[i].W != q.Windows[i].W || q2.Windows[i].Name != q.Windows[i].Name {
+				t.Fatalf("window %d changed: %+v vs %+v", i, q.Windows[i], q2.Windows[i])
+			}
+		}
+		for i := range q.Where {
+			if q2.Where[i] != q.Where[i] {
+				t.Fatalf("condition %d changed: %+v vs %+v", i, q.Where[i], q2.Where[i])
+			}
+		}
+		if again := q2.String(); again != out {
+			t.Fatalf("String not a fixed point:\n%s\nvs\n%s", out, again)
+		}
+	})
+}

@@ -590,7 +590,10 @@ func (q *Query) String() string {
 		if i > 0 {
 			kw = " AND"
 		}
-		fmt.Fprintf(&b, "%s %s %s %v", kw, c.Column, c.Op, c.Value)
+		// 'f' format: the lexer reads plain decimal numbers, not the
+		// exponent notation %v falls back to for large magnitudes.
+		fmt.Fprintf(&b, "%s %s %s %s", kw, c.Column, c.Op,
+			strconv.FormatFloat(c.Value, 'f', -1, 64))
 	}
 	fmt.Fprintf(&b, "\nGROUP BY %s, Windows(", q.KeyColumn)
 	for i, nw := range q.Windows {

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// TestAdvanceFiresQuietWindows: a watermark completes instances no later
+// event would, and the combined advance+stream run matches a plain run.
+func TestAdvanceFiresQuietWindows(t *testing.T) {
+	set := window.MustSet(window.Tumbling(8), window.Hopping(16, 8))
+	res, err := core.Optimize(set, agg.Sum, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.FromGraph(res.Graph, agg.Sum, plan.Factored)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := []stream.Event{
+		{Time: 1, Key: 1, Value: 2}, {Time: 5, Key: 2, Value: 3}, {Time: 13, Key: 1, Value: 7},
+	}
+	sink := &stream.CollectingSink{}
+	r, err := New(p, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Process(events)
+
+	// Nothing after tick 13 has fired [8,16) or [0,16) yet.
+	before := len(sink.Results)
+	r.Advance(16)
+	fired := sink.Results[before:]
+	if len(fired) == 0 {
+		t.Fatal("Advance(16) fired nothing")
+	}
+	for _, got := range fired {
+		if got.End > 16 {
+			t.Fatalf("Advance(16) fired incomplete instance %v", got)
+		}
+	}
+	// Advancing again is idempotent; a lower watermark is a no-op.
+	n := len(sink.Results)
+	r.Advance(16)
+	r.Advance(3)
+	if len(sink.Results) != n {
+		t.Fatalf("re-advance fired %d extra results", len(sink.Results)-n)
+	}
+
+	// Later events then continue the stream; the total must equal an
+	// uninterrupted run.
+	tail := []stream.Event{{Time: 17, Key: 2, Value: 1}, {Time: 31, Key: 1, Value: 4}}
+	r.Process(tail)
+	r.Close()
+
+	ref := &stream.CollectingSink{}
+	if _, err := Run(p, append(append([]stream.Event(nil), events...), tail...), ref); err != nil {
+		t.Fatal(err)
+	}
+	got, want := sink.Sorted(), ref.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("advance run emitted %d results, plain run %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAdvanceTumblingCache: the k=1 fast path caches its newest
+// instance; an external Advance that fires it must not leave the next
+// event folding into a released instance.
+func TestAdvanceTumblingCache(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	p, err := plan.NewOriginal(set, agg.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &stream.CollectingSink{}
+	r, err := New(p, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Process([]stream.Event{{Time: 3, Key: 1, Value: 1}})
+	r.Advance(10) // fires the cached [0,10) instance
+	r.Process([]stream.Event{{Time: 12, Key: 1, Value: 1}, {Time: 14, Key: 1, Value: 1}})
+	r.Close()
+	got := sink.Sorted()
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 2 {
+		t.Fatalf("results = %v", got)
+	}
+}

@@ -158,6 +158,32 @@ func (r *Runner) Process(events []stream.Event) {
 	}
 }
 
+// Advance declares a watermark: no subsequent event will have Time < t.
+// Every window instance with end <= t is thereby complete and fires.
+// Long-running pipelines use it to flush windows whose keys went quiet —
+// the stream alone only completes an instance when a later event passes
+// its end, so without a watermark trailing windows wait for Close.
+func (r *Runner) Advance(t int64) {
+	if r.closed {
+		panic("engine: Advance after Close")
+	}
+	for _, root := range r.roots {
+		root.advanceTo(t + 1)
+	}
+}
+
+// advanceTo fires every instance with end < bound, parents before
+// children so the fired sub-aggregates land downstream first.
+func (n *node) advanceTo(bound int64) {
+	n.advance(bound)
+	// The tumbling fast path may cache an instance this advance just
+	// fired and released; force the next event to re-resolve it.
+	n.curInst = nil
+	for _, c := range n.children {
+		c.advanceTo(bound)
+	}
+}
+
 // Close flushes all open window instances and finalizes the run. The
 // Runner cannot be reused afterwards.
 func (r *Runner) Close() {

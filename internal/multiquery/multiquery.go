@@ -149,11 +149,20 @@ func (p *Plan) Subscribers(w window.Window) []string {
 	return append([]string(nil), p.routes[w]...)
 }
 
+// Sink wraps emit in the plan's routing logic, producing a stream.Sink
+// that any executor of Combined can drive: engine.Run for single-core
+// execution, or parallel.New for key-sharded execution (the parallel
+// runner serializes sink access, so emit needs no locking of its own).
+// Results of factor windows and other unsubscribed internals are
+// filtered out; every surviving result is tagged with its subscribers.
+func (p *Plan) Sink(emit func(Routed)) stream.Sink {
+	return &routingSink{plan: p, emit: emit}
+}
+
 // Run executes the combined plan over events, delivering every result to
 // emit once, tagged with all subscribed queries.
 func (p *Plan) Run(events []stream.Event, emit func(Routed)) error {
-	sink := &routingSink{plan: p, emit: emit}
-	_, err := engine.Run(p.Combined, events, sink)
+	_, err := engine.Run(p.Combined, events, p.Sink(emit))
 	return err
 }
 

@@ -1,0 +1,78 @@
+package multiquery
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// TestSinkOnParallelRunner: the exported routing sink must let the
+// combined plan run on the key-sharded executor with the same routed
+// output as the single-core Run path.
+func TestSinkOnParallelRunner(t *testing.T) {
+	queries := []Query{
+		{ID: "a", Windows: []window.Window{window.Tumbling(8), window.Tumbling(16)}},
+		{ID: "b", Windows: []window.Window{window.Hopping(16, 8), window.Tumbling(8)}},
+	}
+	p, err := Optimize(queries, agg.Sum, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs := p.Subscribers(window.Tumbling(8)); len(subs) != 2 || subs[0] != "a" || subs[1] != "b" {
+		t.Fatalf("Subscribers = %v", subs)
+	}
+
+	r := rand.New(rand.NewSource(9))
+	events := make([]stream.Event, 0, 1500)
+	tick := int64(0)
+	for i := 0; i < 1500; i++ {
+		tick += int64(r.Intn(2))
+		events = append(events, stream.Event{
+			Time: tick, Key: uint64(r.Intn(8)), Value: float64(r.Intn(50)),
+		})
+	}
+
+	type tagged struct {
+		ids string
+		res stream.Result
+	}
+	flatten := func(rts []Routed) map[tagged]int {
+		out := make(map[tagged]int)
+		for _, rt := range rts {
+			key := tagged{res: rt.Result}
+			for _, id := range rt.QueryIDs {
+				key.ids += id + ","
+			}
+			out[key]++
+		}
+		return out
+	}
+
+	var single []Routed
+	if err := p.Run(events, func(rt Routed) { single = append(single, rt) }); err != nil {
+		t.Fatal(err)
+	}
+
+	var sharded []Routed
+	pr, err := parallel.New(p.Combined, p.Sink(func(rt Routed) { sharded = append(sharded, rt) }), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Process(events)
+	pr.Close()
+
+	want, got := flatten(single), flatten(sharded)
+	if len(single) == 0 || len(single) != len(sharded) {
+		t.Fatalf("routed %d single-core, %d sharded", len(single), len(sharded))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("routed result %+v: %d sharded vs %d single-core", k, got[k], n)
+		}
+	}
+}

@@ -11,6 +11,8 @@
 package parallel
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"runtime"
 	"sync"
@@ -60,11 +62,23 @@ func (s *shardSink) flush() {
 	s.buf = s.buf[:0]
 }
 
+// shardMsg is one unit of work for a shard loop: an event batch, a
+// watermark advance (advanceSet), or a barrier request (ack non-nil)
+// asking the shard to flush its sink and acknowledge that everything
+// sent before it has been processed.
+type shardMsg struct {
+	events     []stream.Event
+	advance    int64
+	advanceSet bool
+	ack        chan<- struct{}
+}
+
 // shard is one engine instance fed by its own goroutine.
 type shard struct {
+	owner  *Runner
 	runner *engine.Runner
 	sink   *shardSink
-	in     chan []stream.Event
+	in     chan shardMsg
 	done   chan struct{}
 }
 
@@ -76,12 +90,21 @@ type Runner struct {
 	shards []*shard
 	closed bool
 	events int64
+
+	mu      sync.Mutex
+	failure error
 }
 
 // New compiles the plan onto n key shards (n ≤ 0 selects GOMAXPROCS).
 // Every shard runs an identical copy of the plan; sink must be safe for
 // the wrapper's serialized access only (the Runner locks around it).
 func New(p *plan.Plan, sink stream.Sink, n int) (*Runner, error) {
+	return build(p, sink, n, nil)
+}
+
+// build compiles or restores the shard engines and starts their loops.
+// When snaps is non-nil it must hold one engine snapshot per shard.
+func build(p *plan.Plan, sink stream.Sink, n int, snaps [][]byte) (*Runner, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("parallel: nil sink")
 	}
@@ -92,29 +115,104 @@ func New(p *plan.Plan, sink stream.Sink, n int) (*Runner, error) {
 	r := &Runner{}
 	for i := 0; i < n; i++ {
 		ss := &shardSink{out: ls}
-		er, err := engine.New(p, ss)
+		var er *engine.Runner
+		var err error
+		if snaps == nil {
+			er, err = engine.New(p, ss)
+		} else {
+			er, err = engine.Restore(p, ss, snaps[i])
+		}
 		if err != nil {
 			return nil, err
 		}
 		sh := &shard{
+			owner:  r,
 			runner: er,
 			sink:   ss,
-			in:     make(chan []stream.Event, 8),
+			in:     make(chan shardMsg, 8),
 			done:   make(chan struct{}),
 		}
 		r.shards = append(r.shards, sh)
+	}
+	for _, sh := range r.shards {
 		go sh.loop()
 	}
 	return r, nil
 }
 
+// loop drives one shard. The engine enforces its input contract with
+// panics; a restored-from-hostile-bytes or otherwise corrupt state must
+// not take the whole process down, so a panicking shard is poisoned
+// instead: the failure is recorded on the Runner and the shard keeps
+// draining its channel (acking barriers) so senders never block.
 func (sh *shard) loop() {
 	defer close(sh.done)
-	for batch := range sh.in {
-		sh.runner.Process(batch)
+	if err := sh.consume(); err != nil {
+		sh.owner.fail(err)
+		for msg := range sh.in {
+			if msg.ack != nil {
+				close(msg.ack)
+			}
+		}
+		return
 	}
+	if err := sh.finish(); err != nil {
+		sh.owner.fail(err)
+	}
+}
+
+// consume processes messages until the input channel closes or a panic
+// poisons the shard.
+func (sh *shard) consume() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: shard failed: %v", p)
+		}
+	}()
+	for msg := range sh.in {
+		switch {
+		case msg.ack != nil:
+			sh.sink.flush()
+			close(msg.ack)
+		case msg.advanceSet:
+			sh.runner.Advance(msg.advance)
+		default:
+			sh.runner.Process(msg.events)
+		}
+	}
+	return nil
+}
+
+// finish flushes the shard engine once its channel has closed.
+func (sh *shard) finish() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: shard failed in flush: %v", p)
+		}
+	}()
 	sh.runner.Close()
 	sh.sink.flush()
+	return nil
+}
+
+func (r *Runner) fail(err error) {
+	r.mu.Lock()
+	if r.failure == nil {
+		r.failure = err
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the first failure any shard hit — a corrupt restored
+// state or an input-contract violation surfaces here as a recovered
+// panic instead of a process crash. A failed shard stops executing and
+// discards its input, so on a non-nil Err the Runner's output is
+// incomplete and the caller should tear it down. Call Err after a
+// Barrier (or Close) to observe failures from everything already sent.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failure
 }
 
 // shardOf maps a key to its shard via a Fibonacci hash, spreading
@@ -135,7 +233,7 @@ func (r *Runner) Process(events []stream.Event) {
 	n := len(r.shards)
 	if n == 1 {
 		batch := append([]stream.Event(nil), events...)
-		r.shards[0].in <- batch
+		r.shards[0].in <- shardMsg{events: batch}
 		return
 	}
 	parts := make([][]stream.Event, n)
@@ -145,8 +243,44 @@ func (r *Runner) Process(events []stream.Event) {
 	}
 	for i, part := range parts {
 		if len(part) > 0 {
-			r.shards[i].in <- part
+			r.shards[i].in <- shardMsg{events: part}
 		}
+	}
+}
+
+// Advance broadcasts a watermark to every shard: no subsequent event
+// will have Time < t, so instances with end <= t fire everywhere. This
+// matters precisely because the shards are key-partitioned — a shard
+// whose keys go quiet never sees the later events that would complete
+// its open windows. Like Process it is asynchronous; Barrier to sync.
+func (r *Runner) Advance(t int64) {
+	if r.closed {
+		panic("parallel: Advance after Close")
+	}
+	for _, sh := range r.shards {
+		sh.in <- shardMsg{advance: t, advanceSet: true}
+	}
+}
+
+// Barrier blocks until every shard has processed all batches handed to
+// Process before the call and flushed its buffered results to the sink.
+// After it returns the shard loops are quiescent (blocked on their input
+// channels), so reading aggregate counters such as TotalUpdates — or
+// taking a Snapshot — is race-free until the next Process call. Long-
+// running callers (servers) use it to make results visible promptly
+// instead of waiting for the per-shard batch buffers to fill.
+func (r *Runner) Barrier() {
+	if r.closed {
+		return
+	}
+	acks := make([]chan struct{}, len(r.shards))
+	for i, sh := range r.shards {
+		ack := make(chan struct{})
+		acks[i] = ack
+		sh.in <- shardMsg{ack: ack}
+	}
+	for _, ack := range acks {
+		<-ack
 	}
 }
 
@@ -178,6 +312,62 @@ func (r *Runner) TotalUpdates() int64 {
 		t += sh.runner.TotalUpdates()
 	}
 	return t
+}
+
+// snapshot is the serialized form of a Runner: one engine snapshot per
+// shard. The shard count is part of the state — the key→shard hash is a
+// pure function of the count, so restoring onto the same count keeps
+// every key's partial aggregates on the shard that owns them.
+type snapshot struct {
+	Shards int
+	Events int64
+	State  [][]byte
+}
+
+// Snapshot quiesces the shards (Barrier) and serializes their engine
+// state. Like engine.Snapshot it is consistent at batch boundaries: take
+// it between Process calls, from the goroutine driving the Runner.
+func (r *Runner) Snapshot() ([]byte, error) {
+	if r.closed {
+		return nil, fmt.Errorf("parallel: Snapshot after Close")
+	}
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("parallel: Snapshot of failed runner: %w", err)
+	}
+	snap := snapshot{Shards: len(r.shards), Events: r.events}
+	for _, sh := range r.shards {
+		b, err := sh.runner.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		snap.State = append(snap.State, b)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("parallel: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a Runner for p from a Snapshot taken on an identical
+// plan. The shard count is taken from the snapshot (it determines key
+// placement); each shard engine verifies the plan fingerprint.
+func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("parallel: decoding snapshot: %w", err)
+	}
+	if snap.Shards <= 0 || len(snap.State) != snap.Shards {
+		return nil, fmt.Errorf("parallel: snapshot has %d shards, %d states",
+			snap.Shards, len(snap.State))
+	}
+	r, err := build(p, sink, snap.Shards, snap.State)
+	if err != nil {
+		return nil, err
+	}
+	r.events = snap.Events
+	return r, nil
 }
 
 // Run executes the plan over all events on n shards and flushes.

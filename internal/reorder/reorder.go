@@ -23,6 +23,12 @@ type Consumer interface {
 	Process(events []stream.Event)
 }
 
+// NoRelease is the initial release horizon: before any event arrives,
+// nothing has been released. Consumers that gate on the horizon (the
+// serving layer's epoch minStart, its watermark broadcasts) compare
+// against this sentinel rather than re-declaring it.
+const NoRelease int64 = -1 << 62
+
 // Policy says what to do with events older than the tolerance bound.
 type Policy int
 
@@ -69,7 +75,7 @@ func New(consumer Consumer, bound int64, policy Policy, onLate func(stream.Event
 		return nil, fmt.Errorf("reorder: negative bound %d", bound)
 	}
 	return &Buffer{bound: bound, policy: policy, consumer: consumer, onLate: onLate,
-		released: -1 << 62}, nil
+		released: NoRelease}, nil
 }
 
 // Push accepts a batch of possibly out-of-order events. Large batches
@@ -128,6 +134,71 @@ func (b *Buffer) Close() {
 	b.closed = true
 	b.release(1<<62 - 1)
 }
+
+// State is a serializable snapshot of a Buffer: its configuration, its
+// lateness bookkeeping, and the events still held back. It lets a
+// long-running ingest pipeline carry pending events and the sealed
+// release horizon across a consumer swap (re-planning a live query set)
+// or a process restart (checkpoint/restore).
+type State struct {
+	Bound     int64
+	Policy    Policy
+	Watermark int64
+	Released  int64
+	Late      int64
+	Seen      int64
+	Pending   []stream.Event
+}
+
+// Snapshot captures the buffer's current state. The buffer remains
+// usable; take snapshots between Push calls.
+func (b *Buffer) Snapshot() State {
+	return State{
+		Bound:     b.bound,
+		Policy:    b.policy,
+		Watermark: b.watermark,
+		Released:  b.released,
+		Late:      b.late,
+		Seen:      b.seen,
+		// The heap array is copied as-is; the heap property is positional,
+		// so the copy is a valid heap for the restored buffer.
+		Pending: append([]stream.Event(nil), b.h.es...),
+	}
+}
+
+// NewFromState rebuilds a buffer from a Snapshot, feeding consumer.
+// Restoring Released preserves the lateness contract: events at or below
+// the sealed horizon stay late even though the buffer is new, so the
+// consumer's in-order guarantee survives the swap. The state may come
+// from an untrusted checkpoint, so the pending events are validated
+// against the sealed horizon and re-heapified rather than trusted
+// positionally — a tampered State must not make the buffer release
+// out of order.
+func NewFromState(consumer Consumer, st State, onLate func(stream.Event)) (*Buffer, error) {
+	b, err := New(consumer, st.Bound, st.Policy, onLate)
+	if err != nil {
+		return nil, err
+	}
+	b.watermark = st.Watermark
+	b.released = st.Released
+	b.late = st.Late
+	b.seen = st.Seen
+	for _, e := range st.Pending {
+		if e.Time < st.Released {
+			return nil, fmt.Errorf("reorder: pending event at %d precedes the sealed horizon %d",
+				e.Time, st.Released)
+		}
+		b.h.push(e)
+		if e.Time > b.watermark {
+			b.watermark = e.Time
+		}
+	}
+	return b, nil
+}
+
+// Released returns the sealed release horizon: every event with time
+// below it has already been handed to the consumer (or judged late).
+func (b *Buffer) Released() int64 { return b.released }
 
 // Late returns the number of events that violated the disorder bound.
 func (b *Buffer) Late() int64 { return b.late }

@@ -1,0 +1,105 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/stream"
+)
+
+type collectConsumer struct {
+	events []stream.Event
+}
+
+func (c *collectConsumer) Process(events []stream.Event) {
+	c.events = append(c.events, events...)
+}
+
+// TestSnapshotRestoreContinuity: splitting a disordered stream across a
+// snapshot/restore must forward exactly the same in-order sequence as an
+// uninterrupted buffer, including the pending heap and the lateness
+// judgments sealed by the release horizon.
+func TestSnapshotRestoreContinuity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	events := make([]stream.Event, 600)
+	tick := int64(0)
+	for i := range events {
+		tick += int64(r.Intn(3))
+		events[i] = stream.Event{Time: tick + int64(r.Intn(10)), Key: uint64(i), Value: 1}
+	}
+
+	run := func(cut int) (*collectConsumer, int64) {
+		c := &collectConsumer{}
+		b, err := New(c, 12, Drop, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Push(events[:cut])
+		if cut < len(events) {
+			st := b.Snapshot()
+			b2, err := NewFromState(c, st, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b2.Released() != b.Released() || b2.Buffered() != b.Buffered() {
+				t.Fatalf("restored horizon/backlog differ: %d/%d vs %d/%d",
+					b2.Released(), b2.Buffered(), b.Released(), b.Buffered())
+			}
+			b = b2
+		}
+		b.Push(events[cut:])
+		b.Close()
+		return c, b.Late()
+	}
+
+	ref, refLate := run(len(events))
+	got, gotLate := run(300)
+	if gotLate != refLate {
+		t.Fatalf("late across restore = %d, uninterrupted = %d", gotLate, refLate)
+	}
+	if len(got.events) != len(ref.events) {
+		t.Fatalf("forwarded %d events across restore, %d uninterrupted", len(got.events), len(ref.events))
+	}
+	for i := range ref.events {
+		if got.events[i] != ref.events[i] {
+			t.Fatalf("event %d: %v != %v", i, got.events[i], ref.events[i])
+		}
+	}
+	if err := stream.Validate(got.events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreSealsHorizon: with bound 0 every event releases at once,
+// so a fresh buffer would wrongly accept an old-time event after the
+// fact; a restored buffer must keep judging it late.
+func TestRestoreSealsHorizon(t *testing.T) {
+	c := &collectConsumer{}
+	b, err := New(c, 0, Drop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Push([]stream.Event{{Time: 10, Key: 1, Value: 1}})
+	st := b.Snapshot()
+	if st.Pending != nil {
+		t.Fatalf("bound 0 left %d pending", len(st.Pending))
+	}
+	b2, err := NewFromState(c, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Push([]stream.Event{{Time: 3, Key: 2, Value: 1}}) // before the sealed horizon
+	b2.Close()
+	if b2.Late() != 1 {
+		t.Fatalf("late = %d, want 1", b2.Late())
+	}
+	if err := stream.Validate(c.events); err != nil {
+		t.Fatalf("restored buffer broke ordering: %v", err)
+	}
+	if len(c.events) != 1 {
+		t.Fatalf("forwarded %d events, want 1", len(c.events))
+	}
+	if _, err := NewFromState(c, State{Bound: -1}, nil); err == nil {
+		t.Fatal("negative bound must fail")
+	}
+}

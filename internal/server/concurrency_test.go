@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/stream"
+)
+
+// TestConcurrentClients hammers the Go-level API from many goroutines —
+// parallel ingesters, query churn, and result/stat readers — and then
+// checks the stable query's result stream for internal consistency.
+// Its real teeth are `go test -race`.
+func TestConcurrentClients(t *testing.T) {
+	s := New(Config{Shards: 4, Factors: true, ReorderBound: 256, Policy: reorder.Adjust})
+	defer s.Close()
+	if _, err := s.Register("base", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+
+	var clock atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				base := clock.Add(4)
+				batch := make([]stream.Event, 24)
+				for j := range batch {
+					batch[j] = stream.Event{
+						Time:  base + int64(r.Intn(4)),
+						Key:   uint64(r.Intn(6)),
+						Value: float64(r.Intn(50)),
+					}
+				}
+				if _, err := s.Ingest(batch); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				id := fmt.Sprintf("churn%d-%d", c, i)
+				if _, err := s.Register(id, demoQuery2); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				if _, _, err := s.Results(id, -1, 0); err != nil {
+					t.Errorf("read %s: %v", id, err)
+				}
+				if err := s.Unregister(id); err != nil {
+					t.Errorf("unregister %s: %v", id, err)
+				}
+			}
+		}(c)
+	}
+	var readers sync.WaitGroup
+	for rdr := 0; rdr < 3; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, _, err := s.Results("base", -1, 0)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				for i := 1; i < len(rows); i++ {
+					if rows[i].Seq <= rows[i-1].Seq {
+						t.Errorf("non-monotonic seq %d after %d", rows[i].Seq, rows[i-1].Seq)
+						return
+					}
+				}
+				s.StatsNow()
+				s.Queries()
+			}
+		}()
+	}
+
+	wg.Wait() // ingesters and churners are bounded loops
+	close(stop)
+	readers.Wait()
+
+	st := s.StatsNow()
+	if st.Ingested != int64(4*40*24) {
+		t.Fatalf("ingested = %d", st.Ingested)
+	}
+	if st.Queries != 1 {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+	rows, _, err := s.Results("base", -1, 0)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("base delivered %d rows, err %v", len(rows), err)
+	}
+	for _, r := range rows {
+		if r.End-r.Start != r.Range {
+			t.Fatalf("malformed instance %+v", r)
+		}
+	}
+}
+
+// TestConcurrentHTTP exercises the full HTTP surface concurrently:
+// ingest batches, NDJSON streams, cursor reads, a live result stream, a
+// checkpoint, and register/unregister churn, all in flight at once.
+func TestConcurrentHTTP(t *testing.T) {
+	s := New(Config{Shards: 2, Factors: true, ReorderBound: 512, Policy: reorder.Adjust})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, ct, body string) (*http.Response, error) {
+		return http.Post(ts.URL+path, ct, strings.NewReader(body))
+	}
+	if resp, err := post("/queries?id=base", "text/plain", demoQuery1); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v %v", err, resp)
+	}
+
+	// A streaming reader that lives across the whole burst.
+	streamCtx, cancelStream := context.WithCancel(context.Background())
+	defer cancelStream()
+	streamDone := make(chan int)
+	go func() {
+		n := 0
+		defer func() { streamDone <- n }()
+		req, _ := http.NewRequestWithContext(streamCtx, "GET", ts.URL+"/queries/base/stream?after=-1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var row ResultRow
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				t.Errorf("stream row: %v", err)
+				return
+			}
+			n++
+		}
+	}()
+
+	var clock atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 20; i++ {
+				base := clock.Add(8)
+				if w == 0 {
+					var b strings.Builder
+					for j := 0; j < 32; j++ {
+						fmt.Fprintf(&b, "{\"time\":%d,\"key\":%d,\"value\":%d}\n",
+							base+int64(r.Intn(8)), r.Intn(5), r.Intn(30))
+					}
+					resp, err := post("/ingest", "application/x-ndjson", b.String())
+					if err != nil || resp.StatusCode != http.StatusOK {
+						t.Errorf("ndjson ingest: %v %v", err, resp)
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				var rows []string
+				for j := 0; j < 32; j++ {
+					rows = append(rows, fmt.Sprintf("{\"time\":%d,\"key\":%d,\"value\":%d}",
+						base+int64(r.Intn(8)), r.Intn(5), r.Intn(30)))
+				}
+				resp, err := post("/ingest", "application/json", "["+strings.Join(rows, ",")+"]")
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("json ingest: %v %v", err, resp)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("extra%d", i)
+			resp, err := post("/queries", "application/json",
+				fmt.Sprintf(`{"id":%q,"query":%q}`, id, demoQuery2))
+			if err != nil || resp.StatusCode != http.StatusCreated {
+				t.Errorf("churn register: %v %v", err, resp)
+				return
+			}
+			resp.Body.Close()
+			req, _ := http.NewRequest("DELETE", ts.URL+"/queries/"+id, nil)
+			if resp, err = http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+				t.Errorf("churn delete: %v %v", err, resp)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			for _, path := range []string{"/stats", "/queries", "/queries/base/results?after=-1&limit=64", "/checkpoint"} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: %v %v", path, err, resp)
+					return
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Push one flushing event so the stream has rows, then end it by
+	// unregistering the query: the stream must drain and terminate.
+	resp, err := post("/ingest", "application/json", `[{"time":100000,"key":0,"value":1}]`)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush ingest: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest("DELETE", ts.URL+"/queries/base", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete base: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	if n := <-streamDone; n == 0 {
+		t.Fatal("stream delivered no rows")
+	}
+}

@@ -1,0 +1,321 @@
+// HTTP API over the Server:
+//
+//	POST   /queries              register a query (JSON {"id","query"} or raw ASAQL text)
+//	GET    /queries              list live queries
+//	GET    /queries/{id}         one query's state
+//	DELETE /queries/{id}         unregister
+//	GET    /queries/{id}/results cursor read: ?after=<seq>&limit=<n>
+//	GET    /queries/{id}/stream  NDJSON long-poll stream: ?after=<seq>
+//	POST   /ingest               events: JSON array, NDJSON stream, or CSV
+//	GET    /stats                server-wide stats
+//	GET    /checkpoint           binary state snapshot
+//	POST   /restore              replace state from a snapshot
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/streamio"
+)
+
+// ndjsonBatch is how many NDJSON lines are grouped into one engine batch
+// while streaming ingest; batches release the ingest lock between each
+// other so concurrent clients interleave.
+const ndjsonBatch = 256
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleRegister)
+	mux.HandleFunc("GET /queries", s.handleListQueries)
+	mux.HandleFunc("GET /queries/{id}", s.handleGetQuery)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
+	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /restore", s.handleRestore)
+	return mux
+}
+
+// httpError maps server errors onto statuses: registry misses are 404,
+// conflicts 409, closure 503, anything else (parse/validation) 400.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		code = http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrEngine):
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// registerRequest is the JSON body of POST /queries; a non-JSON body is
+// treated as the raw query text with the id taken from ?id=.
+type registerRequest struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	req := registerRequest{ID: r.URL.Query().Get("id")}
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, fmt.Errorf("server: request body: %w", err))
+			return
+		}
+	} else {
+		req.Query = string(body)
+	}
+	qi, err := s.Register(req.ID, req.Query)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, qi)
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.Queries()})
+}
+
+func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	qi, err := s.Query(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, qi)
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.Unregister(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// cursor parses ?after= (default -1: from the beginning of the buffer).
+func cursor(r *http.Request) (int64, error) {
+	raw := r.URL.Query().Get("after")
+	if raw == "" {
+		return -1, nil
+	}
+	return strconv.ParseInt(raw, 10, 64)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	after, err := cursor(r)
+	if err != nil {
+		httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		if limit, err = strconv.Atoi(raw); err != nil {
+			httpError(w, fmt.Errorf("server: bad limit: %w", err))
+			return
+		}
+	}
+	rows, missed, err := s.Results(r.PathValue("id"), after, limit)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	next := after
+	if len(rows) > 0 {
+		next = rows[len(rows)-1].Seq
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": rows, "next": next, "missed": missed})
+}
+
+// handleStream writes results as NDJSON, blocking for new rows until the
+// client disconnects, the query is unregistered, or the server closes.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	after, err := cursor(r)
+	if err != nil {
+		httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
+		return
+	}
+	rg, err := s.ringOf(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for {
+		wake := rg.waitCh() // fetch before reading: no missed wakeups
+		rows, _ := rg.readAfter(after, 1024)
+		if len(rows) > 0 {
+			for _, row := range rows {
+				if err := enc.Encode(row); err != nil {
+					return
+				}
+			}
+			after = rows[len(rows)-1].Seq
+			rc.Flush()
+			continue
+		}
+		if rg.isClosed() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
+// jsonEvent mirrors streamio's JSONL wire form.
+type jsonEvent struct {
+	Time  int64   `json:"time"`
+	Key   uint64  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.Contains(ct, "ndjson"):
+		s.ingestNDJSON(w, r)
+	case strings.Contains(ct, "csv"):
+		events, err := streamio.ReadCSV(r.Body)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		s.ingestBatch(w, events)
+	default: // JSON array
+		var evs []jsonEvent
+		if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
+			httpError(w, fmt.Errorf("server: request body: %w", err))
+			return
+		}
+		events := make([]stream.Event, len(evs))
+		for i, e := range evs {
+			events[i] = stream.Event{Time: e.Time, Key: e.Key, Value: e.Value}
+		}
+		s.ingestBatch(w, events)
+	}
+}
+
+func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
+	st, err := s.Ingest(events)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ingestNDJSON consumes an event-per-line stream incrementally, handing
+// the pipeline one batch per ndjsonBatch lines.
+func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		batch []stream.Event
+		total IngestStatus
+		line  int
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		st, err := s.Ingest(batch)
+		if err != nil {
+			return err
+		}
+		total.Accepted += st.Accepted
+		total.Dropped += st.Dropped
+		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			httpError(w, fmt.Errorf("server: line %d: %w", line, err))
+			return
+		}
+		batch = append(batch, stream.Event{Time: je.Time, Key: je.Key, Value: je.Value})
+		if len(batch) >= ndjsonBatch {
+			if err := flush(); err != nil {
+				httpError(w, err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := flush(); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, total)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsNow())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Checkpoint()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := s.RestoreCheckpoint(data); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.Queries(), "stats": s.StatsNow()})
+}

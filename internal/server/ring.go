@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sync"
+
+	"factorwindows/internal/stream"
+)
+
+// ResultRow is one delivered window-aggregate result, tagged with a
+// per-query sequence number so clients can resume reads with a cursor.
+type ResultRow struct {
+	Seq   int64   `json:"seq"`
+	Range int64   `json:"range"`
+	Slide int64   `json:"slide"`
+	Start int64   `json:"start"`
+	End   int64   `json:"end"`
+	Key   uint64  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// ring is one query's bounded result buffer: a fixed-capacity circular
+// buffer with monotonically increasing sequence numbers. Writers are the
+// execution shards (serialized by the parallel runner's sink lock, but a
+// ring takes no dependency on that); readers are HTTP handlers. When the
+// buffer is full the oldest rows are evicted and counted as dropped —
+// result delivery must never block ingestion.
+type ring struct {
+	mu       sync.Mutex
+	capacity int
+	rows     []ResultRow
+	head     int   // index of the oldest row
+	firstSeq int64 // sequence number of rows[head]
+	nextSeq  int64
+	dropped  int64
+	wait     chan struct{} // closed on append, but only once fetched
+	waited   bool          // a waiter fetched wait since its last rotation
+	closed   bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{capacity: capacity, wait: make(chan struct{})}
+}
+
+func (g *ring) append(res stream.Result) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	row := ResultRow{
+		Seq:   g.nextSeq,
+		Range: res.W.Range,
+		Slide: res.W.Slide,
+		Start: res.Start,
+		End:   res.End,
+		Key:   res.Key,
+		Value: res.Value,
+	}
+	g.nextSeq++
+	if len(g.rows) < g.capacity {
+		g.rows = append(g.rows, row)
+	} else {
+		g.rows[g.head] = row
+		g.head = (g.head + 1) % g.capacity
+		g.firstSeq++
+		g.dropped++
+	}
+	// Rotate the wait channel only when someone may be parked on it —
+	// with no stream readers attached, appends stay allocation-free.
+	if g.waited {
+		close(g.wait)
+		g.wait = make(chan struct{})
+		g.waited = false
+	}
+	g.mu.Unlock()
+}
+
+// readAfter returns up to limit rows with Seq > after (limit <= 0 means
+// all), plus the number of requested rows lost to eviction.
+func (g *ring) readAfter(after int64, limit int) (rows []ResultRow, missed int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	start := after + 1
+	if start < g.firstSeq {
+		missed = g.firstSeq - start
+		start = g.firstSeq
+	}
+	n := g.nextSeq - start
+	if n <= 0 {
+		return nil, missed
+	}
+	if limit > 0 && n > int64(limit) {
+		n = int64(limit)
+	}
+	rows = make([]ResultRow, 0, n)
+	for i := int64(0); i < n; i++ {
+		idx := (g.head + int(start-g.firstSeq+i)) % len(g.rows)
+		rows = append(rows, g.rows[idx])
+	}
+	return rows, missed
+}
+
+// waitCh returns a channel closed on the next append or close. Fetch it
+// before readAfter to avoid missing a wakeup.
+func (g *ring) waitCh() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.waited = true
+	return g.wait
+}
+
+func (g *ring) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// closeRing wakes all waiters permanently; readers drain what remains.
+// The wait channel stays closed, so every future waitCh is ready at once
+// and append becomes a no-op.
+func (g *ring) closeRing() {
+	g.mu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.wait)
+	}
+	g.mu.Unlock()
+}
+
+func (g *ring) counters() (delivered, dropped int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nextSeq, g.dropped
+}

@@ -1,0 +1,557 @@
+// Package server is a long-running, multi-client serving layer over the
+// factor-window engine: the paper's motivating scenario (Section I) as a
+// service. Clients register ASAQL queries, stream events in, and read or
+// stream each query's window results back out.
+//
+// Internally the live query set is jointly optimized by multiquery into
+// one combined factor-window plan, executed on key-sharded engines by
+// parallel, and fed through a reorder buffer that tolerates bounded
+// out-of-order input. Registering or unregistering a query re-plans the
+// whole set.
+//
+// # Re-planning semantics
+//
+// A query-set change starts a new epoch at the current release horizon R
+// (every event below R has already been executed). The old pipeline is
+// torn down without delivering its in-flight windows, and the new one
+// delivers only window instances that start at or after R. Both halves
+// of that rule serve exactness: an instance straddling R would have some
+// of its events in the discarded pipeline, so any value reported for it
+// would be partial. The visible contract is therefore: every delivered
+// result is exact and complete, each instance is delivered at most once,
+// and a query-set change (or a registration mid-stream) costs each query
+// the window instances open across the boundary — at most max(range)
+// ticks of output around the change, the standard streaming trade
+// (subscribers see windows that start after they subscribe).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/asaql"
+	"factorwindows/internal/core"
+	"factorwindows/internal/multiquery"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrNotFound = errors.New("not found")
+	ErrConflict = errors.New("conflict")
+	ErrClosed   = errors.New("server closed")
+	// ErrEngine marks a failed execution pipeline (e.g. a corrupt
+	// restored checkpoint violating the engine's input contract). The
+	// pipeline is torn down; recovery is a registry change or a restore
+	// from a valid checkpoint.
+	ErrEngine = errors.New("engine failure")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the key-shard count for parallel execution (<= 0 selects
+	// GOMAXPROCS). It is fixed for the server's lifetime so that key
+	// placement is stable across re-plans and checkpoints.
+	Shards int
+	// Factors enables the factor-window expansion (Algorithm 3) in the
+	// joint optimization.
+	Factors bool
+	// ReorderBound is the out-of-order tolerance in ticks; events later
+	// than that are handled per Policy.
+	ReorderBound int64
+	// Policy says what to do with events beyond the bound (drop/adjust).
+	Policy reorder.Policy
+	// ResultBuffer is the per-query result ring capacity (default 4096).
+	ResultBuffer int
+}
+
+// registration is one live query.
+type registration struct {
+	id   string
+	sql  string
+	q    *asaql.Query
+	ring *ring
+}
+
+// gate filters one epoch's result stream: results of windows that
+// started before the epoch are suppressed (they would be partial), and
+// the whole stream is muted while the epoch's pipeline is torn down so
+// its final flush of open instances is discarded.
+type gate struct {
+	muted    atomic.Bool
+	minStart int64 // immutable after pipeline construction
+}
+
+// pipeline is one epoch's execution stack: reorder buffer → key-sharded
+// runner → routing sink → per-query rings.
+type pipeline struct {
+	plan   *multiquery.Plan
+	runner *parallel.Runner
+	buf    *reorder.Buffer
+	gate   *gate
+	rings  map[string]*ring // immutable snapshot of the epoch's queries
+}
+
+// Server hosts a dynamic set of ASAQL queries over one event stream.
+// Registry and ingest mutations serialize on mu (the engine consumes an
+// in-order stream, so ingestion is inherently sequential); result reads
+// only touch the per-query rings and run lock-free with respect to mu.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	closed   bool
+	queries  map[string]*registration
+	fn       agg.Fn
+	hasFn    bool
+	pipe     *pipeline
+	epoch    int64
+	nextID   int64
+	ingested int64
+	dropped  int64 // events ingested while no query was live
+	late     int64 // events beyond the reorder bound, across all epochs
+
+	// carry preserves the reorder buffer's state (sealed horizon,
+	// pending events) while no pipeline exists — unregistering the last
+	// query must not unseal the horizon, or the next epoch would deliver
+	// partial straddling windows.
+	carry *reorder.State
+	// engineErr records a pipeline failure; ingestion reports it until a
+	// registry change or checkpoint restore rebuilds the pipeline.
+	engineErr error
+}
+
+// New creates an idle server; queries and events arrive via the API.
+func New(cfg Config) *Server {
+	if cfg.ResultBuffer <= 0 {
+		cfg.ResultBuffer = 4096
+	}
+	if cfg.ReorderBound < 0 {
+		cfg.ReorderBound = 0
+	}
+	return &Server{cfg: cfg, queries: make(map[string]*registration)}
+}
+
+// WindowInfo describes one window of a registered query.
+type WindowInfo struct {
+	Name  string `json:"name"`
+	Range int64  `json:"range"`
+	Slide int64  `json:"slide"`
+}
+
+// QueryInfo is the externally visible state of one registered query.
+type QueryInfo struct {
+	ID        string       `json:"id"`
+	SQL       string       `json:"query"`
+	Fn        string       `json:"fn"`
+	Windows   []WindowInfo `json:"windows"`
+	Delivered int64        `json:"delivered"`
+	Dropped   int64        `json:"dropped"`
+}
+
+func (r *registration) info(fn agg.Fn) QueryInfo {
+	qi := QueryInfo{ID: r.id, SQL: r.sql, Fn: fn.String()}
+	for _, nw := range r.q.Windows {
+		qi.Windows = append(qi.Windows, WindowInfo{Name: nw.Name, Range: nw.W.Range, Slide: nw.W.Slide})
+	}
+	qi.Delivered, qi.Dropped = r.ring.counters()
+	return qi
+}
+
+// Register parses and admits one query, re-planning the live set. An
+// empty id is assigned automatically. All live queries must share the
+// aggregate function (the multiquery joint-plan constraint); WHERE
+// clauses and multi-aggregate SELECT lists are rejected because the
+// combined plan runs every query over the same event stream.
+func (s *Server) Register(id, sql string) (QueryInfo, error) {
+	q, err := admitQuery(sql)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return QueryInfo{}, ErrClosed
+	}
+	if s.hasFn && q.Fn != s.fn {
+		return QueryInfo{}, fmt.Errorf("%w: live queries aggregate with %v, cannot mix in %v", ErrConflict, s.fn, q.Fn)
+	}
+	if id == "" {
+		for {
+			s.nextID++
+			id = fmt.Sprintf("q%d", s.nextID)
+			if _, taken := s.queries[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.queries[id]; taken {
+		return QueryInfo{}, fmt.Errorf("%w: query %q already registered", ErrConflict, id)
+	}
+
+	reg := &registration{id: id, sql: sql, q: q, ring: newRing(s.cfg.ResultBuffer)}
+	s.queries[id] = reg
+	prevFn, prevHas := s.fn, s.hasFn
+	s.fn, s.hasFn = q.Fn, true
+	if err := s.replan(); err != nil {
+		delete(s.queries, id)
+		s.fn, s.hasFn = prevFn, prevHas
+		return QueryInfo{}, err
+	}
+	return reg.info(s.fn), nil
+}
+
+// admitQuery parses and validates one query under the server's
+// admission rules. RestoreCheckpoint runs the same gauntlet, so a
+// crafted checkpoint cannot smuggle in a query Register would reject
+// (and then silently serve wrong results for).
+func admitQuery(sql string) (*asaql.Query, error) {
+	q, err := asaql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Aggregates) > 1 {
+		return nil, fmt.Errorf("server: query has %d aggregate calls; register one query per aggregate", len(q.Aggregates))
+	}
+	if len(q.Where) > 0 {
+		return nil, fmt.Errorf("server: WHERE clauses are per-query filters and cannot share the joint plan; filter the stream upstream")
+	}
+	if !agg.Shareable(q.Fn) {
+		return nil, fmt.Errorf("server: aggregate %v is holistic and not supported by the serving engine", q.Fn)
+	}
+	return q, nil
+}
+
+// Unregister removes a query and re-plans the remaining set. The query's
+// result ring is closed; undelivered rows stay readable until then-open
+// streams drain.
+func (s *Server) Unregister(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	reg, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: query %q", ErrNotFound, id)
+	}
+	delete(s.queries, id)
+	if len(s.queries) == 0 {
+		s.hasFn = false
+	}
+	if err := s.replan(); err != nil {
+		// Re-planning a strict subset of a set that planned before cannot
+		// fail; if it somehow does, readmit the query to stay consistent.
+		s.queries[id] = reg
+		s.hasFn = true
+		return err
+	}
+	reg.ring.closeRing()
+	return nil
+}
+
+// replan rebuilds the execution pipeline for the current query set. The
+// new pipeline is constructed completely before the old one is torn
+// down, so a failure leaves the server running on the previous plan.
+// Pending out-of-order events and the sealed release horizon carry over
+// through the reorder buffer's state snapshot. Callers hold s.mu.
+func (s *Server) replan() error {
+	var carried *reorder.State
+	minStart := reorder.NoRelease
+	if s.pipe != nil {
+		st := s.pipe.buf.Snapshot()
+		carried = &st
+	} else if s.carry != nil {
+		carried = s.carry
+	}
+	if carried != nil {
+		minStart = carried.Released
+	}
+
+	var np *pipeline
+	if len(s.queries) > 0 {
+		var err error
+		np, err = s.buildPipeline(minStart, carried, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if s.pipe != nil {
+		s.teardown()
+	}
+	s.pipe = np
+	if np != nil {
+		s.carry = nil // the state lives in the pipeline again
+	} else {
+		s.carry = carried
+	}
+	s.engineErr = nil
+	s.epoch++
+	return nil
+}
+
+// buildPipeline assembles one epoch's stack for the current query set.
+// carried restores the reorder buffer (pending events, sealed horizon);
+// engineState, when non-nil, resumes the shard engines from a
+// parallel.Runner snapshot instead of fresh state. Callers hold s.mu.
+func (s *Server) buildPipeline(minStart int64, carried *reorder.State, engineState []byte) (*pipeline, error) {
+	ids := s.sortedIDs()
+	qs := make([]multiquery.Query, 0, len(ids))
+	for _, id := range ids {
+		reg := s.queries[id]
+		ws := make([]window.Window, 0, len(reg.q.Windows))
+		for _, nw := range reg.q.Windows {
+			ws = append(ws, nw.W)
+		}
+		qs = append(qs, multiquery.Query{ID: id, Windows: ws})
+	}
+	mp, err := multiquery.Optimize(qs, s.fn, core.Options{Factors: s.cfg.Factors})
+	if err != nil {
+		return nil, err
+	}
+	g := &gate{minStart: minStart}
+	rings := make(map[string]*ring, len(ids))
+	for _, id := range ids {
+		rings[id] = s.queries[id].ring
+	}
+	sink := routeSink(mp, g, rings)
+	var runner *parallel.Runner
+	if engineState != nil {
+		runner, err = parallel.Restore(mp.Combined, sink, engineState)
+	} else {
+		runner, err = parallel.New(mp.Combined, sink, s.cfg.Shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var buf *reorder.Buffer
+	if carried != nil {
+		buf, err = reorder.NewFromState(runner, *carried, s.onLate)
+	} else {
+		buf, err = reorder.New(runner, s.cfg.ReorderBound, s.cfg.Policy, s.onLate)
+	}
+	if err != nil {
+		g.muted.Store(true)
+		runner.Close()
+		return nil, err
+	}
+	return &pipeline{plan: mp, runner: runner, buf: buf, gate: g, rings: rings}, nil
+}
+
+// teardown discards the current pipeline: its flush of open window
+// instances is muted (those instances are partial by construction).
+// Callers hold s.mu.
+func (s *Server) teardown() {
+	s.pipe.gate.muted.Store(true)
+	s.pipe.runner.Close()
+	s.pipe = nil
+}
+
+// routeSink builds the epoch's result path: the multiquery routing sink
+// tags each engine result with its subscribers, the gate enforces the
+// epoch contract, and each subscriber's ring receives the row.
+func routeSink(mp *multiquery.Plan, g *gate, rings map[string]*ring) stream.Sink {
+	return mp.Sink(func(rt multiquery.Routed) {
+		if g.muted.Load() || rt.Result.Start < g.minStart {
+			return
+		}
+		for _, id := range rt.QueryIDs {
+			if rg := rings[id]; rg != nil {
+				rg.append(rt.Result)
+			}
+		}
+	})
+}
+
+// onLate counts events beyond the reorder bound. It runs inside
+// Buffer.Push, which the server only calls under s.mu.
+func (s *Server) onLate(stream.Event) { s.late++ }
+
+// IngestStatus reports the outcome of one ingest call.
+type IngestStatus struct {
+	Accepted int   `json:"accepted"`
+	Dropped  int   `json:"dropped"` // discarded: no live queries
+	Late     int64 `json:"late"`    // cumulative, server lifetime
+	Buffered int   `json:"buffered"`
+	Epoch    int64 `json:"epoch"`
+}
+
+// Ingest pushes one batch of events into the pipeline. Events may be out
+// of order up to the configured bound; negative timestamps are rejected.
+// Batches from concurrent clients serialize; disorder across them is
+// tolerated like any other disorder. On return, every result the batch
+// completed is visible to readers (the runner is barriered).
+func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
+	for i := range events {
+		if events[i].Time < 0 {
+			return IngestStatus{}, fmt.Errorf("server: event %d has negative time %d", i, events[i].Time)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return IngestStatus{}, ErrClosed
+	}
+	if s.engineErr != nil {
+		return IngestStatus{}, fmt.Errorf("%w: %v (re-register queries or restore a valid checkpoint)",
+			ErrEngine, s.engineErr)
+	}
+	s.ingested += int64(len(events))
+	st := IngestStatus{Accepted: len(events), Epoch: s.epoch, Late: s.late}
+	if s.pipe == nil {
+		s.dropped += int64(len(events))
+		st.Accepted = 0
+		st.Dropped = len(events)
+		return st, nil
+	}
+	s.pipe.buf.Push(events)
+	// Broadcast the release horizon as a watermark so shards whose keys
+	// went quiet still fire their completed windows, then sync so every
+	// completed result is in its ring before we return.
+	if rel := s.pipe.buf.Released(); rel > reorder.NoRelease {
+		s.pipe.runner.Advance(rel)
+	}
+	s.pipe.runner.Barrier()
+	if err := s.pipe.runner.Err(); err != nil {
+		// A poisoned shard means the epoch's output is incomplete and
+		// its state unusable; tear the pipeline down rather than keep
+		// serving wrong answers, and report the failure persistently.
+		// Only the engine is compromised: the reorder buffer's sealed
+		// horizon is still sound, and carrying it keeps the next epoch
+		// (after re-registration) from delivering partial straddling
+		// windows as exact.
+		carried := s.pipe.buf.Snapshot()
+		s.teardown()
+		s.carry = &carried
+		s.engineErr = err
+		return IngestStatus{}, fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
+			ErrEngine, err)
+	}
+	st.Late = s.late
+	st.Buffered = s.pipe.buf.Buffered()
+	return st, nil
+}
+
+// Queries lists the live queries, sorted by ID.
+func (s *Server) Queries() []QueryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueryInfo, 0, len(s.queries))
+	for _, reg := range s.queries {
+		out = append(out, reg.info(s.fn))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Query returns one query's state.
+func (s *Server) Query(id string) (QueryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.queries[id]
+	if !ok {
+		return QueryInfo{}, fmt.Errorf("%w: query %q", ErrNotFound, id)
+	}
+	return reg.info(s.fn), nil
+}
+
+// Results returns up to limit result rows of query id with sequence
+// numbers above after (limit <= 0 means all buffered), plus the number
+// of requested rows already evicted from the ring.
+func (s *Server) Results(id string, after int64, limit int) ([]ResultRow, int64, error) {
+	rg, err := s.ringOf(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows, missed := rg.readAfter(after, limit)
+	return rows, missed, nil
+}
+
+// ringOf resolves a query's ring under the lock; reads then proceed
+// without it.
+func (s *Server) ringOf(id string) (*ring, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: query %q", ErrNotFound, id)
+	}
+	return reg.ring, nil
+}
+
+// Stats is the server-wide state summary.
+type Stats struct {
+	Queries      int    `json:"queries"`
+	Epoch        int64  `json:"epoch"`
+	Fn           string `json:"fn,omitempty"`
+	Shards       int    `json:"shards"`
+	Ingested     int64  `json:"ingested"`
+	Dropped      int64  `json:"dropped"`
+	Late         int64  `json:"late"`
+	Buffered     int    `json:"buffered"`
+	Released     int64  `json:"released"`
+	EngineEvents int64  `json:"engine_events"`
+	Updates      int64  `json:"engine_updates"`
+	CombinedCost string `json:"combined_cost,omitempty"`
+	SeparateCost string `json:"separate_cost,omitempty"`
+	Error        string `json:"error,omitempty"` // persistent pipeline failure, if any
+}
+
+// StatsNow reports the current server state. The engine-update counter
+// is read after a barrier, so it is consistent with everything ingested
+// so far.
+func (s *Server) StatsNow() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Queries:  len(s.queries),
+		Epoch:    s.epoch,
+		Shards:   s.cfg.Shards,
+		Ingested: s.ingested,
+		Dropped:  s.dropped,
+		Late:     s.late,
+	}
+	if s.hasFn {
+		st.Fn = s.fn.String()
+	}
+	if s.engineErr != nil {
+		st.Error = s.engineErr.Error()
+	}
+	if s.pipe != nil {
+		s.pipe.runner.Barrier()
+		st.Shards = s.pipe.runner.Shards()
+		st.Buffered = s.pipe.buf.Buffered()
+		if rel := s.pipe.buf.Released(); rel > reorder.NoRelease {
+			st.Released = rel
+		}
+		st.EngineEvents = s.pipe.runner.Events()
+		st.Updates = s.pipe.runner.TotalUpdates()
+		st.CombinedCost = s.pipe.plan.CombinedCost
+		st.SeparateCost = s.pipe.plan.SeparateCost
+	}
+	return st
+}
+
+// Close tears down the pipeline and closes every result ring. Streaming
+// readers drain and finish; subsequent mutations return ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.pipe != nil {
+		s.teardown()
+	}
+	for _, reg := range s.queries {
+		reg.ring.closeRing()
+	}
+}
