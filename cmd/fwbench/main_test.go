@@ -56,3 +56,36 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Fatalf("expected unknown-experiment error, got %v", err)
 	}
 }
+
+// TestRecordHookEmitsRows checks the machine-readable measurement hook
+// behind -json: fig11 at tiny scale must produce one row per
+// (suite, run, plan) data point with plausible throughput.
+func TestRecordHookEmitsRows(t *testing.T) {
+	var rows []harness.Measurement
+	cfg := harness.Config{
+		Events: 2000, Fn: agg.Min, Out: &strings.Builder{},
+		Record: func(m harness.Measurement) { rows = append(rows, m) },
+	}
+	if err := harness.RunExperiment("fig11", cfg); err != nil {
+		t.Fatal(err)
+	}
+	// fig11: 4 suites × 10 runs × 3 plans.
+	if len(rows) != 4*10*3 {
+		t.Fatalf("got %d rows, want 120", len(rows))
+	}
+	plans := map[string]int{}
+	for _, m := range rows {
+		if m.Experiment != "fig11" {
+			t.Fatalf("row has experiment %q, want fig11", m.Experiment)
+		}
+		if m.Suite == "" || m.Run == 0 || m.EventsPerSec <= 0 || m.Events != 2000 {
+			t.Fatalf("implausible row %+v", m)
+		}
+		plans[m.Plan]++
+	}
+	for _, p := range []string{"original", "rewritten", "factored"} {
+		if plans[p] != 40 {
+			t.Fatalf("plan %q has %d rows, want 40 (%v)", p, plans[p], plans)
+		}
+	}
+}

@@ -249,6 +249,147 @@ func TestQuickShardedFactorEquivalence(t *testing.T) {
 	}
 }
 
+// TestQuickHolisticAlgebraicEquivalence pins the columnar kernels to the
+// boxed-era semantics for the functions with non-trivial state: MEDIAN
+// (holistic: raw-value buffers), AVG and STDEV (algebraic: sum /
+// sum-of-squares columns). Random window sets run through the engine
+// (original and, for shareable functions, factored plans), the slicing
+// baseline, the sliding baseline and the key-sharded executor at shard
+// counts 1, 4 and 7; all result sets must be identical. Sliding rejects
+// holistic functions, and MEDIAN shares nothing, so MEDIAN compares
+// engine-original vs slicing vs sharded-original.
+func TestQuickHolisticAlgebraicEquivalence(t *testing.T) {
+	ranges := []int64{2, 3, 4, 6, 8, 9, 12, 16, 18, 24}
+	f := func(seed int64, fnPick, nWindows uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		fns := []agg.Fn{agg.Median, agg.Avg, agg.StdDev}
+		fn := fns[int(fnPick)%len(fns)]
+
+		set := &window.Set{}
+		for set.Len() < 2+int(nWindows)%3 {
+			rr := ranges[r.Intn(len(ranges))]
+			w := window.Tumbling(rr)
+			if rr%2 == 0 && r.Intn(2) == 0 {
+				w = window.Hopping(rr, rr/2)
+			}
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					return false
+				}
+			}
+		}
+
+		events := make([]stream.Event, 0, 700)
+		tick := int64(0)
+		for i := 0; i < 700; i++ {
+			tick += int64(r.Intn(2))
+			events = append(events, stream.Event{
+				Time: tick, Key: uint64(r.Intn(5)), Value: float64(r.Intn(100)),
+			})
+		}
+
+		var reference []stream.Result
+		check := func(rs []stream.Result) bool {
+			stream.SortResults(rs)
+			if reference == nil {
+				reference = rs
+				return true
+			}
+			if len(rs) != len(reference) {
+				return false
+			}
+			for i := range reference {
+				a, b := reference[i], rs[i]
+				if a.W != b.W || a.Start != b.Start || a.End != b.End || a.Key != b.Key {
+					return false
+				}
+				if a.Value != b.Value &&
+					math.Abs(a.Value-b.Value) > 1e-9*math.Max(1, math.Abs(a.Value)) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Engine, original plan: the reference (works for every class).
+		orig, err := plan.NewOriginal(set, fn)
+		if err != nil {
+			return false
+		}
+		origSink := &stream.CollectingSink{}
+		if err := Run(orig, events, origSink); err != nil {
+			return false
+		}
+		check(origSink.Results)
+
+		shardPlan := orig
+		if agg.Shareable(fn) {
+			// Factored plan through the engine (shared sub-aggregates).
+			res, err := core.Optimize(set, fn, core.Options{Factors: true})
+			if err != nil {
+				return false
+			}
+			factored, err := plan.FromGraph(res.Graph, fn, plan.Factored)
+			if err != nil {
+				return false
+			}
+			facSink := &stream.CollectingSink{}
+			if err := Run(factored, events, facSink); err != nil {
+				return false
+			}
+			if !check(facSink.Results) {
+				return false
+			}
+			shardPlan = factored
+
+			// Sliding baseline (panes cannot express holistic functions).
+			slideSink := &stream.CollectingSink{}
+			if _, err := sliding.Run(set, fn, events, slideSink); err != nil {
+				return false
+			}
+			if !check(slideSink.Results) {
+				return false
+			}
+		}
+
+		// Slicing supports every class (raw-value slices for MEDIAN).
+		sliceSink := &stream.CollectingSink{}
+		if _, err := slicing.Run(set, fn, events, sliceSink); err != nil {
+			return false
+		}
+		if !check(sliceSink.Results) {
+			return false
+		}
+
+		// Key-sharded execution at 1, 4 and 7 shards, batched with
+		// interleaved watermarks.
+		for _, shards := range []int{1, 4, 7} {
+			sink := &stream.CollectingSink{}
+			pr, err := NewParallelRunner(shardPlan, sink, shards)
+			if err != nil {
+				return false
+			}
+			step := 100 + r.Intn(150)
+			for i := 0; i < len(events); i += step {
+				end := i + step
+				if end > len(events) {
+					end = len(events)
+				}
+				pr.Process(events[i:end])
+				pr.Advance(events[end-1].Time)
+			}
+			pr.Close()
+			if !check(sink.Results) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickParallelEquivalence extends the invariant to the key-sharded
 // executor: shard-count and batch-size must never change results.
 func TestQuickParallelEquivalence(t *testing.T) {

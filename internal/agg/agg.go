@@ -154,10 +154,12 @@ func OverlapSafe(f Fn) bool { return f == Min || f == Max }
 // Shareable reports whether f can be computed from sub-aggregates at all.
 func Shareable(f Fn) bool { return ClassOf(f) != Holistic }
 
-// State is the partial-aggregate state for one (window instance, key)
-// pair. A single struct serves every function; only the fields relevant to
-// the function are maintained, keeping the hot path branch-free per
-// function kind. Vals is used only by holistic functions.
+// State is the boxed partial-aggregate state for one (window instance,
+// key) pair — the compatibility shim over the columnar kernels in
+// store.go. The executors' hot paths use Store rows instead; State
+// remains the convenient form for session windows, checkpoint payloads
+// and tests. Vals is used only by holistic functions and is never
+// pre-reserved for the others.
 type State struct {
 	Cnt   int64
 	Sum   float64
@@ -167,7 +169,18 @@ type State struct {
 	Vals  []float64
 }
 
-// Reset clears s for reuse (pooling in the engine).
+// cell views the scalar part of s as a Cell for the columnar kernels.
+func (s *State) cell() Cell {
+	return Cell{Cnt: s.Cnt, Sum: s.Sum, SumSq: s.SumSq, Min: s.Min, Max: s.Max}
+}
+
+// setCell writes the kernel result back into s.
+func (s *State) setCell(c Cell) {
+	s.Cnt, s.Sum, s.SumSq, s.Min, s.Max = c.Cnt, c.Sum, c.SumSq, c.Min, c.Max
+}
+
+// Reset clears s for reuse (pooling in the session chain). A holistic
+// state keeps its Vals capacity; non-holistic states never acquire one.
 func (s *State) Reset() {
 	s.Cnt = 0
 	s.Sum = 0
@@ -182,28 +195,17 @@ func (s *State) Empty() bool { return s.Cnt == 0 }
 
 // Add folds one raw event value into s.
 func Add(f Fn, s *State, v float64) {
-	switch f {
-	case Min:
-		if s.Cnt == 0 || v < s.Min {
-			s.Min = v
-		}
-	case Max:
-		if s.Cnt == 0 || v > s.Max {
-			s.Max = v
-		}
-	case Sum, Count:
-		s.Sum += v
-	case Avg:
-		s.Sum += v
-	case StdDev:
-		s.Sum += v
-		s.SumSq += v * v
-	case Median:
-		s.Vals = append(s.Vals, v)
-	default:
+	if !f.Valid() {
 		panic(fmt.Sprintf("agg: Add on unknown function %v", f))
 	}
-	s.Cnt++
+	if f == Median {
+		s.Vals = append(s.Vals, v)
+		s.Cnt++
+		return
+	}
+	c := s.cell()
+	CellAdd(f, &c, v)
+	s.setCell(c)
 }
 
 // Merge folds the sub-aggregate sub into s. It panics for holistic
@@ -214,24 +216,9 @@ func Merge(f Fn, s *State, sub *State) {
 	if sub.Cnt == 0 {
 		return
 	}
-	switch f {
-	case Min:
-		if s.Cnt == 0 || sub.Min < s.Min {
-			s.Min = sub.Min
-		}
-	case Max:
-		if s.Cnt == 0 || sub.Max > s.Max {
-			s.Max = sub.Max
-		}
-	case Sum, Count, Avg:
-		s.Sum += sub.Sum
-	case StdDev:
-		s.Sum += sub.Sum
-		s.SumSq += sub.SumSq
-	default:
-		panic(fmt.Sprintf("agg: Merge unsupported for %v (%v)", f, ClassOf(f)))
-	}
-	s.Cnt += sub.Cnt
+	c, sc := s.cell(), sub.cell()
+	CellMerge(f, &c, &sc)
+	s.setCell(c)
 }
 
 // MergeRaw folds sub into s for any function, including holistic ones,
@@ -255,33 +242,13 @@ func MergeRaw(f Fn, s *State, sub *State) {
 // returns NaN for value aggregates and 0 for COUNT, matching SQL-ish
 // expectations (windows with no events are normally not emitted at all).
 func Final(f Fn, s *State) float64 {
-	if s.Cnt == 0 {
-		if f == Count {
-			return 0
-		}
-		return math.NaN()
+	if !f.Valid() {
+		panic(fmt.Sprintf("agg: Final on unknown function %v", f))
 	}
-	switch f {
-	case Min:
-		return s.Min
-	case Max:
-		return s.Max
-	case Sum:
-		return s.Sum
-	case Count:
-		return float64(s.Cnt)
-	case Avg:
-		return s.Sum / float64(s.Cnt)
-	case StdDev:
-		// Population standard deviation from (count, sum, sum of squares).
-		n := float64(s.Cnt)
-		mean := s.Sum / n
-		v := s.SumSq/n - mean*mean
-		if v < 0 {
-			v = 0 // guard tiny negative from float rounding
+	if f == Median {
+		if s.Cnt == 0 {
+			return math.NaN()
 		}
-		return math.Sqrt(v)
-	case Median:
 		vals := append([]float64(nil), s.Vals...)
 		sort.Float64s(vals)
 		n := len(vals)
@@ -289,9 +256,9 @@ func Final(f Fn, s *State) float64 {
 			return vals[n/2]
 		}
 		return (vals[n/2-1] + vals[n/2]) / 2
-	default:
-		panic(fmt.Sprintf("agg: Final on unknown function %v", f))
 	}
+	c := s.cell()
+	return CellFinal(f, &c)
 }
 
 // Functions returns all supported aggregate functions.

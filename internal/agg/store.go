@@ -1,0 +1,691 @@
+// Columnar aggregate state. Store keeps the partial aggregates of many
+// (window instance, key) pairs as dense parallel columns instead of boxed
+// per-pair *State values: one allocation-free arena per operator, with
+// only the columns the aggregate function actually needs (SUM keeps a
+// count and a sum; STDEV adds a sum of squares; MIN/MAX keep a single
+// extremum; MEDIAN falls back to per-row raw-value buffers). An occupancy
+// bitmap makes firing a window instance a sparse scan, and freed instance
+// spans are recycled through per-size free lists so steady-state folding
+// performs zero heap allocations per event.
+//
+// The kernels come in scalar (AddAt/MergeAt/FinalizeAt) and batch
+// (AddRows/AddBases/MergeBases) forms; the batch forms hoist the
+// per-function dispatch out of multi-row loops. The engine's hopping
+// and sub-aggregate paths use AddBases/MergeBases (one dispatch per
+// event or sub-aggregate, covering all k window instances it lands
+// in); single-row updates go through the scalar kernels.
+
+package agg
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Cell is the flat, fixed-size partial-aggregate value: the columnar
+// row type, and the element the sliding baseline's pane stacks hold by
+// value. Unlike State it carries no raw-value buffer, so distributive
+// and algebraic functions pay for exactly the scalars they use.
+type Cell struct {
+	Cnt   int64
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+}
+
+// Empty reports whether the cell has absorbed no input.
+func (c *Cell) Empty() bool { return c.Cnt == 0 }
+
+// Reset clears the cell for reuse.
+func (c *Cell) Reset() { *c = Cell{} }
+
+// CellAdd folds one raw event value into c. It panics for holistic
+// functions, which need raw-value buffers (use a Store or State).
+func CellAdd(f Fn, c *Cell, v float64) {
+	switch f {
+	case Min:
+		if c.Cnt == 0 || v < c.Min {
+			c.Min = v
+		}
+	case Max:
+		if c.Cnt == 0 || v > c.Max {
+			c.Max = v
+		}
+	case Sum, Count, Avg:
+		c.Sum += v
+	case StdDev:
+		c.Sum += v
+		c.SumSq += v * v
+	default:
+		panic(fmt.Sprintf("agg: CellAdd on %v", f))
+	}
+	c.Cnt++
+}
+
+// CellMerge folds the sub-aggregate src into dst. Like Merge it panics
+// for holistic functions; for "partitioned by" functions the caller must
+// guarantee disjoint sub-aggregates, for MIN/MAX overlap is safe.
+func CellMerge(f Fn, dst, src *Cell) {
+	if src.Cnt == 0 {
+		return
+	}
+	switch f {
+	case Min:
+		if dst.Cnt == 0 || src.Min < dst.Min {
+			dst.Min = src.Min
+		}
+	case Max:
+		if dst.Cnt == 0 || src.Max > dst.Max {
+			dst.Max = src.Max
+		}
+	case Sum, Count, Avg:
+		dst.Sum += src.Sum
+	case StdDev:
+		dst.Sum += src.Sum
+		dst.SumSq += src.SumSq
+	default:
+		panic(fmt.Sprintf("agg: CellMerge unsupported for %v (%v)", f, ClassOf(f)))
+	}
+	dst.Cnt += src.Cnt
+}
+
+// CellFinal computes the aggregate result from c, with the same
+// empty-state conventions as Final.
+func CellFinal(f Fn, c *Cell) float64 {
+	if c.Cnt == 0 {
+		if f == Count {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch f {
+	case Min:
+		return c.Min
+	case Max:
+		return c.Max
+	case Sum:
+		return c.Sum
+	case Count:
+		return float64(c.Cnt)
+	case Avg:
+		return c.Sum / float64(c.Cnt)
+	case StdDev:
+		n := float64(c.Cnt)
+		mean := c.Sum / n
+		v := c.SumSq/n - mean*mean
+		if v < 0 {
+			v = 0 // guard tiny negative from float rounding
+		}
+		return math.Sqrt(v)
+	default:
+		panic(fmt.Sprintf("agg: CellFinal on %v", f))
+	}
+}
+
+// storeKind is the function-specialized kernel selector, resolved once
+// at store construction.
+type storeKind uint8
+
+const (
+	storeMin storeKind = iota
+	storeMax
+	storeSum   // SUM, COUNT, AVG: count + sum
+	storeSumSq // STDEV: count + sum + sum of squares
+	storeRaw   // MEDIAN (holistic): count + raw-value buffer
+)
+
+func storeKindOf(f Fn) storeKind {
+	switch f {
+	case Min:
+		return storeMin
+	case Max:
+		return storeMax
+	case Sum, Count, Avg:
+		return storeSum
+	case StdDev:
+		return storeSumSq
+	case Median:
+		return storeRaw
+	default:
+		panic(fmt.Sprintf("agg: no store kernel for %v", f))
+	}
+}
+
+// minSpanClass is the smallest span size class (1<<2 = 4 rows), so tiny
+// key spaces still amortize span bookkeeping.
+const minSpanClass = 2
+
+// Store is a columnar arena of partial-aggregate rows for one aggregate
+// function. Rows are handed out in contiguous spans (one span per window
+// instance or slice), addressed as span base + key slot; spans recycle
+// through power-of-two size-class free lists. Not safe for concurrent
+// use — like the executors it backs, one Store belongs to one operator.
+type Store struct {
+	fn   Fn
+	kind storeKind
+
+	// Parallel columns; only the ones the function needs are populated.
+	cnt   []int64
+	sum   []float64
+	sumsq []float64
+	min   []float64
+	max   []float64
+	// raw holds per-row raw-value buffers — a side table populated only
+	// for holistic functions (nil column otherwise); buffers are sparse,
+	// allocated on a row's first value and recycled with the span.
+	raw [][]float64
+
+	// occ is the occupancy bitmap, one bit per row, set on the row's
+	// first absorbed input and cleared when its span is released.
+	occ []uint64
+
+	rows    int32       // high-water mark of allocated rows
+	free    [32][]int32 // free span bases, indexed by size class (log2)
+	scratch []float64   // reused by holistic finalization
+	moveBuf []int32     // reused by Grow's row relocation
+}
+
+// NewStore creates an empty columnar store specialized for fn.
+func NewStore(fn Fn) *Store {
+	if !fn.Valid() {
+		panic(fmt.Sprintf("agg: NewStore on invalid function %v", fn))
+	}
+	return &Store{fn: fn, kind: storeKindOf(fn)}
+}
+
+// Fn returns the aggregate function the store is specialized for.
+func (s *Store) Fn() Fn { return s.fn }
+
+// Holistic reports whether the store keeps raw-value buffers.
+func (s *Store) Holistic() bool { return s.kind == storeRaw }
+
+// Rows returns the arena's high-water mark (allocated rows, live or
+// recycled) — an observability counter, not a live-row count.
+func (s *Store) Rows() int32 { return s.rows }
+
+// classFor returns the size class (log2 of the span length) covering n.
+func classFor(n int32) uint {
+	if n < 1<<minSpanClass {
+		return minSpanClass
+	}
+	return uint(bits.Len32(uint32(n - 1)))
+}
+
+// SpanCap returns the actual span length Alloc grants for a request of
+// n rows (the next power-of-two size class).
+func SpanCap(n int32) int32 { return 1 << classFor(n) }
+
+// Alloc returns the base row of a zeroed span holding at least n rows;
+// its true capacity is SpanCap(n). Freed spans of the same class are
+// reused before the arena grows.
+func (s *Store) Alloc(n int32) (base, cap int32) {
+	c := classFor(n)
+	size := int32(1) << c
+	if l := s.free[c]; len(l) > 0 {
+		base = l[len(l)-1]
+		s.free[c] = l[:len(l)-1]
+		return base, size
+	}
+	base = s.rows
+	s.rows += size
+	s.grow(int(s.rows))
+	return base, size
+}
+
+// grow extends the columns (and bitmap) to cover rows, doubling the
+// backing arrays so arena growth costs one allocation per column per
+// doubling. Freshly exposed rows are zero: columns only ever extend
+// (never shrink) and released rows are cleared eagerly.
+func (s *Store) grow(rows int) {
+	s.cnt = extend(s.cnt, rows)
+	switch s.kind {
+	case storeMin:
+		s.min = extend(s.min, rows)
+	case storeMax:
+		s.max = extend(s.max, rows)
+	case storeSum:
+		s.sum = extend(s.sum, rows)
+	case storeSumSq:
+		s.sum = extend(s.sum, rows)
+		s.sumsq = extend(s.sumsq, rows)
+	case storeRaw:
+		s.raw = extend(s.raw, rows)
+	}
+	s.occ = extend(s.occ, (rows+63)/64)
+}
+
+// extend grows col to n elements, zero-filled, doubling capacity.
+func extend[T any](col []T, n int) []T {
+	if len(col) >= n {
+		return col
+	}
+	if cap(col) >= n {
+		return col[:n] // the tail past len is still zero (see grow)
+	}
+	c := 2 * cap(col)
+	if c < n {
+		c = n
+	}
+	out := make([]T, n, c)
+	copy(out, col)
+	return out
+}
+
+// Release clears the span's occupied rows and recycles it. cap must be
+// the capacity Alloc (or Grow) granted.
+func (s *Store) Release(base, cap int32) {
+	s.Clear(base, cap)
+	s.free[classFor(cap)] = append(s.free[classFor(cap)], base)
+}
+
+// Clear zeroes the span's occupied rows (sparse, via the same bitmap
+// scan AppendLive uses) and their occupancy bits, keeping the span
+// owned by the caller.
+func (s *Store) Clear(base, cap int32) {
+	s.moveBuf = s.AppendLive(base, cap, s.moveBuf[:0])
+	for _, off := range s.moveBuf {
+		row := base + off
+		s.clearRow(row)
+		s.occ[row>>6] &^= 1 << (uint(row) & 63)
+	}
+}
+
+func (s *Store) clearRow(row int32) {
+	s.cnt[row] = 0
+	switch s.kind {
+	case storeMin:
+		s.min[row] = 0
+	case storeMax:
+		s.max[row] = 0
+	case storeSum:
+		s.sum[row] = 0
+	case storeSumSq:
+		s.sum[row] = 0
+		s.sumsq[row] = 0
+	case storeRaw:
+		s.raw[row] = s.raw[row][:0] // keep the buffer for the next tenant
+	}
+}
+
+// Grow moves a span to a larger one (capacity SpanCap(need)), copying
+// its occupied rows and releasing the old span. It returns the new base
+// and capacity. Row addresses change: callers must not hold row indices
+// into the old span across a Grow.
+func (s *Store) Grow(base, cap, need int32) (int32, int32) {
+	if need <= cap {
+		return base, cap
+	}
+	nb, nc := s.Alloc(need)
+	s.moveBuf = s.AppendLive(base, cap, s.moveBuf[:0])
+	for _, off := range s.moveBuf {
+		src, dst := base+off, nb+off
+		s.cnt[dst] = s.cnt[src]
+		switch s.kind {
+		case storeMin:
+			s.min[dst] = s.min[src]
+		case storeMax:
+			s.max[dst] = s.max[src]
+		case storeSum:
+			s.sum[dst] = s.sum[src]
+		case storeSumSq:
+			s.sum[dst] = s.sum[src]
+			s.sumsq[dst] = s.sumsq[src]
+		case storeRaw:
+			s.raw[dst] = append(s.raw[dst][:0], s.raw[src]...)
+		}
+		s.occ[dst>>6] |= 1 << (uint(dst) & 63)
+	}
+	s.Release(base, cap)
+	return nb, nc
+}
+
+// AppendLive appends the offsets (0-based within the span) of occupied
+// rows to buf, in increasing order. Offsets equal key slots in every
+// executor, so this is the sparse "which keys fired" scan.
+func (s *Store) AppendLive(base, cap int32, buf []int32) []int32 {
+	lo, hi := base, base+cap
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		mask := ^uint64(0)
+		if lo > w<<6 {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if hi < (w+1)<<6 {
+			mask &= ^uint64(0) >> (64 - (uint(hi) & 63))
+		}
+		live := s.occ[w] & mask
+		for live != 0 {
+			row := w<<6 + int32(bits.TrailingZeros64(live))
+			live &= live - 1
+			buf = append(buf, row-base)
+		}
+	}
+	return buf
+}
+
+// LiveAt reports whether the row has absorbed input.
+func (s *Store) LiveAt(row int32) bool {
+	return s.occ[row>>6]&(1<<(uint(row)&63)) != 0
+}
+
+// CntAt returns the row's input count.
+func (s *Store) CntAt(row int32) int64 { return s.cnt[row] }
+
+// AddAt folds one raw value into the row (scalar kernel).
+func (s *Store) AddAt(row int32, v float64) {
+	switch s.kind {
+	case storeMin:
+		if s.cnt[row] == 0 || v < s.min[row] {
+			s.min[row] = v
+		}
+	case storeMax:
+		if s.cnt[row] == 0 || v > s.max[row] {
+			s.max[row] = v
+		}
+	case storeSum:
+		s.sum[row] += v
+	case storeSumSq:
+		s.sum[row] += v
+		s.sumsq[row] += v * v
+	case storeRaw:
+		s.raw[row] = append(s.raw[row], v)
+	}
+	s.cnt[row]++
+	s.occ[row>>6] |= 1 << (uint(row) & 63)
+}
+
+// AddRows folds vals[i] into rows[i] for every i, dispatching on the
+// function once per call. The executors' hot paths currently use the
+// scalar AddAt (for single-row updates the staging cost of a row/value
+// batch exceeds the dispatch it saves — see the engine's tumbling
+// path); AddRows is the staged-batch entry point kept for consumers
+// that already hold columnar input, e.g. future SIMD-friendly
+// batching. It is property-tested against AddAt.
+func (s *Store) AddRows(rows []int32, vals []float64) {
+	switch s.kind {
+	case storeMin:
+		for i, r := range rows {
+			v := vals[i]
+			if s.cnt[r] == 0 || v < s.min[r] {
+				s.min[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeMax:
+		for i, r := range rows {
+			v := vals[i]
+			if s.cnt[r] == 0 || v > s.max[r] {
+				s.max[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSum:
+		for i, r := range rows {
+			s.sum[r] += vals[i]
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSumSq:
+		for i, r := range rows {
+			v := vals[i]
+			s.sum[r] += v
+			s.sumsq[r] += v * v
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeRaw:
+		for i, r := range rows {
+			s.raw[r] = append(s.raw[r], vals[i])
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
+// AddBases folds one value into row base+slot for every span base — the
+// engine's hopping-window raw path, where one event lands in k window
+// instances at the same key slot.
+func (s *Store) AddBases(bases []int32, slot int32, v float64) {
+	switch s.kind {
+	case storeMin:
+		for _, b := range bases {
+			r := b + slot
+			if s.cnt[r] == 0 || v < s.min[r] {
+				s.min[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeMax:
+		for _, b := range bases {
+			r := b + slot
+			if s.cnt[r] == 0 || v > s.max[r] {
+				s.max[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSum:
+		for _, b := range bases {
+			r := b + slot
+			s.sum[r] += v
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSumSq:
+		vv := v * v
+		for _, b := range bases {
+			r := b + slot
+			s.sum[r] += v
+			s.sumsq[r] += vv
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeRaw:
+		for _, b := range bases {
+			r := b + slot
+			s.raw[r] = append(s.raw[r], v)
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
+// MergeAt folds src's row srcRow into this store's row dst. Both stores
+// must be specialized for the same function. It panics for holistic
+// functions (use MergeRawAt), mirroring Merge.
+func (s *Store) MergeAt(dst int32, src *Store, srcRow int32) {
+	if src.cnt[srcRow] == 0 {
+		return
+	}
+	switch s.kind {
+	case storeMin:
+		if s.cnt[dst] == 0 || src.min[srcRow] < s.min[dst] {
+			s.min[dst] = src.min[srcRow]
+		}
+	case storeMax:
+		if s.cnt[dst] == 0 || src.max[srcRow] > s.max[dst] {
+			s.max[dst] = src.max[srcRow]
+		}
+	case storeSum:
+		s.sum[dst] += src.sum[srcRow]
+	case storeSumSq:
+		s.sum[dst] += src.sum[srcRow]
+		s.sumsq[dst] += src.sumsq[srcRow]
+	default:
+		panic(fmt.Sprintf("agg: MergeAt unsupported for %v (%v)", s.fn, ClassOf(s.fn)))
+	}
+	s.cnt[dst] += src.cnt[srcRow]
+	s.occ[dst>>6] |= 1 << (uint(dst) & 63)
+}
+
+// MergeBases folds src's row srcRow into row base+slot for every span
+// base — the sub-aggregate counterpart of AddBases.
+func (s *Store) MergeBases(bases []int32, slot int32, src *Store, srcRow int32) {
+	if src.cnt[srcRow] == 0 {
+		return
+	}
+	cnt := src.cnt[srcRow]
+	switch s.kind {
+	case storeMin:
+		v := src.min[srcRow]
+		for _, b := range bases {
+			r := b + slot
+			if s.cnt[r] == 0 || v < s.min[r] {
+				s.min[r] = v
+			}
+			s.cnt[r] += cnt
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeMax:
+		v := src.max[srcRow]
+		for _, b := range bases {
+			r := b + slot
+			if s.cnt[r] == 0 || v > s.max[r] {
+				s.max[r] = v
+			}
+			s.cnt[r] += cnt
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSum:
+		v := src.sum[srcRow]
+		for _, b := range bases {
+			r := b + slot
+			s.sum[r] += v
+			s.cnt[r] += cnt
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSumSq:
+		v, vv := src.sum[srcRow], src.sumsq[srcRow]
+		for _, b := range bases {
+			r := b + slot
+			s.sum[r] += v
+			s.sumsq[r] += vv
+			s.cnt[r] += cnt
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	default:
+		panic(fmt.Sprintf("agg: MergeBases unsupported for %v (%v)", s.fn, ClassOf(s.fn)))
+	}
+}
+
+// MergeRawAt folds src's row srcRow into row dst for any function,
+// carrying raw values for holistic ones (the slicing executor's
+// Section III-A fallback).
+func (s *Store) MergeRawAt(dst int32, src *Store, srcRow int32) {
+	if s.kind != storeRaw {
+		s.MergeAt(dst, src, srcRow)
+		return
+	}
+	if src.cnt[srcRow] == 0 {
+		return
+	}
+	s.raw[dst] = append(s.raw[dst], src.raw[srcRow]...)
+	s.cnt[dst] += src.cnt[srcRow]
+	s.occ[dst>>6] |= 1 << (uint(dst) & 63)
+}
+
+// FinalizeAt computes the aggregate result of the row, leaving the row's
+// state intact (holistic finalization sorts a scratch copy).
+func (s *Store) FinalizeAt(row int32) float64 {
+	n := s.cnt[row]
+	if n == 0 {
+		if s.fn == Count {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch s.kind {
+	case storeMin:
+		return s.min[row]
+	case storeMax:
+		return s.max[row]
+	case storeSum:
+		switch s.fn {
+		case Sum:
+			return s.sum[row]
+		case Count:
+			return float64(n)
+		default: // Avg
+			return s.sum[row] / float64(n)
+		}
+	case storeSumSq:
+		nf := float64(n)
+		mean := s.sum[row] / nf
+		v := s.sumsq[row]/nf - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v)
+	default: // storeRaw: MEDIAN over a sorted scratch copy
+		s.scratch = append(s.scratch[:0], s.raw[row]...)
+		sort.Float64s(s.scratch)
+		k := len(s.scratch)
+		if k%2 == 1 {
+			return s.scratch[k/2]
+		}
+		return (s.scratch[k/2-1] + s.scratch[k/2]) / 2
+	}
+}
+
+// CellAt exports the row's scalar state (for checkpoints and the shim).
+func (s *Store) CellAt(row int32) Cell {
+	c := Cell{Cnt: s.cnt[row]}
+	switch s.kind {
+	case storeMin:
+		c.Min = s.min[row]
+	case storeMax:
+		c.Max = s.max[row]
+	case storeSum:
+		c.Sum = s.sum[row]
+	case storeSumSq:
+		c.Sum = s.sum[row]
+		c.SumSq = s.sumsq[row]
+	}
+	return c
+}
+
+// SetCellAt overwrites the row's scalar state, marking it occupied when
+// the cell is non-empty (checkpoint restore).
+func (s *Store) SetCellAt(row int32, c Cell) {
+	s.cnt[row] = c.Cnt
+	switch s.kind {
+	case storeMin:
+		s.min[row] = c.Min
+	case storeMax:
+		s.max[row] = c.Max
+	case storeSum:
+		s.sum[row] = c.Sum
+	case storeSumSq:
+		s.sum[row] = c.Sum
+		s.sumsq[row] = c.SumSq
+	}
+	if c.Cnt > 0 {
+		s.occ[row>>6] |= 1 << (uint(row) & 63)
+	}
+}
+
+// RawAt returns the row's raw-value buffer (holistic stores only; nil
+// otherwise). The slice aliases store memory — copy before retaining.
+func (s *Store) RawAt(row int32) []float64 {
+	if s.kind != storeRaw {
+		return nil
+	}
+	return s.raw[row]
+}
+
+// SetRawAt replaces the row's raw-value buffer with a copy of vs
+// (checkpoint restore; no-op for non-holistic stores).
+func (s *Store) SetRawAt(row int32, vs []float64) {
+	if s.kind != storeRaw {
+		return
+	}
+	s.raw[row] = append(s.raw[row][:0], vs...)
+	if len(vs) > 0 {
+		s.occ[row>>6] |= 1 << (uint(row) & 63)
+	}
+}

@@ -1,0 +1,261 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b || math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestStoreKernelsMatchBoxed drives random Add/Merge/Finalize traffic
+// through a Store span and the boxed State shim in lockstep: the
+// columnar kernels must be bit-compatible with the boxed path for every
+// function.
+func TestStoreKernelsMatchBoxed(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, fn := range Functions() {
+		s := NewStore(fn)
+		base, cap := s.Alloc(8)
+		boxed := make([]State, cap)
+		for step := 0; step < 2000; step++ {
+			row := int32(r.Intn(int(cap)))
+			v := float64(r.Intn(200) - 100)
+			s.AddAt(base+row, v)
+			Add(fn, &boxed[row], v)
+		}
+		for row := int32(0); row < cap; row++ {
+			if got, want := s.CntAt(base+row), boxed[row].Cnt; got != want {
+				t.Fatalf("%v row %d: cnt %d, want %d", fn, row, got, want)
+			}
+			if got, want := s.LiveAt(base+row), boxed[row].Cnt > 0; got != want {
+				t.Fatalf("%v row %d: live %t, want %t", fn, row, got, want)
+			}
+			got, want := s.FinalizeAt(base+row), Final(fn, &boxed[row])
+			if !almostEqual(got, want) {
+				t.Fatalf("%v row %d: finalize %v, want %v", fn, row, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreMergeMatchesBoxed merges random sub-aggregates across two
+// spans and checks against State merging (MergeRawAt for the holistic
+// fallback, MergeAt otherwise).
+func TestStoreMergeMatchesBoxed(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, fn := range Functions() {
+		s := NewStore(fn)
+		src, srcCap := s.Alloc(4)
+		dst, dstCap := s.Alloc(4)
+		boxedSrc := make([]State, srcCap)
+		boxedDst := make([]State, dstCap)
+		for row := int32(0); row < srcCap; row++ {
+			for i := 0; i < r.Intn(5); i++ {
+				v := float64(r.Intn(100))
+				s.AddAt(src+row, v)
+				Add(fn, &boxedSrc[row], v)
+			}
+		}
+		for step := 0; step < 50; step++ {
+			from := int32(r.Intn(int(srcCap)))
+			to := int32(r.Intn(int(dstCap)))
+			if Shareable(fn) {
+				s.MergeAt(dst+to, s, src+from)
+				Merge(fn, &boxedDst[to], &boxedSrc[from])
+			} else {
+				s.MergeRawAt(dst+to, s, src+from)
+				MergeRaw(fn, &boxedDst[to], &boxedSrc[from])
+			}
+		}
+		for row := int32(0); row < dstCap; row++ {
+			if boxedDst[row].Cnt == 0 {
+				continue
+			}
+			got, want := s.FinalizeAt(dst+row), Final(fn, &boxedDst[row])
+			if !almostEqual(got, want) {
+				t.Fatalf("%v row %d: finalize %v, want %v", fn, row, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreBatchKernelsMatchScalar checks AddRows/AddBases/MergeBases
+// against their scalar counterparts on a second store.
+func TestStoreBatchKernelsMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, fn := range Functions() {
+		batch, scalar := NewStore(fn), NewStore(fn)
+		bBase, cap := batch.Alloc(16)
+		sBase, _ := scalar.Alloc(16)
+
+		rows := make([]int32, 0, 64)
+		vals := make([]float64, 0, 64)
+		for i := 0; i < 64; i++ {
+			off := int32(r.Intn(int(cap)))
+			v := float64(r.Intn(100))
+			rows = append(rows, bBase+off)
+			vals = append(vals, v)
+			scalar.AddAt(sBase+off, v)
+		}
+		batch.AddRows(rows, vals)
+
+		bases := []int32{bBase, bBase + 4, bBase + 8}
+		sBases := []int32{sBase, sBase + 4, sBase + 8}
+		batch.AddBases(bases, 2, 13)
+		for _, b := range sBases {
+			scalar.AddAt(b+2, 13)
+		}
+		if Shareable(fn) {
+			batch.MergeBases(bases, 3, batch, bBase+2)
+			for _, b := range sBases {
+				scalar.MergeAt(b+3, scalar, sBase+2)
+			}
+		}
+		for off := int32(0); off < cap; off++ {
+			if scalar.LiveAt(sBase+off) != batch.LiveAt(bBase+off) {
+				t.Fatalf("%v off %d: live mismatch", fn, off)
+			}
+			if !scalar.LiveAt(sBase + off) {
+				continue
+			}
+			got, want := batch.FinalizeAt(bBase+off), scalar.FinalizeAt(sBase+off)
+			if !almostEqual(got, want) {
+				t.Fatalf("%v off %d: batch %v, scalar %v", fn, off, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreSpanRecycling exercises Alloc/Release/Grow/Clear: released
+// spans come back clean, recycled spans reuse arena rows, and Grow
+// relocates occupied rows exactly.
+func TestStoreSpanRecycling(t *testing.T) {
+	s := NewStore(Sum)
+	base, cap := s.Alloc(4)
+	if cap != 4 {
+		t.Fatalf("Alloc(4) granted cap %d, want 4", cap)
+	}
+	s.AddAt(base+1, 5)
+	s.AddAt(base+3, 7)
+	high := s.Rows()
+	s.Release(base, cap)
+	base2, cap2 := s.Alloc(3)
+	if base2 != base || cap2 != 4 {
+		t.Fatalf("recycled span = (%d,%d), want (%d,4)", base2, cap2, base)
+	}
+	if s.Rows() != high {
+		t.Fatalf("arena grew on recycle: %d -> %d", high, s.Rows())
+	}
+	if got := s.AppendLive(base2, cap2, nil); len(got) != 0 {
+		t.Fatalf("recycled span not clean: live offsets %v", got)
+	}
+
+	// Grow moves occupied rows and frees the old span.
+	s.AddAt(base2+0, 1)
+	s.AddAt(base2+3, 2)
+	nb, nc := s.Grow(base2, cap2, 9)
+	if nc != 16 {
+		t.Fatalf("Grow granted cap %d, want 16", nc)
+	}
+	offs := s.AppendLive(nb, nc, nil)
+	if len(offs) != 2 || offs[0] != 0 || offs[1] != 3 {
+		t.Fatalf("grown span live offsets = %v, want [0 3]", offs)
+	}
+	if got := s.FinalizeAt(nb + 3); got != 2 {
+		t.Fatalf("grown row value = %v, want 2", got)
+	}
+	// The old span returns to the free list, clean.
+	base3, _ := s.Alloc(4)
+	if base3 != base2 {
+		t.Fatalf("old span not recycled: got %d, want %d", base3, base2)
+	}
+	if got := s.AppendLive(base3, 4, nil); len(got) != 0 {
+		t.Fatalf("freed span not clean: %v", got)
+	}
+
+	// Clear keeps ownership but wipes occupancy and values.
+	s.AddAt(nb+5, 9)
+	s.Clear(nb, nc)
+	if got := s.AppendLive(nb, nc, nil); len(got) != 0 {
+		t.Fatalf("cleared span still live: %v", got)
+	}
+	s.AddAt(nb+5, 3)
+	if got := s.FinalizeAt(nb + 5); got != 3 {
+		t.Fatalf("cleared row accumulated stale state: %v", got)
+	}
+}
+
+// TestStoreHolisticBuffers checks the MEDIAN side table: raw buffers
+// travel through merges, grows and releases without leaking values.
+func TestStoreHolisticBuffers(t *testing.T) {
+	s := NewStore(Median)
+	base, cap := s.Alloc(4)
+	for _, v := range []float64{5, 1, 9} {
+		s.AddAt(base+2, v)
+	}
+	if got := s.FinalizeAt(base + 2); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	// FinalizeAt must not disturb the stored buffer.
+	if got := s.RawAt(base + 2); len(got) != 3 || got[0] != 5 || got[1] != 1 || got[2] != 9 {
+		t.Fatalf("raw buffer disturbed: %v", got)
+	}
+	nb, nc := s.Grow(base, cap, 5)
+	if got := s.FinalizeAt(nb + 2); got != 5 {
+		t.Fatalf("median after grow = %v, want 5", got)
+	}
+	s.Release(nb, nc)
+	nb2, _ := s.Alloc(5)
+	if got := s.RawAt(nb2 + 2); len(got) != 0 {
+		t.Fatalf("recycled holistic row kept values: %v", got)
+	}
+}
+
+// TestCellKernels sanity-checks the flat Cell API against the shim.
+func TestCellKernels(t *testing.T) {
+	for _, fn := range ShareableFns() {
+		var c Cell
+		var s State
+		for _, v := range []float64{3, -1, 8, 8, 2} {
+			CellAdd(fn, &c, v)
+			Add(fn, &s, v)
+		}
+		var c2 Cell
+		CellAdd(fn, &c2, 100)
+		CellMerge(fn, &c, &c2)
+		var s2 State
+		Add(fn, &s2, 100)
+		Merge(fn, &s, &s2)
+		if got, want := CellFinal(fn, &c), Final(fn, &s); !almostEqual(got, want) {
+			t.Fatalf("%v: cell %v, state %v", fn, got, want)
+		}
+	}
+	var empty Cell
+	if got := CellFinal(Count, &empty); got != 0 {
+		t.Fatalf("empty COUNT = %v, want 0", got)
+	}
+	if got := CellFinal(Sum, &empty); !math.IsNaN(got) {
+		t.Fatalf("empty SUM = %v, want NaN", got)
+	}
+}
+
+// TestStateShimNoValsForNonHolistic pins the shim-path memory fix: only
+// holistic functions may populate the boxed state's raw-value buffer.
+func TestStateShimNoValsForNonHolistic(t *testing.T) {
+	for _, fn := range ShareableFns() {
+		var s State
+		for i := 0; i < 100; i++ {
+			Add(fn, &s, float64(i))
+		}
+		if s.Vals != nil {
+			t.Fatalf("%v: shim reserved a %d-cap Vals buffer for a non-holistic function",
+				fn, len(s.Vals))
+		}
+	}
+}

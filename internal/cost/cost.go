@@ -42,6 +42,9 @@ func Period(ws []window.Window) *big.Int {
 // DividesPeriod reports whether w's range divides the period R, the
 // integrality condition the paper assumes for recurrence counts.
 func DividesPeriod(w window.Window, R *big.Int) bool {
+	if R.IsInt64() {
+		return R.Int64()%w.Range == 0
+	}
 	m := new(big.Int).Mod(R, big.NewInt(w.Range))
 	return m.Sign() == 0
 }
@@ -49,7 +52,13 @@ func DividesPeriod(w window.Window, R *big.Int) bool {
 // Recurrence returns n_i, the number of instances of w in a period of
 // length R (Equation 1): n = 1 + (m-1)·r/s with m = R/r, which simplifies
 // to n = 1 + (R-r)/s. R must be a multiple of r (see DividesPeriod).
+// The optimizer's factor search calls this in a tight loop, so periods
+// that fit an int64 — every practical window set — take an
+// allocation-light machine-word path.
 func Recurrence(w window.Window, R *big.Int) *big.Int {
+	if R.IsInt64() {
+		return big.NewInt((R.Int64()-w.Range)/w.Slide + 1)
+	}
 	n := new(big.Int).Sub(R, big.NewInt(w.Range))
 	n.Div(n, big.NewInt(w.Slide))
 	return n.Add(n, big.NewInt(1))
@@ -57,21 +66,34 @@ func Recurrence(w window.Window, R *big.Int) *big.Int {
 
 // Multiplicity returns m_i = R/r_i.
 func Multiplicity(w window.Window, R *big.Int) *big.Int {
+	if R.IsInt64() {
+		return big.NewInt(R.Int64() / w.Range)
+	}
 	return new(big.Int).Div(R, big.NewInt(w.Range))
+}
+
+// mulOrBig returns n·f exactly (mutating n): in one word when the
+// product cannot overflow, in big integers otherwise.
+func mulOrBig(n *big.Int, f int64) *big.Int {
+	if n.IsInt64() {
+		v := n.Int64()
+		if v >= 0 && f >= 0 && (v == 0 || f <= (1<<62)/max(v, 1)) {
+			return n.SetInt64(v * f)
+		}
+	}
+	return n.Mul(n, big.NewInt(f))
 }
 
 // Initial returns the unshared cost of w over one period: n_i · (η · r_i),
 // the line-3 initialisation of Algorithm 1.
 func (m Model) Initial(w window.Window, R *big.Int) *big.Int {
-	c := Recurrence(w, R)
-	return c.Mul(c, big.NewInt(m.Eta*w.Range))
+	return mulOrBig(Recurrence(w, R), m.Eta*w.Range)
 }
 
 // Shared returns the cost of computing w from sub-aggregates of parent:
 // n_i · M(w, parent) (Observation 1). parent must cover w.
 func (m Model) Shared(w, parent window.Window, R *big.Int) *big.Int {
-	c := Recurrence(w, R)
-	return c.Mul(c, big.NewInt(window.Multiplier(w, parent)))
+	return mulOrBig(Recurrence(w, R), window.Multiplier(w, parent))
 }
 
 // Sum returns the total of the given costs (Σ c_i of Section III-B).

@@ -5,6 +5,14 @@
 // operators must integrate with each engine's state backend — by giving
 // our engine a self-contained state backend.
 //
+// Two codec versions exist. v2 (current) mirrors the columnar store:
+// per instance, a slot vector plus parallel cells (and raw-value
+// buffers for holistic functions), prefixed with a magic header. v1
+// (the boxed-state era) is a bare gob stream of per-slot agg.State
+// values; Restore detects the missing header and decodes it
+// transparently, so snapshots taken before the columnar refactor keep
+// restoring forever. Snapshot always writes v2.
+//
 // A snapshot is only valid for the identical plan (same windows, same
 // sharing structure, same aggregate function); Restore verifies a
 // fingerprint before accepting it.
@@ -22,34 +30,67 @@ import (
 	"factorwindows/internal/stream"
 )
 
-// snapshot is the serialized form of a Runner.
-type snapshot struct {
+// snapshotMagicV2 prefixes every v2 snapshot; v1 blobs are bare gob
+// streams and can never start with it (gob's first byte is a length).
+const snapshotMagicV2 = "FWSNAP2\n"
+
+// snapshotV2 is the serialized form of a Runner under the columnar
+// codec.
+type snapshotV2 struct {
 	Fingerprint string
 	Events      int64
 	Keys        []uint64 // the shared slot→key table
-	Nodes       []nodeSnapshot
+	Nodes       []nodeSnapshotV2
 }
 
-// nodeSnapshot captures one operator's live state.
-type nodeSnapshot struct {
+// nodeSnapshotV2 captures one operator's live state.
+type nodeSnapshotV2 struct {
 	Fingerprint string // the operator's own identity within the plan
 	Base        int64
 	CurEnd      int64
 	HasCur      bool
-	Instances   []instanceSnapshot
+	Instances   []instanceSnapshotV2
 	Inputs      int64
 	Updates     int64
 	Fired       int64
 }
 
-// instanceSnapshot captures one open window instance.
-type instanceSnapshot struct {
-	M      int64
-	States []slotState
+// instanceSnapshotV2 captures one open window instance: the occupied
+// key slots with their cells as parallel vectors, plus raw-value
+// buffers (parallel to Slots) when the function is holistic.
+type instanceSnapshotV2 struct {
+	M     int64
+	Slots []int32
+	Cells []agg.Cell
+	Raw   [][]float64
 }
 
-// slotState is one non-empty per-key aggregate.
-type slotState struct {
+// --- v1 (boxed-state era) wire types, kept for backward-compat decode ---
+
+type snapshotV1 struct {
+	Fingerprint string
+	Events      int64
+	Keys        []uint64
+	Nodes       []nodeSnapshotV1
+}
+
+type nodeSnapshotV1 struct {
+	Fingerprint string
+	Base        int64
+	CurEnd      int64
+	HasCur      bool
+	Instances   []instanceSnapshotV1
+	Inputs      int64
+	Updates     int64
+	Fired       int64
+}
+
+type instanceSnapshotV1 struct {
+	M      int64
+	States []slotStateV1
+}
+
+type slotStateV1 struct {
 	Slot  int32
 	State agg.State
 }
@@ -68,20 +109,20 @@ func nodeFingerprint(n *node) string {
 	return fmt.Sprintf("w=%d/%d,x=%t,c=%d", n.w.Range, n.w.Slide, n.exposed, len(n.children))
 }
 
-// Snapshot serializes the Runner's current state. The Runner remains
-// usable; snapshots are consistent at batch boundaries (take them between
-// Process calls).
+// Snapshot serializes the Runner's current state (v2 codec). The Runner
+// remains usable; snapshots are consistent at batch boundaries (take
+// them between Process calls).
 func (r *Runner) Snapshot() ([]byte, error) {
 	if r.closed {
 		return nil, fmt.Errorf("engine: Snapshot after Close")
 	}
-	snap := snapshot{
+	snap := snapshotV2{
 		Fingerprint: planFingerprint(r.all, r.fn),
 		Events:      r.events,
 		Keys:        append([]uint64(nil), r.keyed.keys...),
 	}
 	for _, n := range r.all {
-		ns := nodeSnapshot{
+		ns := nodeSnapshotV2{
 			Fingerprint: nodeFingerprint(n),
 			Base:        n.base,
 			CurEnd:      n.curEnd,
@@ -92,10 +133,13 @@ func (r *Runner) Snapshot() ([]byte, error) {
 		}
 		for i := n.head; i < len(n.insts); i++ {
 			inst := n.insts[i]
-			is := instanceSnapshot{M: inst.m}
-			for slot, st := range inst.states {
-				if st != nil {
-					is.States = append(is.States, slotState{Slot: int32(slot), State: *st})
+			is := instanceSnapshotV2{M: inst.m}
+			for _, off := range n.store.AppendLive(inst.span, inst.cap, nil) {
+				row := inst.span + off
+				is.Slots = append(is.Slots, off)
+				is.Cells = append(is.Cells, n.store.CellAt(row))
+				if n.store.Holistic() {
+					is.Raw = append(is.Raw, append([]float64(nil), n.store.RawAt(row)...))
 				}
 			}
 			ns.Instances = append(ns.Instances, is)
@@ -103,23 +147,73 @@ func (r *Runner) Snapshot() ([]byte, error) {
 		snap.Nodes = append(snap.Nodes, ns)
 	}
 	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV2)
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("engine: encoding snapshot: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
+// decodeSnapshot reads either codec version into the v2 form.
+func decodeSnapshot(data []byte) (snapshotV2, error) {
+	if bytes.HasPrefix(data, []byte(snapshotMagicV2)) {
+		var snap snapshotV2
+		err := gob.NewDecoder(bytes.NewReader(data[len(snapshotMagicV2):])).Decode(&snap)
+		if err != nil {
+			return snapshotV2{}, fmt.Errorf("engine: decoding snapshot: %w", err)
+		}
+		return snap, nil
+	}
+	// No magic header: a v1 (boxed-state) snapshot. Decode the legacy
+	// gob stream and lift every boxed state into its columnar cell.
+	var old snapshotV1
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&old); err != nil {
+		return snapshotV2{}, fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	snap := snapshotV2{Fingerprint: old.Fingerprint, Events: old.Events, Keys: old.Keys}
+	for _, on := range old.Nodes {
+		ns := nodeSnapshotV2{
+			Fingerprint: on.Fingerprint,
+			Base:        on.Base,
+			CurEnd:      on.CurEnd,
+			HasCur:      on.HasCur,
+			Inputs:      on.Inputs,
+			Updates:     on.Updates,
+			Fired:       on.Fired,
+		}
+		for _, oi := range on.Instances {
+			is := instanceSnapshotV2{M: oi.M}
+			holistic := false
+			for _, ss := range oi.States {
+				st := ss.State
+				is.Slots = append(is.Slots, ss.Slot)
+				is.Cells = append(is.Cells, agg.Cell{
+					Cnt: st.Cnt, Sum: st.Sum, SumSq: st.SumSq, Min: st.Min, Max: st.Max,
+				})
+				is.Raw = append(is.Raw, st.Vals)
+				holistic = holistic || len(st.Vals) > 0
+			}
+			if !holistic {
+				is.Raw = nil
+			}
+			ns.Instances = append(ns.Instances, is)
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	}
+	return snap, nil
+}
+
 // Restore builds a Runner for p whose state is resumed from a snapshot
-// previously taken on an identical plan. Processing continues from the
-// next batch after the snapshot point.
+// previously taken on an identical plan — under either codec version.
+// Processing continues from the next batch after the snapshot point.
 func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 	r, err := New(p, sink)
 	if err != nil {
 		return nil, err
 	}
-	var snap snapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, err
 	}
 	if fp := planFingerprint(r.all, r.fn); fp != snap.Fingerprint {
 		return nil, fmt.Errorf("engine: snapshot belongs to a different plan (%q vs %q)",
@@ -152,11 +246,28 @@ func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 			if j > 0 && is.M != ns.Instances[j-1].M+1 {
 				return nil, fmt.Errorf("engine: snapshot instances not consecutive at %v", n.w)
 			}
-			inst := &instance{m: is.M}
-			for _, ss := range is.States {
-				st := ss.State
-				inst.state(n, ss.Slot)     // materialize the slot
-				*inst.states[ss.Slot] = st // then overwrite with the payload
+			if len(is.Cells) != len(is.Slots) || (is.Raw != nil && len(is.Raw) != len(is.Slots)) {
+				return nil, fmt.Errorf("engine: snapshot instance %d of %v has ragged columns", is.M, n.w)
+			}
+			inst := n.newInstance(is.M)
+			for idx, slot := range is.Slots {
+				if slot < 0 || int(slot) >= len(snap.Keys) {
+					return nil, fmt.Errorf("engine: snapshot slot %d out of range at %v", slot, n.w)
+				}
+				if is.Cells[idx].Cnt <= 0 {
+					// Snapshots record only live rows; a non-positive count
+					// would write column values without marking the row
+					// occupied, poisoning the span for later tenants.
+					return nil, fmt.Errorf("engine: snapshot cell with count %d at %v",
+						is.Cells[idx].Cnt, n.w)
+				}
+				if slot >= inst.cap {
+					n.growInstance(inst, slot+1)
+				}
+				n.store.SetCellAt(inst.span+slot, is.Cells[idx])
+				if is.Raw != nil {
+					n.store.SetRawAt(inst.span+slot, is.Raw[idx])
+				}
 			}
 			n.insts = append(n.insts, inst)
 		}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 
@@ -152,5 +154,32 @@ func TestSnapshotPreservesStats(t *testing.T) {
 	}
 	if r2.Stats()[0].Inputs != r.Stats()[0].Inputs || r2.TotalUpdates() != r.TotalUpdates() {
 		t.Fatal("stats not preserved across restore")
+	}
+}
+
+// TestRestoreRejectsEmptyCell guards the columnar restore invariant:
+// snapshots record only live rows, so a cell with a non-positive count
+// (which would write column values without marking the row occupied,
+// poisoning the recycled span) must be rejected, not absorbed.
+func TestRestoreRejectsEmptyCell(t *testing.T) {
+	p, _ := plan.NewOriginal(window.MustSet(window.Tumbling(8)), agg.Sum)
+	r, _ := New(p, &stream.CountingSink{})
+	r.Process([]stream.Event{{Time: 1, Key: 1, Value: 2}})
+	data, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Nodes[0].Instances[0].Cells[0].Cnt = 0
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV2)
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(p, &stream.CountingSink{}, buf.Bytes()); err == nil {
+		t.Fatal("snapshot with zero-count cell must be rejected")
 	}
 }

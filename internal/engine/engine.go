@@ -5,11 +5,12 @@
 // plan fan-out), windowed GroupAggregate, and Union (the shared sink).
 //
 // Each plan operator maintains per-(window instance, key) partial
-// aggregates. Raw events fold in with agg.Add; operators with a plan
-// parent consume the parent's per-instance sub-aggregates with agg.Merge,
-// which is exactly the computation-sharing the cost model prices: an
-// instance fed from a parent performs M(W, parent) merges instead of η·r
-// event updates.
+// aggregates in a columnar agg.Store: an instance is a contiguous span
+// of rows, raw events fold in through the store's Add kernels, and
+// operators with a plan parent consume the parent's per-instance
+// sub-aggregates through the Merge kernels — exactly the
+// computation-sharing the cost model prices: an instance fed from a
+// parent performs M(W, parent) merges instead of η·r event updates.
 //
 // Window instances complete by watermark: inputs arrive ordered by
 // interval end (raw events are unit intervals [t, t+1); parents emit
@@ -30,21 +31,23 @@ import (
 // operator to its children, identified by the canonical key slot (slot
 // numbering is shared across the whole plan, so children consume
 // sub-aggregates without re-keying — they arrive pre-grouped, exactly as
-// a keyed sub-aggregate stream does in Trill). The state pointer stays
-// owned by the parent; children must consume it synchronously.
+// a keyed sub-aggregate stream does in Trill). The row lives in the
+// parent's columnar store and stays owned by the parent; children must
+// consume it synchronously (before the parent releases the span).
 type subAgg struct {
 	start, end int64
 	slot       int32
-	state      *agg.State
+	row        int32
 }
 
-// instance is one active window instance. states is a dense per-slot
-// array indexed by the node's key-slot table; live counts the non-nil
-// entries so empty instances can be skipped cheaply.
+// instance is one active window instance: a contiguous span of rows in
+// the node's columnar store, addressed as span+slot. cap is the span's
+// granted capacity; it grows (moving the span) when the key table
+// outgrows it.
 type instance struct {
-	m      int64
-	states []*agg.State
-	live   int
+	m    int64
+	span int32
+	cap  int32
 }
 
 // node is the runtime form of a plan operator.
@@ -56,6 +59,10 @@ type node struct {
 	sink    stream.Sink
 
 	children []*node
+
+	// store holds every active instance's per-key partial aggregates as
+	// function-specialized columns; instances are spans in it.
+	store *agg.Store
 
 	// Active instances insts[head:] hold consecutive m values starting at
 	// base (the m of insts[head]).
@@ -74,9 +81,14 @@ type node struct {
 	// GroupAggregate does); sub-aggregates arrive pre-slotted.
 	shared *keyTable
 
-	instPool  []*instance
-	statePool []*agg.State
-	emitBuf   []subAgg
+	instPool []*instance
+	emitBuf  []subAgg
+
+	// Reusable kernel scratch, so the steady-state hot path never
+	// allocates: span bases per event (hopping fan-out) and live
+	// offsets per fired instance.
+	baseBuf []int32
+	liveBuf []int32
 
 	// stats
 	inputs  int64 // items consumed (raw events or sub-aggregates)
@@ -130,7 +142,7 @@ func New(p *plan.Plan, sink stream.Sink) (*Runner, error) {
 	ops := p.Operators()
 	for _, op := range ops {
 		n := &node{w: op.W, k: op.W.K(), fn: p.Fn, exposed: op.Exposed, sink: sink,
-			shared: &r.keyed}
+			shared: &r.keyed, store: agg.NewStore(p.Fn)}
 		byOp[op] = n
 		r.all = append(r.all, n)
 	}
@@ -273,19 +285,29 @@ func (n *node) processRaw(events []stream.Event) {
 		n.ensure(lo, hi)
 		n.updates += hi - lo + 1
 		slot := n.shared.slot(e.Key)
+		bases := n.baseBuf[:0]
 		for m := lo; m <= hi; m++ {
 			inst := n.insts[n.head+int(m-n.base)]
-			st := inst.state(n, slot)
-			agg.Add(n.fn, st, e.Value)
+			if slot >= inst.cap {
+				n.growInstance(inst, slot+1)
+			}
+			bases = append(bases, inst.span)
 		}
+		n.store.AddBases(bases, slot, e.Value)
+		n.baseBuf = bases
 	}
 }
 
 // processRawTumbling is the k=1 fast path: every event belongs to
-// exactly one instance, which is cached until its end tick passes.
+// exactly one instance, which is cached until its end tick passes; the
+// inner loop folds the run of events landing in that instance through
+// the scalar column kernel (for single-row updates the staging cost of
+// the batch kernels exceeds the dispatch they save; the hopping path
+// below uses AddBases, which does amortize).
 func (n *node) processRawTumbling(events []stream.Event) {
 	slide := n.w.Slide
-	for i := range events {
+	i := 0
+	for i < len(events) {
 		e := &events[i]
 		if e.Time >= n.curEnd || n.curInst == nil {
 			m := e.Time / slide
@@ -294,36 +316,32 @@ func (n *node) processRawTumbling(events []stream.Event) {
 			n.curInst = n.insts[n.head+int(m-n.base)]
 			n.curEnd = (m + 1) * slide
 		}
-		st := n.curInst.state(n, n.shared.slot(e.Key))
-		agg.Add(n.fn, st, e.Value)
+		inst := n.curInst
+		j := i
+		for ; j < len(events) && events[j].Time < n.curEnd; j++ {
+			slot := n.shared.slot(events[j].Key)
+			if slot >= inst.cap {
+				n.growInstance(inst, slot+1)
+			}
+			n.store.AddAt(inst.span+slot, events[j].Value)
+		}
+		i = j
 	}
 	n.updates += int64(len(events))
 }
 
-// state returns the aggregate state for slot in inst, materializing it
-// (and growing the dense array) on first touch.
-func (inst *instance) state(n *node, slot int32) *agg.State {
-	if int(slot) >= len(inst.states) {
-		if cap(inst.states) > int(slot) {
-			inst.states = inst.states[:cap(inst.states)]
-		}
-		for len(inst.states) <= int(slot) {
-			inst.states = append(inst.states, nil)
-		}
-	}
-	st := inst.states[slot]
-	if st == nil {
-		st = n.newState()
-		inst.states[slot] = st
-		inst.live++
-	}
-	return st
+// growInstance moves the instance's span to one that can hold at least
+// need rows. Row addresses into the old span become invalid.
+func (n *node) growInstance(inst *instance, need int32) {
+	inst.span, inst.cap = n.store.Grow(inst.span, inst.cap, need)
 }
 
-func (n *node) processSub(items []subAgg) {
+// processSub consumes a parent's fired sub-aggregates, which live as
+// rows in the parent's store src.
+func (n *node) processSub(src *agg.Store, items []subAgg) {
 	n.inputs += int64(len(items))
 	if n.k == 1 {
-		n.processSubTumbling(items)
+		n.processSubTumbling(src, items)
 		return
 	}
 	for i := range items {
@@ -346,11 +364,16 @@ func (n *node) processSub(items []subAgg) {
 		}
 		n.ensure(lo, hi)
 		n.updates += hi - lo + 1
+		bases := n.baseBuf[:0]
 		for m := lo; m <= hi; m++ {
 			inst := n.insts[n.head+int(m-n.base)]
-			st := inst.state(n, it.slot)
-			agg.Merge(n.fn, st, it.state)
+			if it.slot >= inst.cap {
+				n.growInstance(inst, it.slot+1)
+			}
+			bases = append(bases, inst.span)
 		}
+		n.store.MergeBases(bases, it.slot, src, it.row)
+		n.baseBuf = bases
 	}
 }
 
@@ -358,7 +381,7 @@ func (n *node) processSub(items []subAgg) {
 // under "partitioned by" semantics every parent interval falls inside
 // exactly one instance of a tumbling window, which stays cached until
 // its end passes (mirroring processRawTumbling).
-func (n *node) processSubTumbling(items []subAgg) {
+func (n *node) processSubTumbling(src *agg.Store, items []subAgg) {
 	slide := n.w.Slide
 	for i := range items {
 		it := &items[i]
@@ -379,8 +402,11 @@ func (n *node) processSubTumbling(items []subAgg) {
 			}
 			continue
 		}
-		st := n.curInst.state(n, it.slot)
-		agg.Merge(n.fn, st, it.state)
+		inst := n.curInst
+		if it.slot >= inst.cap {
+			n.growInstance(inst, it.slot+1)
+		}
+		n.store.MergeAt(inst.span+it.slot, src, it.row)
 		n.updates++
 	}
 }
@@ -420,38 +446,48 @@ func (n *node) ensure(lo, hi int64) {
 		panic(fmt.Sprintf("engine: %v out-of-order instance %d < base %d", n.w, lo, n.base))
 	}
 	for next := n.base + int64(len(n.insts)-n.head); next <= hi; next++ {
+		if len(n.insts) == cap(n.insts) && n.head > 0 {
+			// Compact the active tail to the front instead of growing:
+			// bounds the ring to the window's concurrent-instance count
+			// rather than the total instances ever created.
+			k := copy(n.insts, n.insts[n.head:])
+			for i := k; i < len(n.insts); i++ {
+				n.insts[i] = nil
+			}
+			n.insts = n.insts[:k]
+			n.head = 0
+		}
 		n.insts = append(n.insts, n.newInstance(next))
 	}
 }
 
-// fire emits one completed instance downstream and to the sink.
+// fire emits one completed instance downstream and to the sink. The
+// occupancy bitmap yields the live key slots directly; empty windows
+// are not emitted.
 func (n *node) fire(inst *instance, end int64) {
-	if inst.live == 0 {
-		return // empty windows are not emitted
+	offs := n.store.AppendLive(inst.span, inst.cap, n.liveBuf[:0])
+	n.liveBuf = offs
+	if len(offs) == 0 {
+		return
 	}
 	n.fired++
 	start := inst.m * n.w.Slide
 	if n.exposed {
 		keys := n.shared.keys
-		for slot, st := range inst.states {
-			if st == nil {
-				continue
-			}
+		for _, off := range offs {
 			n.sink.Emit(stream.Result{
-				W: n.w, Start: start, End: end, Key: keys[slot], Value: agg.Final(n.fn, st),
+				W: n.w, Start: start, End: end, Key: keys[off],
+				Value: n.store.FinalizeAt(inst.span + off),
 			})
 		}
 	}
 	if len(n.children) > 0 {
 		n.emitBuf = n.emitBuf[:0]
-		for slot, st := range inst.states {
-			if st == nil {
-				continue
-			}
-			n.emitBuf = append(n.emitBuf, subAgg{start: start, end: end, slot: int32(slot), state: st})
+		for _, off := range offs {
+			n.emitBuf = append(n.emitBuf, subAgg{start: start, end: end, slot: off, row: inst.span + off})
 		}
 		for _, c := range n.children {
-			c.processSub(n.emitBuf)
+			c.processSub(n.store, n.emitBuf)
 		}
 	}
 }
@@ -472,36 +508,28 @@ func (n *node) flushAll() {
 	}
 }
 
+// newInstance materializes an instance for index m with a store span
+// sized to the current key table (spans and instance shells both
+// recycle, so steady state allocates nothing).
 func (n *node) newInstance(m int64) *instance {
-	if k := len(n.instPool); k > 0 {
-		inst := n.instPool[k-1]
-		n.instPool = n.instPool[:k-1]
-		inst.m = m
-		return inst
+	need := int32(len(n.shared.keys))
+	if need < 1 {
+		need = 1
 	}
-	return &instance{m: m, states: make([]*agg.State, 0, len(n.shared.keys))}
+	var inst *instance
+	if k := len(n.instPool); k > 0 {
+		inst = n.instPool[k-1]
+		n.instPool = n.instPool[:k-1]
+	} else {
+		inst = &instance{}
+	}
+	inst.m = m
+	inst.span, inst.cap = n.store.Alloc(need)
+	return inst
 }
 
 func (n *node) releaseInstance(inst *instance) {
-	if inst.live > 0 {
-		for slot, st := range inst.states {
-			if st != nil {
-				st.Reset()
-				n.statePool = append(n.statePool, st)
-				inst.states[slot] = nil
-			}
-		}
-	}
-	inst.live = 0
-	inst.states = inst.states[:0]
+	n.store.Release(inst.span, inst.cap)
+	inst.span, inst.cap = 0, 0
 	n.instPool = append(n.instPool, inst)
-}
-
-func (n *node) newState() *agg.State {
-	if k := len(n.statePool); k > 0 {
-		st := n.statePool[k-1]
-		n.statePool = n.statePool[:k-1]
-		return st
-	}
-	return &agg.State{}
 }

@@ -35,6 +35,39 @@ type Config struct {
 	Reps int
 	// Out receives the report. Required.
 	Out io.Writer
+	// Record, when non-nil, receives one Measurement per throughput data
+	// point — the machine-readable counterpart of the Out report, used
+	// by cmd/fwbench's -json output to track the perf trajectory.
+	Record func(Measurement)
+
+	// experiment is the running experiment's name, set by RunExperiment.
+	experiment string
+}
+
+// Measurement is one throughput data point of an experiment.
+type Measurement struct {
+	Experiment   string  `json:"experiment"`
+	Suite        string  `json:"suite,omitempty"`
+	Run          int     `json:"run,omitempty"`
+	Plan         string  `json:"plan"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// record emits m if a Record hook is installed.
+func (c Config) record(m Measurement) {
+	if c.Record != nil {
+		m.Experiment = c.experiment
+		c.Record(m)
+	}
+}
+
+// recordCompare emits the three plan-variant data points of one
+// CompareN outcome.
+func (c Config) recordCompare(suite string, run, events int, r Run) {
+	c.record(Measurement{Suite: suite, Run: run, Plan: "original", Events: events, EventsPerSec: r.TputOriginal})
+	c.record(Measurement{Suite: suite, Run: run, Plan: "rewritten", Events: events, EventsPerSec: r.TputRewritten})
+	c.record(Measurement{Suite: suite, Run: run, Plan: "factored", Events: events, EventsPerSec: r.TputFactored})
 }
 
 // Defaults fills unset fields: MIN, 4 keys, 4 events/tick, seed 42.
@@ -198,6 +231,10 @@ func extBaselines(c Config, events []stream.Event) error {
 			}
 			fmt.Fprintf(c.Out, "%-4d %10.0f K %10.0f K %10.0f K %10.0f K\n", i+1,
 				run.TputOriginal/1e3, run.TputFactored/1e3, run.TputSlicing/1e3, run.TputSliding/1e3)
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "original", Events: len(events), EventsPerSec: run.TputOriginal})
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "factored", Events: len(events), EventsPerSec: run.TputFactored})
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "slicing", Events: len(events), EventsPerSec: run.TputSlicing})
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "sliding", Events: len(events), EventsPerSec: run.TputSliding})
 		}
 	}
 	return nil
@@ -211,6 +248,7 @@ func RunExperiment(name string, cfg Config) error {
 	}
 	if name == "all" {
 		for _, e := range Experiments() {
+			cfg.experiment = e.Name
 			if err := e.Run(cfg); err != nil {
 				return fmt.Errorf("%s: %w", e.Name, err)
 			}
@@ -219,6 +257,7 @@ func RunExperiment(name string, cfg Config) error {
 	}
 	for _, e := range Experiments() {
 		if e.Name == name {
+			cfg.experiment = e.Name
 			return e.Run(cfg)
 		}
 	}
@@ -251,6 +290,7 @@ func figThroughput(c Config, n int, events []stream.Event) error {
 			fmt.Fprintf(c.Out, "%-4d %12.0f K %12.0f K %12.0f K %8.2fx %8.2fx\n",
 				i+1, run.TputOriginal/1e3, run.TputRewritten/1e3, run.TputFactored/1e3,
 				run.BoostNoF(), run.BoostFac())
+			c.recordCompare(suite.Name(), i+1, len(events), run)
 		}
 	}
 	return nil
@@ -268,13 +308,14 @@ func tableBoosts(c Config, sizes []int, events []stream.Event, label string) err
 			return err
 		}
 		var noF, fac []float64
-		for _, set := range sets {
+		for i, set := range sets {
 			run, err := CompareN(set, c.Fn, suite.Semantics(), events, c.Reps)
 			if err != nil {
 				return fmt.Errorf("%s (%v): %w", suite.Name(), set, err)
 			}
 			noF = append(noF, run.BoostNoF())
 			fac = append(fac, run.BoostFac())
+			c.recordCompare(suite.Name(), i+1, len(events), run)
 		}
 		fmt.Fprintf(c.Out, "%-16s %11.2fx %11.2fx %11.2fx %11.2fx\n",
 			suite.Name(), stats.Mean(noF), stats.Max(noF), stats.Mean(fac), stats.Max(fac))
@@ -327,6 +368,9 @@ func figScotty(c Config, n int, events []stream.Event) error {
 			}
 			fmt.Fprintf(c.Out, "%-4d %12.0f K %12.0f K %12.0f K\n",
 				i+1, run.TputFlink/1e3, run.TputScotty/1e3, run.TputFactored/1e3)
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "flink", Events: len(events), EventsPerSec: run.TputFlink})
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "scotty", Events: len(events), EventsPerSec: run.TputScotty})
+			c.record(Measurement{Suite: suite.Name(), Run: i + 1, Plan: "factored", Events: len(events), EventsPerSec: run.TputFactored})
 		}
 	}
 	return nil

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// testdata/snapshot_v1_3shards_sum.bin was taken by the boxed-state (v1)
+// codec on a 3-shard runner over the first 600 events of the stream
+// below. The parallel snapshot wrapper embeds one engine snapshot per
+// shard, so restoring it exercises the engine's v1 migration through the
+// sharded path.
+func v1FixtureEvents() []stream.Event {
+	r := rand.New(rand.NewSource(99))
+	events := make([]stream.Event, 0, 1000)
+	tick := int64(0)
+	for i := 0; i < 1000; i++ {
+		tick += int64(r.Intn(3))
+		events = append(events, stream.Event{
+			Time: tick, Key: uint64(r.Intn(5)), Value: float64(r.Intn(100)),
+		})
+	}
+	return events
+}
+
+func TestRestoreV1ParallelSnapshot(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "snapshot_v1_3shards_sum.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
+	res, err := core.Optimize(set, agg.Sum, core.Options{Factors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.FromGraph(res.Graph, agg.Sum, plan.Factored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := v1FixtureEvents()
+	const cut = 600
+
+	// Reference: fresh columnar runner snapshotted and restored at the
+	// same cut.
+	wantSink := &stream.CollectingSink{}
+	r1, err := New(p, wantSink, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Process(events[:cut])
+	v2, err := r1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	wantSink.Results = wantSink.Results[:0]
+	r2, err := Restore(p, wantSink, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Process(events[cut:])
+	r2.Close()
+
+	gotSink := &stream.CollectingSink{}
+	r3, err := Restore(p, gotSink, data)
+	if err != nil {
+		t.Fatalf("restoring v1 parallel snapshot: %v", err)
+	}
+	if r3.Shards() != 3 {
+		t.Fatalf("restored %d shards, want 3", r3.Shards())
+	}
+	if r3.Events() != cut {
+		t.Fatalf("resumed event counter = %d, want %d", r3.Events(), cut)
+	}
+	r3.Process(events[cut:])
+	r3.Close()
+	if err := r3.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := wantSink.Sorted(), gotSink.Sorted()
+	if len(want) == 0 {
+		t.Fatal("reference produced no results")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("v1 restore emitted %d results, v2 emitted %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result %d differs: v1 %+v, v2 %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -317,7 +317,10 @@ func (r *Runner) TotalUpdates() int64 {
 // snapshot is the serialized form of a Runner: one engine snapshot per
 // shard. The shard count is part of the state — the key→shard hash is a
 // pure function of the count, so restoring onto the same count keeps
-// every key's partial aggregates on the shard that owns them.
+// every key's partial aggregates on the shard that owns them. State
+// versioning is inherited from the embedded engine blobs: shards written
+// by the boxed-state (v1) codec migrate to the columnar store on
+// restore (see internal/engine/checkpoint.go).
 type snapshot struct {
 	Shards int
 	Events int64

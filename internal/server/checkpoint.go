@@ -22,8 +22,16 @@ import (
 	"factorwindows/internal/reorder"
 )
 
+// checkpointVersion is the current codec generation: 2 since the
+// columnar aggregate-state refactor (the embedded engine snapshots use
+// the v2 columnar encoding). Version-0 blobs are boxed-era (v1)
+// checkpoints — gob leaves the missing field zero — and stay
+// restorable: the engine codec migrates their state transparently.
+const checkpointVersion = 2
+
 // checkpoint is the gob-serialized server state.
 type checkpoint struct {
+	Version  int
 	Queries  []checkpointQuery // sorted by ID
 	NextID   int64
 	Fn       agg.Fn
@@ -58,6 +66,7 @@ func (s *Server) Checkpoint() ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v; nothing consistent to checkpoint", ErrEngine, s.engineErr)
 	}
 	cp := checkpoint{
+		Version:  checkpointVersion,
 		NextID:   s.nextID,
 		Fn:       s.fn,
 		HasFn:    s.hasFn,
@@ -103,6 +112,10 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 	var cp checkpoint
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
 		return fmt.Errorf("server: decoding checkpoint: %w", err)
+	}
+	if cp.Version != 0 && cp.Version != checkpointVersion {
+		return fmt.Errorf("server: checkpoint version %d not supported (this build reads v1 and v%d)",
+			cp.Version, checkpointVersion)
 	}
 	if cp.Factors != s.cfg.Factors {
 		return fmt.Errorf("%w: checkpoint taken with factors=%t, server runs factors=%t",

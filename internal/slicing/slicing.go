@@ -10,6 +10,11 @@
 // buffered slices spanning it. Slices are shared across all windows of
 // the set, which is the source of Scotty's aggregate sharing.
 //
+// Slice pre-aggregates live in a columnar agg.Store: each slice owns a
+// span of rows addressed by key slot, exactly the dense pre-aggregate
+// layout Scotty-lineage systems use, so folding an event is a column
+// write rather than a boxed-state pointer chase.
+//
 // Unlike the factor-window approach, slicing needs engine support for
 // user-defined operators (slices and their buffer live inside the
 // operator); here we simply implement that operator directly.
@@ -23,12 +28,11 @@ import (
 	"factorwindows/internal/window"
 )
 
-// slice is one chunk [start, end) with per-key pre-aggregates, stored
-// densely by key slot (see Runner.slots).
+// slice is one chunk [start, end) whose per-key pre-aggregates are the
+// span [span, span+cap) in the runner's store, indexed by key slot.
 type slice struct {
 	start, end int64
-	states     []*agg.State
-	live       int
+	span, cap  int32
 }
 
 // Runner evaluates an aggregate over a window set by general stream
@@ -40,6 +44,10 @@ type Runner struct {
 
 	slides   []int64
 	maxRange int64
+
+	// store holds every slice's pre-aggregates plus the merge scratch
+	// span windows are answered from.
+	store *agg.Store
 
 	cur    *slice // the open slice
 	buf    []*slice
@@ -54,14 +62,17 @@ type Runner struct {
 	slots map[uint64]int32
 	keys  []uint64
 
-	mergeBuf  []*agg.State
-	statePool []*agg.State
+	// mergeSpan is the scratch span instances are merged into; it is
+	// clear between emissions.
+	mergeSpan, mergeCap int32
+
+	liveBuf   []int32
 	slicePool []*slice
 }
 
 // New builds a slicing runner for the window set. Holistic functions
 // (MEDIAN) are supported the way Section III-A describes Scotty's
-// support: the slices then hold all raw event values rather than
+// support: the slice rows then hold all raw event values rather than
 // constant-size sub-aggregates, so per-slice storage grows with data.
 func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 	if set == nil || set.Len() == 0 {
@@ -73,7 +84,7 @@ func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 	if !fn.Valid() {
 		return nil, fmt.Errorf("slicing: invalid aggregate function %v", fn)
 	}
-	r := &Runner{fn: fn, sink: sink, slots: make(map[uint64]int32)}
+	r := &Runner{fn: fn, sink: sink, slots: make(map[uint64]int32), store: agg.NewStore(fn)}
 	for _, w := range set.Sorted() {
 		if err := w.Validate(); err != nil {
 			return nil, err
@@ -115,22 +126,32 @@ func (r *Runner) prevEdge(t int64) int64 {
 }
 
 // Process folds a batch of in-order events into the slice store, firing
-// windows whose end edges are crossed.
+// windows whose end edges are crossed; each event is one column write
+// through the store's scalar kernel.
 func (r *Runner) Process(events []stream.Event) {
 	if r.closed {
 		panic("slicing: Process after Close")
 	}
-	for i := range events {
+	i := 0
+	for i < len(events) {
 		e := &events[i]
-		r.events++
 		if r.cur == nil {
 			r.openSliceAt(e.Time)
 		}
 		for e.Time >= r.cur.end {
 			r.roll()
 		}
-		st := r.cur.state(r, r.slot(e.Key))
-		agg.Add(r.fn, st, e.Value)
+		sl := r.cur
+		j := i
+		for ; j < len(events) && events[j].Time < sl.end; j++ {
+			slot := r.slot(events[j].Key)
+			if slot >= sl.cap {
+				sl.span, sl.cap = r.store.Grow(sl.span, sl.cap, slot+1)
+			}
+			r.store.AddAt(sl.span+slot, events[j].Value)
+		}
+		r.events += int64(j - i)
+		i = j
 	}
 }
 
@@ -143,26 +164,6 @@ func (r *Runner) slot(key uint64) int32 {
 	r.slots[key] = s
 	r.keys = append(r.keys, key)
 	return s
-}
-
-// state returns the aggregate state for slot in sl, materializing it on
-// first touch.
-func (sl *slice) state(r *Runner, slot int32) *agg.State {
-	if int(slot) >= len(sl.states) {
-		if cap(sl.states) > int(slot) {
-			sl.states = sl.states[:cap(sl.states)]
-		}
-		for len(sl.states) <= int(slot) {
-			sl.states = append(sl.states, nil)
-		}
-	}
-	st := sl.states[slot]
-	if st == nil {
-		st = r.newState()
-		sl.states[slot] = st
-		sl.live++
-	}
-	return st
 }
 
 // openSliceAt opens the slice containing t.
@@ -200,13 +201,17 @@ func (r *Runner) fireAt(e int64) {
 	}
 }
 
-// emitInstance merges the buffered slices spanning [start, end) and emits
-// one result per key present.
+// emitInstance merges the buffered slices spanning [start, end) into the
+// scratch merge span and emits one result per key present.
 func (r *Runner) emitInstance(w window.Window, start, end int64) {
-	if cap(r.mergeBuf) < len(r.keys) {
-		r.mergeBuf = make([]*agg.State, len(r.keys))
+	if r.mergeCap < int32(len(r.keys)) {
+		// The scratch span is clear between emissions, so growth is a
+		// plain reallocation, not a row move.
+		if r.mergeCap > 0 {
+			r.store.Release(r.mergeSpan, r.mergeCap)
+		}
+		r.mergeSpan, r.mergeCap = r.store.Alloc(int32(len(r.keys)))
 	}
-	merged := r.mergeBuf[:len(r.keys)]
 	touched := false
 	for i := r.head; i < len(r.buf); i++ {
 		sl := r.buf[i]
@@ -220,37 +225,26 @@ func (r *Runner) emitInstance(w window.Window, start, end int64) {
 			panic(fmt.Sprintf("slicing: slice [%d,%d) straddles window [%d,%d)",
 				sl.start, sl.end, start, end))
 		}
-		if sl.live == 0 {
-			continue
-		}
-		for slot, st := range sl.states {
-			if st == nil {
-				continue
-			}
-			m := merged[slot]
-			if m == nil {
-				m = r.newState()
-				merged[slot] = m
-				touched = true
-			}
-			agg.MergeRaw(r.fn, m, st)
+		offs := r.store.AppendLive(sl.span, sl.cap, r.liveBuf[:0])
+		r.liveBuf = offs
+		for _, off := range offs {
+			r.store.MergeRawAt(r.mergeSpan+off, r.store, sl.span+off)
 			r.merges++
+			touched = true
 		}
 	}
 	if !touched {
 		return
 	}
-	for slot, st := range merged {
-		if st == nil {
-			continue
-		}
-		if !st.Empty() {
-			r.sink.Emit(stream.Result{W: w, Start: start, End: end, Key: r.keys[slot], Value: agg.Final(r.fn, st)})
-		}
-		st.Reset()
-		r.statePool = append(r.statePool, st)
-		merged[slot] = nil
+	offs := r.store.AppendLive(r.mergeSpan, r.mergeCap, r.liveBuf[:0])
+	r.liveBuf = offs
+	for _, off := range offs {
+		r.sink.Emit(stream.Result{
+			W: w, Start: start, End: end, Key: r.keys[off],
+			Value: r.store.FinalizeAt(r.mergeSpan + off),
+		})
 	}
+	r.store.Clear(r.mergeSpan, r.mergeCap)
 }
 
 // evict drops buffered slices no longer reachable by any future window
@@ -305,35 +299,24 @@ func Run(set *window.Set, fn agg.Fn, events []stream.Event, sink stream.Sink) (*
 }
 
 func (r *Runner) newSlice(start, end int64) *slice {
-	if k := len(r.slicePool); k > 0 {
-		sl := r.slicePool[k-1]
-		r.slicePool = r.slicePool[:k-1]
-		sl.start, sl.end = start, end
-		return sl
+	need := int32(len(r.keys))
+	if need < 1 {
+		need = 1
 	}
-	return &slice{start: start, end: end, states: make([]*agg.State, 0, len(r.keys))}
+	var sl *slice
+	if k := len(r.slicePool); k > 0 {
+		sl = r.slicePool[k-1]
+		r.slicePool = r.slicePool[:k-1]
+	} else {
+		sl = &slice{}
+	}
+	sl.start, sl.end = start, end
+	sl.span, sl.cap = r.store.Alloc(need)
+	return sl
 }
 
 func (r *Runner) releaseSlice(sl *slice) {
-	if sl.live > 0 {
-		for slot, st := range sl.states {
-			if st != nil {
-				st.Reset()
-				r.statePool = append(r.statePool, st)
-				sl.states[slot] = nil
-			}
-		}
-	}
-	sl.live = 0
-	sl.states = sl.states[:0]
+	r.store.Release(sl.span, sl.cap)
+	sl.span, sl.cap = 0, 0
 	r.slicePool = append(r.slicePool, sl)
-}
-
-func (r *Runner) newState() *agg.State {
-	if k := len(r.statePool); k > 0 {
-		st := r.statePool[k-1]
-		r.statePool = r.statePool[:k-1]
-		return st
-	}
-	return &agg.State{}
 }

@@ -10,6 +10,11 @@
 // window instance in O(1) amortized time per pane, even for
 // non-invertible functions such as MIN and MAX.
 //
+// Pane aggregates are flat agg.Cell values (no raw-value buffer, no
+// boxing): the per-key state lives in a dense value slice and the
+// two-stacks queues hold cells by value, so the executor's state is a
+// handful of flat arrays rather than a pointer forest.
+//
 // This gives the evaluation a third point of comparison: original
 // (per-instance re-aggregation), sliding (per-window incremental),
 // slicing (shared slices), and the paper's factor-window plans.
@@ -25,21 +30,21 @@ import (
 
 // twoStacks is the classic FIFO aggregator: push panes at the back, pop
 // from the front, query the aggregate of everything inside in O(1).
-// front holds suffix-aggregated states (top = aggregate of the whole
-// front stack); back holds raw pane states plus a running aggregate.
+// front holds suffix-aggregated cells (top = aggregate of the whole
+// front stack); back holds raw pane cells plus a running aggregate.
 type twoStacks struct {
 	fn      agg.Fn
-	front   []agg.State // front[i] aggregates front[i..] (flip order)
-	back    []agg.State // raw pane aggregates in arrival order
-	backAgg agg.State   // aggregate of everything in back
+	front   []agg.Cell // front[i] aggregates front[i..] (flip order)
+	back    []agg.Cell // raw pane aggregates in arrival order
+	backAgg agg.Cell   // aggregate of everything in back
 }
 
 func (q *twoStacks) len() int { return len(q.front) + len(q.back) }
 
 // push appends one pane aggregate.
-func (q *twoStacks) push(p *agg.State) {
+func (q *twoStacks) push(p *agg.Cell) {
 	q.back = append(q.back, *p)
-	agg.Merge(q.fn, &q.backAgg, p)
+	agg.CellMerge(q.fn, &q.backAgg, p)
 }
 
 // pop removes the oldest pane, flipping the back stack into the front
@@ -64,11 +69,11 @@ func (q *twoStacks) flip() {
 	if n == 0 {
 		return
 	}
-	q.front = append(q.front[:0], make([]agg.State, n)...)
-	var acc agg.State
+	q.front = append(q.front[:0], make([]agg.Cell, n)...)
+	var acc agg.Cell
 	for i := 0; i < n; i++ {
 		// back[n-1-i] walks newest → oldest; accumulate into acc.
-		agg.Merge(q.fn, &acc, &q.back[n-1-i])
+		agg.CellMerge(q.fn, &acc, &q.back[n-1-i])
 		q.front[i] = acc
 	}
 	q.back = q.back[:0]
@@ -77,19 +82,21 @@ func (q *twoStacks) flip() {
 
 // query merges the front-stack aggregate and the back running aggregate
 // into out.
-func (q *twoStacks) query(out *agg.State) {
+func (q *twoStacks) query(out *agg.Cell) {
 	if len(q.front) > 0 {
-		agg.Merge(q.fn, out, &q.front[len(q.front)-1])
+		agg.CellMerge(q.fn, out, &q.front[len(q.front)-1])
 	}
 	if q.backAgg.Cnt > 0 {
-		agg.Merge(q.fn, out, &q.backAgg)
+		agg.CellMerge(q.fn, out, &q.backAgg)
 	}
 }
 
-// keyState is the per-(window, key) sliding state.
+// keyState is the per-(window, key) sliding state. seen marks slots this
+// window has actually absorbed events for (the zero value is inert).
 type keyState struct {
 	queue twoStacks
-	pane  agg.State // the open pane
+	pane  agg.Cell // the open pane
+	seen  bool
 }
 
 // winState drives one window over the stream.
@@ -102,7 +109,7 @@ type winState struct {
 	paneIdx int64
 	started bool
 
-	byKey []*keyState // dense by key slot
+	byKey []keyState // dense by key slot, held by value
 }
 
 // Runner evaluates an aggregate over a window set with per-window
@@ -153,7 +160,7 @@ func (r *Runner) Process(events []stream.Event) {
 		for _, ws := range r.windows {
 			r.advanceWindow(ws, e.Time)
 			ks := r.keyState(ws, slot)
-			agg.Add(r.fn, &ks.pane, e.Value)
+			agg.CellAdd(r.fn, &ks.pane, e.Value)
 		}
 	}
 }
@@ -168,14 +175,17 @@ func (r *Runner) slot(key uint64) int32 {
 	return s
 }
 
+// keyState returns the state slot for (ws, slot), materializing it on
+// first touch. The returned pointer is valid until the next append to
+// ws.byKey (i.e. for the current event only).
 func (r *Runner) keyState(ws *winState, slot int32) *keyState {
 	for int(slot) >= len(ws.byKey) {
-		ws.byKey = append(ws.byKey, nil)
+		ws.byKey = append(ws.byKey, keyState{})
 	}
-	ks := ws.byKey[slot]
-	if ks == nil {
-		ks = &keyState{queue: twoStacks{fn: r.fn}}
-		ws.byKey[slot] = ks
+	ks := &ws.byKey[slot]
+	if !ks.seen {
+		ks.seen = true
+		ks.queue.fn = r.fn
 	}
 	return ks
 }
@@ -208,21 +218,22 @@ func (r *Runner) closePane(ws *winState) {
 	// closes and paneIdx+1 ≥ panes (instance index m = paneIdx+1-panes).
 	emit := ws.paneIdx+1 >= ws.panes
 	start := end - ws.w.Range
-	for slot, ks := range ws.byKey {
-		if ks == nil {
+	for slot := range ws.byKey {
+		ks := &ws.byKey[slot]
+		if !ks.seen {
 			continue
 		}
 		ks.queue.push(&ks.pane)
 		ks.pane.Reset()
 		r.combs++
 		if emit {
-			var out agg.State
+			var out agg.Cell
 			ks.queue.query(&out)
 			r.combs++
 			if out.Cnt > 0 {
 				r.sink.Emit(stream.Result{
 					W: ws.w, Start: start, End: end, Key: r.keys[slot],
-					Value: agg.Final(r.fn, &out),
+					Value: agg.CellFinal(r.fn, &out),
 				})
 			}
 		}

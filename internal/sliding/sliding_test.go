@@ -58,14 +58,14 @@ func sameResults(t *testing.T, label string, got, want []stream.Result) {
 func TestTwoStacksFIFO(t *testing.T) {
 	q := twoStacks{fn: agg.Min}
 	push := func(v float64) {
-		var s agg.State
-		agg.Add(agg.Min, &s, v)
+		var s agg.Cell
+		agg.CellAdd(agg.Min, &s, v)
 		q.push(&s)
 	}
 	query := func() float64 {
-		var out agg.State
+		var out agg.Cell
 		q.query(&out)
-		return agg.Final(agg.Min, &out)
+		return agg.CellFinal(agg.Min, &out)
 	}
 	push(5)
 	push(3)
@@ -98,21 +98,21 @@ func TestTwoStacksRandomAgainstNaive(t *testing.T) {
 		for step := 0; step < 4000; step++ {
 			if len(fifo) == 0 || r.Intn(3) > 0 {
 				v := float64(r.Intn(100))
-				var s agg.State
-				agg.Add(fn, &s, v)
+				var s agg.Cell
+				agg.CellAdd(fn, &s, v)
 				q.push(&s)
 				fifo = append(fifo, v)
 			} else {
 				q.pop()
 				fifo = fifo[1:]
 			}
-			var out agg.State
+			var out agg.Cell
 			q.query(&out)
-			want := &agg.State{}
+			want := &agg.Cell{}
 			for _, v := range fifo {
-				agg.Add(fn, want, v)
+				agg.CellAdd(fn, want, v)
 			}
-			got, exp := agg.Final(fn, &out), agg.Final(fn, want)
+			got, exp := agg.CellFinal(fn, &out), agg.CellFinal(fn, want)
 			if len(fifo) == 0 {
 				continue
 			}
