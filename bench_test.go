@@ -21,6 +21,7 @@ import (
 	"factorwindows/internal/distinct"
 	"factorwindows/internal/engine"
 	"factorwindows/internal/harness"
+	"factorwindows/internal/parallel"
 	"factorwindows/internal/plan"
 	"factorwindows/internal/quantile"
 	"factorwindows/internal/reorder"
@@ -442,6 +443,63 @@ func BenchmarkCheckpoint(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipeline measures the full ingest path end-to-end, the unit
+// the batch-grouped pipeline optimizes as a whole: event batches pushed
+// through a reorder buffer into a key-sharded parallel runner executing
+// the factored plan, results to a counting sink. The ordered case is the
+// steady-state (the reorder buffer's sorted fast path applies); the
+// disordered case block-shuffles within the bound so every batch takes
+// the heap path.
+func BenchmarkPipeline(b *testing.B) {
+	set := paperSet(b)
+	res, err := core.Optimize(set, agg.Min, core.Options{Factors: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.FromGraph(res.Graph, agg.Min, plan.Factored)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ordered := benchEvents(200_000)
+	disordered := append([]stream.Event(nil), ordered...)
+	rnd := rand.New(rand.NewSource(7))
+	const block = 32 // 8 ticks of disorder at 4 events/tick, within bound 16
+	for lo := 0; lo < len(disordered); lo += block {
+		hi := lo + block
+		if hi > len(disordered) {
+			hi = len(disordered)
+		}
+		rnd.Shuffle(hi-lo, func(i, j int) {
+			disordered[lo+i], disordered[lo+j] = disordered[lo+j], disordered[lo+i]
+		})
+	}
+	const batch = 512
+	run := func(b *testing.B, events []stream.Event) {
+		for i := 0; i < b.N; i++ {
+			runner, err := parallel.New(p, &stream.CountingSink{}, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf, err := reorder.New(runner, 16, reorder.Drop, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off < len(events); off += batch {
+				end := off + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				buf.Push(events[off:end])
+			}
+			buf.Close()
+			runner.Close()
+		}
+		b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	}
+	b.Run("ordered", func(b *testing.B) { run(b, ordered) })
+	b.Run("disordered", func(b *testing.B) { run(b, disordered) })
 }
 
 // BenchmarkReorder measures the disorder-buffer overhead relative to

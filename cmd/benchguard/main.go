@@ -1,0 +1,144 @@
+// Command benchguard compares `go test -bench` output against the
+// repo's committed benchmark baseline and fails on ns/op regressions
+// beyond a tolerance. CI runs it after the bench-smoke step so a PR
+// that slows the headline benchmarks fails visibly, with the JSON
+// artifact uploaded either way.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFig11$' -benchmem . | tee bench.txt
+//	benchguard -bench bench.txt -baseline BENCH_batchpipe.json [-tolerance 0.10]
+//
+// The baseline file follows the BENCH_*.json convention (see README,
+// "Performance playbook"): a "benchmarks" array of {name, phase,
+// ns_per_op} records; entries with phase "after" are the committed
+// reference. Benchmarks present in the baseline but missing from the
+// bench output are ignored (the smoke run may exercise a subset);
+// benchmarks in the output but not the baseline are reported
+// informationally. Baselines are machine-specific: refresh them (and
+// say so in the PR) when the CI runner class changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		Phase   string  `json:"phase"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// measureRe matches a benchmark measurement line ("N <ns> ns/op ...").
+// The harness-driven benchmarks print report text to stdout mid-run,
+// which splits the conventional single line into a bare name line
+// followed (possibly much later) by the measurement line, so the parser
+// carries the last seen name forward.
+var (
+	measureRe = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	suffixRe  = regexp.MustCompile(`-\d+$`)
+)
+
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	pending := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "Benchmark") {
+			fields := strings.Fields(line)
+			pending = suffixRe.ReplaceAllString(fields[0], "")
+			rest := strings.TrimPrefix(line, fields[0])
+			if m := measureRe.FindStringSubmatch(rest); m != nil {
+				ns, _ := strconv.ParseFloat(m[1], 64)
+				out[pending] = ns
+				pending = ""
+			}
+			continue
+		}
+		if pending == "" {
+			continue
+		}
+		if m := measureRe.FindStringSubmatch(line); m != nil {
+			ns, _ := strconv.ParseFloat(m[1], 64)
+			out[pending] = ns
+			pending = ""
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "go test -bench output file")
+		basePath  = flag.String("baseline", "BENCH_batchpipe.json", "committed baseline JSON")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression")
+	)
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
+		os.Exit(2)
+	}
+	got, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark measurements found in", *benchPath)
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	baseline := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		if b.Phase == "after" {
+			baseline[b.Name] = b.NsPerOp
+		}
+	}
+
+	failed := false
+	for name, ns := range got {
+		ref, ok := baseline[name]
+		if !ok {
+			fmt.Printf("%-36s %14.0f ns/op  (no baseline)\n", name, ns)
+			continue
+		}
+		delta := (ns - ref) / ref
+		status := "ok"
+		if delta > *tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-36s %14.0f ns/op  baseline %14.0f  %+6.1f%%  %s\n",
+			name, ns, ref, delta*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: ns/op regression beyond %.0f%% tolerance\n", *tolerance*100)
+		os.Exit(1)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"factorwindows/internal/agg"
@@ -65,6 +66,8 @@ func main() {
 		fnName   = flag.String("fn", "MIN", "aggregate function")
 		jsonPath = flag.String("json", "", "write machine-readable results to this file")
 		list     = flag.Bool("list", false, "list available experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +81,30 @@ func main() {
 	fn, err := agg.ParseFn(*fnName)
 	if err != nil {
 		fatal(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "fwbench:", err)
+			}
+			f.Close()
+		}()
 	}
 	cfg := harness.Config{
 		Events:        *events,

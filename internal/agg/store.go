@@ -446,6 +446,58 @@ func (s *Store) AddRows(rows []int32, vals []float64) {
 	}
 }
 
+// AddSlots folds vals[i] into row base+slots[i] for every i — the
+// engine's run-segmented raw path, where a run of events sharing one
+// time bucket lands in the same window instance (span base) at
+// per-event key slots. One dispatch covers the whole run.
+func (s *Store) AddSlots(base int32, slots []int32, vals []float64) {
+	switch s.kind {
+	case storeMin:
+		for i, sl := range slots {
+			r := base + sl
+			v := vals[i]
+			if s.cnt[r] == 0 || v < s.min[r] {
+				s.min[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeMax:
+		for i, sl := range slots {
+			r := base + sl
+			v := vals[i]
+			if s.cnt[r] == 0 || v > s.max[r] {
+				s.max[r] = v
+			}
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSum:
+		for i, sl := range slots {
+			r := base + sl
+			s.sum[r] += vals[i]
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeSumSq:
+		for i, sl := range slots {
+			r := base + sl
+			v := vals[i]
+			s.sum[r] += v
+			s.sumsq[r] += v * v
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeRaw:
+		for i, sl := range slots {
+			r := base + sl
+			s.raw[r] = append(s.raw[r], vals[i])
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
 // AddBases folds one value into row base+slot for every span base — the
 // engine's hopping-window raw path, where one event lands in k window
 // instances at the same key slot.

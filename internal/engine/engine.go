@@ -85,10 +85,12 @@ type node struct {
 	emitBuf  []subAgg
 
 	// Reusable kernel scratch, so the steady-state hot path never
-	// allocates: span bases per event (hopping fan-out) and live
-	// offsets per fired instance.
+	// allocates: span bases per sub-aggregate (hopping fan-out), live
+	// offsets per fired instance, and the batched result rows one fire
+	// hands the sink.
 	baseBuf []int32
 	liveBuf []int32
+	resBuf  []stream.Result
 
 	// stats
 	inputs  int64 // items consumed (raw events or sub-aggregates)
@@ -105,6 +107,13 @@ type Runner struct {
 	sink  stream.Sink
 
 	keyed keyTable
+
+	// slotBuf/valBuf are the per-batch pre-pass outputs: every event's
+	// canonical key slot and value, resolved once per Process call and
+	// shared by all plan nodes (each root would otherwise re-hash every
+	// event through the key table).
+	slotBuf []int32
+	valBuf  []float64
 
 	closed bool
 	events int64
@@ -158,15 +167,46 @@ func New(p *plan.Plan, sink stream.Sink) (*Runner, error) {
 	return r, nil
 }
 
+// batchChunk bounds how many events one pre-pass stages at a time:
+// large enough to amortize per-chunk dispatch, small enough that the
+// staged slot/value arrays stay L2-resident (and never grow with the
+// caller's batch size — a 10M-event one-shot Process costs the same
+// fixed scratch as a streaming server's 256-event batches).
+const batchChunk = 4096
+
 // Process pushes a batch of in-order events through the plan. Events must
 // be globally in non-decreasing time order across calls.
+//
+// A per-chunk pre-pass resolves every event's key to its canonical slot
+// (one hash per event, total — every plan node reuses the resolution
+// instead of re-hashing) and stages the values columnar, so the
+// per-node hot loops index two flat arrays.
 func (r *Runner) Process(events []stream.Event) {
 	if r.closed {
 		panic("engine: Process after Close")
 	}
 	r.events += int64(len(events))
-	for _, root := range r.roots {
-		root.processRaw(events)
+	if len(events) > 0 && cap(r.slotBuf) == 0 {
+		n := min(len(events), batchChunk)
+		r.slotBuf = make([]int32, 0, n)
+		r.valBuf = make([]float64, 0, n)
+	}
+	for off := 0; off < len(events); off += batchChunk {
+		end := off + batchChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		chunk := events[off:end]
+		slots := r.slotBuf[:0]
+		vals := r.valBuf[:0]
+		for i := range chunk {
+			slots = append(slots, r.keyed.slot(chunk[i].Key))
+			vals = append(vals, chunk[i].Value)
+		}
+		r.slotBuf, r.valBuf = slots, vals
+		for _, root := range r.roots {
+			root.processRaw(chunk, slots, vals)
+		}
 	}
 }
 
@@ -263,51 +303,63 @@ func Run(p *plan.Plan, events []stream.Event, sink stream.Sink) (*Runner, error)
 	return r, nil
 }
 
-func (n *node) processRaw(events []stream.Event) {
+// processRaw folds one batch of raw events, pre-resolved to key slots
+// and columnar values by the Runner's per-batch pre-pass.
+//
+// The batch is segmented into runs of consecutive events sharing a time
+// bucket t/slide. Every event of a run has the same covering instances
+// [lo, hi] (with r = k·s those are exactly m in [t/s − k + 1, t/s],
+// clamped at 0), and because instance ends are multiples of the slide no
+// instance can complete between two events of a run — so advance, ensure
+// and span growth execute once per run, and one AddSlots kernel call per
+// instance folds the whole run.
+func (n *node) processRaw(events []stream.Event, slots []int32, vals []float64) {
 	n.inputs += int64(len(events))
 	if n.k == 1 {
-		n.processRawTumbling(events)
+		n.processRawTumbling(events, slots, vals)
 		return
 	}
 	slide := n.w.Slide
-	for i := range events {
-		e := &events[i]
-		// An event at tick t is the unit interval [t, t+1); with r = k·s
-		// the covering instances are exactly m in [t/s − k + 1, t/s]
-		// (clamped at 0), avoiding the general interval arithmetic of
-		// InstancesCovering on this hot path.
-		hi := e.Time / slide
+	for i := 0; i < len(events); {
+		hi := events[i].Time / slide
+		runEnd := (hi + 1) * slide
+		j := i + 1
+		for j < len(events) && events[j].Time < runEnd {
+			j++
+		}
 		lo := hi - n.k + 1
 		if lo < 0 {
 			lo = 0
 		}
-		n.advance(e.Time + 1)
+		n.advance(events[i].Time + 1)
 		n.ensure(lo, hi)
-		n.updates += hi - lo + 1
-		slot := n.shared.slot(e.Key)
-		bases := n.baseBuf[:0]
+		n.updates += (hi - lo + 1) * int64(j-i)
+		maxSlot := slots[i]
+		for _, s := range slots[i+1 : j] {
+			if s > maxSlot {
+				maxSlot = s
+			}
+		}
 		for m := lo; m <= hi; m++ {
 			inst := n.insts[n.head+int(m-n.base)]
-			if slot >= inst.cap {
-				n.growInstance(inst, slot+1)
+			if maxSlot >= inst.cap {
+				n.growInstance(inst, maxSlot+1)
 			}
-			bases = append(bases, inst.span)
+			n.store.AddSlots(inst.span, slots[i:j], vals[i:j])
 		}
-		n.store.AddBases(bases, slot, e.Value)
-		n.baseBuf = bases
+		i = j
 	}
 }
 
 // processRawTumbling is the k=1 fast path: every event belongs to
 // exactly one instance, which is cached until its end tick passes; the
-// inner loop folds the run of events landing in that instance through
-// the scalar column kernel (for single-row updates the staging cost of
-// the batch kernels exceeds the dispatch they save; the hopping path
-// below uses AddBases, which does amortize).
-func (n *node) processRawTumbling(events []stream.Event) {
+// run of events landing in that instance folds through one AddSlots
+// batch kernel call (the slots and values were already staged by the
+// Runner's pre-pass, so the batch form has no per-event staging cost
+// left to pay).
+func (n *node) processRawTumbling(events []stream.Event, slots []int32, vals []float64) {
 	slide := n.w.Slide
-	i := 0
-	for i < len(events) {
+	for i := 0; i < len(events); {
 		e := &events[i]
 		if e.Time >= n.curEnd || n.curInst == nil {
 			m := e.Time / slide
@@ -317,14 +369,20 @@ func (n *node) processRawTumbling(events []stream.Event) {
 			n.curEnd = (m + 1) * slide
 		}
 		inst := n.curInst
-		j := i
-		for ; j < len(events) && events[j].Time < n.curEnd; j++ {
-			slot := n.shared.slot(events[j].Key)
-			if slot >= inst.cap {
-				n.growInstance(inst, slot+1)
-			}
-			n.store.AddAt(inst.span+slot, events[j].Value)
+		j := i + 1
+		for j < len(events) && events[j].Time < n.curEnd {
+			j++
 		}
+		maxSlot := slots[i]
+		for _, s := range slots[i+1 : j] {
+			if s > maxSlot {
+				maxSlot = s
+			}
+		}
+		if maxSlot >= inst.cap {
+			n.growInstance(inst, maxSlot+1)
+		}
+		n.store.AddSlots(inst.span, slots[i:j], vals[i:j])
 		i = j
 	}
 	n.updates += int64(len(events))
@@ -474,12 +532,15 @@ func (n *node) fire(inst *instance, end int64) {
 	start := inst.m * n.w.Slide
 	if n.exposed {
 		keys := n.shared.keys
+		rs := n.resBuf[:0]
 		for _, off := range offs {
-			n.sink.Emit(stream.Result{
+			rs = append(rs, stream.Result{
 				W: n.w, Start: start, End: end, Key: keys[off],
 				Value: n.store.FinalizeAt(inst.span + off),
 			})
 		}
+		n.resBuf = rs
+		stream.EmitAll(n.sink, rs)
 	}
 	if len(n.children) > 0 {
 		n.emitBuf = n.emitBuf[:0]

@@ -179,3 +179,23 @@ func (s *routingSink) Emit(r stream.Result) {
 	}
 	s.emit(Routed{QueryIDs: ids, Result: r})
 }
+
+// EmitBatch implements stream.BatchSink. Batches arrive per fired
+// window instance, so the route resolves once for the whole batch.
+func (s *routingSink) EmitBatch(rs []stream.Result) {
+	if len(rs) == 0 {
+		return
+	}
+	curW := rs[0].W
+	ids := s.plan.routes[curW]
+	for i := range rs {
+		if rs[i].W != curW {
+			curW = rs[i].W
+			ids = s.plan.routes[curW]
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		s.emit(Routed{QueryIDs: ids, Result: rs[i]})
+	}
+}

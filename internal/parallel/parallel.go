@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"factorwindows/internal/engine"
 	"factorwindows/internal/plan"
@@ -23,7 +24,9 @@ import (
 )
 
 // lockedSink serializes concurrent delivery from the shards onto the
-// user's sink.
+// user's sink. Batch-capable sinks receive the whole batch in one call
+// under the lock; plain sinks fall back to per-row Emit (still one lock
+// acquisition per batch).
 type lockedSink struct {
 	mu   sync.Mutex
 	sink stream.Sink
@@ -34,9 +37,7 @@ func (s *lockedSink) emitBatch(rs []stream.Result) {
 		return
 	}
 	s.mu.Lock()
-	for _, r := range rs {
-		s.sink.Emit(r)
-	}
+	stream.EmitAll(s.sink, rs)
 	s.mu.Unlock()
 }
 
@@ -57,10 +58,51 @@ func (s *shardSink) Emit(r stream.Result) {
 	}
 }
 
+// EmitBatch implements stream.BatchSink: the engine's batched fire path
+// lands here, appending the whole instance's rows at once.
+func (s *shardSink) EmitBatch(rs []stream.Result) {
+	s.buf = append(s.buf, rs...)
+	if len(s.buf) >= shardSinkBatch {
+		s.flush()
+	}
+}
+
 func (s *shardSink) flush() {
 	s.out.emitBatch(s.buf)
 	s.buf = s.buf[:0]
 }
+
+// scatter is one recycled staging area for Process's key partitioning:
+// n per-shard event slices that keep their capacity across uses. The
+// shards hand a scatter back to the Runner's free list once every shard
+// holding a part has consumed it (pending counts the outstanding
+// parts), double-buffering the steady state: one scatter fills while
+// the previous drains.
+type scatter struct {
+	owner   *Runner
+	parts   [][]stream.Event
+	pending atomic.Int32
+}
+
+// release returns the scatter to the free list once the last outstanding
+// part is consumed. The free channel holds at most scatterDepth; extras
+// (allocated under burst) are dropped for the GC.
+func (sc *scatter) release() {
+	if sc.pending.Add(-1) != 0 {
+		return
+	}
+	for i := range sc.parts {
+		sc.parts[i] = sc.parts[i][:0]
+	}
+	select {
+	case sc.owner.freeScatter <- sc:
+	default:
+	}
+}
+
+// scatterDepth is the steady-state scatter pool size: one filling, one
+// in flight.
+const scatterDepth = 2
 
 // shardMsg is one unit of work for a shard loop: an event batch, a
 // watermark advance (advanceSet), or a barrier request (ack non-nil)
@@ -68,6 +110,7 @@ func (s *shardSink) flush() {
 // sent before it has been processed.
 type shardMsg struct {
 	events     []stream.Event
+	sc         *scatter // owner of events, released after processing
 	advance    int64
 	advanceSet bool
 	ack        chan<- struct{}
@@ -91,6 +134,9 @@ type Runner struct {
 	closed bool
 	events int64
 
+	// freeScatter recycles Process's staging buffers (see scatter).
+	freeScatter chan *scatter
+
 	mu      sync.Mutex
 	failure error
 }
@@ -112,7 +158,7 @@ func build(p *plan.Plan, sink stream.Sink, n int, snaps [][]byte) (*Runner, erro
 		n = runtime.GOMAXPROCS(0)
 	}
 	ls := &lockedSink{sink: sink}
-	r := &Runner{}
+	r := &Runner{freeScatter: make(chan *scatter, scatterDepth)}
 	for i := 0; i < n; i++ {
 		ss := &shardSink{out: ls}
 		var er *engine.Runner
@@ -153,6 +199,9 @@ func (sh *shard) loop() {
 			if msg.ack != nil {
 				close(msg.ack)
 			}
+			if msg.sc != nil {
+				msg.sc.release()
+			}
 		}
 		return
 	}
@@ -178,6 +227,9 @@ func (sh *shard) consume() (err error) {
 			sh.runner.Advance(msg.advance)
 		default:
 			sh.runner.Process(msg.events)
+			if msg.sc != nil {
+				msg.sc.release()
+			}
 		}
 	}
 	return nil
@@ -224,27 +276,55 @@ func (r *Runner) shardOf(key uint64) int {
 
 // Process partitions one in-order batch by key hash and hands each shard
 // its subsequence (which therefore stays in time order). The input slice
-// is not retained.
+// is not retained: events are staged into a recycled scatter (per-shard
+// buffers that keep their capacity and return through a free list once
+// every shard has consumed its part), so steady-state fan-out allocates
+// nothing. The single-shard path stages through the same buffers instead
+// of copying the batch afresh per call.
 func (r *Runner) Process(events []stream.Event) {
 	if r.closed {
 		panic("parallel: Process after Close")
 	}
 	r.events += int64(len(events))
-	n := len(r.shards)
-	if n == 1 {
-		batch := append([]stream.Event(nil), events...)
-		r.shards[0].in <- shardMsg{events: batch}
+	if len(events) == 0 {
 		return
 	}
-	parts := make([][]stream.Event, n)
-	for i := range events {
-		s := r.shardOf(events[i].Key)
-		parts[s] = append(parts[s], events[i])
-	}
-	for i, part := range parts {
-		if len(part) > 0 {
-			r.shards[i].in <- shardMsg{events: part}
+	sc := r.getScatter()
+	n := len(r.shards)
+	if n == 1 {
+		sc.parts[0] = append(sc.parts[0], events...)
+	} else {
+		for i := range events {
+			s := r.shardOf(events[i].Key)
+			sc.parts[s] = append(sc.parts[s], events[i])
 		}
+	}
+	live := int32(0)
+	for _, part := range sc.parts {
+		if len(part) > 0 {
+			live++
+		}
+	}
+	// One reference per outstanding part plus one held by this loop, so
+	// the scatter cannot be reset (by a shard finishing early) while the
+	// send loop still reads it.
+	sc.pending.Store(live + 1)
+	for i, part := range sc.parts {
+		if len(part) > 0 {
+			r.shards[i].in <- shardMsg{events: part, sc: sc}
+		}
+	}
+	sc.release()
+}
+
+// getScatter pops a recycled scatter or builds a fresh one (burst
+// beyond scatterDepth in-flight batches allocates transiently).
+func (r *Runner) getScatter() *scatter {
+	select {
+	case sc := <-r.freeScatter:
+		return sc
+	default:
+		return &scatter{owner: r, parts: make([][]stream.Event, len(r.shards))}
 	}
 }
 

@@ -13,7 +13,7 @@
 package server
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"factorwindows/internal/stream"
 	"factorwindows/internal/streamio"
@@ -30,6 +31,16 @@ import (
 // while streaming ingest; batches release the ingest lock between each
 // other so concurrent clients interleave.
 const ndjsonBatch = 256
+
+// ingestBatchPool recycles the per-request event staging batch (the
+// scanner's line buffer comes from streamio's shared pool). The
+// pipeline copies events out synchronously (Ingest returns only after
+// the batch is staged into the reorder buffer / shard scatters), so
+// returning the buffers after the handler finishes is safe.
+var ingestBatchPool = sync.Pool{New: func() any {
+	s := make([]stream.Event, 0, ndjsonBatch)
+	return &s
+}}
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -239,12 +250,17 @@ func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
 }
 
 // ingestNDJSON consumes an event-per-line stream incrementally, handing
-// the pipeline one batch per ndjsonBatch lines.
+// the pipeline one batch per ndjsonBatch lines. The staging batch and
+// scanner buffer are pooled, and lines decode from the scanner's byte
+// slice directly — no per-line string or per-request buffer allocation.
 func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc, putScanBuf := streamio.NewLineScanner(r.Body)
+	defer putScanBuf()
+	batchp := ingestBatchPool.Get().(*[]stream.Event)
+	defer ingestBatchPool.Put(batchp)
+	batch := (*batchp)[:0]
+	defer func() { *batchp = batch[:0] }()
 	var (
-		batch []stream.Event
 		total IngestStatus
 		line  int
 	)
@@ -264,12 +280,12 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
 			continue
 		}
 		var je jsonEvent
-		if err := json.Unmarshal([]byte(text), &je); err != nil {
+		if err := json.Unmarshal(text, &je); err != nil {
 			httpError(w, fmt.Errorf("server: line %d: %w", line, err))
 			return
 		}

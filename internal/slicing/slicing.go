@@ -67,6 +67,7 @@ type Runner struct {
 	mergeSpan, mergeCap int32
 
 	liveBuf   []int32
+	resBuf    []stream.Result
 	slicePool []*slice
 }
 
@@ -238,12 +239,15 @@ func (r *Runner) emitInstance(w window.Window, start, end int64) {
 	}
 	offs := r.store.AppendLive(r.mergeSpan, r.mergeCap, r.liveBuf[:0])
 	r.liveBuf = offs
+	rs := r.resBuf[:0]
 	for _, off := range offs {
-		r.sink.Emit(stream.Result{
+		rs = append(rs, stream.Result{
 			W: w, Start: start, End: end, Key: r.keys[off],
 			Value: r.store.FinalizeAt(r.mergeSpan + off),
 		})
 	}
+	r.resBuf = rs
+	stream.EmitAll(r.sink, rs)
 	r.store.Clear(r.mergeSpan, r.mergeCap)
 }
 

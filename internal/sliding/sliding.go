@@ -121,6 +121,7 @@ type Runner struct {
 
 	slots  map[uint64]int32
 	keys   []uint64
+	resBuf []stream.Result // reusable batch one pane close hands the sink
 	closed bool
 	events int64
 	combs  int64 // pane combine operations (work counter)
@@ -218,6 +219,7 @@ func (r *Runner) closePane(ws *winState) {
 	// closes and paneIdx+1 ≥ panes (instance index m = paneIdx+1-panes).
 	emit := ws.paneIdx+1 >= ws.panes
 	start := end - ws.w.Range
+	rs := r.resBuf[:0]
 	for slot := range ws.byKey {
 		ks := &ws.byKey[slot]
 		if !ks.seen {
@@ -231,7 +233,7 @@ func (r *Runner) closePane(ws *winState) {
 			ks.queue.query(&out)
 			r.combs++
 			if out.Cnt > 0 {
-				r.sink.Emit(stream.Result{
+				rs = append(rs, stream.Result{
 					W: ws.w, Start: start, End: end, Key: r.keys[slot],
 					Value: agg.CellFinal(r.fn, &out),
 				})
@@ -243,6 +245,8 @@ func (r *Runner) closePane(ws *winState) {
 			r.combs++
 		}
 	}
+	r.resBuf = rs
+	stream.EmitAll(r.sink, rs)
 }
 
 // Close seals the open pane and emits every pending window instance that

@@ -43,6 +43,32 @@ type Sink interface {
 	Emit(Result)
 }
 
+// BatchSink is the optional batched extension of Sink: executors that
+// fire many results at once probe for it and deliver the whole batch in
+// one call, hoisting the per-result interface dispatch (and, for
+// serialized sinks, the per-result lock) out of the emission loop. The
+// slice is only valid for the duration of the call — implementations
+// must copy what they retain.
+type BatchSink interface {
+	Sink
+	EmitBatch([]Result)
+}
+
+// EmitAll delivers rs through s, using one EmitBatch call when s
+// implements BatchSink and falling back to per-result Emit otherwise.
+func EmitAll(s Sink, rs []Result) {
+	if len(rs) == 0 {
+		return
+	}
+	if bs, ok := s.(BatchSink); ok {
+		bs.EmitBatch(rs)
+		return
+	}
+	for _, r := range rs {
+		s.Emit(r)
+	}
+}
+
 // CountingSink discards results but counts them; benchmark runs use it so
 // result storage does not distort throughput.
 type CountingSink struct {
@@ -52,6 +78,9 @@ type CountingSink struct {
 // Emit implements Sink.
 func (s *CountingSink) Emit(Result) { s.N++ }
 
+// EmitBatch implements BatchSink.
+func (s *CountingSink) EmitBatch(rs []Result) { s.N += int64(len(rs)) }
+
 // CollectingSink stores every result; correctness tests use it.
 type CollectingSink struct {
 	Results []Result
@@ -59,6 +88,9 @@ type CollectingSink struct {
 
 // Emit implements Sink.
 func (s *CollectingSink) Emit(r Result) { s.Results = append(s.Results, r) }
+
+// EmitBatch implements BatchSink.
+func (s *CollectingSink) EmitBatch(rs []Result) { s.Results = append(s.Results, rs...) }
 
 // Sorted returns the collected results in canonical order: by window,
 // start, then key. It sorts in place and returns the slice.

@@ -6,21 +6,46 @@ package streamio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"factorwindows/internal/stream"
 )
+
+// scanBufPool recycles scanner line buffers across reads: decoding is on
+// the serving layer's ingest path (the HTTP handlers call ReadCSV per
+// request), so per-call megabyte buffers would dominate its allocation
+// profile. Scanners still grow to maxLine for oversized lines.
+var scanBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64<<10)
+	return &b
+}}
+
+// maxLine is the longest accepted input line.
+const maxLine = 1 << 20
+
+// NewLineScanner builds a scanner over r with a pooled line buffer; the
+// returned put function recycles the buffer (call it when done with the
+// scanner). The serving layer's streaming ingest shares it so every
+// line-oriented decode path draws from one pool.
+func NewLineScanner(r io.Reader) (sc *bufio.Scanner, put func()) {
+	buf := scanBufPool.Get().(*[]byte)
+	sc = bufio.NewScanner(r)
+	sc.Buffer(*buf, maxLine)
+	return sc, func() { scanBufPool.Put(buf) }
+}
 
 // ReadCSV parses "time,key,value" rows. A first line starting with
 // "time" is treated as a header. Blank lines are skipped.
 func ReadCSV(r io.Reader) ([]stream.Event, error) {
 	var out []stream.Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc, put := NewLineScanner(r)
+	defer put()
 	line := 0
 	for sc.Scan() {
 		line++
@@ -82,20 +107,21 @@ type jsonEvent struct {
 	Value float64 `json:"value"`
 }
 
-// ReadJSONL parses one JSON event object per line.
+// ReadJSONL parses one JSON event object per line. Lines decode from
+// the scanner's byte slice directly, avoiding a per-line string copy.
 func ReadJSONL(r io.Reader) ([]stream.Event, error) {
 	var out []stream.Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc, put := NewLineScanner(r)
+	defer put()
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
 			continue
 		}
 		var je jsonEvent
-		if err := json.Unmarshal([]byte(text), &je); err != nil {
+		if err := json.Unmarshal(text, &je); err != nil {
 			return nil, fmt.Errorf("streamio: line %d: %w", line, err)
 		}
 		out = append(out, stream.Event{Time: je.Time, Key: je.Key, Value: je.Value})
