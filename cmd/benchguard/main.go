@@ -1,22 +1,28 @@
-// Command benchguard compares `go test -bench` output against the
-// repo's committed benchmark baseline and fails on ns/op regressions
-// beyond a tolerance. CI runs it after the bench-smoke step so a PR
-// that slows the headline benchmarks fails visibly, with the JSON
-// artifact uploaded either way.
+// Command benchguard compares `go test -bench -benchmem` output against
+// the repo's committed benchmark baseline and fails on regressions
+// beyond a tolerance: ns/op, and — when the baseline records them —
+// B/op and allocs/op, so the zero-alloc wins on the ingest and egress
+// hot paths are guarded by CI, not just wall-clock. CI runs it after
+// the bench-smoke step so a PR that slows or re-allocates the headline
+// benchmarks fails visibly, with the JSON artifact uploaded either way.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkFig11$' -benchmem . | tee bench.txt
-//	benchguard -bench bench.txt -baseline BENCH_batchpipe.json [-tolerance 0.10]
+//	benchguard -bench bench.txt -baseline BENCH_batchpipe.json \
+//	    [-tolerance 0.10] [-alloc-tolerance 0.10] [-mem-tolerance 0.25]
 //
 // The baseline file follows the BENCH_*.json convention (see README,
 // "Performance playbook"): a "benchmarks" array of {name, phase,
-// ns_per_op} records; entries with phase "after" are the committed
-// reference. Benchmarks present in the baseline but missing from the
-// bench output are ignored (the smoke run may exercise a subset);
-// benchmarks in the output but not the baseline are reported
-// informationally. Baselines are machine-specific: refresh them (and
-// say so in the PR) when the CI runner class changes.
+// ns_per_op, bytes_per_op, allocs_per_op} records; entries with phase
+// "after" are the committed reference. Benchmarks present in the
+// baseline but missing from the bench output are ignored (the smoke
+// run may exercise a subset); benchmarks in the output but not the
+// baseline are reported informationally. Allocation counts carry a
+// small absolute slack on top of the fractional tolerance so tiny
+// baselines do not fail on measurement noise. Baselines are
+// machine-specific: refresh them (and say so in the PR) when the CI
+// runner class changes.
 package main
 
 import (
@@ -26,35 +32,65 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type baselineFile struct {
 	Benchmarks []struct {
-		Name    string  `json:"name"`
-		Phase   string  `json:"phase"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name     string  `json:"name"`
+		Phase    string  `json:"phase"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		BPerOp   float64 `json:"bytes_per_op"`
+		AllocsOp float64 `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
-// measureRe matches a benchmark measurement line ("N <ns> ns/op ...").
+// measurement is one benchmark's parsed output line.
+type measurement struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
+
+// nsRe matches a benchmark measurement line ("N <ns> ns/op ...").
 // The harness-driven benchmarks print report text to stdout mid-run,
 // which splits the conventional single line into a bare name line
 // followed (possibly much later) by the measurement line, so the parser
 // carries the last seen name forward.
 var (
-	measureRe = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
-	suffixRe  = regexp.MustCompile(`-\d+$`)
+	nsRe     = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	bytesRe  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	suffixRe = regexp.MustCompile(`-\d+$`)
 )
 
-func parseBench(path string) (map[string]float64, error) {
+func parseMeasure(line string) (measurement, bool) {
+	m := nsRe.FindStringSubmatch(line)
+	if m == nil {
+		return measurement{}, false
+	}
+	out := measurement{}
+	out.ns, _ = strconv.ParseFloat(m[1], 64)
+	if b := bytesRe.FindStringSubmatch(line); b != nil {
+		out.bytes, _ = strconv.ParseFloat(b[1], 64)
+		out.hasMem = true
+	}
+	if a := allocsRe.FindStringSubmatch(line); a != nil {
+		out.allocs, _ = strconv.ParseFloat(a[1], 64)
+	}
+	return out, true
+}
+
+func parseBench(path string) (map[string]measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	out := make(map[string]measurement)
 	pending := ""
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -64,9 +100,8 @@ func parseBench(path string) (map[string]float64, error) {
 			fields := strings.Fields(line)
 			pending = suffixRe.ReplaceAllString(fields[0], "")
 			rest := strings.TrimPrefix(line, fields[0])
-			if m := measureRe.FindStringSubmatch(rest); m != nil {
-				ns, _ := strconv.ParseFloat(m[1], 64)
-				out[pending] = ns
+			if m, ok := parseMeasure(rest); ok {
+				out[pending] = m
 				pending = ""
 			}
 			continue
@@ -74,20 +109,29 @@ func parseBench(path string) (map[string]float64, error) {
 		if pending == "" {
 			continue
 		}
-		if m := measureRe.FindStringSubmatch(line); m != nil {
-			ns, _ := strconv.ParseFloat(m[1], 64)
-			out[pending] = ns
+		if m, ok := parseMeasure(line); ok {
+			out[pending] = m
 			pending = ""
 		}
 	}
 	return out, sc.Err()
 }
 
+// allocSlack and memSlack are absolute headroom on top of the
+// fractional tolerances, so near-zero baselines (the pooled egress
+// paths) do not fail on a couple of incidental allocations.
+const (
+	allocSlack = 16
+	memSlack   = 4096
+)
+
 func main() {
 	var (
 		benchPath = flag.String("bench", "", "go test -bench output file")
 		basePath  = flag.String("baseline", "BENCH_batchpipe.json", "committed baseline JSON")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression")
+		allocTol  = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op regression")
+		memTol    = flag.Float64("mem-tolerance", 0.25, "allowed fractional B/op regression")
 	)
 	flag.Parse()
 	if *benchPath == "" {
@@ -114,31 +158,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	baseline := make(map[string]float64)
+	type ref struct{ ns, bytes, allocs float64 }
+	baseline := make(map[string]ref)
 	for _, b := range base.Benchmarks {
 		if b.Phase == "after" {
-			baseline[b.Name] = b.NsPerOp
+			baseline[b.Name] = ref{ns: b.NsPerOp, bytes: b.BPerOp, allocs: b.AllocsOp}
 		}
 	}
 
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
 	failed := false
-	for name, ns := range got {
-		ref, ok := baseline[name]
+	for _, name := range names {
+		m := got[name]
+		r, ok := baseline[name]
 		if !ok {
-			fmt.Printf("%-36s %14.0f ns/op  (no baseline)\n", name, ns)
+			fmt.Printf("%-36s %14.0f ns/op  (no baseline)\n", name, m.ns)
 			continue
 		}
-		delta := (ns - ref) / ref
-		status := "ok"
+		var bad []string
+		delta := (m.ns - r.ns) / r.ns
 		if delta > *tolerance {
-			status = "REGRESSION"
+			bad = append(bad, fmt.Sprintf("ns/op %+.1f%%", delta*100))
+		}
+		// Zero baselines are guarded too (the absolute slack keeps them
+		// from failing on a couple of incidental allocations) — a
+		// zero-alloc path regressing to thousands of allocs must fail.
+		if m.hasMem {
+			if m.allocs > r.allocs*(1+*allocTol)+allocSlack {
+				bad = append(bad, fmt.Sprintf("allocs/op %.0f vs %.0f", m.allocs, r.allocs))
+			}
+			if m.bytes > r.bytes*(1+*memTol)+memSlack {
+				bad = append(bad, fmt.Sprintf("B/op %.0f vs %.0f", m.bytes, r.bytes))
+			}
+		}
+		status := "ok"
+		if len(bad) > 0 {
+			status = "REGRESSION: " + strings.Join(bad, ", ")
 			failed = true
 		}
 		fmt.Printf("%-36s %14.0f ns/op  baseline %14.0f  %+6.1f%%  %s\n",
-			name, ns, ref, delta*100, status)
+			name, m.ns, r.ns, delta*100, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: ns/op regression beyond %.0f%% tolerance\n", *tolerance*100)
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond tolerance (ns/op %.0f%%, allocs/op %.0f%%+%d, B/op %.0f%%+%d)\n",
+			*tolerance*100, *allocTol*100, allocSlack, *memTol*100, memSlack)
 		os.Exit(1)
 	}
 }

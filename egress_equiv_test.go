@@ -1,0 +1,189 @@
+package factorwindows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/slicing"
+	"factorwindows/internal/sliding"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// perRowResults is the egress reference implementation: for every
+// window instance it folds the instance's events row by row through the
+// scalar store kernels and finalizes each live key with the scalar
+// FinalizeAt — no batch kernel anywhere. The batch-finalized executors
+// must reproduce it exactly.
+func perRowResults(set *window.Set, fn agg.Fn, events []stream.Event) []stream.Result {
+	var out []stream.Result
+	maxT := int64(0)
+	for _, e := range events {
+		if e.Time > maxT {
+			maxT = e.Time
+		}
+	}
+	slots := make(map[uint64]int32)
+	var keys []uint64
+	slotOf := func(k uint64) int32 {
+		if s, ok := slots[k]; ok {
+			return s
+		}
+		s := int32(len(keys))
+		slots[k] = s
+		keys = append(keys, k)
+		return s
+	}
+	for _, e := range events {
+		slotOf(e.Key)
+	}
+	nKeys := int32(len(keys))
+	if nKeys == 0 {
+		return nil
+	}
+	for _, w := range set.Sorted() {
+		st := agg.NewStore(fn)
+		base, spanCap := st.Alloc(nKeys)
+		for start := int64(0); start <= maxT; start += w.Slide {
+			end := start + w.Range
+			st.Clear(base, spanCap)
+			for _, e := range events {
+				if e.Time >= start && e.Time < end {
+					st.AddAt(base+slotOf(e.Key), e.Value)
+				}
+			}
+			for slot := int32(0); slot < nKeys; slot++ {
+				if !st.LiveAt(base + slot) {
+					continue
+				}
+				out = append(out, stream.Result{
+					W: w, Start: start, End: end, Key: keys[slot],
+					Value: st.FinalizeAt(base + slot),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestQuickEgressMatchesPerRowFinalize is the batch-egress invariant as
+// a property test: for random window sets, random event streams, and
+// every aggregate function including MEDIAN, the batch-finalized result
+// path — engine (original and factored plans), slicing, sliding, and
+// key-sharded parallel execution at 1, 4 and 7 shards — produces
+// exactly the rows of the per-row FinalizeAt reference.
+func TestQuickEgressMatchesPerRowFinalize(t *testing.T) {
+	ranges := []int64{2, 3, 4, 6, 8, 10, 12}
+	f := func(seed int64, fnPick, nWindows uint8, hopping bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		fns := agg.Functions()
+		fn := fns[int(fnPick)%len(fns)]
+
+		set := &window.Set{}
+		for set.Len() < 2+int(nWindows)%3 {
+			rr := ranges[r.Intn(len(ranges))]
+			w := window.Tumbling(rr)
+			if hopping && rr%2 == 0 {
+				w = window.Hopping(rr, rr/2)
+			}
+			if !set.Contains(w) {
+				if err := set.Add(w); err != nil {
+					return false
+				}
+			}
+		}
+
+		events := make([]stream.Event, 0, 500)
+		tick := int64(0)
+		for i := 0; i < 500; i++ {
+			tick += int64(r.Intn(2))
+			events = append(events, stream.Event{
+				Time: tick, Key: uint64(r.Intn(24)), Value: float64(r.Intn(100)),
+			})
+		}
+
+		reference := perRowResults(set, fn, events)
+		stream.SortResults(reference)
+		check := func(rs []stream.Result) bool {
+			stream.SortResults(rs)
+			if len(rs) != len(reference) {
+				return false
+			}
+			for i := range reference {
+				a, b := reference[i], rs[i]
+				if a.W != b.W || a.Start != b.Start || a.End != b.End || a.Key != b.Key {
+					return false
+				}
+				if a.Value != b.Value &&
+					math.Abs(a.Value-b.Value) > 1e-9*math.Max(1, math.Abs(a.Value)) {
+					return false
+				}
+			}
+			return true
+		}
+
+		orig, err := plan.NewOriginal(set, fn)
+		if err != nil {
+			return false
+		}
+		engSink := &stream.CollectingSink{}
+		if err := Run(orig, events, engSink); err != nil {
+			return false
+		}
+		if !check(engSink.Results) {
+			return false
+		}
+		if agg.Shareable(fn) {
+			// The factored plan exercises the whole-span sub-aggregate
+			// hand-off (MergeSpan) between fired parents and children.
+			res, err := core.Optimize(set, fn, core.Options{Factors: true})
+			if err != nil {
+				return false
+			}
+			fp, err := plan.FromGraph(res.Graph, fn, plan.Factored)
+			if err != nil {
+				return false
+			}
+			facSink := &stream.CollectingSink{}
+			if err := Run(fp, events, facSink); err != nil {
+				return false
+			}
+			if !check(facSink.Results) {
+				return false
+			}
+			slideSink := &stream.CollectingSink{}
+			if _, err := sliding.Run(set, fn, events, slideSink); err != nil {
+				return false
+			}
+			if !check(slideSink.Results) {
+				return false
+			}
+		}
+		sliceSink := &stream.CollectingSink{}
+		if _, err := slicing.Run(set, fn, events, sliceSink); err != nil {
+			return false
+		}
+		if !check(sliceSink.Results) {
+			return false
+		}
+		for _, shards := range []int{1, 4, 7} {
+			parSink := &stream.CollectingSink{}
+			if _, err := parallel.Run(orig, events, parSink, shards); err != nil {
+				return false
+			}
+			if !check(parSink.Results) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

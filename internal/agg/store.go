@@ -281,16 +281,57 @@ func (s *Store) Release(base, cap int32) {
 	s.free[classFor(cap)] = append(s.free[classFor(cap)], base)
 }
 
-// Clear zeroes the span's occupied rows (sparse, via the same bitmap
-// scan AppendLive uses) and their occupancy bits, keeping the span
-// owned by the caller.
+// Clear zeroes the span's rows and occupancy bits, keeping the span
+// owned by the caller. Non-holistic columns clear with straight memsets
+// over the whole span — for the dense instances the executors fire and
+// recycle, that is far cheaper than the sparse per-row switch walk
+// (unoccupied rows are already zero, so over-clearing is free).
+// Holistic stores still walk the occupied rows so each row's raw-value
+// buffer is kept for the span's next tenant.
 func (s *Store) Clear(base, cap int32) {
-	s.moveBuf = s.AppendLive(base, cap, s.moveBuf[:0])
-	for _, off := range s.moveBuf {
-		row := base + off
-		s.clearRow(row)
-		s.occ[row>>6] &^= 1 << (uint(row) & 63)
+	if s.kind == storeRaw {
+		s.moveBuf = s.AppendLive(base, cap, s.moveBuf[:0])
+		for _, off := range s.moveBuf {
+			row := base + off
+			s.clearRow(row)
+			s.occ[row>>6] &^= 1 << (uint(row) & 63)
+		}
+		return
 	}
+	clear(s.cnt[base : base+cap])
+	switch s.kind {
+	case storeMin:
+		clear(s.min[base : base+cap])
+	case storeMax:
+		clear(s.max[base : base+cap])
+	case storeSum:
+		clear(s.sum[base : base+cap])
+	case storeSumSq:
+		clear(s.sum[base : base+cap])
+		clear(s.sumsq[base : base+cap])
+	}
+	// Clear the span's occupancy bits word-wise, masking the edge words
+	// shared with neighbouring spans (the dual of AppendLive's scan).
+	lo, hi := base, base+cap
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		s.occ[w] &^= spanWordMask(lo, hi, w)
+	}
+}
+
+// spanWordMask returns the bits of occupancy word w that fall inside
+// the row interval [lo, hi) — the edge-word masking shared by every
+// span bitmap walk (AppendLive's scan and Clear's bulk reset). The
+// right-edge shift is safe because callers only visit words up to
+// (hi-1)>>6, which excludes the hi&63 == 0 case for the last word.
+func spanWordMask(lo, hi, w int32) uint64 {
+	mask := ^uint64(0)
+	if lo > w<<6 {
+		mask &= ^uint64(0) << (uint(lo) & 63)
+	}
+	if hi < (w+1)<<6 {
+		mask &= ^uint64(0) >> (64 - (uint(hi) & 63))
+	}
+	return mask
 }
 
 func (s *Store) clearRow(row int32) {
@@ -348,14 +389,7 @@ func (s *Store) Grow(base, cap, need int32) (int32, int32) {
 func (s *Store) AppendLive(base, cap int32, buf []int32) []int32 {
 	lo, hi := base, base+cap
 	for w := lo >> 6; w <= (hi-1)>>6; w++ {
-		mask := ^uint64(0)
-		if lo > w<<6 {
-			mask &= ^uint64(0) << (uint(lo) & 63)
-		}
-		if hi < (w+1)<<6 {
-			mask &= ^uint64(0) >> (64 - (uint(hi) & 63))
-		}
-		live := s.occ[w] & mask
+		live := s.occ[w] & spanWordMask(lo, hi, w)
 		for live != 0 {
 			row := w<<6 + int32(bits.TrailingZeros64(live))
 			live &= live - 1
@@ -625,6 +659,77 @@ func (s *Store) MergeBases(bases []int32, slot int32, src *Store, srcRow int32) 
 	}
 }
 
+// MergeSpan folds src's rows srcBase+off into this store's rows
+// dstBase+off for every offset in offs — the whole-span sub-aggregate
+// hand-off a fired parent instance makes to a child operator sharing
+// the same key-slot numbering. One dispatch covers the span; holistic
+// stores carry raw values (the engine's MEDIAN fallback). Offsets must
+// address live src rows (AppendLive output); empty rows are skipped.
+func (s *Store) MergeSpan(dstBase int32, src *Store, srcBase int32, offs []int32) {
+	switch s.kind {
+	case storeMin:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			if s.cnt[d] == 0 || src.min[sr] < s.min[d] {
+				s.min[d] = src.min[sr]
+			}
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
+	case storeMax:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			if s.cnt[d] == 0 || src.max[sr] > s.max[d] {
+				s.max[d] = src.max[sr]
+			}
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
+	case storeSum:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			s.sum[d] += src.sum[sr]
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
+	case storeSumSq:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			s.sum[d] += src.sum[sr]
+			s.sumsq[d] += src.sumsq[sr]
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
+	case storeRaw:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			s.raw[d] = append(s.raw[d], src.raw[sr]...)
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
+	}
+}
+
 // MergeRawAt folds src's row srcRow into row dst for any function,
 // carrying raw values for holistic ones (the slicing executor's
 // Section III-A fallback).
@@ -682,6 +787,147 @@ func (s *Store) FinalizeAt(row int32) float64 {
 		}
 		return (s.scratch[k/2-1] + s.scratch[k/2]) / 2
 	}
+}
+
+// FinalizeSpan is the batch form of FinalizeAt: it computes the
+// aggregate result of row base+off for every offset in offs (the live
+// offsets AppendLive yields when a window instance fires), appending one
+// value per offset to out and returning it. The function dispatch — and
+// for AVG/STDEV the arithmetic shape — is hoisted out of the loop, one
+// specialized column walk per call; MEDIAN walks the raw-value side
+// table, sorting a scratch copy per row like FinalizeAt. Rows' state is
+// left intact. Callers recycle out across fires, so steady-state
+// finalization performs zero heap allocations.
+func (s *Store) FinalizeSpan(base int32, offs []int32, out []float64) []float64 {
+	switch s.kind {
+	case storeMin:
+		for _, off := range offs {
+			r := base + off
+			if s.cnt[r] == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, s.min[r])
+		}
+	case storeMax:
+		for _, off := range offs {
+			r := base + off
+			if s.cnt[r] == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, s.max[r])
+		}
+	case storeSum:
+		switch s.fn {
+		case Sum:
+			for _, off := range offs {
+				r := base + off
+				if s.cnt[r] == 0 {
+					out = append(out, math.NaN())
+					continue
+				}
+				out = append(out, s.sum[r])
+			}
+		case Count:
+			for _, off := range offs {
+				out = append(out, float64(s.cnt[base+off]))
+			}
+		default: // Avg
+			for _, off := range offs {
+				r := base + off
+				if s.cnt[r] == 0 {
+					out = append(out, math.NaN())
+					continue
+				}
+				out = append(out, s.sum[r]/float64(s.cnt[r]))
+			}
+		}
+	case storeSumSq:
+		for _, off := range offs {
+			r := base + off
+			n := s.cnt[r]
+			if n == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			nf := float64(n)
+			mean := s.sum[r] / nf
+			v := s.sumsq[r]/nf - mean*mean
+			if v < 0 {
+				v = 0
+			}
+			out = append(out, math.Sqrt(v))
+		}
+	default: // storeRaw: MEDIAN over a sorted scratch copy per row
+		for _, off := range offs {
+			out = append(out, s.FinalizeAt(base+off))
+		}
+	}
+	return out
+}
+
+// FinalizeCells is the batch form of CellFinal: one function dispatch
+// finalizes every cell, appending one value per cell to out. The sliding
+// baseline's pane-close path uses it to finalize a whole key sweep at
+// once. Like CellFinal it panics for holistic functions.
+func FinalizeCells(f Fn, cells []Cell, out []float64) []float64 {
+	switch f {
+	case Min:
+		for i := range cells {
+			if cells[i].Cnt == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, cells[i].Min)
+		}
+	case Max:
+		for i := range cells {
+			if cells[i].Cnt == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, cells[i].Max)
+		}
+	case Sum:
+		for i := range cells {
+			if cells[i].Cnt == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, cells[i].Sum)
+		}
+	case Count:
+		for i := range cells {
+			out = append(out, float64(cells[i].Cnt))
+		}
+	case Avg:
+		for i := range cells {
+			if cells[i].Cnt == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, cells[i].Sum/float64(cells[i].Cnt))
+		}
+	case StdDev:
+		for i := range cells {
+			n := cells[i].Cnt
+			if n == 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			nf := float64(n)
+			mean := cells[i].Sum / nf
+			v := cells[i].SumSq/nf - mean*mean
+			if v < 0 {
+				v = 0
+			}
+			out = append(out, math.Sqrt(v))
+		}
+	default:
+		panic(fmt.Sprintf("agg: FinalizeCells on %v", f))
+	}
+	return out
 }
 
 // CellAt exports the row's scalar state (for checkpoints and the shim).

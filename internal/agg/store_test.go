@@ -259,3 +259,74 @@ func TestStateShimNoValsForNonHolistic(t *testing.T) {
 		}
 	}
 }
+
+// TestFinalizeSpanMatchesScalar drives random traffic into a span and
+// checks the batch finalize kernel against per-row FinalizeAt for every
+// function (including MEDIAN's side-table walk), over live-only offsets,
+// all offsets (including empty rows), and an empty offset list — the
+// batch kernel must be bit-compatible with the scalar one.
+func TestFinalizeSpanMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, fn := range Functions() {
+		s := NewStore(fn)
+		base, cap := s.Alloc(64)
+		// Sparse fill: roughly half the rows stay empty.
+		for step := 0; step < 800; step++ {
+			row := int32(r.Intn(int(cap) / 2))
+			s.AddAt(base+row*2, float64(r.Intn(400)-200))
+		}
+		live := s.AppendLive(base, cap, nil)
+		all := make([]int32, cap)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		for _, offs := range [][]int32{live, all, nil} {
+			got := s.FinalizeSpan(base, offs, nil)
+			if len(got) != len(offs) {
+				t.Fatalf("%v: FinalizeSpan returned %d values for %d offsets", fn, len(got), len(offs))
+			}
+			for i, off := range offs {
+				want := s.FinalizeAt(base + off)
+				if !almostEqual(got[i], want) {
+					t.Fatalf("%v off %d: FinalizeSpan %v, FinalizeAt %v", fn, off, got[i], want)
+				}
+			}
+		}
+		// Recycled output buffer: values append after existing content.
+		buf := []float64{42}
+		buf = s.FinalizeSpan(base, live, buf)
+		if buf[0] != 42 || len(buf) != 1+len(live) {
+			t.Fatalf("%v: FinalizeSpan did not append to the caller's buffer", fn)
+		}
+	}
+}
+
+// TestFinalizeCellsMatchesScalar checks the batched cell finalizer
+// against CellFinal for every shareable function, empty cells included.
+func TestFinalizeCellsMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, fn := range ShareableFns() {
+		cells := make([]Cell, 32)
+		for i := range cells {
+			for j := 0; j < r.Intn(6); j++ { // some cells stay empty
+				CellAdd(fn, &cells[i], float64(r.Intn(300)-150))
+			}
+		}
+		got := FinalizeCells(fn, cells, nil)
+		if len(got) != len(cells) {
+			t.Fatalf("%v: %d values for %d cells", fn, len(got), len(cells))
+		}
+		for i := range cells {
+			want := CellFinal(fn, &cells[i])
+			if !almostEqual(got[i], want) {
+				t.Fatalf("%v cell %d: FinalizeCells %v, CellFinal %v", fn, i, got[i], want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FinalizeCells on MEDIAN must panic")
+		}
+	}()
+	FinalizeCells(Median, make([]Cell, 1), nil)
+}

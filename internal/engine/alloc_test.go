@@ -68,8 +68,14 @@ func TestZeroAllocSteadyState(t *testing.T) {
 					r.Process(nextBatch())
 				}
 				const events = 120.0
+				// Each measured round also advances the watermark past the
+				// batch it just folded, so the egress path — every window
+				// boundary fires its instance, batch-finalizes it through
+				// FinalizeSpan, and emits the result batch — runs under the
+				// alloc counter, not just the fold path.
 				allocs := testing.AllocsPerRun(50, func() {
 					r.Process(nextBatch())
+					r.Advance(tick - 1)
 				})
 				if perEvent := allocs / events; perEvent != 0 {
 					t.Fatalf("%s: %.4f allocs/event (%v allocs per %v-event batch), want 0",
@@ -79,4 +85,45 @@ func TestZeroAllocSteadyState(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestEgressBufferCapAfterBurst pins the per-node retention bound: after
+// a window instance with far more live keys than egressRetain fires, the
+// node's emission scratch is released instead of pinning burst-sized
+// arenas forever, while steady-state-sized scratch is retained.
+func TestEgressBufferCapAfterBurst(t *testing.T) {
+	set := window.MustSet(window.Tumbling(10))
+	p, err := plan.NewOriginal(set, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(p, &stream.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: a handful of keys, windows firing.
+	small := make([]stream.Event, 0, 64)
+	for tick := int64(0); tick < 40; tick++ {
+		for k := uint64(0); k < 4; k++ {
+			small = append(small, stream.Event{Time: tick, Key: k, Value: 1})
+		}
+	}
+	r.Process(small)
+	n := r.roots[0]
+	if cap(n.resBuf) == 0 {
+		t.Fatal("steady-state fire should retain its result arena")
+	}
+	// Burst: one instance with 3×egressRetain live keys, then fire it.
+	burst := make([]stream.Event, 0, 3*egressRetain)
+	for k := 0; k < 3*egressRetain; k++ {
+		burst = append(burst, stream.Event{Time: 40, Key: uint64(k), Value: 1})
+	}
+	r.Process(burst)
+	r.Advance(49)
+	for _, buf := range []int{cap(n.resBuf), cap(n.finBuf), cap(n.liveBuf)} {
+		if buf > egressRetain {
+			t.Fatalf("burst fire retained %d-row scratch, cap is %d", buf, egressRetain)
+		}
+	}
+	r.Close()
 }

@@ -27,18 +27,16 @@ import (
 	"factorwindows/internal/window"
 )
 
-// subAgg is one per-instance, per-key sub-aggregate flowing from a parent
-// operator to its children, identified by the canonical key slot (slot
-// numbering is shared across the whole plan, so children consume
-// sub-aggregates without re-keying — they arrive pre-grouped, exactly as
-// a keyed sub-aggregate stream does in Trill). The row lives in the
-// parent's columnar store and stays owned by the parent; children must
-// consume it synchronously (before the parent releases the span).
-type subAgg struct {
-	start, end int64
-	slot       int32
-	row        int32
-}
+// Sub-aggregates flow from a parent operator to its children as whole
+// fired spans: the parent hands each child its store, the fired span's
+// base and the live key offsets (processSubSpan). Slot numbering is
+// shared across the whole plan, so children consume sub-aggregates
+// without re-keying — they arrive pre-grouped, exactly as a keyed
+// sub-aggregate stream does in Trill — and because every row of a fired
+// instance shares one [start, end) interval, window placement resolves
+// once per span instead of once per row. The rows stay owned by the
+// parent; children must consume them synchronously (before the parent
+// releases the span).
 
 // instance is one active window instance: a contiguous span of rows in
 // the node's columnar store, addressed as span+slot. cap is the span's
@@ -82,14 +80,15 @@ type node struct {
 	shared *keyTable
 
 	instPool []*instance
-	emitBuf  []subAgg
 
 	// Reusable kernel scratch, so the steady-state hot path never
-	// allocates: span bases per sub-aggregate (hopping fan-out), live
-	// offsets per fired instance, and the batched result rows one fire
-	// hands the sink.
+	// allocates: span bases per sub-aggregate span (hopping fan-out),
+	// live offsets per fired instance, the batch-finalized values, and
+	// the batched result rows one fire hands the sink. Oversized buffers
+	// are dropped after the fire (see capEgressBuffers).
 	baseBuf []int32
 	liveBuf []int32
+	finBuf  []float64
 	resBuf  []stream.Result
 
 	// stats
@@ -394,78 +393,73 @@ func (n *node) growInstance(inst *instance, need int32) {
 	inst.span, inst.cap = n.store.Grow(inst.span, inst.cap, need)
 }
 
-// processSub consumes a parent's fired sub-aggregates, which live as
-// rows in the parent's store src.
-func (n *node) processSub(src *agg.Store, items []subAgg) {
-	n.inputs += int64(len(items))
+// processSubSpan consumes one fired parent instance's sub-aggregates:
+// the live rows at srcBase+off in the parent's store src, all covering
+// the same interval [start, end). Window placement — advance, covering
+// instances, span growth — therefore resolves once for the whole span,
+// and one MergeSpan kernel call per covering instance folds every row.
+func (n *node) processSubSpan(src *agg.Store, start, end int64, srcBase int32, offs []int32) {
+	n.inputs += int64(len(offs))
+	maxSlot := offs[len(offs)-1] // AppendLive offsets are increasing
 	if n.k == 1 {
-		n.processSubTumbling(src, items)
-		return
-	}
-	for i := range items {
-		it := &items[i]
-		n.advance(it.end)
-		lo, hi, ok := n.w.InstancesCovering(it.start, it.end)
-		if !ok {
-			// Under "covered by" semantics a hopping parent emits
-			// intervals that straddle this window's instance boundaries;
-			// they are not part of any covering set (Definition 2) and
-			// the remaining intervals still union to each instance, so
-			// dropping them is correct for overlap-safe functions.
-			// Under "partitioned by" every parent interval must land in
-			// an instance; anything else is plan corruption.
-			if !agg.OverlapSafe(n.fn) {
-				panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
-					n.w, it.start, it.end, n.fn))
-			}
-			continue
-		}
-		n.ensure(lo, hi)
-		n.updates += hi - lo + 1
-		bases := n.baseBuf[:0]
-		for m := lo; m <= hi; m++ {
-			inst := n.insts[n.head+int(m-n.base)]
-			if it.slot >= inst.cap {
-				n.growInstance(inst, it.slot+1)
-			}
-			bases = append(bases, inst.span)
-		}
-		n.store.MergeBases(bases, it.slot, src, it.row)
-		n.baseBuf = bases
-	}
-}
-
-// processSubTumbling is the k=1 fast path for sub-aggregate consumers:
-// under "partitioned by" semantics every parent interval falls inside
-// exactly one instance of a tumbling window, which stays cached until
-// its end passes (mirroring processRawTumbling).
-func (n *node) processSubTumbling(src *agg.Store, items []subAgg) {
-	slide := n.w.Slide
-	for i := range items {
-		it := &items[i]
-		if it.end > n.curEnd || n.curInst == nil {
-			m := it.start / slide
-			n.advance(it.end)
+		// Tumbling fast path: under "partitioned by" semantics every
+		// parent interval falls inside exactly one instance, which stays
+		// cached until its end passes (mirroring processRawTumbling).
+		slide := n.w.Slide
+		if end > n.curEnd || n.curInst == nil {
+			m := start / slide
+			n.advance(end)
 			n.ensure(m, m)
 			n.curInst = n.insts[n.head+int(m-n.base)]
 			n.curEnd = (m + 1) * slide
 		}
-		if it.start < n.curInst.m*slide || it.end > n.curEnd {
-			// Straddling interval from a hopping parent: not part of
-			// any covering set; safe to drop only for overlap-safe
-			// functions (see processSub's general path).
+		if start < n.curInst.m*slide || end > n.curEnd {
+			// Straddling interval from a hopping parent: not part of any
+			// covering set; safe to drop only for overlap-safe functions
+			// (see the general path below).
 			if !agg.OverlapSafe(n.fn) {
 				panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
-					n.w, it.start, it.end, n.fn))
+					n.w, start, end, n.fn))
 			}
-			continue
+			return
 		}
 		inst := n.curInst
-		if it.slot >= inst.cap {
-			n.growInstance(inst, it.slot+1)
+		if maxSlot >= inst.cap {
+			n.growInstance(inst, maxSlot+1)
 		}
-		n.store.MergeAt(inst.span+it.slot, src, it.row)
-		n.updates++
+		n.store.MergeSpan(inst.span, src, srcBase, offs)
+		n.updates += int64(len(offs))
+		return
+	}
+	n.advance(end)
+	lo, hi, ok := n.w.InstancesCovering(start, end)
+	if !ok {
+		// Under "covered by" semantics a hopping parent emits intervals
+		// that straddle this window's instance boundaries; they are not
+		// part of any covering set (Definition 2) and the remaining
+		// intervals still union to each instance, so dropping them is
+		// correct for overlap-safe functions. Under "partitioned by"
+		// every parent interval must land in an instance; anything else
+		// is plan corruption.
+		if !agg.OverlapSafe(n.fn) {
+			panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
+				n.w, start, end, n.fn))
+		}
+		return
+	}
+	n.ensure(lo, hi)
+	n.updates += (hi - lo + 1) * int64(len(offs))
+	bases := n.baseBuf[:0]
+	for m := lo; m <= hi; m++ {
+		inst := n.insts[n.head+int(m-n.base)]
+		if maxSlot >= inst.cap {
+			n.growInstance(inst, maxSlot+1)
+		}
+		bases = append(bases, inst.span)
+	}
+	n.baseBuf = bases
+	for _, b := range bases {
+		n.store.MergeSpan(b, src, srcBase, offs)
 	}
 }
 
@@ -521,7 +515,10 @@ func (n *node) ensure(lo, hi int64) {
 
 // fire emits one completed instance downstream and to the sink. The
 // occupancy bitmap yields the live key slots directly; empty windows
-// are not emitted.
+// are not emitted. The whole instance finalizes through one
+// agg.FinalizeSpan kernel call (one function dispatch per fire, not per
+// row), and the result batch assembles in the node's recycled arena
+// before a single EmitAll hands it to the sink.
 func (n *node) fire(inst *instance, end int64) {
 	offs := n.store.AppendLive(inst.span, inst.cap, n.liveBuf[:0])
 	n.liveBuf = offs
@@ -532,24 +529,46 @@ func (n *node) fire(inst *instance, end int64) {
 	start := inst.m * n.w.Slide
 	if n.exposed {
 		keys := n.shared.keys
-		rs := n.resBuf[:0]
-		for _, off := range offs {
-			rs = append(rs, stream.Result{
-				W: n.w, Start: start, End: end, Key: keys[off],
-				Value: n.store.FinalizeAt(inst.span + off),
-			})
+		vals := n.store.FinalizeSpan(inst.span, offs, n.finBuf[:0])
+		n.finBuf = vals
+		rs := n.resBuf
+		if cap(rs) < len(offs) {
+			rs = make([]stream.Result, len(offs))
+		} else {
+			rs = rs[:len(offs)]
+		}
+		vals = vals[:len(offs)]
+		for i, off := range offs {
+			rs[i] = stream.Result{W: n.w, Start: start, End: end, Key: keys[off], Value: vals[i]}
 		}
 		n.resBuf = rs
 		stream.EmitAll(n.sink, rs)
 	}
-	if len(n.children) > 0 {
-		n.emitBuf = n.emitBuf[:0]
-		for _, off := range offs {
-			n.emitBuf = append(n.emitBuf, subAgg{start: start, end: end, slot: off, row: inst.span + off})
-		}
-		for _, c := range n.children {
-			c.processSub(n.store, n.emitBuf)
-		}
+	for _, c := range n.children {
+		// offs survives the child call: children only append to their own
+		// scratch, never to this node's liveBuf.
+		c.processSubSpan(n.store, start, end, inst.span, offs)
+	}
+	n.capEgressBuffers()
+}
+
+// egressRetain bounds the per-node emission scratch kept across fires,
+// in rows. Mirroring reorder's mergeLimit, one high-cardinality burst
+// (a hot window instance with far more keys than the steady state) must
+// not pin arena-sized buffers on every plan node forever: oversized
+// scratch is dropped for the GC and the next fire re-allocates at its
+// actual working size.
+const egressRetain = 4096
+
+func (n *node) capEgressBuffers() {
+	if cap(n.resBuf) > egressRetain {
+		n.resBuf = nil
+	}
+	if cap(n.finBuf) > egressRetain {
+		n.finBuf = nil
+	}
+	if cap(n.liveBuf) > egressRetain {
+		n.liveBuf = nil
 	}
 }
 

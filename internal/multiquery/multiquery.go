@@ -166,6 +166,24 @@ func (p *Plan) Run(events []stream.Event, emit func(Routed)) error {
 	return err
 }
 
+// RoutedBatch is one same-window run of result rows tagged with the
+// queries subscribed to that window. Like stream.BatchSink batches, the
+// Results slice is only valid for the duration of the callback —
+// consumers must copy what they retain.
+type RoutedBatch struct {
+	QueryIDs []string
+	Results  []stream.Result
+}
+
+// BatchSink is the batched counterpart of Sink: instead of one callback
+// per result row, emit receives whole same-window runs, with the
+// subscriber list resolved once per (window, run) rather than once per
+// row. This is the serving layer's result path — per-row routing is
+// exactly the cost that scales with keys × windows × queries.
+func (p *Plan) BatchSink(emit func(RoutedBatch)) stream.Sink {
+	return &routingBatchSink{plan: p, emit: emit}
+}
+
 // routingSink tags engine results with their subscriber queries.
 type routingSink struct {
 	plan *Plan
@@ -197,5 +215,39 @@ func (s *routingSink) EmitBatch(rs []stream.Result) {
 			continue
 		}
 		s.emit(Routed{QueryIDs: ids, Result: rs[i]})
+	}
+}
+
+// routingBatchSink segments incoming batches into same-window runs and
+// hands each subscribed run to emit in one call.
+type routingBatchSink struct {
+	plan *Plan
+	emit func(RoutedBatch)
+}
+
+func (s *routingBatchSink) Emit(r stream.Result) {
+	ids := s.plan.routes[r.W]
+	if len(ids) == 0 {
+		return
+	}
+	var one [1]stream.Result
+	one[0] = r
+	s.emit(RoutedBatch{QueryIDs: ids, Results: one[:]})
+}
+
+// EmitBatch implements stream.BatchSink. A shard's flush interleaves
+// instances of several windows; each maximal same-window run resolves
+// its subscribers once and is delivered whole.
+func (s *routingBatchSink) EmitBatch(rs []stream.Result) {
+	for i := 0; i < len(rs); {
+		w := rs[i].W
+		j := i + 1
+		for j < len(rs) && rs[j].W == w {
+			j++
+		}
+		if ids := s.plan.routes[w]; len(ids) > 0 {
+			s.emit(RoutedBatch{QueryIDs: ids, Results: rs[i:j]})
+		}
+		i = j
 	}
 }

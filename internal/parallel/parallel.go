@@ -37,8 +37,10 @@ func (s *lockedSink) emitBatch(rs []stream.Result) {
 		return
 	}
 	s.mu.Lock()
+	// Unlock via defer: a panicking user sink poisons its shard, and the
+	// mutex must not stay held or every other shard wedges behind it.
+	defer s.mu.Unlock()
 	stream.EmitAll(s.sink, rs)
-	s.mu.Unlock()
 }
 
 // shardSink buffers one shard's emissions and flushes them to the shared
@@ -59,8 +61,16 @@ func (s *shardSink) Emit(r stream.Result) {
 }
 
 // EmitBatch implements stream.BatchSink: the engine's batched fire path
-// lands here, appending the whole instance's rows at once.
+// lands here. Small batches coalesce into the shard buffer; a batch
+// already at flush size skips the copy and goes straight through the
+// serialized sink (after flushing the buffer, to keep per-key order) —
+// the batch is only borrowed for the call either way.
 func (s *shardSink) EmitBatch(rs []stream.Result) {
+	if len(rs) >= shardSinkBatch/2 {
+		s.flush()
+		s.out.emitBatch(rs)
+		return
+	}
 	s.buf = append(s.buf, rs...)
 	if len(s.buf) >= shardSinkBatch {
 		s.flush()
@@ -100,9 +110,9 @@ func (sc *scatter) release() {
 	}
 }
 
-// scatterDepth is the steady-state scatter pool size: one filling, one
-// in flight.
-const scatterDepth = 2
+// scatterDepth is the steady-state scatter pool size: one filling plus
+// the few in flight that the shard rings let the driver run ahead by.
+const scatterDepth = 4
 
 // shardMsg is one unit of work for a shard loop: an event batch, a
 // watermark advance (advanceSet), or a barrier request (ack non-nil)
@@ -113,22 +123,152 @@ type shardMsg struct {
 	sc         *scatter // owner of events, released after processing
 	advance    int64
 	advanceSet bool
-	ack        chan<- struct{}
+	ack        *barrierAck
 }
 
-// shard is one engine instance fed by its own goroutine.
+// barrierAck is the Runner's reusable barrier acknowledgement: one
+// countdown shared by all shards and one buffered completion channel,
+// re-armed per Barrier call instead of allocating len(shards) fresh
+// channels every time (servers barrier once per ingest poll). Barriers
+// serialize on the driving goroutine, which always drains done before
+// re-arming, so the last shard's send never blocks.
+type barrierAck struct {
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// complete records one shard's acknowledgement; the last shard signals
+// the waiting driver.
+func (a *barrierAck) complete() {
+	if a.pending.Add(-1) == 0 {
+		a.done <- struct{}{}
+	}
+}
+
+// ringSize is the per-shard SPSC ring capacity (messages). It bounds
+// how far the driver can run ahead of a shard before Process blocks —
+// the same backpressure the per-shard channels used to provide.
+const ringSize = 8
+
+// spscRing is a bounded single-producer single-consumer message queue:
+// the Runner's driving goroutine pushes, the shard's persistent worker
+// pops. Slots hand over through atomic head/tail indices — no mutex, no
+// per-message channel operation in the common case. An empty consumer
+// and a full producer park on one-token wake channels; the park/recheck
+// protocol (park flag store, then recheck the index) pairs with the
+// peer's index store + flag load so a wakeup can never be missed, and a
+// stale token at worst causes one spurious recheck.
+type spscRing struct {
+	buf  []shardMsg
+	mask uint64
+
+	head   atomic.Uint64 // next slot to pop; advanced by the consumer
+	tail   atomic.Uint64 // next slot to push; advanced by the producer
+	closed atomic.Bool
+
+	consParked atomic.Bool
+	prodParked atomic.Bool
+	pushed     chan struct{} // wakes a parked consumer
+	popped     chan struct{} // wakes a parked producer
+}
+
+func newSPSCRing() *spscRing {
+	return &spscRing{
+		buf:    make([]shardMsg, ringSize),
+		mask:   ringSize - 1,
+		pushed: make(chan struct{}, 1),
+		popped: make(chan struct{}, 1),
+	}
+}
+
+// push enqueues one message, blocking while the ring is full. Producer
+// side only (the Runner's driving goroutine).
+func (q *spscRing) push(m shardMsg) {
+	for {
+		t := q.tail.Load()
+		if t-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[t&q.mask] = m
+			q.tail.Store(t + 1)
+			if q.consParked.Load() {
+				select {
+				case q.pushed <- struct{}{}:
+				default:
+				}
+			}
+			return
+		}
+		q.prodParked.Store(true)
+		if q.tail.Load()-q.head.Load() < uint64(len(q.buf)) {
+			q.prodParked.Store(false)
+			continue
+		}
+		<-q.popped
+		q.prodParked.Store(false)
+	}
+}
+
+// pop dequeues the next message, parking while the ring is empty. It
+// returns ok=false once the ring is closed and drained. Consumer side
+// only (the shard worker).
+func (q *spscRing) pop() (shardMsg, bool) {
+	for {
+		h := q.head.Load()
+		if q.tail.Load() != h {
+			m := q.buf[h&q.mask]
+			q.buf[h&q.mask] = shardMsg{} // drop the slot's references
+			q.head.Store(h + 1)
+			if q.prodParked.Load() {
+				select {
+				case q.popped <- struct{}{}:
+				default:
+				}
+			}
+			return m, true
+		}
+		if q.closed.Load() {
+			// closed is stored after the final push; seeing it guarantees
+			// the final tail store is visible, so one recheck suffices.
+			if q.tail.Load() != h {
+				continue
+			}
+			return shardMsg{}, false
+		}
+		q.consParked.Store(true)
+		if q.tail.Load() != h || q.closed.Load() {
+			q.consParked.Store(false)
+			continue
+		}
+		<-q.pushed
+		q.consParked.Store(false)
+	}
+}
+
+// close marks the ring closed (producer side); the consumer drains what
+// remains and then sees ok=false.
+func (q *spscRing) close() {
+	q.closed.Store(true)
+	select {
+	case q.pushed <- struct{}{}:
+	default:
+	}
+}
+
+// shard is one engine instance fed by its own persistent worker
+// goroutine, parked on its SPSC ring while idle.
 type shard struct {
 	owner  *Runner
 	runner *engine.Runner
 	sink   *shardSink
-	in     chan shardMsg
+	in     *spscRing
 	done   chan struct{}
 }
 
 // Runner fans events out to key-sharded engines. Feed it with Process
 // (events in non-decreasing time order, as for the engine) and finish
-// with Close. Results arrive on the sink concurrently; their order is
-// deterministic per key but interleaved across shards.
+// with Close; Process, Advance, Barrier, Snapshot and Close must all be
+// called from the single goroutine driving the Runner (the shard rings
+// are single-producer). Results arrive on the sink concurrently; their
+// order is deterministic per key but interleaved across shards.
 type Runner struct {
 	shards []*shard
 	closed bool
@@ -136,6 +276,9 @@ type Runner struct {
 
 	// freeScatter recycles Process's staging buffers (see scatter).
 	freeScatter chan *scatter
+
+	// ack is the reusable barrier acknowledgement (see barrierAck).
+	ack barrierAck
 
 	mu      sync.Mutex
 	failure error
@@ -158,7 +301,10 @@ func build(p *plan.Plan, sink stream.Sink, n int, snaps [][]byte) (*Runner, erro
 		n = runtime.GOMAXPROCS(0)
 	}
 	ls := &lockedSink{sink: sink}
-	r := &Runner{freeScatter: make(chan *scatter, scatterDepth)}
+	r := &Runner{
+		freeScatter: make(chan *scatter, scatterDepth),
+		ack:         barrierAck{done: make(chan struct{}, 1)},
+	}
 	for i := 0; i < n; i++ {
 		ss := &shardSink{out: ls}
 		var er *engine.Runner
@@ -175,7 +321,7 @@ func build(p *plan.Plan, sink stream.Sink, n int, snaps [][]byte) (*Runner, erro
 			owner:  r,
 			runner: er,
 			sink:   ss,
-			in:     make(chan shardMsg, 8),
+			in:     newSPSCRing(),
 			done:   make(chan struct{}),
 		}
 		r.shards = append(r.shards, sh)
@@ -190,52 +336,72 @@ func build(p *plan.Plan, sink stream.Sink, n int, snaps [][]byte) (*Runner, erro
 // panics; a restored-from-hostile-bytes or otherwise corrupt state must
 // not take the whole process down, so a panicking shard is poisoned
 // instead: the failure is recorded on the Runner and the shard keeps
-// draining its channel (acking barriers) so senders never block.
+// draining its ring (acking barriers) so the driver never blocks.
 func (sh *shard) loop() {
 	defer close(sh.done)
 	if err := sh.consume(); err != nil {
 		sh.owner.fail(err)
-		for msg := range sh.in {
+		for {
+			msg, ok := sh.in.pop()
+			if !ok {
+				return
+			}
 			if msg.ack != nil {
-				close(msg.ack)
+				msg.ack.complete()
 			}
 			if msg.sc != nil {
 				msg.sc.release()
 			}
 		}
-		return
 	}
 	if err := sh.finish(); err != nil {
 		sh.owner.fail(err)
 	}
 }
 
-// consume processes messages until the input channel closes or a panic
-// poisons the shard.
+// consume processes messages until the input ring closes or a panic
+// poisons the shard. The message being processed when a panic hits is
+// settled by the recovery path — its barrier ack completes and its
+// scatter part releases — so the driver is never left waiting on an ack
+// (or a scatter) the drain loop will not see again.
 func (sh *shard) consume() (err error) {
+	var cur shardMsg
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("parallel: shard failed: %v", p)
+			if cur.ack != nil {
+				cur.ack.complete()
+			}
+			if cur.sc != nil {
+				cur.sc.release()
+			}
 		}
 	}()
-	for msg := range sh.in {
+	for {
+		msg, ok := sh.in.pop()
+		if !ok {
+			return nil
+		}
+		cur = msg
 		switch {
 		case msg.ack != nil:
 			sh.sink.flush()
-			close(msg.ack)
+			cur.ack = nil
+			msg.ack.complete()
 		case msg.advanceSet:
 			sh.runner.Advance(msg.advance)
 		default:
 			sh.runner.Process(msg.events)
 			if msg.sc != nil {
+				cur.sc = nil
 				msg.sc.release()
 			}
 		}
+		cur = shardMsg{}
 	}
-	return nil
 }
 
-// finish flushes the shard engine once its channel has closed.
+// finish flushes the shard engine once its ring has closed.
 func (sh *shard) finish() (err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -311,7 +477,7 @@ func (r *Runner) Process(events []stream.Event) {
 	sc.pending.Store(live + 1)
 	for i, part := range sc.parts {
 		if len(part) > 0 {
-			r.shards[i].in <- shardMsg{events: part, sc: sc}
+			r.shards[i].in.push(shardMsg{events: part, sc: sc})
 		}
 	}
 	sc.release()
@@ -338,7 +504,7 @@ func (r *Runner) Advance(t int64) {
 		panic("parallel: Advance after Close")
 	}
 	for _, sh := range r.shards {
-		sh.in <- shardMsg{advance: t, advanceSet: true}
+		sh.in.push(shardMsg{advance: t, advanceSet: true})
 	}
 }
 
@@ -353,15 +519,14 @@ func (r *Runner) Barrier() {
 	if r.closed {
 		return
 	}
-	acks := make([]chan struct{}, len(r.shards))
-	for i, sh := range r.shards {
-		ack := make(chan struct{})
-		acks[i] = ack
-		sh.in <- shardMsg{ack: ack}
+	// Re-arm the reusable ack: barriers serialize on the driving
+	// goroutine and the previous call drained done, so no allocation and
+	// no leftover token.
+	r.ack.pending.Store(int32(len(r.shards)))
+	for _, sh := range r.shards {
+		sh.in.push(shardMsg{ack: &r.ack})
 	}
-	for _, ack := range acks {
-		<-ack
-	}
+	<-r.ack.done
 }
 
 // Close flushes every shard and waits for all pending results.
@@ -371,7 +536,7 @@ func (r *Runner) Close() {
 	}
 	r.closed = true
 	for _, sh := range r.shards {
-		close(sh.in)
+		sh.in.close()
 	}
 	for _, sh := range r.shards {
 		<-sh.done

@@ -166,8 +166,34 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": rows, "next": next, "missed": missed})
 }
 
+// streamChunk is how many buffered rows one stream poll drains.
+const streamChunk = 1024
+
+// streamRowPool recycles the per-connection row staging buffer of
+// handleStream.
+var streamRowPool = sync.Pool{New: func() any {
+	s := make([]ResultRow, 0, streamChunk)
+	return &s
+}}
+
+// appendRowNDJSON appends one stream row as a JSON object plus newline,
+// byte-compatible with the json.Encoder output it replaces (field order
+// follows the ResultRow struct tags); the fields shared with the batch
+// writers render through streamio's common encoder.
+func appendRowNDJSON(dst []byte, row *ResultRow) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendInt(dst, row.Seq, 10)
+	dst = append(dst, ',')
+	dst = streamio.AppendResultFields(dst, row.Range, row.Slide, row.Start, row.End, row.Key, row.Value)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
 // handleStream writes results as NDJSON, blocking for new rows until the
 // client disconnects, the query is unregistered, or the server closes.
+// The wire loop is allocation-free per poll: rows drain into a pooled
+// staging buffer, the whole chunk encodes via strconv appends into a
+// pooled byte buffer, and one Write hands it to the response.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	after, err := cursor(r)
 	if err != nil {
@@ -182,15 +208,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
-	enc := json.NewEncoder(w)
+	rowsp := streamRowPool.Get().(*[]ResultRow)
+	defer func() { *rowsp = (*rowsp)[:0]; streamRowPool.Put(rowsp) }()
+	bufp := streamio.GetEncodeBuf()
+	defer streamio.PutEncodeBuf(bufp)
 	for {
 		wake := rg.waitCh() // fetch before reading: no missed wakeups
-		rows, _ := rg.readAfter(after, 1024)
+		rows, _ := rg.readAfterInto(after, streamChunk, (*rowsp)[:0])
+		*rowsp = rows
 		if len(rows) > 0 {
-			for _, row := range rows {
-				if err := enc.Encode(row); err != nil {
-					return
-				}
+			buf := (*bufp)[:0]
+			for i := range rows {
+				buf = appendRowNDJSON(buf, &rows[i])
+			}
+			*bufp = buf
+			if _, err := w.Write(buf); err != nil {
+				return
 			}
 			after = rows[len(rows)-1].Seq
 			rc.Flush()

@@ -47,6 +47,31 @@ func (g *ring) append(res stream.Result) {
 		g.mu.Unlock()
 		return
 	}
+	g.appendLocked(res)
+	g.wakeLocked()
+	g.mu.Unlock()
+}
+
+// appendBatch delivers one same-window run of rows under a single lock
+// acquisition and a single waiter wakeup — the batched fire path lands
+// here, so a 1000-key instance costs one lock, not a thousand.
+func (g *ring) appendBatch(rs []stream.Result) {
+	if len(rs) == 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	for i := range rs {
+		g.appendLocked(rs[i])
+	}
+	g.wakeLocked()
+	g.mu.Unlock()
+}
+
+func (g *ring) appendLocked(res stream.Result) {
 	row := ResultRow{
 		Seq:   g.nextSeq,
 		Range: res.W.Range,
@@ -65,19 +90,27 @@ func (g *ring) append(res stream.Result) {
 		g.firstSeq++
 		g.dropped++
 	}
-	// Rotate the wait channel only when someone may be parked on it —
-	// with no stream readers attached, appends stay allocation-free.
+}
+
+// wakeLocked rotates the wait channel only when someone may be parked
+// on it — with no stream readers attached, appends stay allocation-free.
+func (g *ring) wakeLocked() {
 	if g.waited {
 		close(g.wait)
 		g.wait = make(chan struct{})
 		g.waited = false
 	}
-	g.mu.Unlock()
 }
 
 // readAfter returns up to limit rows with Seq > after (limit <= 0 means
 // all), plus the number of requested rows lost to eviction.
 func (g *ring) readAfter(after int64, limit int) (rows []ResultRow, missed int64) {
+	return g.readAfterInto(after, limit, nil)
+}
+
+// readAfterInto is readAfter appending into a caller-recycled buffer, so
+// a long-lived stream reader polls without a per-poll slice allocation.
+func (g *ring) readAfterInto(after int64, limit int, buf []ResultRow) (rows []ResultRow, missed int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	start := after + 1
@@ -87,17 +120,19 @@ func (g *ring) readAfter(after int64, limit int) (rows []ResultRow, missed int64
 	}
 	n := g.nextSeq - start
 	if n <= 0 {
-		return nil, missed
+		return buf, missed
 	}
 	if limit > 0 && n > int64(limit) {
 		n = int64(limit)
 	}
-	rows = make([]ResultRow, 0, n)
+	if buf == nil {
+		buf = make([]ResultRow, 0, n)
+	}
 	for i := int64(0); i < n; i++ {
 		idx := (g.head + int(start-g.firstSeq+i)) % len(g.rows)
-		rows = append(rows, g.rows[idx])
+		buf = append(buf, g.rows[idx])
 	}
-	return rows, missed
+	return buf, missed
 }
 
 // waitCh returns a channel closed on the next append or close. Fetch it

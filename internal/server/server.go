@@ -354,21 +354,54 @@ func (s *Server) teardown() {
 	s.pipe = nil
 }
 
-// routeSink builds the epoch's result path: the multiquery routing sink
-// tags each engine result with its subscribers, the gate enforces the
-// epoch contract, and each subscriber's ring receives the row.
+// routeSink builds the epoch's result path: the multiquery batch
+// routing sink tags whole same-window runs with their subscribers, the
+// gate enforces the epoch contract, and each subscriber's ring receives
+// the surviving run in one appendBatch. The scratch slice is safe
+// without locking because the parallel runner serializes sink access.
 func routeSink(mp *multiquery.Plan, g *gate, rings map[string]*ring) stream.Sink {
-	return mp.Sink(func(rt multiquery.Routed) {
-		if g.muted.Load() || rt.Result.Start < g.minStart {
+	var scratch []stream.Result
+	return mp.BatchSink(func(rb multiquery.RoutedBatch) {
+		if g.muted.Load() {
 			return
 		}
-		for _, id := range rt.QueryIDs {
-			if rg := rings[id]; rg != nil {
-				rg.append(rt.Result)
+		rows := rb.Results
+		// Suppress rows of instances that straddle the epoch boundary.
+		// Within a run starts are non-decreasing per shard flush, but the
+		// filter does not rely on that.
+		filtered := false
+		for i := range rows {
+			if rows[i].Start < g.minStart {
+				filtered = true
+				break
 			}
+		}
+		if filtered {
+			scratch = scratch[:0]
+			for i := range rows {
+				if rows[i].Start >= g.minStart {
+					scratch = append(scratch, rows[i])
+				}
+			}
+			rows = scratch
+		}
+		for _, id := range rb.QueryIDs {
+			if rg := rings[id]; rg != nil {
+				rg.appendBatch(rows)
+			}
+		}
+		// Cap the retained filter scratch like every other egress buffer:
+		// one straddling high-cardinality burst must not pin an
+		// instance-sized copy for the pipeline's lifetime.
+		if cap(scratch) > routeScratchRetain {
+			scratch = nil
 		}
 	})
 }
+
+// routeScratchRetain bounds routeSink's epoch-filter scratch, in rows
+// (the serving-layer counterpart of the executors' egressRetain).
+const routeScratchRetain = 4096
 
 // onLate counts events beyond the reorder bound. It runs inside
 // Buffer.Push, which the server only calls under s.mu.

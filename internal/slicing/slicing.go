@@ -67,6 +67,7 @@ type Runner struct {
 	mergeSpan, mergeCap int32
 
 	liveBuf   []int32
+	finBuf    []float64
 	resBuf    []stream.Result
 	slicePool []*slice
 }
@@ -237,19 +238,38 @@ func (r *Runner) emitInstance(w window.Window, start, end int64) {
 	if !touched {
 		return
 	}
+	// Batch-finalize the merged span in one kernel call and assemble the
+	// instance's rows in the recycled arena before a single EmitAll.
 	offs := r.store.AppendLive(r.mergeSpan, r.mergeCap, r.liveBuf[:0])
 	r.liveBuf = offs
+	vals := r.store.FinalizeSpan(r.mergeSpan, offs, r.finBuf[:0])
+	r.finBuf = vals
 	rs := r.resBuf[:0]
-	for _, off := range offs {
-		rs = append(rs, stream.Result{
-			W: w, Start: start, End: end, Key: r.keys[off],
-			Value: r.store.FinalizeAt(r.mergeSpan + off),
-		})
+	if cap(rs) < len(offs) {
+		rs = make([]stream.Result, 0, len(offs))
+	}
+	for i, off := range offs {
+		rs = append(rs, stream.Result{W: w, Start: start, End: end, Key: r.keys[off], Value: vals[i]})
 	}
 	r.resBuf = rs
 	stream.EmitAll(r.sink, rs)
 	r.store.Clear(r.mergeSpan, r.mergeCap)
+	// Cap retained emission scratch after a high-cardinality burst,
+	// mirroring the engine's egress buffer bound.
+	if cap(r.resBuf) > egressRetain {
+		r.resBuf = nil
+	}
+	if cap(r.finBuf) > egressRetain {
+		r.finBuf = nil
+	}
+	if cap(r.liveBuf) > egressRetain {
+		r.liveBuf = nil
+	}
 }
+
+// egressRetain bounds the emission scratch kept across instance fires,
+// in rows (see the engine's identically-named cap).
+const egressRetain = 4096
 
 // evict drops buffered slices no longer reachable by any future window
 // instance: anything ending at or before e − maxRange.

@@ -119,12 +119,19 @@ type Runner struct {
 	windows []*winState
 	sink    stream.Sink
 
-	slots  map[uint64]int32
-	keys   []uint64
-	resBuf []stream.Result // reusable batch one pane close hands the sink
-	closed bool
-	events int64
-	combs  int64 // pane combine operations (work counter)
+	slots map[uint64]int32
+	keys  []uint64
+	// Reusable pane-close scratch: the queried window cells and their
+	// slots, the batch-finalized values, and the result batch handed to
+	// the sink. Oversized scratch is dropped after a high-cardinality
+	// burst (see egressRetain).
+	cellBuf []agg.Cell
+	slotBuf []int32
+	finBuf  []float64
+	resBuf  []stream.Result
+	closed  bool
+	events  int64
+	combs   int64 // pane combine operations (work counter)
 }
 
 // New builds the sliding-window runner. Holistic functions are rejected
@@ -212,14 +219,18 @@ func (r *Runner) advanceWindow(ws *winState, t int64) {
 
 // closePane seals the open pane of every key, pushes it into the queue,
 // emits the window instance that ends at this pane boundary (if any),
-// and evicts the pane that just left the window.
+// and evicts the pane that just left the window. Emission is batched:
+// the key sweep stages each key's queried window cell, one
+// agg.FinalizeCells kernel call finalizes the whole sweep, and the
+// instance's rows assemble in the recycled arena before a single
+// EmitAll.
 func (r *Runner) closePane(ws *winState) {
 	end := ws.paneEnd
 	// A window instance [end-r, end) closes exactly when pane paneIdx
 	// closes and paneIdx+1 ≥ panes (instance index m = paneIdx+1-panes).
 	emit := ws.paneIdx+1 >= ws.panes
 	start := end - ws.w.Range
-	rs := r.resBuf[:0]
+	cells, slots := r.cellBuf[:0], r.slotBuf[:0]
 	for slot := range ws.byKey {
 		ks := &ws.byKey[slot]
 		if !ks.seen {
@@ -233,10 +244,8 @@ func (r *Runner) closePane(ws *winState) {
 			ks.queue.query(&out)
 			r.combs++
 			if out.Cnt > 0 {
-				rs = append(rs, stream.Result{
-					W: ws.w, Start: start, End: end, Key: r.keys[slot],
-					Value: agg.CellFinal(r.fn, &out),
-				})
+				cells = append(cells, out)
+				slots = append(slots, int32(slot))
 			}
 		}
 		// Evict the oldest pane once the queue holds a full window.
@@ -245,8 +254,40 @@ func (r *Runner) closePane(ws *winState) {
 			r.combs++
 		}
 	}
-	r.resBuf = rs
-	stream.EmitAll(r.sink, rs)
+	r.cellBuf, r.slotBuf = cells, slots
+	if len(cells) > 0 {
+		vals := agg.FinalizeCells(r.fn, cells, r.finBuf[:0])
+		r.finBuf = vals
+		rs := r.resBuf[:0]
+		if cap(rs) < len(cells) {
+			rs = make([]stream.Result, 0, len(cells))
+		}
+		for i, slot := range slots {
+			rs = append(rs, stream.Result{W: ws.w, Start: start, End: end, Key: r.keys[slot], Value: vals[i]})
+		}
+		r.resBuf = rs
+		stream.EmitAll(r.sink, rs)
+	}
+	r.capEgressBuffers()
+}
+
+// egressRetain bounds the pane-close scratch kept across fires, in rows
+// (see the engine's identically-named cap).
+const egressRetain = 4096
+
+func (r *Runner) capEgressBuffers() {
+	if cap(r.cellBuf) > egressRetain {
+		r.cellBuf = nil
+	}
+	if cap(r.slotBuf) > egressRetain {
+		r.slotBuf = nil
+	}
+	if cap(r.finBuf) > egressRetain {
+		r.finBuf = nil
+	}
+	if cap(r.resBuf) > egressRetain {
+		r.resBuf = nil
+	}
 }
 
 // Close seals the open pane and emits every pending window instance that

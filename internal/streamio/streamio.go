@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +29,108 @@ var scanBufPool = sync.Pool{New: func() any {
 
 // maxLine is the longest accepted input line.
 const maxLine = 1 << 20
+
+// encodeBufPool recycles egress encode buffers: the serving layer's
+// result stream and the batch writers below append whole line batches
+// into one buffer before a single Write. Oversized buffers (beyond
+// maxEncodeRetain) are dropped instead of pooled so one huge response
+// does not pin memory.
+var encodeBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 32<<10)
+	return &b
+}}
+
+const maxEncodeRetain = 1 << 20
+
+// GetEncodeBuf borrows a pooled byte buffer for wire encoding; pair it
+// with PutEncodeBuf. The buffer is returned length-0 with its grown
+// capacity kept (up to the retention cap).
+func GetEncodeBuf() *[]byte { return encodeBufPool.Get().(*[]byte) }
+
+// PutEncodeBuf recycles a buffer borrowed with GetEncodeBuf.
+func PutEncodeBuf(b *[]byte) {
+	if cap(*b) > maxEncodeRetain {
+		return
+	}
+	*b = (*b)[:0]
+	encodeBufPool.Put(b)
+}
+
+// AppendJSONFloat appends v exactly as encoding/json renders a float64
+// (shortest form, 'e' notation outside [1e-6, 1e21) with the exponent's
+// leading zero trimmed), so hand-rolled encoders stay byte-compatible
+// with json.Encoder output for every finite value. Non-finite values —
+// which JSON cannot represent, and which json.Encoder would abort the
+// whole encode on — render as null so a streaming response degrades to
+// valid NDJSON instead of corrupt bytes or a severed stream.
+func AppendJSONFloat(dst []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, v, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// AppendResultFields appends the shared result-row JSON fields
+// ("range" through "value", no surrounding braces), so every wire
+// encoder of result rows — the JSONL writer here and the server's
+// sequence-numbered stream rows — renders them from one place.
+func AppendResultFields(dst []byte, rng, slide, start, end int64, key uint64, value float64) []byte {
+	dst = append(dst, `"range":`...)
+	dst = strconv.AppendInt(dst, rng, 10)
+	dst = append(dst, `,"slide":`...)
+	dst = strconv.AppendInt(dst, slide, 10)
+	dst = append(dst, `,"start":`...)
+	dst = strconv.AppendInt(dst, start, 10)
+	dst = append(dst, `,"end":`...)
+	dst = strconv.AppendInt(dst, end, 10)
+	dst = append(dst, `,"key":`...)
+	dst = strconv.AppendUint(dst, key, 10)
+	dst = append(dst, `,"value":`...)
+	dst = AppendJSONFloat(dst, value)
+	return dst
+}
+
+// AppendResultJSONL appends one result row as a JSONL line (the
+// jsonResult wire form, object plus trailing newline), byte-compatible
+// with the json.Encoder path it replaces.
+func AppendResultJSONL(dst []byte, rng, slide, start, end int64, key uint64, value float64) []byte {
+	dst = append(dst, '{')
+	dst = AppendResultFields(dst, rng, slide, start, end, key, value)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// AppendResultCSV appends one result row as a CSV line
+// ("range,slide,start,end,key,value"), matching the fmt-based writer it
+// replaces (%g float formatting).
+func AppendResultCSV(dst []byte, rng, slide, start, end int64, key uint64, value float64) []byte {
+	dst = strconv.AppendInt(dst, rng, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, slide, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, start, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, end, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, key, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, value, 'g', -1, 64)
+	dst = append(dst, '\n')
+	return dst
+}
 
 // NewLineScanner builds a scanner over r with a pooled line buffer; the
 // returned put function recycles the buffer (call it when done with the
@@ -86,18 +189,32 @@ func parseCSVEvent(text string) (stream.Event, error) {
 	return stream.Event{Time: t, Key: k, Value: v}, nil
 }
 
+// flushEvery bounds how many encoded bytes accumulate in the pooled
+// buffer before the batch writers hand them to the destination.
+const flushEvery = 32 << 10
+
 // WriteCSV writes events as "time,key,value" rows with a header.
 func WriteCSV(w io.Writer, events []stream.Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "time,key,value"); err != nil {
-		return err
-	}
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	buf := append((*bufp)[:0], "time,key,value\n"...)
 	for _, e := range events {
-		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", e.Time, e.Key, e.Value); err != nil {
-			return err
+		buf = strconv.AppendInt(buf, e.Time, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Key, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.Value, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if len(buf) >= flushEvery {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
-	return bw.Flush()
+	*bufp = buf
+	_, err := w.Write(buf)
+	return err
 }
 
 // jsonEvent is the JSONL wire form of an event.
@@ -134,14 +251,33 @@ func ReadJSONL(r io.Reader) ([]stream.Event, error) {
 
 // WriteJSONL writes one JSON event object per line.
 func WriteJSONL(w io.Writer, events []stream.Event) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	buf := (*bufp)[:0]
 	for _, e := range events {
-		if err := enc.Encode(jsonEvent{Time: e.Time, Key: e.Key, Value: e.Value}); err != nil {
-			return err
+		// Batch writers fail loudly on unrepresentable values, like the
+		// json.Encoder they replace — silently dumping null would corrupt
+		// a dump/load round-trip (ReadJSONL reads null back as 0).
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("streamio: unsupported JSON value %v", e.Value)
+		}
+		buf = append(buf, `{"time":`...)
+		buf = strconv.AppendInt(buf, e.Time, 10)
+		buf = append(buf, `,"key":`...)
+		buf = strconv.AppendUint(buf, e.Key, 10)
+		buf = append(buf, `,"value":`...)
+		buf = AppendJSONFloat(buf, e.Value)
+		buf = append(buf, '}', '\n')
+		if len(buf) >= flushEvery {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
-	return bw.Flush()
+	*bufp = buf
+	_, err := w.Write(buf)
+	return err
 }
 
 // jsonResult is the JSONL wire form of a window result.
@@ -156,32 +292,44 @@ type jsonResult struct {
 
 // WriteResultsCSV writes results as CSV with a header.
 func WriteResultsCSV(w io.Writer, rs []stream.Result) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "range,slide,start,end,key,value"); err != nil {
-		return err
-	}
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	buf := append((*bufp)[:0], "range,slide,start,end,key,value\n"...)
 	for _, r := range rs {
-		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%g\n",
-			r.W.Range, r.W.Slide, r.Start, r.End, r.Key, r.Value); err != nil {
-			return err
+		buf = AppendResultCSV(buf, r.W.Range, r.W.Slide, r.Start, r.End, r.Key, r.Value)
+		if len(buf) >= flushEvery {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
-	return bw.Flush()
+	*bufp = buf
+	_, err := w.Write(buf)
+	return err
 }
 
 // WriteResultsJSONL writes one JSON result object per line.
 func WriteResultsJSONL(w io.Writer, rs []stream.Result) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	buf := (*bufp)[:0]
 	for _, r := range rs {
-		if err := enc.Encode(jsonResult{
-			Range: r.W.Range, Slide: r.W.Slide,
-			Start: r.Start, End: r.End, Key: r.Key, Value: r.Value,
-		}); err != nil {
-			return err
+		// Fail loudly on unrepresentable values (see WriteJSONL).
+		if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+			return fmt.Errorf("streamio: unsupported JSON value %v", r.Value)
+		}
+		buf = AppendResultJSONL(buf, r.W.Range, r.W.Slide, r.Start, r.End, r.Key, r.Value)
+		if len(buf) >= flushEvery {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
-	return bw.Flush()
+	*bufp = buf
+	_, err := w.Write(buf)
+	return err
 }
 
 // ReadEvents dispatches on format ("csv" or "jsonl") and optionally
