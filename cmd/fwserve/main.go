@@ -39,6 +39,10 @@ func main() {
 		reorderBound = flag.Int64("reorder-bound", 0, "out-of-order tolerance in ticks")
 		policy       = flag.String("policy", "drop", "late-event policy: drop or adjust")
 		resultBuffer = flag.Int("result-buffer", 4096, "per-query result ring capacity")
+
+		adaptive        = flag.Bool("adaptive", false, "re-plan in place (with exact state migration) when the observed workload moves the cost-model optimum")
+		adaptiveEpoch   = flag.Int64("adaptive-epoch", 1024, "adaptive re-evaluation interval in stream ticks")
+		adaptiveOverpay = flag.Float64("adaptive-overpay", 1.2, "re-plan when the running plan costs at least this multiple of the observed optimum")
 	)
 	flag.Parse()
 
@@ -47,6 +51,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.Adaptive = *adaptive
+	cfg.AdaptiveEpoch = *adaptiveEpoch
+	cfg.AdaptiveOverpay = *adaptiveOverpay
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -63,8 +70,8 @@ func main() {
 		httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s)",
-		*addr, cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy)
+	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s adaptive=%t)",
+		*addr, cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy, cfg.Adaptive)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -1,0 +1,132 @@
+package factorwindows
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repo.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsLinks is the docs CI gate: every relative link in the
+// repository's markdown files must point at a file (or directory) that
+// exists, and the load-bearing documents must agree on the symbols they
+// name — so README/ARCHITECTURE/CHANGES cannot silently rot as the code
+// moves underneath them.
+func TestDocsLinks(t *testing.T) {
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mds) < 4 {
+		t.Fatalf("expected the root markdown set, found only %v", mds)
+	}
+	for _, md := range mds {
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+				continue // external; not fetched in CI
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+				t.Errorf("%s: broken link %q", md, m[1])
+			}
+		}
+	}
+}
+
+// TestDocsPathsExist verifies that every repo-relative path the core
+// documents name in prose or tables (backticked `internal/...`,
+// `cmd/...`, workflow and benchmark files) exists.
+func TestDocsPathsExist(t *testing.T) {
+	pathish := regexp.MustCompile("`((?:internal|cmd|examples)/[A-Za-z0-9_/.{},-]+|\\.github/workflows/[a-z.]+|BENCH_[a-z]+\\.json|[A-Z]+_?[A-Z]*\\.md)`")
+	for _, md := range []string{"README.md", "ARCHITECTURE.md"} {
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range pathish.FindAllStringSubmatch(string(body), -1) {
+			for _, p := range expandBraces(m[1]) {
+				if _, err := os.Stat(p); err == nil {
+					continue
+				}
+				// `internal/agg.Store`-style package.Symbol references:
+				// the package directory must exist.
+				if i := strings.IndexByte(filepath.Base(p), '.'); i >= 0 {
+					dir := filepath.Join(filepath.Dir(p), filepath.Base(p)[:i])
+					if _, err := os.Stat(dir); err == nil {
+						continue
+					}
+				}
+				t.Errorf("%s names %q, which does not exist", md, p)
+			}
+		}
+	}
+}
+
+// expandBraces expands one {a,b,c} group, the only brace form the docs
+// use (e.g. internal/{engine,parallel,server}/testdata).
+func expandBraces(p string) []string {
+	open := strings.IndexByte(p, '{')
+	if open < 0 {
+		return []string{p}
+	}
+	close := strings.IndexByte(p, '}')
+	if close < open {
+		return []string{p}
+	}
+	var out []string
+	for _, alt := range strings.Split(p[open+1:close], ",") {
+		out = append(out, p[:open]+alt+p[close+1:])
+	}
+	return out
+}
+
+// TestDocsRoutesMatchHandler pins the README's HTTP API table to the
+// actual mux registrations in internal/server/handlers.go: every route
+// registered in code must be documented, and vice versa.
+func TestDocsRoutesMatchHandler(t *testing.T) {
+	src, err := os.ReadFile("internal/server/handlers.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := regexp.MustCompile(`mux\.HandleFunc\("([A-Z]+) ([^"]+)"`)
+	registered := make(map[string]bool)
+	for _, m := range reg.FindAllStringSubmatch(string(src), -1) {
+		registered[m[1]+" "+m[2]] = true
+	}
+	if len(registered) == 0 {
+		t.Fatal("no routes found in handlers.go; matcher rotted")
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := regexp.MustCompile("`(GET|POST|DELETE|PUT) (/[a-z{}/]*)")
+	documented := make(map[string]bool)
+	for _, m := range doc.FindAllStringSubmatch(string(readme), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	for r := range registered {
+		if !documented[r] {
+			t.Errorf("route %q registered in handlers.go but missing from the README API table", r)
+		}
+	}
+	for r := range documented {
+		if !registered[r] {
+			t.Errorf("route %q documented in the README but not registered in handlers.go", r)
+		}
+	}
+}

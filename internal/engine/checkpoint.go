@@ -7,11 +7,15 @@
 //
 // Two codec versions exist. v2 (current) mirrors the columnar store:
 // per instance, a slot vector plus parallel cells (and raw-value
-// buffers for holistic functions), prefixed with a magic header. v1
-// (the boxed-state era) is a bare gob stream of per-slot agg.State
-// values; Restore detects the missing header and decodes it
-// transparently, so snapshots taken before the columnar refactor keep
-// restoring forever. Snapshot always writes v2.
+// buffers for holistic functions), prefixed with a magic header. Live
+// plan migration extended v2 with gob-compatible optional fields — the
+// per-node emit floor and per-instance frozen vectors (imported
+// straddling state whose fire has not happened yet); blobs written
+// before that decode with those fields empty, which is exactly the
+// pre-migration semantics. v1 (the boxed-state era) is a bare gob
+// stream of per-slot agg.State values; Restore detects the missing
+// header and decodes it transparently, so snapshots taken before the
+// columnar refactor keep restoring forever. Snapshot always writes v2.
 //
 // A snapshot is only valid for the identical plan (same windows, same
 // sharing structure, same aggregate function); Restore verifies a
@@ -43,12 +47,15 @@ type snapshotV2 struct {
 	Nodes       []nodeSnapshotV2
 }
 
-// nodeSnapshotV2 captures one operator's live state.
+// nodeSnapshotV2 captures one operator's live state. EmitFrom was added
+// with live plan migration; gob leaves it zero when decoding older
+// blobs, which matches the pre-migration semantics (no floor).
 type nodeSnapshotV2 struct {
 	Fingerprint string // the operator's own identity within the plan
 	Base        int64
 	CurEnd      int64
 	HasCur      bool
+	EmitFrom    int64
 	Instances   []instanceSnapshotV2
 	Inputs      int64
 	Updates     int64
@@ -57,12 +64,18 @@ type nodeSnapshotV2 struct {
 
 // instanceSnapshotV2 captures one open window instance: the occupied
 // key slots with their cells as parallel vectors, plus raw-value
-// buffers (parallel to Slots) when the function is holistic.
+// buffers (parallel to Slots) when the function is holistic. The Frz*
+// vectors (added with live plan migration, absent — hence empty — in
+// older blobs) capture the frozen span of an instance carried across a
+// plan swap whose straddling fire has not happened yet.
 type instanceSnapshotV2 struct {
-	M     int64
-	Slots []int32
-	Cells []agg.Cell
-	Raw   [][]float64
+	M        int64
+	Slots    []int32
+	Cells    []agg.Cell
+	Raw      [][]float64
+	FrzSlots []int32
+	FrzCells []agg.Cell
+	FrzRaw   [][]float64
 }
 
 // --- v1 (boxed-state era) wire types, kept for backward-compat decode ---
@@ -127,6 +140,7 @@ func (r *Runner) Snapshot() ([]byte, error) {
 			Base:        n.base,
 			CurEnd:      n.curEnd,
 			HasCur:      n.curInst != nil,
+			EmitFrom:    n.emitFrom,
 			Inputs:      n.inputs,
 			Updates:     n.updates,
 			Fired:       n.fired,
@@ -140,6 +154,16 @@ func (r *Runner) Snapshot() ([]byte, error) {
 				is.Cells = append(is.Cells, n.store.CellAt(row))
 				if n.store.Holistic() {
 					is.Raw = append(is.Raw, append([]float64(nil), n.store.RawAt(row)...))
+				}
+			}
+			if inst.frzCap > 0 {
+				for _, off := range n.store.AppendLive(inst.frz, inst.frzCap, nil) {
+					row := inst.frz + off
+					is.FrzSlots = append(is.FrzSlots, off)
+					is.FrzCells = append(is.FrzCells, n.store.CellAt(row))
+					if n.store.Holistic() {
+						is.FrzRaw = append(is.FrzRaw, append([]float64(nil), n.store.RawAt(row)...))
+					}
 				}
 			}
 			ns.Instances = append(ns.Instances, is)
@@ -235,6 +259,7 @@ func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 			return nil, fmt.Errorf("engine: operator %d mismatch", i)
 		}
 		n.base = ns.Base
+		n.emitFrom = ns.EmitFrom
 		n.inputs = ns.Inputs
 		n.updates = ns.Updates
 		n.fired = ns.Fired
@@ -268,6 +293,9 @@ func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 				if is.Raw != nil {
 					n.store.SetRawAt(inst.span+slot, is.Raw[idx])
 				}
+			}
+			if err := n.setFrozen(inst, is.FrzSlots, is.FrzCells, is.FrzRaw, len(snap.Keys)); err != nil {
+				return nil, err
 			}
 			n.insts = append(n.insts, inst)
 		}

@@ -42,10 +42,19 @@ import (
 // the node's columnar store, addressed as span+slot. cap is the span's
 // granted capacity; it grows (moving the span) when the key table
 // outgrows it.
+//
+// An instance that was carried across a live plan migration additionally
+// owns a frozen span (frzCap > 0): the canonical pre-migration state
+// imported from the previous plan. Raw events and sub-aggregates keep
+// folding into the live span; on fire, the exposed result finalizes
+// frozen ⊕ live while children consume only the live rows — their own
+// imported state already accounts for the frozen part (see migrate.go).
 type instance struct {
-	m    int64
-	span int32
-	cap  int32
+	m      int64
+	span   int32
+	cap    int32
+	frz    int32
+	frzCap int32 // 0: no frozen state
 }
 
 // node is the runtime form of a plan operator.
@@ -55,6 +64,14 @@ type node struct {
 	fn      agg.Fn
 	exposed bool
 	sink    stream.Sink
+
+	// emitFrom suppresses exposed results of instances starting before
+	// it: those instances opened before this node existed (a query or
+	// plan registered mid-stream), so their state is partial by
+	// construction. Instances migrated across a plan swap carry their
+	// original floor instead, so surviving windows lose nothing. The
+	// zero value emits everything (fresh stand-alone runners).
+	emitFrom int64
 
 	children []*node
 
@@ -408,15 +425,31 @@ func (n *node) processSubSpan(src *agg.Store, start, end int64, srcBase int32, o
 		slide := n.w.Slide
 		if end > n.curEnd || n.curInst == nil {
 			m := start / slide
+			if end > (m+1)*slide {
+				// Straddling interval from a hopping parent: it spans the
+				// end of the instance covering its start, so no instance
+				// covers it — droppable only for overlap-safe functions
+				// (the fast-path twin of the general path's !ok branch).
+				// The check must precede ensure: advance(end) fires
+				// instance m itself (its end precedes this input's), so
+				// ensure(m) would re-open — or, amid later instances,
+				// reject — an already-fired index.
+				if !agg.OverlapSafe(n.fn) {
+					panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
+						n.w, start, end, n.fn))
+				}
+				n.advance(end)
+				n.curInst = nil // advance may have fired the cached instance
+				return
+			}
 			n.advance(end)
 			n.ensure(m, m)
 			n.curInst = n.insts[n.head+int(m-n.base)]
 			n.curEnd = (m + 1) * slide
 		}
 		if start < n.curInst.m*slide || end > n.curEnd {
-			// Straddling interval from a hopping parent: not part of any
-			// covering set; safe to drop only for overlap-safe functions
-			// (see the general path below).
+			// Straddler from an older instance's reach (the cache is
+			// ahead of it): same dichotomy as above.
 			if !agg.OverlapSafe(n.fn) {
 				panic(fmt.Sprintf("engine: %v cannot place sub-aggregate [%d,%d) for %v",
 					n.w, start, end, n.fn))
@@ -522,27 +555,17 @@ func (n *node) ensure(lo, hi int64) {
 func (n *node) fire(inst *instance, end int64) {
 	offs := n.store.AppendLive(inst.span, inst.cap, n.liveBuf[:0])
 	n.liveBuf = offs
+	start := inst.m * n.w.Slide
+	if inst.frzCap > 0 {
+		n.fireFrozen(inst, start, end, offs)
+		return
+	}
 	if len(offs) == 0 {
 		return
 	}
 	n.fired++
-	start := inst.m * n.w.Slide
-	if n.exposed {
-		keys := n.shared.keys
-		vals := n.store.FinalizeSpan(inst.span, offs, n.finBuf[:0])
-		n.finBuf = vals
-		rs := n.resBuf
-		if cap(rs) < len(offs) {
-			rs = make([]stream.Result, len(offs))
-		} else {
-			rs = rs[:len(offs)]
-		}
-		vals = vals[:len(offs)]
-		for i, off := range offs {
-			rs[i] = stream.Result{W: n.w, Start: start, End: end, Key: keys[off], Value: vals[i]}
-		}
-		n.resBuf = rs
-		stream.EmitAll(n.sink, rs)
+	if n.exposed && start >= n.emitFrom {
+		n.emitSpan(inst.span, offs, start, end)
 	}
 	for _, c := range n.children {
 		// offs survives the child call: children only append to their own
@@ -550,6 +573,54 @@ func (n *node) fire(inst *instance, end int64) {
 		c.processSubSpan(n.store, start, end, inst.span, offs)
 	}
 	n.capEgressBuffers()
+}
+
+// fireFrozen fires an instance migrated across a plan swap. Its frozen
+// span holds the canonical pre-migration state; the exposed result is
+// the union frozen ⊕ live, but children consume only the live rows —
+// every child's own imported state already covers the frozen part, so
+// delivering it again would double count (see migrate.go).
+func (n *node) fireFrozen(inst *instance, start, end int64, offs []int32) {
+	if len(offs) > 0 {
+		if need := offs[len(offs)-1] + 1; need > inst.frzCap {
+			inst.frz, inst.frzCap = n.store.Grow(inst.frz, inst.frzCap, need)
+		}
+		n.store.MergeSpan(inst.frz, n.store, inst.span, offs)
+	}
+	union := n.store.AppendLive(inst.frz, inst.frzCap, n.baseBuf[:0])
+	n.baseBuf = union
+	if len(union) > 0 {
+		n.fired++
+		if n.exposed && start >= n.emitFrom {
+			n.emitSpan(inst.frz, union, start, end)
+		}
+	}
+	if len(offs) > 0 {
+		for _, c := range n.children {
+			c.processSubSpan(n.store, start, end, inst.span, offs)
+		}
+	}
+	n.capEgressBuffers()
+}
+
+// emitSpan finalizes the span's live rows and hands the batch to the
+// sink through the node's recycled result arena.
+func (n *node) emitSpan(base int32, offs []int32, start, end int64) {
+	keys := n.shared.keys
+	vals := n.store.FinalizeSpan(base, offs, n.finBuf[:0])
+	n.finBuf = vals
+	rs := n.resBuf
+	if cap(rs) < len(offs) {
+		rs = make([]stream.Result, len(offs))
+	} else {
+		rs = rs[:len(offs)]
+	}
+	vals = vals[:len(offs)]
+	for i, off := range offs {
+		rs[i] = stream.Result{W: n.w, Start: start, End: end, Key: keys[off], Value: vals[i]}
+	}
+	n.resBuf = rs
+	stream.EmitAll(n.sink, rs)
 }
 
 // egressRetain bounds the per-node emission scratch kept across fires,
@@ -569,6 +640,9 @@ func (n *node) capEgressBuffers() {
 	}
 	if cap(n.liveBuf) > egressRetain {
 		n.liveBuf = nil
+	}
+	if cap(n.baseBuf) > egressRetain {
+		n.baseBuf = nil
 	}
 }
 
@@ -610,6 +684,9 @@ func (n *node) newInstance(m int64) *instance {
 
 func (n *node) releaseInstance(inst *instance) {
 	n.store.Release(inst.span, inst.cap)
-	inst.span, inst.cap = 0, 0
+	if inst.frzCap > 0 {
+		n.store.Release(inst.frz, inst.frzCap)
+	}
+	inst.span, inst.cap, inst.frz, inst.frzCap = 0, 0, 0, 0
 	n.instPool = append(n.instPool, inst)
 }

@@ -35,6 +35,11 @@ type Plan struct {
 	// Combined is the single executable plan over the union window set.
 	Combined *plan.Plan
 
+	// Union is the deduplicated union of every query's windows — the
+	// window set the optimization ran over (re-optimization under a new
+	// cost model starts from it).
+	Union *window.Set
+
 	// Optimization carries the cost bookkeeping of the combined set.
 	Optimization *core.Result
 
@@ -128,6 +133,7 @@ func Optimize(queries []Query, fn agg.Fn, opts core.Options) (*Plan, error) {
 	return &Plan{
 		Fn:           fn,
 		Combined:     combined,
+		Union:        union,
 		Optimization: res,
 		SeparateCost: separate,
 		CombinedCost: res.OptimizedCost.String(),

@@ -598,6 +598,90 @@ func (r *Runner) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// ExportCanonical quiesces the shards and exports each shard engine's
+// canonical migration state (see engine.ExportCanonical): the exact
+// per-window open-instance state a different plan can resume from.
+// Because key→shard placement is a pure function of the key and the
+// shard count, migration is shard-local — exports[i] imports into shard
+// i of a Runner with the same count. Call it from the goroutine driving
+// the Runner, between Process calls; the Runner remains usable.
+func (r *Runner) ExportCanonical(horizon int64) ([]*engine.Export, error) {
+	if r.closed {
+		return nil, fmt.Errorf("parallel: ExportCanonical after Close")
+	}
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("parallel: ExportCanonical of failed runner: %w", err)
+	}
+	out := make([]*engine.Export, len(r.shards))
+	for i, sh := range r.shards {
+		ex, err := sh.runner.ExportCanonical(horizon)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ex
+	}
+	return out, nil
+}
+
+// Migrate builds a Runner for p resuming the canonical state a previous
+// plan's Runner exported: open window instances of every window that
+// survives into p are handed over exactly (no skipped instances), and
+// windows new to p start fresh with their exposed-result floor at
+// freshFloor. With nil exports it builds a fresh n-shard Runner whose
+// every window has that floor. The shard count is taken from the
+// exports when present (key placement); it returns the number of window
+// instances handed over across all shards.
+func Migrate(p *plan.Plan, sink stream.Sink, n int, exports []*engine.Export, freshFloor int64) (*Runner, int, error) {
+	if exports != nil {
+		n = len(exports)
+		if n == 0 {
+			return nil, 0, fmt.Errorf("parallel: empty export set")
+		}
+		for i, ex := range exports[1:] {
+			// One handover, one horizon: shard exports from different
+			// stream positions would resume an inconsistent cut.
+			if ex.Horizon != exports[0].Horizon {
+				return nil, 0, fmt.Errorf("parallel: shard %d exported at horizon %d, shard 0 at %d",
+					i+1, ex.Horizon, exports[0].Horizon)
+			}
+		}
+	}
+	r, err := build(p, sink, n, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The shard loops are already parked on their rings, but no message
+	// has been pushed yet: mutations here happen-before the first push.
+	migrated := 0
+	for i, sh := range r.shards {
+		var ex *engine.Export
+		if exports != nil {
+			ex = exports[i]
+		}
+		m, err := sh.runner.ImportCanonical(ex, freshFloor)
+		if err != nil {
+			r.Close()
+			return nil, 0, err
+		}
+		migrated += m
+		if ex != nil {
+			r.events += ex.Events
+		}
+	}
+	return r, migrated, nil
+}
+
+// RaiseEmitFloor raises every shard engine's exposed-result floor to at
+// least v (see engine.RaiseEmitFloor); for restoring
+// pre-migration-era checkpoints whose epoch floor lived in the serving
+// layer. Call it before driving the Runner.
+func (r *Runner) RaiseEmitFloor(v int64) {
+	for _, sh := range r.shards {
+		sh.runner.RaiseEmitFloor(v)
+	}
+}
+
 // Restore rebuilds a Runner for p from a Snapshot taken on an identical
 // plan. The shard count is taken from the snapshot (it determines key
 // placement); each shard engine verifies the plan fingerprint.

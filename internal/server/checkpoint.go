@@ -1,14 +1,16 @@
 // Server-level checkpointing: the registered query set, the reorder
-// buffer's pending events and sealed horizon, the epoch gate, and every
-// shard engine's open window state, in one blob. Restoring onto a fresh
-// server resumes the stream exactly where the snapshot left it — the
+// buffer's pending events and sealed horizon, and every shard engine's
+// open window state — including per-window emit floors and in-flight
+// migrated (frozen) state — in one blob. Restoring onto a fresh server
+// resumes the stream exactly where the snapshot left it — the
 // serving-layer counterpart of engine.Snapshot/Restore.
 //
 // Result rings are transient delivery buffers and are not checkpointed;
 // restored queries start a fresh sequence space. The optimizer options
-// and shard count are part of the snapshot's identity: the plan is
-// rebuilt from the query SQL and must fingerprint-match the shard
-// engines, and key placement is a function of the shard count.
+// (including the adaptive cost-model η) and shard count are part of the
+// snapshot's identity: the plan is rebuilt from the query SQL and must
+// fingerprint-match the shard engines, and key placement is a function
+// of the shard count.
 
 package server
 
@@ -22,12 +24,15 @@ import (
 	"factorwindows/internal/reorder"
 )
 
-// checkpointVersion is the current codec generation: 2 since the
-// columnar aggregate-state refactor (the embedded engine snapshots use
-// the v2 columnar encoding). Version-0 blobs are boxed-era (v1)
-// checkpoints — gob leaves the missing field zero — and stay
-// restorable: the engine codec migrates their state transparently.
-const checkpointVersion = 2
+// checkpointVersion is the current codec generation: 3 since live plan
+// migration (per-window exposed-result floors moved into the engine
+// snapshots, and the cost-model η became part of the plan's identity).
+// Version-2 blobs are columnar-era checkpoints whose epoch floor lives
+// in MinStart; version-0 blobs are boxed-era (v1) checkpoints — gob
+// leaves the missing fields zero — and both stay restorable: the engine
+// codec migrates their state transparently and the restore path
+// re-applies MinStart as a floor on every window.
+const checkpointVersion = 3
 
 // checkpoint is the gob-serialized server state.
 type checkpoint struct {
@@ -37,12 +42,18 @@ type checkpoint struct {
 	Fn       agg.Fn
 	HasFn    bool
 	Factors  bool
+	PlanEta  int64 // cost-model η the plan was optimized under (0: default)
 	Epoch    int64
 	Ingested int64
 	Dropped  int64
 	Late     int64
 	HasPipe  bool
 	HasCarry bool // Reorder holds a carried horizon but no engine state
+	// MinStart carries the pre-v3 epoch floor: restoring a v1/v2 blob
+	// re-imposes it on every window. v3 blobs restore their per-window
+	// floors from the engine snapshot instead and fill this field with
+	// the release horizon purely as a diagnostic (older builds reject
+	// version 3 outright, so nothing downlevel ever reads it).
 	MinStart int64
 	Reorder  reorder.State
 	Engine   []byte // parallel.Runner snapshot (embeds the shard count)
@@ -71,6 +82,7 @@ func (s *Server) Checkpoint() ([]byte, error) {
 		Fn:       s.fn,
 		HasFn:    s.hasFn,
 		Factors:  s.cfg.Factors,
+		PlanEta:  s.planEta,
 		Epoch:    s.epoch,
 		Ingested: s.ingested,
 		Dropped:  s.dropped,
@@ -82,7 +94,7 @@ func (s *Server) Checkpoint() ([]byte, error) {
 	switch {
 	case s.pipe != nil:
 		cp.HasPipe = true
-		cp.MinStart = s.pipe.gate.minStart
+		cp.MinStart = s.pipe.buf.Released()
 		cp.Reorder = s.pipe.buf.Snapshot()
 		eng, err := s.pipe.runner.Snapshot()
 		if err != nil {
@@ -113,8 +125,8 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
 		return fmt.Errorf("server: decoding checkpoint: %w", err)
 	}
-	if cp.Version != 0 && cp.Version != checkpointVersion {
-		return fmt.Errorf("server: checkpoint version %d not supported (this build reads v1 and v%d)",
+	if cp.Version != 0 && cp.Version != 2 && cp.Version != checkpointVersion {
+		return fmt.Errorf("server: checkpoint version %d not supported (this build reads v1, v2 and v%d)",
 			cp.Version, checkpointVersion)
 	}
 	if cp.Factors != s.cfg.Factors {
@@ -167,12 +179,21 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 	s.queries = queries
 	s.nextID = cp.NextID
 	s.fn, s.hasFn = cp.Fn, cp.HasFn
+	s.planEta = cp.PlanEta
 	s.epoch = cp.Epoch
 	s.ingested = cp.Ingested
 	s.dropped = cp.Dropped
 	s.late = cp.Late
 	s.engineErr = nil
 	s.carry = nil
+	// The adaptive observation window belongs to the replaced stream
+	// position: restoring to an earlier point with a stale obs.last
+	// would otherwise freeze the window (no event ever advances it) and
+	// silently disable adaptive re-planning.
+	if s.obs.keys != nil {
+		s.resetObs()
+	}
+	s.lastEta, s.lastKeys, s.lastOverpay = 0, 0, 0
 	if !cp.HasPipe {
 		if cp.HasCarry {
 			carried := cp.Reorder
@@ -186,7 +207,7 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 		}
 		return nil
 	}
-	np, err := s.buildPipeline(cp.MinStart, &cp.Reorder, cp.Engine)
+	np, _, err := s.buildPipeline(cp.Reorder.Released, &cp.Reorder, cp.Engine, nil)
 	if err != nil {
 		// The registry is already replaced; fall back to a fresh plan so
 		// the server stays serviceable, surfacing the restore failure.
@@ -207,6 +228,13 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 			return fmt.Errorf("server: restoring engine state: %v; re-plan also failed: %w", err, rerr)
 		}
 		return fmt.Errorf("server: restoring engine state (resumed with fresh state): %w", err)
+	}
+	if cp.Version < checkpointVersion {
+		// Pre-migration checkpoints kept the epoch floor in the serving
+		// layer; re-impose it on every window. (v3 engine snapshots carry
+		// per-window floors and must not be flattened to the horizon —
+		// that would suppress the very straddlers migration preserves.)
+		np.runner.RaiseEmitFloor(cp.MinStart)
 	}
 	s.pipe = np
 	return nil

@@ -1,0 +1,117 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"factorwindows/internal/server"
+	"factorwindows/internal/stream"
+)
+
+// Example_quickstart exercises the README's curl quickstart end to end,
+// in-process: register two queries over HTTP, ingest events, read
+// results, then trigger a re-plan mid-stream (a third registration plus
+// a forced re-optimization) and show that the pre-existing query keeps
+// delivering the window instances that straddled the swap — the
+// zero-gap re-planning contract. If the README flow rots, this example
+// fails to compile or its output changes.
+func Example_quickstart() {
+	s := server.New(server.Config{Shards: 1, Factors: true})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, contentType, body string) string {
+		resp, err := http.Post(ts.URL+path, contentType, strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return strings.TrimSpace(string(b))
+	}
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return strings.TrimSpace(string(b))
+	}
+
+	// 1. Register two dashboard queries (same aggregate, different windows).
+	post("/queries?id=q1", "text/plain", `SELECT DeviceID, MIN(T) FROM In GROUP BY DeviceID, Windows(
+		Window('20s', TumblingWindow(second, 20)),
+		Window('30s', TumblingWindow(second, 30)))`)
+	post("/queries?id=q2", "text/plain",
+		`SELECT DeviceID, MIN(T) FROM In GROUP BY DeviceID, Windows(HoppingWindow(second, 60, 30))`)
+
+	// 2. Ingest events (out-of-order up to the reorder bound is tolerated).
+	post("/ingest", "application/json",
+		`[{"time":1,"key":7,"value":21.5},{"time":2,"key":9,"value":19.0},{"time":31,"key":7,"value":18.2}]`)
+
+	// 3. Read results: windows [0,20) and [0,30) have completed for keys 7/9.
+	fmt.Println("q1 after first ingest:")
+	fmt.Println(get("/queries/q1/results?after=-1"))
+
+	// 4. Re-plan mid-stream: a third query joins and the cost model is
+	// re-priced. Window [30,60) of q1 is open right now — it migrates.
+	post("/queries?id=q3", "text/plain",
+		`SELECT DeviceID, MIN(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(second, 10))`)
+	post("/replan?eta=8", "text/plain", "")
+	post("/ingest", "application/json", `[{"time":61,"key":7,"value":25.0}]`)
+
+	// 5. The windows open across the swaps — [20,40) and the straddling
+	// [30,60) — arrive complete and exact despite two plan changes.
+	fmt.Println("q1 after the re-plans:")
+	fmt.Println(get("/queries/q1/results?after=3"))
+
+	// Output:
+	// q1 after first ingest:
+	// {"missed":0,"next":3,"results":[{"seq":0,"range":20,"slide":20,"start":0,"end":20,"key":7,"value":21.5},{"seq":1,"range":20,"slide":20,"start":0,"end":20,"key":9,"value":19},{"seq":2,"range":30,"slide":30,"start":0,"end":30,"key":7,"value":21.5},{"seq":3,"range":30,"slide":30,"start":0,"end":30,"key":9,"value":19}]}
+	// q1 after the re-plans:
+	// {"missed":0,"next":5,"results":[{"seq":4,"range":20,"slide":20,"start":20,"end":40,"key":7,"value":18.2},{"seq":5,"range":30,"slide":30,"start":30,"end":60,"key":7,"value":18.2}]}
+}
+
+// Example_adaptive pins the README's adaptive-mode claim: when the key
+// cardinality collapses mid-stream (the same event rate concentrated on
+// one hot key), the observed per-key rate η rises, the cost model's
+// optimum for {W(6), W(10)} flips to a shared factor window, and the
+// server re-plans itself — visible in the stats, invisible in the
+// results (state migrates exactly).
+func Example_adaptive() {
+	s := server.New(server.Config{
+		Shards: 1, Factors: true,
+		Adaptive: true, AdaptiveEpoch: 64, AdaptiveOverpay: 1.01,
+	})
+	defer s.Close()
+	if _, err := s.Register("q", `SELECT k, SUM(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 6), TumblingWindow(tick, 10))`); err != nil {
+		panic(err)
+	}
+	ingest := func(fromTick, toTick int64, keys uint64) {
+		var batch []stream.Event
+		for t := fromTick; t < toTick; t++ {
+			for k := uint64(0); k < 8; k++ {
+				batch = append(batch, stream.Event{Time: t, Key: k % keys, Value: 1})
+			}
+		}
+		if _, err := s.Ingest(batch); err != nil {
+			panic(err)
+		}
+	}
+	ingest(0, 200, 8) // 8 events/tick over 8 keys: per-key η = 1
+	before := s.StatsNow()
+	ingest(200, 400, 1) // the same rate on one hot key: per-key η = 8
+	after := s.StatsNow()
+	fmt.Printf("before shift: eta=%d adaptive_replans=%d\n", before.Eta, before.Replans.Adaptive)
+	fmt.Printf("after shift:  eta=%d adaptive_replans=%d migrated>0=%t\n",
+		after.Eta, after.Replans.Adaptive, after.Migrated > 0)
+
+	// Output:
+	// before shift: eta=1 adaptive_replans=0
+	// after shift:  eta=8 adaptive_replans=1 migrated>0=true
+}

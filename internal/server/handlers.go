@@ -1,15 +1,5 @@
-// HTTP API over the Server:
-//
-//	POST   /queries              register a query (JSON {"id","query"} or raw ASAQL text)
-//	GET    /queries              list live queries
-//	GET    /queries/{id}         one query's state
-//	DELETE /queries/{id}         unregister
-//	GET    /queries/{id}/results cursor read: ?after=<seq>&limit=<n>
-//	GET    /queries/{id}/stream  NDJSON long-poll stream: ?after=<seq>
-//	POST   /ingest               events: JSON array, NDJSON stream, or CSV
-//	GET    /stats                server-wide stats
-//	GET    /checkpoint           binary state snapshot
-//	POST   /restore              replace state from a snapshot
+// HTTP handlers over the Server; see Handler for the route table.
+
 package server
 
 import (
@@ -42,7 +32,19 @@ var ingestBatchPool = sync.Pool{New: func() any {
 	return &s
 }}
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API:
+//
+//	POST   /queries              register a query (JSON {"id","query"} or raw ASAQL text)
+//	GET    /queries              list live queries
+//	GET    /queries/{id}         one query's state
+//	DELETE /queries/{id}         unregister
+//	GET    /queries/{id}/results cursor read: ?after=<seq>&limit=<n>
+//	GET    /queries/{id}/stream  NDJSON long-poll stream: ?after=<seq>
+//	POST   /ingest               events: JSON array, NDJSON stream, or CSV
+//	POST   /replan               re-optimize in place (?eta=<rate> re-prices the cost model)
+//	GET    /stats                server-wide stats
+//	GET    /checkpoint           binary state snapshot
+//	POST   /restore              replace state from a snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleRegister)
@@ -52,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /replan", s.handleReplan)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /restore", s.handleRestore)
@@ -342,6 +345,26 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsNow())
+}
+
+// handleReplan re-optimizes the live query set in place. Open window
+// state migrates exactly, so the swap is invisible in the result
+// streams; ?eta= re-prices the cost model at that event rate first.
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var eta int64
+	if raw := r.URL.Query().Get("eta"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 1 {
+			httpError(w, fmt.Errorf("server: bad eta %q (want a positive integer)", raw))
+			return
+		}
+		eta = v
+	}
+	if err := s.Replan(eta); err != nil {
+		httpError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.StatsNow())
 }
 

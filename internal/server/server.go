@@ -7,34 +7,46 @@
 // one combined factor-window plan, executed on key-sharded engines by
 // parallel, and fed through a reorder buffer that tolerates bounded
 // out-of-order input. Registering or unregistering a query re-plans the
-// whole set.
+// whole set, and with Config.Adaptive the server also re-plans itself
+// when the observed workload (event rate over active key cardinality)
+// drifts far enough that the cost model prefers a different sharing
+// structure.
 //
 // # Re-planning semantics
 //
-// A query-set change starts a new epoch at the current release horizon R
-// (every event below R has already been executed). The old pipeline is
-// torn down without delivering its in-flight windows, and the new one
-// delivers only window instances that start at or after R. Both halves
-// of that rule serve exactness: an instance straddling R would have some
-// of its events in the discarded pipeline, so any value reported for it
-// would be partial. The visible contract is therefore: every delivered
-// result is exact and complete, each instance is delivered at most once,
-// and a query-set change (or a registration mid-stream) costs each query
-// the window instances open across the boundary — at most max(range)
-// ticks of output around the change, the standard streaming trade
-// (subscribers see windows that start after they subscribe).
+// A plan change starts a new epoch at the current release horizon R
+// (every event strictly below R has already been executed; every future
+// event arrives at or above it). The swap is zero-gap: before the old
+// pipeline is torn down, every shard engine exports the canonical state
+// of its open window instances (parallel.ExportCanonical), and the new
+// pipeline resumes them wherever the window survives into the new plan
+// — whatever the sharing structure on either side (see
+// engine/migrate.go for the exactness argument). The visible contract:
+// every delivered result is exact and complete, each window instance is
+// delivered at most once, and a window that exists across a re-plan
+// loses nothing. Only windows genuinely new to the plan (a query
+// registered mid-stream whose windows nobody computed before) start at
+// R: their earlier instances would be partial, so the engine suppresses
+// results of instances starting before R — subscribers to a new window
+// see instances that start after they subscribe. Unregistering the last
+// query still discards open state (there is no pipeline to carry it),
+// sealing the horizon so a later epoch never reports partial straddlers.
 package server
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"factorwindows/internal/adaptive"
 	"factorwindows/internal/agg"
 	"factorwindows/internal/asaql"
 	"factorwindows/internal/core"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/engine"
 	"factorwindows/internal/multiquery"
 	"factorwindows/internal/parallel"
 	"factorwindows/internal/reorder"
@@ -70,6 +82,20 @@ type Config struct {
 	Policy reorder.Policy
 	// ResultBuffer is the per-query result ring capacity (default 4096).
 	ResultBuffer int
+
+	// Adaptive enables cost-model-driven re-planning: the ingest path
+	// tracks the event rate and active key cardinality, re-prices the
+	// running plan under the observed per-key rate η, and re-plans in
+	// place (with exact state migration) when the deployed structure
+	// overpays the optimum by AdaptiveOverpay.
+	Adaptive bool
+	// AdaptiveEpoch is the re-evaluation interval in stream ticks
+	// (default 1024).
+	AdaptiveEpoch int64
+	// AdaptiveOverpay is the re-plan threshold on the deployed/optimal
+	// cost ratio; values at or below 1 select the default 1.2 (re-plan
+	// when the running plan is ≥20% over the observed optimum).
+	AdaptiveOverpay float64
 }
 
 // registration is one live query.
@@ -80,13 +106,12 @@ type registration struct {
 	ring *ring
 }
 
-// gate filters one epoch's result stream: results of windows that
-// started before the epoch are suppressed (they would be partial), and
-// the whole stream is muted while the epoch's pipeline is torn down so
-// its final flush of open instances is discarded.
+// gate mutes one epoch's result stream while its pipeline is torn down,
+// so the teardown flush of instances that migrated to the next epoch
+// (or belong to unregistered queries) is discarded. Partial-instance
+// suppression lives in the engine now (per-node emit floors), not here.
 type gate struct {
-	muted    atomic.Bool
-	minStart int64 // immutable after pipeline construction
+	muted atomic.Bool
 }
 
 // pipeline is one epoch's execution stack: reorder buffer → key-sharded
@@ -118,6 +143,28 @@ type Server struct {
 	dropped  int64 // events ingested while no query was live
 	late     int64 // events beyond the reorder bound, across all epochs
 
+	// planEta is the cost-model rate η the current plan was optimized
+	// under (0: the default η=1). Adaptive re-planning moves it; it is
+	// part of a checkpoint's identity because it shapes the plan.
+	planEta int64
+	// migrated counts window instances handed over across re-plans.
+	migrated int64
+	// replans counts plan swaps by trigger.
+	replans ReplanCounts
+
+	// obs is the adaptive observation window over the ingest path.
+	obs struct {
+		events int64
+		keys   map[uint64]struct{}
+		start  int64 // first tick of the window (-1: unset)
+		last   int64 // newest tick seen
+	}
+	// lastEta/lastKeys/lastOverpay record the most recent adaptive
+	// evaluation, for /stats.
+	lastEta     int64
+	lastKeys    int
+	lastOverpay float64
+
 	// carry preserves the reorder buffer's state (sealed horizon,
 	// pending events) while no pipeline exists — unregistering the last
 	// query must not unseal the horizon, or the next epoch would deliver
@@ -128,6 +175,19 @@ type Server struct {
 	engineErr error
 }
 
+// ReplanCounts breaks plan swaps down by what triggered them. Degraded
+// counts swaps that could not export the old pipeline's state (a failed
+// shard) and fell back to a fresh epoch at the horizon — those swaps
+// skip straddling windows instead of migrating them, so a non-zero
+// count means the zero-gap guarantee was waived for visible reasons.
+type ReplanCounts struct {
+	Register   int64 `json:"register"`
+	Unregister int64 `json:"unregister"`
+	Adaptive   int64 `json:"adaptive"`
+	Manual     int64 `json:"manual"`
+	Degraded   int64 `json:"degraded,omitempty"`
+}
+
 // New creates an idle server; queries and events arrive via the API.
 func New(cfg Config) *Server {
 	if cfg.ResultBuffer <= 0 {
@@ -136,7 +196,15 @@ func New(cfg Config) *Server {
 	if cfg.ReorderBound < 0 {
 		cfg.ReorderBound = 0
 	}
-	return &Server{cfg: cfg, queries: make(map[string]*registration)}
+	if cfg.AdaptiveEpoch <= 0 {
+		cfg.AdaptiveEpoch = 1024
+	}
+	if cfg.AdaptiveOverpay <= 1 {
+		cfg.AdaptiveOverpay = 1.2
+	}
+	s := &Server{cfg: cfg, queries: make(map[string]*registration)}
+	s.obs.start = -1
+	return s
 }
 
 // WindowInfo describes one window of a registered query.
@@ -200,10 +268,16 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 	s.queries[id] = reg
 	prevFn, prevHas := s.fn, s.hasFn
 	s.fn, s.hasFn = q.Fn, true
+	hadPlan := s.pipe != nil
 	if err := s.replan(); err != nil {
 		delete(s.queries, id)
 		s.fn, s.hasFn = prevFn, prevHas
 		return QueryInfo{}, err
+	}
+	if hadPlan {
+		// The counters report plan *swaps*; the first registration builds
+		// the initial plan with nothing to swap out.
+		s.replans.Register++
 	}
 	return reg.info(s.fn), nil
 }
@@ -253,18 +327,48 @@ func (s *Server) Unregister(id string) error {
 		s.hasFn = true
 		return err
 	}
+	s.replans.Unregister++
 	reg.ring.closeRing()
 	return nil
 }
 
-// replan rebuilds the execution pipeline for the current query set. The
-// new pipeline is constructed completely before the old one is torn
-// down, so a failure leaves the server running on the previous plan.
-// Pending out-of-order events and the sealed release horizon carry over
-// through the reorder buffer's state snapshot. Callers hold s.mu.
+// Replan re-optimizes the live query set in place, migrating all open
+// window state exactly (no results are skipped or changed — only the
+// sharing structure). eta > 0 additionally re-prices the cost model at
+// that event rate before optimizing; eta = 0 keeps the current model.
+// It exists for operators and demos; the Adaptive config does the same
+// thing automatically from observed ingest statistics.
+func (s *Server) Replan(eta int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.queries) == 0 {
+		return fmt.Errorf("%w: no live queries to re-plan", ErrNotFound)
+	}
+	prev := s.planEta
+	if eta > 0 {
+		s.planEta = eta
+	}
+	if err := s.replan(); err != nil {
+		s.planEta = prev
+		return err
+	}
+	s.replans.Manual++
+	return nil
+}
+
+// replan rebuilds the execution pipeline for the current query set,
+// migrating every open window instance whose window survives into the
+// new plan (zero-gap handover; see the package comment). The new
+// pipeline is constructed completely before the old one is torn down,
+// so a failure leaves the server running on the previous plan. Pending
+// out-of-order events and the sealed release horizon carry over through
+// the reorder buffer's state snapshot. Callers hold s.mu.
 func (s *Server) replan() error {
 	var carried *reorder.State
-	minStart := reorder.NoRelease
+	horizon := reorder.NoRelease
 	if s.pipe != nil {
 		st := s.pipe.buf.Snapshot()
 		carried = &st
@@ -272,13 +376,30 @@ func (s *Server) replan() error {
 		carried = s.carry
 	}
 	if carried != nil {
-		minStart = carried.Released
+		horizon = carried.Released
+	}
+	var exports []*engine.Export
+	degraded := false
+	if s.pipe != nil && len(s.queries) > 0 {
+		// Export the old plan's canonical open-instance state for the
+		// handover. A failed shard has nothing consistent to export; the
+		// swap then falls back to a fresh epoch at the horizon — the
+		// pre-migration semantics, already the contract for failures —
+		// and is counted as degraded so the waived zero-gap guarantee is
+		// visible in /stats rather than indistinguishable from a clean
+		// migration.
+		if ex, err := s.pipe.runner.ExportCanonical(horizon); err == nil {
+			exports = ex
+		} else {
+			degraded = true
+		}
 	}
 
 	var np *pipeline
+	migrated := 0
 	if len(s.queries) > 0 {
 		var err error
-		np, err = s.buildPipeline(minStart, carried, nil)
+		np, migrated, err = s.buildPipeline(horizon, carried, nil, exports)
 		if err != nil {
 			return err
 		}
@@ -292,16 +413,35 @@ func (s *Server) replan() error {
 	} else {
 		s.carry = carried
 	}
+	s.migrated += int64(migrated)
+	if degraded {
+		s.replans.Degraded++
+	}
 	s.engineErr = nil
 	s.epoch++
 	return nil
 }
 
+// optimizeOptions is the optimizer configuration every (re)plan and
+// checkpoint-restore must share: the plan is part of the engine state's
+// identity, so it has to rebuild deterministically from cfg + planEta.
+func (s *Server) optimizeOptions() core.Options {
+	eta := s.planEta
+	if eta < 1 {
+		eta = 1
+	}
+	return core.Options{Factors: s.cfg.Factors, Model: cost.Model{Eta: eta}}
+}
+
 // buildPipeline assembles one epoch's stack for the current query set.
-// carried restores the reorder buffer (pending events, sealed horizon);
+// carried restores the reorder buffer (pending events, sealed horizon).
 // engineState, when non-nil, resumes the shard engines from a
-// parallel.Runner snapshot instead of fresh state. Callers hold s.mu.
-func (s *Server) buildPipeline(minStart int64, carried *reorder.State, engineState []byte) (*pipeline, error) {
+// parallel.Runner snapshot; exports, when non-nil, migrates the
+// previous plan's canonical open-instance state instead. freshFloor is
+// the exposed-result floor for windows with no carried state (the
+// release horizon). It returns the migrated-instance count. Callers
+// hold s.mu.
+func (s *Server) buildPipeline(freshFloor int64, carried *reorder.State, engineState []byte, exports []*engine.Export) (*pipeline, int, error) {
 	ids := s.sortedIDs()
 	qs := make([]multiquery.Query, 0, len(ids))
 	for _, id := range ids {
@@ -312,24 +452,25 @@ func (s *Server) buildPipeline(minStart int64, carried *reorder.State, engineSta
 		}
 		qs = append(qs, multiquery.Query{ID: id, Windows: ws})
 	}
-	mp, err := multiquery.Optimize(qs, s.fn, core.Options{Factors: s.cfg.Factors})
+	mp, err := multiquery.Optimize(qs, s.fn, s.optimizeOptions())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g := &gate{minStart: minStart}
+	g := &gate{}
 	rings := make(map[string]*ring, len(ids))
 	for _, id := range ids {
 		rings[id] = s.queries[id].ring
 	}
 	sink := routeSink(mp, g, rings)
 	var runner *parallel.Runner
+	migrated := 0
 	if engineState != nil {
 		runner, err = parallel.Restore(mp.Combined, sink, engineState)
 	} else {
-		runner, err = parallel.New(mp.Combined, sink, s.cfg.Shards)
+		runner, migrated, err = parallel.Migrate(mp.Combined, sink, s.cfg.Shards, exports, freshFloor)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var buf *reorder.Buffer
 	if carried != nil {
@@ -340,14 +481,14 @@ func (s *Server) buildPipeline(minStart int64, carried *reorder.State, engineSta
 	if err != nil {
 		g.muted.Store(true)
 		runner.Close()
-		return nil, err
+		return nil, 0, err
 	}
-	return &pipeline{plan: mp, runner: runner, buf: buf, gate: g, rings: rings}, nil
+	return &pipeline{plan: mp, runner: runner, buf: buf, gate: g, rings: rings}, migrated, nil
 }
 
 // teardown discards the current pipeline: its flush of open window
-// instances is muted (those instances are partial by construction).
-// Callers hold s.mu.
+// instances is muted (they either migrated to the next epoch or belong
+// to queries that left). Callers hold s.mu.
 func (s *Server) teardown() {
 	s.pipe.gate.muted.Store(true)
 	s.pipe.runner.Close()
@@ -356,52 +497,22 @@ func (s *Server) teardown() {
 
 // routeSink builds the epoch's result path: the multiquery batch
 // routing sink tags whole same-window runs with their subscribers, the
-// gate enforces the epoch contract, and each subscriber's ring receives
-// the surviving run in one appendBatch. The scratch slice is safe
-// without locking because the parallel runner serializes sink access.
+// gate mutes the stream during teardown, and each subscriber's ring
+// receives the run in one appendBatch. Epoch-boundary suppression needs
+// no filtering here any more — the engine's per-node emit floors keep
+// partial instances from ever being emitted.
 func routeSink(mp *multiquery.Plan, g *gate, rings map[string]*ring) stream.Sink {
-	var scratch []stream.Result
 	return mp.BatchSink(func(rb multiquery.RoutedBatch) {
 		if g.muted.Load() {
 			return
 		}
-		rows := rb.Results
-		// Suppress rows of instances that straddle the epoch boundary.
-		// Within a run starts are non-decreasing per shard flush, but the
-		// filter does not rely on that.
-		filtered := false
-		for i := range rows {
-			if rows[i].Start < g.minStart {
-				filtered = true
-				break
-			}
-		}
-		if filtered {
-			scratch = scratch[:0]
-			for i := range rows {
-				if rows[i].Start >= g.minStart {
-					scratch = append(scratch, rows[i])
-				}
-			}
-			rows = scratch
-		}
 		for _, id := range rb.QueryIDs {
 			if rg := rings[id]; rg != nil {
-				rg.appendBatch(rows)
+				rg.appendBatch(rb.Results)
 			}
-		}
-		// Cap the retained filter scratch like every other egress buffer:
-		// one straddling high-cardinality burst must not pin an
-		// instance-sized copy for the pipeline's lifetime.
-		if cap(scratch) > routeScratchRetain {
-			scratch = nil
 		}
 	})
 }
-
-// routeScratchRetain bounds routeSink's epoch-filter scratch, in rows
-// (the serving-layer counterpart of the executors' egressRetain).
-const routeScratchRetain = 4096
 
 // onLate counts events beyond the reorder bound. It runs inside
 // Buffer.Push, which the server only calls under s.mu.
@@ -444,6 +555,7 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 		st.Dropped = len(events)
 		return st, nil
 	}
+	sealed := s.pipe.buf.Released()
 	s.pipe.buf.Push(events)
 	// Broadcast the release horizon as a watermark so shards whose keys
 	// went quiet still fire their completed windows, then sync so every
@@ -467,9 +579,149 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 		return IngestStatus{}, fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
 			ErrEngine, err)
 	}
+	if s.cfg.Adaptive {
+		// The pipeline is barriered and healthy: a clean point to fold
+		// the batch into the observation window and, at epoch boundaries,
+		// re-evaluate the plan under the observed workload (which may
+		// swap the pipeline in place — state migrates, results continue).
+		s.observe(events, sealed)
+	}
 	st.Late = s.late
 	st.Buffered = s.pipe.buf.Buffered()
+	st.Epoch = s.epoch
 	return st, nil
+}
+
+// observe folds one ingested batch into the adaptive observation window
+// and re-evaluates the plan when the window spans AdaptiveEpoch ticks.
+// Events below sealed — the release horizon before the batch was pushed
+// — were judged late by the reorder buffer and (under the drop policy)
+// never executed, so they must not inflate the estimate: the plan
+// should fit the traffic the engine actually processes. Callers hold
+// s.mu and have barriered the pipeline.
+func (s *Server) observe(events []stream.Event, sealed int64) {
+	if len(events) == 0 {
+		return
+	}
+	if s.obs.keys == nil {
+		s.obs.keys = make(map[uint64]struct{})
+	}
+	epoch := s.cfg.AdaptiveEpoch
+	for i := range events {
+		t := events[i].Time
+		if t < sealed {
+			continue
+		}
+		if s.obs.start < 0 {
+			s.obs.start, s.obs.last = t, t
+		}
+		if t > s.obs.last+epoch*adaptiveJumpGuard {
+			// Time jump (a far-future flush event, a clock skip, a gap in
+			// a replayed stream): close the window at its last dense tick
+			// instead of letting one timestamp stretch the span and
+			// dilute the rate estimate toward zero — one synthetic event
+			// must not re-plan the server onto a low-η plan, and a
+			// densely observed wide window must still count.
+			if s.obs.last-s.obs.start+1 >= epoch {
+				s.evaluateAdaptive()
+			}
+			s.resetObs()
+			s.obs.start, s.obs.last = t, t
+		}
+		if t > s.obs.last {
+			s.obs.last = t
+		}
+		s.obs.keys[events[i].Key] = struct{}{}
+		s.obs.events++
+	}
+	if s.obs.last-s.obs.start+1 >= epoch {
+		s.evaluateAdaptive()
+		s.resetObs()
+	}
+}
+
+// resetObs clears the adaptive observation window for its next span.
+func (s *Server) resetObs() {
+	s.obs.events = 0
+	s.obs.start = -1
+	s.obs.last = 0
+	if len(s.obs.keys) > obsKeysRetain {
+		// Go maps never shrink: one high-cardinality burst must not pin
+		// its bucket array for the server's lifetime (the observation
+		// counterpart of the executors' egressRetain rule).
+		s.obs.keys = make(map[uint64]struct{})
+	} else {
+		clear(s.obs.keys)
+	}
+}
+
+// obsKeysRetain bounds the retained capacity of the adaptive
+// observation window's key set, in distinct keys.
+const obsKeysRetain = 1 << 16
+
+// adaptiveJumpGuard is the factor by which an event may outrun the
+// observation window's newest tick (in AdaptiveEpoch units) before it
+// is judged a time jump that closes the window rather than the stream's
+// own pace widening it.
+const adaptiveJumpGuard = 8
+
+// evaluateAdaptive re-prices the running plan under the observed
+// per-key event rate and re-plans in place when the cost model finds a
+// structurally better plan by at least the configured overpay factor.
+// The estimate follows Observation 1's unit: aggregation is per key, so
+// the rate that prices a raw-reading window is events per tick per
+// active key — a cardinality shift moves it as much as a rate shift.
+func (s *Server) evaluateAdaptive() {
+	ticks := s.obs.last - s.obs.start + 1
+	keys := len(s.obs.keys)
+	if ticks <= 0 || keys == 0 {
+		return
+	}
+	// Float arithmetic: a single far-future event (the documented flush
+	// idiom) makes ticks enormous, and keys·ticks must neither overflow
+	// nor panic — it just waters the estimate down toward the clamp.
+	eta := int64(math.Round(float64(s.obs.events) / (float64(ticks) * float64(keys))))
+	if eta < 1 {
+		eta = 1
+	}
+	s.lastEta = eta
+	s.lastKeys = keys
+	cur := s.planEta
+	if cur < 1 {
+		cur = 1
+	}
+	if eta == cur {
+		s.lastOverpay = 1
+		return
+	}
+	adv, err := s.advise(eta)
+	if err != nil {
+		return
+	}
+	s.lastOverpay = adv.Overpay()
+	if !adv.Reoptimize || adv.Overpay() < s.cfg.AdaptiveOverpay {
+		return
+	}
+	prev := s.planEta
+	s.planEta = eta
+	if err := s.replan(); err != nil {
+		s.planEta = prev
+		return
+	}
+	s.replans.Adaptive++
+}
+
+// advise re-runs the optimizer under eta and compares it against the
+// deployed plan's structure re-priced at the same rate.
+func (s *Server) advise(eta int64) (adaptive.Advice, error) {
+	if s.pipe == nil {
+		return adaptive.Advice{}, fmt.Errorf("server: no deployed plan")
+	}
+	adv, err := adaptive.NewAdvisor(s.pipe.plan.Union, s.fn, s.optimizeOptions(), s.pipe.plan.Optimization)
+	if err != nil {
+		return adaptive.Advice{}, err
+	}
+	return adv.Evaluate(eta)
 }
 
 // Queries lists the live queries, sorted by ID.
@@ -535,6 +787,23 @@ type Stats struct {
 	CombinedCost string `json:"combined_cost,omitempty"`
 	SeparateCost string `json:"separate_cost,omitempty"`
 	Error        string `json:"error,omitempty"` // persistent pipeline failure, if any
+
+	// Re-planning and migration bookkeeping. Replans breaks plan swaps
+	// down by trigger; Migrated counts window instances handed over
+	// exactly across swaps; Eta is the cost-model event rate the running
+	// plan was optimized under.
+	Replans  ReplanCounts `json:"replans"`
+	Migrated int64        `json:"migrated_instances"`
+	Eta      int64        `json:"eta,omitempty"`
+
+	// Adaptive observation state (present when Config.Adaptive): the
+	// last evaluated per-key event rate, the active key cardinality it
+	// was computed over, and how far the deployed plan overpaid the
+	// observed optimum (1.0 = optimal) at the last evaluation.
+	Adaptive    bool    `json:"adaptive,omitempty"`
+	ObservedEta int64   `json:"observed_eta,omitempty"`
+	ActiveKeys  int     `json:"active_keys,omitempty"`
+	Overpay     float64 `json:"overpay,omitempty"`
 }
 
 // StatsNow reports the current server state. The engine-update counter
@@ -544,12 +813,23 @@ func (s *Server) StatsNow() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Queries:  len(s.queries),
-		Epoch:    s.epoch,
-		Shards:   s.cfg.Shards,
-		Ingested: s.ingested,
-		Dropped:  s.dropped,
-		Late:     s.late,
+		Queries:     len(s.queries),
+		Epoch:       s.epoch,
+		Shards:      s.cfg.Shards,
+		Ingested:    s.ingested,
+		Dropped:     s.dropped,
+		Late:        s.late,
+		Replans:     s.replans,
+		Migrated:    s.migrated,
+		Adaptive:    s.cfg.Adaptive,
+		ObservedEta: s.lastEta,
+		ActiveKeys:  s.lastKeys,
+		Overpay:     s.lastOverpay,
+	}
+	if s.planEta > 1 {
+		st.Eta = s.planEta
+	} else if s.hasFn {
+		st.Eta = 1
 	}
 	if s.hasFn {
 		st.Fn = s.fn.String()

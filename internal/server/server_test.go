@@ -175,8 +175,9 @@ func TestDemoTwoQueries(t *testing.T) {
 
 // TestEpochSemantics pins the re-planning contract: a query registered
 // mid-stream sees exactly the complete instances that start at or after
-// the registration horizon, and the pre-existing query loses exactly the
-// instances straddling it — everything delivered stays exact.
+// the registration horizon, while the pre-existing query's open windows
+// migrate across the re-plan and lose nothing — everything delivered
+// stays exact.
 func TestEpochSemantics(t *testing.T) {
 	s := New(Config{Shards: 3, Factors: true})
 	defer s.Close()
@@ -206,7 +207,7 @@ func TestEpochSemantics(t *testing.T) {
 
 	full := append(append([]stream.Event(nil), events...), stream.Event{Time: flushTick})
 	wantA := naiveReference(t, demoQuery1, full, func(r row) bool {
-		return r.end <= flushTick && (r.end <= boundary || r.start >= boundary)
+		return r.end <= flushTick // zero-gap: a's windows straddling the re-plan migrate
 	})
 	wantB := naiveReference(t, demoQuery2, full, func(r row) bool {
 		return r.end <= flushTick && r.start >= boundary
@@ -634,7 +635,11 @@ func TestRingEvictionAndCursor(t *testing.T) {
 }
 
 func TestGateSuppression(t *testing.T) {
-	// A drop-policy late event must not resurrect a pre-epoch window.
+	// A drop-policy late event must not resurrect dropped state: query
+	// a's windows straddling b's registration migrate and stay exact
+	// (the late event at t=3 is NOT in them), while b's own windows —
+	// new to the plan — must not report instances from before the epoch
+	// (their pre-epoch events are unrecoverable).
 	s := New(Config{Shards: 1, ReorderBound: 0, Policy: reorder.Drop})
 	defer s.Close()
 	if _, err := s.Register("a", demoQuery1); err != nil {
@@ -653,13 +658,21 @@ func TestGateSuppression(t *testing.T) {
 	if st.Late != 1 {
 		t.Fatalf("late = %d, want 1", st.Late)
 	}
-	// Window [0,8) straddles the epoch boundary (released horizon 6):
-	// it was open when query b registered, so neither query may see it.
-	for _, id := range []string{"a", "b"} {
-		for _, r := range serverRows(t, s, id) {
-			if r.start < 6 {
-				t.Errorf("query %s delivered pre-epoch window [%d,%d)", id, r.start, r.end)
-			}
+	// Query a keeps its straddling windows across the re-plan, with the
+	// late event excluded: [0,8) and [0,16) hold only the t=5 event.
+	for _, r := range serverRows(t, s, "a") {
+		if r.start == 0 && r.value != 2 {
+			t.Errorf("query a window [%d,%d) = %g; late event resurrected or state lost",
+				r.start, r.end, r.value)
+		}
+	}
+	if rows := serverRows(t, s, "a"); len(rows) == 0 {
+		t.Fatal("query a lost its migrated windows")
+	}
+	// Query b's windows are new at released horizon 6.
+	for _, r := range serverRows(t, s, "b") {
+		if r.start < 6 {
+			t.Errorf("query b delivered pre-epoch window [%d,%d)", r.start, r.end)
 		}
 	}
 }
