@@ -591,3 +591,43 @@ func BenchmarkReorder(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 }
+
+// BenchmarkSketchMedian contrasts the two MEDIAN execution paths on one
+// high-cardinality workload (many keys, thousands of distinct values
+// per window instance): "exact" keeps every raw value per key per
+// instance (storeRaw) and sorts at finalize — memory grows with the
+// window span — while "sketch" routes the same query through the
+// KLL-backed PERCENTILE(v, 0.5) columns, whose per-slot state is
+// bounded by the sketch capacity regardless of span. B/op is the
+// headline: it demonstrates the bounded-memory claim BENCH_sketch.json
+// commits, and benchguard holds both paths to their baselines in CI.
+func BenchmarkSketchMedian(b *testing.B) {
+	set := window.MustSet(window.Tumbling(16384), window.Hopping(16384, 4096))
+	const nEvents = 200_000
+	rnd := rand.New(rand.NewSource(17))
+	events := make([]stream.Event, nEvents)
+	for i := range events {
+		events[i] = stream.Event{
+			Time:  int64(i / 8),
+			Key:   uint64(i % 64),
+			Value: float64(rnd.Intn(1 << 20)),
+		}
+	}
+	run := func(b *testing.B, fn agg.Fn, param float64) {
+		p, err := plan.NewOriginal(set, fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Param = param
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(p, events, &stream.CountingSink{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	}
+	b.Run("exact", func(b *testing.B) { run(b, agg.Median, 0) })
+	b.Run("sketch", func(b *testing.B) { run(b, agg.Percentile, 0.5) })
+}

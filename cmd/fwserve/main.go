@@ -43,6 +43,8 @@ func main() {
 		adaptive        = flag.Bool("adaptive", false, "re-plan in place (with exact state migration) when the observed workload moves the cost-model optimum")
 		adaptiveEpoch   = flag.Int64("adaptive-epoch", 1024, "adaptive re-evaluation interval in stream ticks")
 		adaptiveOverpay = flag.Float64("adaptive-overpay", 1.2, "re-plan when the running plan costs at least this multiple of the observed optimum")
+
+		exactMedian = flag.Bool("exact-median", false, "reject MEDIAN queries instead of approximating them as sketch-backed PERCENTILE(v, 0.5)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 	cfg.Adaptive = *adaptive
 	cfg.AdaptiveEpoch = *adaptiveEpoch
 	cfg.AdaptiveOverpay = *adaptiveOverpay
+	cfg.ExactMedian = *exactMedian
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

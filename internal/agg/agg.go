@@ -16,7 +16,11 @@ import (
 type Fn int
 
 // The aggregate functions supported by the library. MEDIAN is holistic and
-// included to exercise the paper's fallback path (no sharing).
+// included to exercise the paper's fallback path (no sharing). PERCENTILE,
+// DISTINCT (COUNT(DISTINCT v)) and TOPK are holistic too, but sketch-backed:
+// their per-(instance, key) state is a mergeable sketch (internal/sketch),
+// which makes them behave algebraically and share under "partitioned by"
+// semantics with bounded memory — see SketchBacked.
 const (
 	Min Fn = iota
 	Max
@@ -25,10 +29,14 @@ const (
 	Avg
 	StdDev
 	Median
+	Percentile
+	Distinct
+	TopK
 	numFns
 )
 
-var fnNames = [...]string{"MIN", "MAX", "SUM", "COUNT", "AVG", "STDEV", "MEDIAN"}
+var fnNames = [...]string{"MIN", "MAX", "SUM", "COUNT", "AVG", "STDEV", "MEDIAN",
+	"PERCENTILE", "DISTINCT", "TOPK"}
 
 // String returns the SQL-ish name of the function (e.g. "MIN").
 func (f Fn) String() string {
@@ -135,12 +143,14 @@ func (s Semantics) String() string {
 
 // SemanticsOf returns the sharing semantics the optimizer uses for f:
 // "covered by" for MIN and MAX, "partitioned by" for the remaining
-// distributive/algebraic functions, and NoSharing for holistic ones.
+// distributive/algebraic functions and for the sketch-backed holistic
+// ones (whose mergeable state assumes exactly the disjointness
+// partitioning guarantees), and NoSharing for exact holistic MEDIAN.
 func SemanticsOf(f Fn) Semantics {
 	switch f {
 	case Min, Max:
 		return CoveredBy
-	case Sum, Count, Avg, StdDev:
+	case Sum, Count, Avg, StdDev, Percentile, Distinct, TopK:
 		return PartitionedBy
 	default:
 		return NoSharing
@@ -151,8 +161,59 @@ func SemanticsOf(f Fn) Semantics {
 // partitions (Theorem 6), i.e. whether "covered by" sharing is sound.
 func OverlapSafe(f Fn) bool { return f == Min || f == Max }
 
-// Shareable reports whether f can be computed from sub-aggregates at all.
+// Shareable reports whether f can be computed *exactly* from
+// constant-size sub-aggregates — the flat Cell state every executor's
+// pane/cell path understands.
 func Shareable(f Fn) bool { return ClassOf(f) != Holistic }
+
+// SketchBacked reports whether f's partial-aggregate state is a
+// mergeable sketch (internal/sketch) rather than a flat Cell: PERCENTILE
+// (KLL-style quantile), DISTINCT (HyperLogLog) and TOPK (Misra-Gries).
+// Sketch-backed functions share like algebraic ones under "partitioned
+// by" semantics but answer approximately, within the sketch's error
+// bound, and never appear in Cell kernels.
+func SketchBacked(f Fn) bool { return f == Percentile || f == Distinct || f == TopK }
+
+// Mergeable reports whether f's sub-aggregates merge at all — exactly
+// (Shareable) or approximately via sketches (SketchBacked). Exact MEDIAN
+// is the only supported function that is neither.
+func Mergeable(f Fn) bool { return Shareable(f) || SketchBacked(f) }
+
+// DefaultParam returns the finalize-time parameter f defaults to when
+// none is given: φ = 0.5 for PERCENTILE (the median), rank 1 for TOPK
+// (the mode), 0 for the parameterless functions.
+func DefaultParam(f Fn) float64 {
+	switch f {
+	case Percentile:
+		return 0.5
+	case TopK:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ValidateParam checks a finalize-time parameter for f: PERCENTILE needs
+// φ in (0, 1], TOPK an integer rank within the summary's capacity, and
+// every other function takes none (0). Sketch state is parameter-
+// independent, so this only constrains what finalization may ask for.
+func ValidateParam(f Fn, p float64) error {
+	switch f {
+	case Percentile:
+		if math.IsNaN(p) || p <= 0 || p > 1 {
+			return fmt.Errorf("agg: PERCENTILE parameter %v outside (0, 1]", p)
+		}
+	case TopK:
+		if math.IsNaN(p) || p != math.Trunc(p) || p < 1 || p > sketchTopKCap {
+			return fmt.Errorf("agg: TOPK rank %v must be an integer in [1, %d]", p, int(sketchTopKCap))
+		}
+	default:
+		if p != 0 {
+			return fmt.Errorf("agg: %v takes no parameter", f)
+		}
+	}
+	return nil
+}
 
 // State is the boxed partial-aggregate state for one (window instance,
 // key) pair — the compatibility shim over the columnar kernels in
@@ -270,11 +331,23 @@ func Functions() []Fn {
 	return out
 }
 
-// ShareableFns returns the functions eligible for shared computation.
+// ShareableFns returns the functions eligible for exact shared
+// computation (flat Cell state; see Shareable).
 func ShareableFns() []Fn {
 	var out []Fn
 	for _, f := range Functions() {
 		if Shareable(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SketchFns returns the sketch-backed functions (see SketchBacked).
+func SketchFns() []Fn {
+	var out []Fn
+	for _, f := range Functions() {
+		if SketchBacked(f) {
 			out = append(out, f)
 		}
 	}

@@ -29,6 +29,9 @@ func TestTaxonomy(t *testing.T) {
 		{Avg, Algebraic, PartitionedBy},
 		{StdDev, Algebraic, PartitionedBy},
 		{Median, Holistic, NoSharing},
+		{Percentile, Holistic, PartitionedBy},
+		{Distinct, Holistic, PartitionedBy},
+		{TopK, Holistic, PartitionedBy},
 	}
 	for _, c := range cases {
 		if ClassOf(c.f) != c.class {
@@ -43,6 +46,12 @@ func TestTaxonomy(t *testing.T) {
 		if Shareable(c.f) != (c.class != Holistic) {
 			t.Errorf("Shareable(%v) inconsistent with class", c.f)
 		}
+		if SketchBacked(c.f) && c.sem != PartitionedBy {
+			t.Errorf("SketchBacked(%v) must imply partitioned-by semantics", c.f)
+		}
+		if Mergeable(c.f) != (Shareable(c.f) || SketchBacked(c.f)) {
+			t.Errorf("Mergeable(%v) inconsistent", c.f)
+		}
 	}
 }
 
@@ -54,6 +63,7 @@ func TestParseFn(t *testing.T) {
 		{"min", Min}, {"MIN", Min}, {"Max", Max}, {"sum", Sum},
 		{"COUNT", Count}, {"avg", Avg}, {"stdev", StdDev},
 		{"STDDEV", StdDev}, {"median", Median},
+		{"percentile", Percentile}, {"Distinct", Distinct}, {"topk", TopK},
 	} {
 		got, err := ParseFn(c.in)
 		if err != nil || got != c.want {
@@ -235,6 +245,61 @@ func TestShareableFns(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fs, []Fn{Min, Max, Sum, Count, Avg, StdDev}) {
 		t.Fatalf("ShareableFns = %v", fs)
+	}
+}
+
+func TestSketchFns(t *testing.T) {
+	if fs := SketchFns(); !reflect.DeepEqual(fs, []Fn{Percentile, Distinct, TopK}) {
+		t.Fatalf("SketchFns = %v", fs)
+	}
+	for _, f := range SketchFns() {
+		if Shareable(f) {
+			t.Fatalf("%v must not be Shareable (no exact Cell state)", f)
+		}
+		if !Mergeable(f) {
+			t.Fatalf("%v must be Mergeable", f)
+		}
+	}
+	if Mergeable(Median) {
+		t.Fatal("exact MEDIAN must not be Mergeable")
+	}
+}
+
+func TestParams(t *testing.T) {
+	if got := DefaultParam(Percentile); got != 0.5 {
+		t.Fatalf("DefaultParam(PERCENTILE) = %v", got)
+	}
+	if got := DefaultParam(TopK); got != 1 {
+		t.Fatalf("DefaultParam(TOPK) = %v", got)
+	}
+	if got := DefaultParam(Sum); got != 0 {
+		t.Fatalf("DefaultParam(SUM) = %v", got)
+	}
+	ok := []struct {
+		f Fn
+		p float64
+	}{
+		{Percentile, 0.5}, {Percentile, 0.001}, {Percentile, 1},
+		{TopK, 1}, {TopK, 10}, {TopK, sketchTopKCap},
+		{Sum, 0}, {Median, 0}, {Distinct, 0},
+	}
+	for _, c := range ok {
+		if err := ValidateParam(c.f, c.p); err != nil {
+			t.Errorf("ValidateParam(%v, %v) = %v, want nil", c.f, c.p, err)
+		}
+	}
+	bad := []struct {
+		f Fn
+		p float64
+	}{
+		{Percentile, 0}, {Percentile, -0.1}, {Percentile, 1.5}, {Percentile, math.NaN()},
+		{TopK, 0}, {TopK, 2.5}, {TopK, -1}, {TopK, sketchTopKCap + 1}, {TopK, math.NaN()},
+		{Sum, 1}, {Distinct, 0.5}, {Median, 2},
+	}
+	for _, c := range bad {
+		if err := ValidateParam(c.f, c.p); err == nil {
+			t.Errorf("ValidateParam(%v, %v) accepted", c.f, c.p)
+		}
 	}
 }
 

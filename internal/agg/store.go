@@ -22,6 +22,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+
+	"factorwindows/internal/sketch"
 )
 
 // Cell is the flat, fixed-size partial-aggregate value: the columnar
@@ -135,6 +137,9 @@ const (
 	storeSum   // SUM, COUNT, AVG: count + sum
 	storeSumSq // STDEV: count + sum + sum of squares
 	storeRaw   // MEDIAN (holistic): count + raw-value buffer
+	storeQuant // PERCENTILE: count + quantile-sketch side table
+	storeHLL   // DISTINCT: count + HyperLogLog side table
+	storeTopK  // TOPK: count + Misra-Gries side table
 )
 
 func storeKindOf(f Fn) storeKind {
@@ -149,6 +154,12 @@ func storeKindOf(f Fn) storeKind {
 		return storeSumSq
 	case Median:
 		return storeRaw
+	case Percentile:
+		return storeQuant
+	case Distinct:
+		return storeHLL
+	case TopK:
+		return storeTopK
 	default:
 		panic(fmt.Sprintf("agg: no store kernel for %v", f))
 	}
@@ -157,6 +168,11 @@ func storeKindOf(f Fn) storeKind {
 // minSpanClass is the smallest span size class (1<<2 = 4 rows), so tiny
 // key spaces still amortize span bookkeeping.
 const minSpanClass = 2
+
+// sketchTopKCap mirrors sketch.DefaultTopKCap for ValidateParam's rank
+// bound: a TOPK rank beyond the summary's capacity could never be
+// answered.
+const sketchTopKCap = float64(sketch.DefaultTopKCap)
 
 // Store is a columnar arena of partial-aggregate rows for one aggregate
 // function. Rows are handed out in contiguous spans (one span per window
@@ -177,6 +193,14 @@ type Store struct {
 	// for holistic functions (nil column otherwise); buffers are sparse,
 	// allocated on a row's first value and recycled with the span.
 	raw [][]float64
+	// qs/hs/ts are the sketch side tables (one per sketch-backed kind;
+	// only the matching one is ever populated). Like raw they are sparse
+	// — a sketch is allocated on a row's first value and kept, Reset,
+	// across span recycling — so steady-state folding stays
+	// allocation-free once the working set of rows has warmed up.
+	qs []*sketch.Quantile
+	hs []*sketch.HLL
+	ts []*sketch.TopK
 
 	// occ is the occupancy bitmap, one bit per row, set on the row's
 	// first absorbed input and cleared when its span is released.
@@ -186,14 +210,30 @@ type Store struct {
 	free    [32][]int32 // free span bases, indexed by size class (log2)
 	scratch []float64   // reused by holistic finalization
 	moveBuf []int32     // reused by Grow's row relocation
+
+	// Sketch configuration (fixed at construction; every sketch of a
+	// store — and of every store a pipeline merges across — shares it)
+	// and the finalize-time parameter (φ for PERCENTILE, k for TOPK;
+	// zero selects the function default). The parameter affects only
+	// FinalizeAt/FinalizeSpan, never the state, so it may be (re)set any
+	// time before finalization.
+	quantK  int
+	hllP    int
+	topkCap int
+	param   float64
 }
 
-// NewStore creates an empty columnar store specialized for fn.
+// NewStore creates an empty columnar store specialized for fn. Sketch-
+// backed stores use the library default sketch configuration
+// (sketch.DefaultK / DefaultP / DefaultTopKCap).
 func NewStore(fn Fn) *Store {
 	if !fn.Valid() {
 		panic(fmt.Sprintf("agg: NewStore on invalid function %v", fn))
 	}
-	return &Store{fn: fn, kind: storeKindOf(fn)}
+	return &Store{
+		fn: fn, kind: storeKindOf(fn),
+		quantK: sketch.DefaultK, hllP: sketch.DefaultP, topkCap: sketch.DefaultTopKCap,
+	}
 }
 
 // Fn returns the aggregate function the store is specialized for.
@@ -201,6 +241,48 @@ func (s *Store) Fn() Fn { return s.fn }
 
 // Holistic reports whether the store keeps raw-value buffers.
 func (s *Store) Holistic() bool { return s.kind == storeRaw }
+
+// Sketched reports whether the store keeps a sketch side table.
+func (s *Store) Sketched() bool {
+	return s.kind == storeQuant || s.kind == storeHLL || s.kind == storeTopK
+}
+
+// SetParam sets the finalize-time parameter (φ for PERCENTILE, k for
+// TOPK; ignored by other functions). Zero selects the default (φ = 0.5,
+// k = 1). State is parameter-independent, so the knob only changes what
+// FinalizeAt/FinalizeSpan answer.
+func (s *Store) SetParam(p float64) { s.param = p }
+
+// Param returns the finalize-time parameter.
+func (s *Store) Param() float64 { return s.param }
+
+// qat/hat/tat materialize a row's sketch on first touch.
+func (s *Store) qat(row int32) *sketch.Quantile {
+	q := s.qs[row]
+	if q == nil {
+		q = sketch.New(s.quantK)
+		s.qs[row] = q
+	}
+	return q
+}
+
+func (s *Store) hat(row int32) *sketch.HLL {
+	h := s.hs[row]
+	if h == nil {
+		h = sketch.NewHLL(s.hllP)
+		s.hs[row] = h
+	}
+	return h
+}
+
+func (s *Store) tat(row int32) *sketch.TopK {
+	t := s.ts[row]
+	if t == nil {
+		t = sketch.NewTopK(s.topkCap)
+		s.ts[row] = t
+	}
+	return t
+}
 
 // Rows returns the arena's high-water mark (allocated rows, live or
 // recycled) — an observability counter, not a live-row count.
@@ -253,6 +335,12 @@ func (s *Store) grow(rows int) {
 		s.sumsq = extend(s.sumsq, rows)
 	case storeRaw:
 		s.raw = extend(s.raw, rows)
+	case storeQuant:
+		s.qs = extend(s.qs, rows)
+	case storeHLL:
+		s.hs = extend(s.hs, rows)
+	case storeTopK:
+		s.ts = extend(s.ts, rows)
 	}
 	s.occ = extend(s.occ, (rows+63)/64)
 }
@@ -286,10 +374,10 @@ func (s *Store) Release(base, cap int32) {
 // over the whole span — for the dense instances the executors fire and
 // recycle, that is far cheaper than the sparse per-row switch walk
 // (unoccupied rows are already zero, so over-clearing is free).
-// Holistic stores still walk the occupied rows so each row's raw-value
-// buffer is kept for the span's next tenant.
+// Holistic and sketch-backed stores still walk the occupied rows so each
+// row's raw-value buffer or sketch is kept for the span's next tenant.
 func (s *Store) Clear(base, cap int32) {
-	if s.kind == storeRaw {
+	if s.kind == storeRaw || s.Sketched() {
 		s.moveBuf = s.AppendLive(base, cap, s.moveBuf[:0])
 		for _, off := range s.moveBuf {
 			row := base + off
@@ -348,6 +436,18 @@ func (s *Store) clearRow(row int32) {
 		s.sumsq[row] = 0
 	case storeRaw:
 		s.raw[row] = s.raw[row][:0] // keep the buffer for the next tenant
+	case storeQuant:
+		if q := s.qs[row]; q != nil {
+			q.Reset() // keep the sketch (and its buffers) for the next tenant
+		}
+	case storeHLL:
+		if h := s.hs[row]; h != nil {
+			h.Reset()
+		}
+	case storeTopK:
+		if t := s.ts[row]; t != nil {
+			t.Reset()
+		}
 	}
 }
 
@@ -376,6 +476,15 @@ func (s *Store) Grow(base, cap, need int32) (int32, int32) {
 			s.sumsq[dst] = s.sumsq[src]
 		case storeRaw:
 			s.raw[dst] = append(s.raw[dst][:0], s.raw[src]...)
+		case storeQuant:
+			// Swap, not copy: the live sketch moves with its row and any
+			// recycled sketch parked at dst stays available at src for the
+			// released span's next tenant.
+			s.qs[dst], s.qs[src] = s.qs[src], s.qs[dst]
+		case storeHLL:
+			s.hs[dst], s.hs[src] = s.hs[src], s.hs[dst]
+		case storeTopK:
+			s.ts[dst], s.ts[src] = s.ts[src], s.ts[dst]
 		}
 		s.occ[dst>>6] |= 1 << (uint(dst) & 63)
 	}
@@ -425,6 +534,12 @@ func (s *Store) AddAt(row int32, v float64) {
 		s.sumsq[row] += v * v
 	case storeRaw:
 		s.raw[row] = append(s.raw[row], v)
+	case storeQuant:
+		s.qat(row).Add(v)
+	case storeHLL:
+		s.hat(row).Add(v)
+	case storeTopK:
+		s.tat(row).Add(v)
 	}
 	s.cnt[row]++
 	s.occ[row>>6] |= 1 << (uint(row) & 63)
@@ -476,6 +591,12 @@ func (s *Store) AddRows(rows []int32, vals []float64) {
 			s.raw[r] = append(s.raw[r], vals[i])
 			s.cnt[r]++
 			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeQuant, storeHLL, storeTopK:
+		// Sketch folds dwarf the dispatch; the scalar kernel per row is
+		// already the right cost shape.
+		for i, r := range rows {
+			s.AddAt(r, vals[i])
 		}
 	}
 }
@@ -529,6 +650,27 @@ func (s *Store) AddSlots(base int32, slots []int32, vals []float64) {
 			s.cnt[r]++
 			s.occ[r>>6] |= 1 << (uint(r) & 63)
 		}
+	case storeQuant:
+		for i, sl := range slots {
+			r := base + sl
+			s.qat(r).Add(vals[i])
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeHLL:
+		for i, sl := range slots {
+			r := base + sl
+			s.hat(r).Add(vals[i])
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeTopK:
+		for i, sl := range slots {
+			r := base + sl
+			s.tat(r).Add(vals[i])
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
 	}
 }
 
@@ -578,12 +720,61 @@ func (s *Store) AddBases(bases []int32, slot int32, v float64) {
 			s.cnt[r]++
 			s.occ[r>>6] |= 1 << (uint(r) & 63)
 		}
+	case storeQuant:
+		for _, b := range bases {
+			r := b + slot
+			s.qat(r).Add(v)
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeHLL:
+		for _, b := range bases {
+			r := b + slot
+			s.hat(r).Add(v)
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeTopK:
+		for _, b := range bases {
+			r := b + slot
+			s.tat(r).Add(v)
+			s.cnt[r]++
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
+// mergeSketchRow folds src's sketch at srcRow into this store's sketch
+// at dst (sketch-backed kinds only; count and occupancy are the
+// caller's). Sketches merge only with a uniform configuration; both
+// stores are built from the same construction defaults, so a mismatch
+// means corrupt state (e.g. a tampered checkpoint slipped past
+// SetSketchAt) and panics rather than silently skewing estimates.
+func (s *Store) mergeSketchRow(dst int32, src *Store, srcRow int32) {
+	switch s.kind {
+	case storeQuant:
+		if q := src.qs[srcRow]; q != nil {
+			s.qat(dst).Merge(q)
+		}
+	case storeHLL:
+		if h := src.hs[srcRow]; h != nil {
+			if err := s.hat(dst).Merge(h); err != nil {
+				panic(fmt.Sprintf("agg: %v", err))
+			}
+		}
+	case storeTopK:
+		if t := src.ts[srcRow]; t != nil {
+			if err := s.tat(dst).Merge(t); err != nil {
+				panic(fmt.Sprintf("agg: %v", err))
+			}
+		}
 	}
 }
 
 // MergeAt folds src's row srcRow into this store's row dst. Both stores
-// must be specialized for the same function. It panics for holistic
-// functions (use MergeRawAt), mirroring Merge.
+// must be specialized for the same function. Sketch-backed rows merge
+// their sketches; it panics for exact holistic functions (use
+// MergeRawAt), mirroring Merge.
 func (s *Store) MergeAt(dst int32, src *Store, srcRow int32) {
 	if src.cnt[srcRow] == 0 {
 		return
@@ -602,6 +793,8 @@ func (s *Store) MergeAt(dst int32, src *Store, srcRow int32) {
 	case storeSumSq:
 		s.sum[dst] += src.sum[srcRow]
 		s.sumsq[dst] += src.sumsq[srcRow]
+	case storeQuant, storeHLL, storeTopK:
+		s.mergeSketchRow(dst, src, srcRow)
 	default:
 		panic(fmt.Sprintf("agg: MergeAt unsupported for %v (%v)", s.fn, ClassOf(s.fn)))
 	}
@@ -651,6 +844,13 @@ func (s *Store) MergeBases(bases []int32, slot int32, src *Store, srcRow int32) 
 			r := b + slot
 			s.sum[r] += v
 			s.sumsq[r] += vv
+			s.cnt[r] += cnt
+			s.occ[r>>6] |= 1 << (uint(r) & 63)
+		}
+	case storeQuant, storeHLL, storeTopK:
+		for _, b := range bases {
+			r := b + slot
+			s.mergeSketchRow(r, src, srcRow)
 			s.cnt[r] += cnt
 			s.occ[r>>6] |= 1 << (uint(r) & 63)
 		}
@@ -727,6 +927,17 @@ func (s *Store) MergeSpan(dstBase int32, src *Store, srcBase int32, offs []int32
 			s.cnt[d] += src.cnt[sr]
 			s.occ[d>>6] |= 1 << (uint(d) & 63)
 		}
+	case storeQuant, storeHLL, storeTopK:
+		for _, off := range offs {
+			sr := srcBase + off
+			if src.cnt[sr] == 0 {
+				continue
+			}
+			d := dstBase + off
+			s.mergeSketchRow(d, src, sr)
+			s.cnt[d] += src.cnt[sr]
+			s.occ[d>>6] |= 1 << (uint(d) & 63)
+		}
 	}
 }
 
@@ -746,12 +957,30 @@ func (s *Store) MergeRawAt(dst int32, src *Store, srcRow int32) {
 	s.occ[dst>>6] |= 1 << (uint(dst) & 63)
 }
 
+// phi resolves the PERCENTILE parameter: φ in (0, 1], default 0.5 (the
+// median).
+func (s *Store) phi() float64 {
+	if s.param > 0 && s.param <= 1 {
+		return s.param
+	}
+	return 0.5
+}
+
+// topkK resolves the TOPK parameter: rank k ≥ 1, default 1 (the mode).
+func (s *Store) topkK() int {
+	if k := int(s.param); k >= 1 {
+		return k
+	}
+	return 1
+}
+
 // FinalizeAt computes the aggregate result of the row, leaving the row's
-// state intact (holistic finalization sorts a scratch copy).
+// state intact (holistic finalization sorts a scratch copy; sketch rows
+// query their sketch with the store's finalize parameter).
 func (s *Store) FinalizeAt(row int32) float64 {
 	n := s.cnt[row]
 	if n == 0 {
-		if s.fn == Count {
+		if s.fn == Count || s.fn == Distinct {
 			return 0
 		}
 		return math.NaN()
@@ -778,6 +1007,12 @@ func (s *Store) FinalizeAt(row int32) float64 {
 			v = 0
 		}
 		return math.Sqrt(v)
+	case storeQuant:
+		return s.qs[row].Query(s.phi())
+	case storeHLL:
+		return s.hs[row].Estimate()
+	case storeTopK:
+		return s.ts[row].KthValue(s.topkK())
 	default: // storeRaw: MEDIAN over a sorted scratch copy
 		s.scratch = append(s.scratch[:0], s.raw[row]...)
 		sort.Float64s(s.scratch)
@@ -859,7 +1094,7 @@ func (s *Store) FinalizeSpan(base int32, offs []int32, out []float64) []float64 
 			}
 			out = append(out, math.Sqrt(v))
 		}
-	default: // storeRaw: MEDIAN over a sorted scratch copy per row
+	default: // storeRaw sorts a scratch copy per row; sketch rows query their sketch
 		for _, off := range offs {
 			out = append(out, s.FinalizeAt(base+off))
 		}
@@ -986,4 +1221,68 @@ func (s *Store) SetRawAt(row int32, vs []float64) {
 	if len(vs) > 0 {
 		s.occ[row>>6] |= 1 << (uint(row) & 63)
 	}
+}
+
+// SketchAt serializes the row's sketch state (sketch-backed stores only;
+// nil for other kinds and for rows without a live sketch). The wire
+// forms (internal/sketch/marshal.go) persist RNG state, so a restored
+// sketch resumes deterministically.
+func (s *Store) SketchAt(row int32) ([]byte, error) {
+	switch s.kind {
+	case storeQuant:
+		if q := s.qs[row]; q != nil && !q.Empty() {
+			return q.MarshalBinary()
+		}
+	case storeHLL:
+		if h := s.hs[row]; h != nil && !h.Empty() {
+			return h.MarshalBinary()
+		}
+	case storeTopK:
+		if t := s.ts[row]; t != nil && !t.Empty() {
+			return t.MarshalBinary()
+		}
+	}
+	return nil, nil
+}
+
+// SetSketchAt replaces the row's sketch state from wire bytes
+// (checkpoint restore; no-op for non-sketch stores and empty payloads).
+// The decoded sketch must match the store's construction configuration —
+// merging differently-configured sketches would silently skew estimates
+// (HLL even refuses), so a mismatch rejects the snapshot here, before
+// any merge can see it.
+func (s *Store) SetSketchAt(row int32, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	switch s.kind {
+	case storeQuant:
+		q := s.qat(row)
+		if err := q.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if q.K() != s.quantK {
+			return fmt.Errorf("agg: sketch state has k=%d, store built with k=%d", q.K(), s.quantK)
+		}
+	case storeHLL:
+		h := s.hat(row)
+		if err := h.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if h.P() != s.hllP {
+			return fmt.Errorf("agg: sketch state has p=%d, store built with p=%d", h.P(), s.hllP)
+		}
+	case storeTopK:
+		t := s.tat(row)
+		if err := t.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if t.Cap() != s.topkCap {
+			return fmt.Errorf("agg: sketch state has cap=%d, store built with cap=%d", t.Cap(), s.topkCap)
+		}
+	default:
+		return nil
+	}
+	s.occ[row>>6] |= 1 << (uint(row) & 63)
+	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"factorwindows/internal/sketch"
 )
 
 func almostEqual(a, b float64) bool {
@@ -13,13 +15,27 @@ func almostEqual(a, b float64) bool {
 	return a == b || math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 }
 
+// exactFns returns every function with an exact boxed-State reference —
+// all but the sketch-backed ones, whose store rows hold sketches the
+// shim cannot express (they are covered by the sketch kernel tests
+// below).
+func exactFns() []Fn {
+	var out []Fn
+	for _, f := range Functions() {
+		if !SketchBacked(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // TestStoreKernelsMatchBoxed drives random Add/Merge/Finalize traffic
 // through a Store span and the boxed State shim in lockstep: the
 // columnar kernels must be bit-compatible with the boxed path for every
 // function.
 func TestStoreKernelsMatchBoxed(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
-	for _, fn := range Functions() {
+	for _, fn := range exactFns() {
 		s := NewStore(fn)
 		base, cap := s.Alloc(8)
 		boxed := make([]State, cap)
@@ -49,7 +65,7 @@ func TestStoreKernelsMatchBoxed(t *testing.T) {
 // fallback, MergeAt otherwise).
 func TestStoreMergeMatchesBoxed(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
-	for _, fn := range Functions() {
+	for _, fn := range exactFns() {
 		s := NewStore(fn)
 		src, srcCap := s.Alloc(4)
 		dst, dstCap := s.Alloc(4)
@@ -111,7 +127,7 @@ func TestStoreBatchKernelsMatchScalar(t *testing.T) {
 		for _, b := range sBases {
 			scalar.AddAt(b+2, 13)
 		}
-		if Shareable(fn) {
+		if Mergeable(fn) {
 			batch.MergeBases(bases, 3, batch, bBase+2)
 			for _, b := range sBases {
 				scalar.MergeAt(b+3, scalar, sBase+2)
@@ -329,4 +345,231 @@ func TestFinalizeCellsMatchesScalar(t *testing.T) {
 		}
 	}()
 	FinalizeCells(Median, make([]Cell, 1), nil)
+}
+
+// sketchRef is a direct-driven reference sketch for one store row: the
+// store kernels must produce bit-identical estimates to feeding the
+// underlying sketch by hand in the same order.
+type sketchRef struct {
+	q *sketch.Quantile
+	h *sketch.HLL
+	k *sketch.TopK
+}
+
+func newSketchRef(fn Fn) *sketchRef {
+	switch fn {
+	case Percentile:
+		return &sketchRef{q: sketch.New(sketch.DefaultK)}
+	case Distinct:
+		return &sketchRef{h: sketch.NewHLL(sketch.DefaultP)}
+	case TopK:
+		return &sketchRef{k: sketch.NewTopK(sketch.DefaultTopKCap)}
+	}
+	panic("not sketch-backed")
+}
+
+func (r *sketchRef) add(v float64) {
+	switch {
+	case r.q != nil:
+		r.q.Add(v)
+	case r.h != nil:
+		r.h.Add(v)
+	default:
+		r.k.Add(v)
+	}
+}
+
+func (r *sketchRef) merge(o *sketchRef) {
+	switch {
+	case r.q != nil:
+		r.q.Merge(o.q)
+	case r.h != nil:
+		if err := r.h.Merge(o.h); err != nil {
+			panic(err)
+		}
+	default:
+		if err := r.k.Merge(o.k); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (r *sketchRef) final(param float64) float64 {
+	switch {
+	case r.q != nil:
+		if param == 0 {
+			param = 0.5
+		}
+		return r.q.Query(param)
+	case r.h != nil:
+		return r.h.Estimate()
+	default:
+		k := int(param)
+		if k < 1 {
+			k = 1
+		}
+		return r.k.KthValue(k)
+	}
+}
+
+// TestStoreSketchKernelsMatchReference drives the scalar, slot-batch and
+// base-batch add kernels plus span merges against hand-driven reference
+// sketches: the store must be a pure router around the sketch, bit-equal
+// under identical operation order.
+func TestStoreSketchKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for _, fn := range SketchFns() {
+		s := NewStore(fn)
+		base, cap := s.Alloc(8)
+		refs := make([]*sketchRef, cap)
+		for i := range refs {
+			refs[i] = newSketchRef(fn)
+		}
+		// Scalar adds.
+		for i := 0; i < 500; i++ {
+			row := int32(r.Intn(int(cap)))
+			v := float64(r.Intn(50))
+			s.AddAt(base+row, v)
+			refs[row].add(v)
+		}
+		// Run-segmented slot batch.
+		slots := []int32{0, 3, 3, 5}
+		vals := []float64{7, 8, 8, 9}
+		s.AddSlots(base, slots, vals)
+		for i, sl := range slots {
+			refs[sl].add(vals[i])
+		}
+		// Hopping-style base batch: one value into several spans; here one
+		// span repeated exercises repeated-fold behaviour identically.
+		s.AddBases([]int32{base}, 6, 11)
+		refs[6].add(11)
+		// Whole-span merge from a second span.
+		src, _ := s.Alloc(8)
+		srcRefs := make([]*sketchRef, cap)
+		for i := range srcRefs {
+			srcRefs[i] = newSketchRef(fn)
+		}
+		for i := 0; i < 200; i++ {
+			row := int32(r.Intn(int(cap)))
+			v := float64(r.Intn(50) + 50)
+			s.AddAt(src+row, v)
+			srcRefs[row].add(v)
+		}
+		live := s.AppendLive(src, cap, nil)
+		s.MergeSpan(base, s, src, live)
+		for _, off := range live {
+			refs[off].merge(srcRefs[off])
+		}
+		for _, param := range []float64{0, 0.25, 0.9, 1, 3} {
+			if fn == Percentile && param > 1 {
+				continue
+			}
+			if fn != Percentile && param > 0 && param != math.Trunc(param) {
+				continue
+			}
+			s.SetParam(param)
+			for row := int32(0); row < cap; row++ {
+				if !s.LiveAt(base + row) {
+					continue
+				}
+				got, want := s.FinalizeAt(base+row), refs[row].final(param)
+				if !(got == want || (math.IsNaN(got) && math.IsNaN(want))) {
+					t.Fatalf("%v row %d param %v: store %v, reference %v", fn, row, param, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreSketchRecycling checks that released sketch rows come back
+// empty while the sketch allocation itself is retained for the next
+// tenant, and that Grow relocates live sketches.
+func TestStoreSketchRecycling(t *testing.T) {
+	for _, fn := range SketchFns() {
+		s := NewStore(fn)
+		base, cap := s.Alloc(4)
+		s.AddAt(base+1, 5)
+		s.AddAt(base+1, 6)
+		s.Release(base, cap)
+		base2, cap2 := s.Alloc(4)
+		if base2 != base {
+			t.Fatalf("%v: span not recycled", fn)
+		}
+		if got := s.AppendLive(base2, cap2, nil); len(got) != 0 {
+			t.Fatalf("%v: recycled span not clean: %v", fn, got)
+		}
+		s.AddAt(base2+1, 9)
+		if got := s.CntAt(base2 + 1); got != 1 {
+			t.Fatalf("%v: recycled row kept state: cnt %d", fn, got)
+		}
+		// Grow moves the live sketch with its row.
+		want := s.FinalizeAt(base2 + 1)
+		nb, _ := s.Grow(base2, cap2, 9)
+		if got := s.FinalizeAt(nb + 1); got != want {
+			t.Fatalf("%v: grown row = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+// TestStoreSketchSnapshotRoundTrip checks SketchAt/SetSketchAt: state
+// survives the wire bit-exactly, empty rows serialize to nil, and a
+// snapshot from a differently-configured sketch is rejected.
+func TestStoreSketchSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, fn := range SketchFns() {
+		s := NewStore(fn)
+		base, _ := s.Alloc(4)
+		for i := 0; i < 300; i++ {
+			s.AddAt(base+1, float64(r.Intn(100)))
+		}
+		blob, err := s.SketchAt(base + 1)
+		if err != nil || len(blob) == 0 {
+			t.Fatalf("%v: SketchAt = (%d bytes, %v)", fn, len(blob), err)
+		}
+		if b, err := s.SketchAt(base + 2); err != nil || b != nil {
+			t.Fatalf("%v: empty row SketchAt = (%v, %v), want (nil, nil)", fn, b, err)
+		}
+		restored := NewStore(fn)
+		rb, _ := restored.Alloc(4)
+		if err := restored.SetSketchAt(rb+1, blob); err != nil {
+			t.Fatalf("%v: SetSketchAt: %v", fn, err)
+		}
+		restored.cnt[rb+1] = s.CntAt(base + 1)
+		if !restored.LiveAt(rb + 1) {
+			t.Fatalf("%v: restored row not live", fn)
+		}
+		if got, want := restored.FinalizeAt(rb+1), s.FinalizeAt(base+1); got != want {
+			t.Fatalf("%v: restored %v, want %v", fn, got, want)
+		}
+		// Continued adds after restore must match the original exactly
+		// (the wire forms persist RNG state for deterministic resume).
+		for i := 0; i < 50; i++ {
+			v := float64(r.Intn(100))
+			s.AddAt(base+1, v)
+			restored.AddAt(rb+1, v)
+		}
+		if got, want := restored.FinalizeAt(rb+1), s.FinalizeAt(base+1); got != want {
+			t.Fatalf("%v: post-restore divergence: %v vs %v", fn, got, want)
+		}
+
+		// A snapshot from a non-default configuration must be rejected.
+		var mis []byte
+		switch fn {
+		case Percentile:
+			q := sketch.New(sketch.DefaultK * 2)
+			q.Add(1)
+			mis, _ = q.MarshalBinary()
+		case Distinct:
+			h := sketch.NewHLL(sketch.DefaultP + 1)
+			h.Add(1)
+			mis, _ = h.MarshalBinary()
+		case TopK:
+			k := sketch.NewTopK(sketch.DefaultTopKCap / 2)
+			k.Add(1)
+			mis, _ = k.MarshalBinary()
+		}
+		if err := restored.SetSketchAt(rb+3, mis); err == nil {
+			t.Fatalf("%v: SetSketchAt accepted a mismatched sketch configuration", fn)
+		}
+	}
 }

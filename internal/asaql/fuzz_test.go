@@ -23,6 +23,13 @@ func FuzzParse(f *testing.F) {
 		`SELECT k, MAX(v) FROM s WHERE 10 <= v AND 100 > v GROUP BY k, Windows(HoppingWindow(tick, 8, 4))`,
 		`SELECT k, SUM(v) FROM s WHERE v > -5 AND v <> 0 GROUP BY k, Windows(TumblingWindow(tick, 4))`,
 		`SELECT k, COUNT(v) FROM events GROUP BY k, Windows(TumblingWindow(second, 30))`,
+		`SELECT k, PERCENTILE(v, 0.95) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+		`SELECT k, COUNT(DISTINCT v) AS u FROM s GROUP BY k, Windows(HoppingWindow(tick, 8, 2))`,
+		`SELECT k, TOPK(v, 3) FROM s GROUP BY k, Windows(TumblingWindow(minute, 1))`,
+		`SELECT k, PERCENTILE(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+		`SELECT k, PERCENTILE(v, 1.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+		`SELECT k, TOPK(v, 0.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+		`SELECT k, MIN(v, 2) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
 		// Invalid inputs keep the error paths in the corpus.
 		``,
 		`SELECT`,
@@ -57,7 +64,7 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("re-parse of rendered query failed: %v\nrendered:\n%s", err, out)
 		}
 		if q2.KeyColumn != q.KeyColumn || q2.ValueColumn != q.ValueColumn ||
-			q2.Fn != q.Fn || q2.SelectsWindowID != q.SelectsWindowID ||
+			q2.Fn != q.Fn || q2.Param != q.Param || q2.SelectsWindowID != q.SelectsWindowID ||
 			len(q2.Aggregates) != len(q.Aggregates) ||
 			len(q2.Where) != len(q.Where) || len(q2.Windows) != len(q.Windows) {
 			t.Fatalf("round-trip changed the query:\n%+v\nvs\n%+v", q, q2)

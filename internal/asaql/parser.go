@@ -15,11 +15,16 @@ type NamedWindow struct {
 	W    window.Window
 }
 
-// AggCall is one aggregate call in the SELECT list, e.g. MIN(T) AS MinT.
+// AggCall is one aggregate call in the SELECT list, e.g. MIN(T) AS MinT,
+// PERCENTILE(T, 0.95), COUNT(DISTINCT T) or TOPK(T, 3). Param holds the
+// finalize-time parameter of the parameterized forms (φ for PERCENTILE,
+// rank k for TOPK; the function default is filled in when omitted) and
+// is 0 for every other function.
 type AggCall struct {
 	Fn     agg.Fn
 	Column string
 	Alias  string
+	Param  float64
 }
 
 // Condition is one WHERE conjunct: Column Op Value, with Op one of
@@ -35,10 +40,12 @@ type Condition struct {
 type Query struct {
 	// KeyColumn is the grouping key (e.g. DeviceID).
 	KeyColumn string
-	// Fn and ValueColumn mirror the first aggregate call, e.g. MIN(T);
-	// Aggregates holds every call when the SELECT list has several.
+	// Fn, ValueColumn and Param mirror the first aggregate call, e.g.
+	// MIN(T) or PERCENTILE(T, 0.95); Aggregates holds every call when the
+	// SELECT list has several.
 	Fn          agg.Fn
 	ValueColumn string
+	Param       float64
 	// Alias is the AS name of the first aggregate, if given.
 	Alias string
 	// Aggregates lists every aggregate call in SELECT order. All calls
@@ -212,16 +219,43 @@ func (p *parser) parseSelectItem(q *Query) error {
 	if strings.EqualFold(t.text, "System") && p.peek().kind == tokDot {
 		return p.parseWindowID(q)
 	}
-	// Aggregate call: IDENT '(' column ')' [AS alias]
+	// Aggregate call: IDENT '(' [DISTINCT] column [, param] ')' [AS alias]
 	if p.peek().kind == tokLParen {
 		fn, err := agg.ParseFn(t.text)
 		if err != nil {
 			return fmt.Errorf("asaql: %v at offset %d", err, t.pos)
 		}
 		p.advance() // (
+		// COUNT(DISTINCT v) selects the sketch-backed distinct count. The
+		// DISTINCT keyword reads ahead one token so a column literally
+		// named "distinct" (COUNT(distinct)) keeps parsing as plain COUNT.
+		if fn == agg.Count && p.atKeyword("DISTINCT") &&
+			p.toks[p.pos+1].kind == tokIdent {
+			p.advance()
+			fn = agg.Distinct
+		}
 		col, err := p.expect(tokIdent)
 		if err != nil {
 			return err
+		}
+		param := agg.DefaultParam(fn)
+		if p.peek().kind == tokComma {
+			p.advance()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.ParseFloat(num.text, 64)
+			if err != nil {
+				return fmt.Errorf("asaql: bad number %q at offset %d", num.text, num.pos)
+			}
+			if fn != agg.Percentile && fn != agg.TopK {
+				return fmt.Errorf("asaql: %v takes one argument at offset %d", fn, num.pos)
+			}
+			param = v
+		}
+		if err := agg.ValidateParam(fn, param); err != nil {
+			return fmt.Errorf("asaql: %v at offset %d", err, t.pos)
 		}
 		if _, err := p.expect(tokRParen); err != nil {
 			return err
@@ -230,7 +264,7 @@ func (p *parser) parseSelectItem(q *Query) error {
 			return fmt.Errorf("asaql: aggregate columns %q and %q differ at offset %d; events carry one value column",
 				q.ValueColumn, col.text, t.pos)
 		}
-		call := AggCall{Fn: fn, Column: col.text}
+		call := AggCall{Fn: fn, Column: col.text, Param: param}
 		if p.atKeyword("AS") {
 			p.advance()
 			alias, err := p.expect(tokIdent)
@@ -249,6 +283,7 @@ func (p *parser) parseSelectItem(q *Query) error {
 			q.Fn = fn
 			q.ValueColumn = call.Column
 			q.Alias = call.Alias
+			q.Param = call.Param
 		}
 		return nil
 	}
@@ -576,7 +611,15 @@ func (q *Query) String() string {
 		b.WriteString(", System.Window().Id")
 	}
 	for _, call := range q.Aggregates {
-		fmt.Fprintf(&b, ", %s(%s)", call.Fn, call.Column)
+		switch call.Fn {
+		case agg.Distinct:
+			fmt.Fprintf(&b, ", COUNT(DISTINCT %s)", call.Column)
+		case agg.Percentile, agg.TopK:
+			fmt.Fprintf(&b, ", %s(%s, %s)", call.Fn, call.Column,
+				strconv.FormatFloat(call.Param, 'f', -1, 64))
+		default:
+			fmt.Fprintf(&b, ", %s(%s)", call.Fn, call.Column)
+		}
 		if call.Alias != "" {
 			fmt.Fprintf(&b, " AS %s", call.Alias)
 		}

@@ -86,6 +86,78 @@ func TestParseAggregateFirst(t *testing.T) {
 	}
 }
 
+func TestParseSketchAggregates(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		fn    agg.Fn
+		param float64
+		col   string
+	}{
+		{"percentile", `SELECT k, PERCENTILE(v, 0.95) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.Percentile, 0.95, "v"},
+		{"percentile default", `SELECT k, PERCENTILE(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.Percentile, 0.5, "v"},
+		{"count distinct", `SELECT k, COUNT(DISTINCT v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.Distinct, 0, "v"},
+		{"count distinct lowercase", `select k, count(distinct v) from s group by k, windows(tumblingwindow(tick, 4))`,
+			agg.Distinct, 0, "v"},
+		{"topk", `SELECT k, TOPK(v, 3) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.TopK, 3, "v"},
+		{"topk default", `SELECT k, TOPK(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.TopK, 1, "v"},
+		// A column literally named "distinct" stays a plain COUNT.
+		{"column named distinct", `SELECT k, COUNT(distinct) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`,
+			agg.Count, 0, "distinct"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := Parse(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Fn != c.fn || q.Param != c.param || q.ValueColumn != c.col {
+				t.Fatalf("fn=%v param=%v col=%q, want fn=%v param=%v col=%q",
+					q.Fn, q.Param, q.ValueColumn, c.fn, c.param, c.col)
+			}
+			// Render round-trip must preserve the call, param included.
+			q2, err := Parse(q.String())
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n%s", err, q.String())
+			}
+			if q2.Fn != q.Fn || q2.Param != q.Param || q2.ValueColumn != q.ValueColumn {
+				t.Fatalf("round trip changed call:\n%s\nvs\n%s", q, q2)
+			}
+		})
+	}
+}
+
+func TestParseSketchAggregateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"phi over one", `SELECT k, PERCENTILE(v, 1.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "PERCENTILE"},
+		{"phi zero", `SELECT k, PERCENTILE(v, 0) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "PERCENTILE"},
+		{"fractional k", `SELECT k, TOPK(v, 2.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "TOPK"},
+		{"k too large", `SELECT k, TOPK(v, 1000) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "TOPK"},
+		{"param on min", `SELECT k, MIN(v, 2) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "one argument"},
+		{"param on count distinct", `SELECT k, COUNT(DISTINCT v, 2) FROM s GROUP BY k, Windows(TumblingWindow(tick, 4))`, "one argument"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name string

@@ -84,7 +84,7 @@ func resolveSemantics(fn agg.Fn, forced agg.Semantics) (agg.Semantics, error) {
 	case agg.NoSharing:
 		return agg.NoSharing, nil
 	case agg.PartitionedBy:
-		if !agg.Shareable(fn) {
+		if !agg.Mergeable(fn) {
 			return 0, fmt.Errorf("core: %v is holistic and cannot use %v", fn, forced)
 		}
 		return agg.PartitionedBy, nil

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"factorwindows/internal/sketch"
 	"factorwindows/internal/stream"
 	"factorwindows/internal/window"
 )
@@ -64,5 +65,48 @@ func TestRestoreRejectsWrongPrecision(t *testing.T) {
 	}
 	if _, err := Restore(set, Options{P: 8}, &stream.CollectingSink{}, snap); err != nil {
 		t.Errorf("matching restore failed: %v", err)
+	}
+}
+
+// TestDecodeRejectsForeignPrecision pins the regression where a snapshot
+// whose fingerprint claims one HLL precision but whose slot data holds
+// another slipped past restore: the decode hook must reject each state
+// that disagrees with the runner's configuration, because the mismatch
+// otherwise only surfaces as a mid-stream merge failure (or, worse,
+// never).
+func TestDecodeRejectsForeignPrecision(t *testing.T) {
+	c := codec(Options{P: 11})
+	foreign, err := sketch.NewHLL(12).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(foreign); err == nil {
+		t.Fatal("decoding a p=12 state into a p=11 runner must fail")
+	}
+	native := sketch.NewHLL(11)
+	native.Add(42)
+	data, err := native.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data); err != nil {
+		t.Fatalf("native precision rejected: %v", err)
+	}
+}
+
+// TestOpsMergePropagatesMismatch verifies the merge hook reports a
+// precision mismatch as an error (for the executor to panic on with
+// context) instead of swallowing it.
+func TestOpsMergePropagatesMismatch(t *testing.T) {
+	o := ops(Options{P: 11})
+	src12 := sketch.NewHLL(12)
+	src12.Add(7) // empty sketches merge as a no-op regardless of precision
+	if err := o.Merge(sketch.NewHLL(11), src12); err == nil {
+		t.Fatal("merging p=11 with p=12 must error")
+	}
+	src11 := sketch.NewHLL(11)
+	src11.Add(7)
+	if err := o.Merge(sketch.NewHLL(11), src11); err != nil {
+		t.Fatalf("uniform merge errored: %v", err)
 	}
 }

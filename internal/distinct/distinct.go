@@ -60,12 +60,10 @@ func ops(opts Options) sketchrun.Ops[*sketch.HLL] {
 	return sketchrun.Ops[*sketch.HLL]{
 		New: func() *sketch.HLL { return sketch.NewHLL(opts.P) },
 		Add: func(s *sketch.HLL, v float64) { s.Add(v) },
-		Merge: func(dst, src *sketch.HLL) {
-			// Same precision by construction; a mismatch is a bug.
-			if err := dst.Merge(src); err != nil {
-				panic(fmt.Sprintf("distinct: %v", err))
-			}
-		},
+		// Precision is uniform by construction and validated on decode;
+		// the executor turns a residual mismatch into a panic with the
+		// window/slot context instead of this layer swallowing it.
+		Merge: func(dst, src *sketch.HLL) error { return dst.Merge(src) },
 		Reset: func(s *sketch.HLL) { s.Reset() },
 		Final: func(s *sketch.HLL) float64 { return s.Estimate() },
 	}
@@ -79,6 +77,12 @@ func codec(opts Options) sketchrun.Codec[*sketch.HLL] {
 			s := new(sketch.HLL)
 			if err := s.UnmarshalBinary(data); err != nil {
 				return nil, err
+			}
+			// The snapshot fingerprint promises p; hold each decoded state
+			// to it, or a doctored blob smuggles mismatched registers past
+			// the fingerprint check and the stream dies mid-merge later.
+			if s.P() != opts.P {
+				return nil, fmt.Errorf("distinct: snapshot state has p=%d, runner uses p=%d", s.P(), opts.P)
 			}
 			return s, nil
 		},

@@ -14,10 +14,13 @@ import (
 // table and instance spans are warm, folding events through the engine —
 // including window firing, span recycling and sub-aggregate merging in
 // factored plans — performs zero heap allocations per event for every
-// distributive and algebraic function.
+// distributive and algebraic function, and for the sketch-backed
+// holistic ones (PERCENTILE, COUNT DISTINCT, TOPK) whose sketch states
+// recycle through the span arena and finalize without heap traffic.
 func TestZeroAllocSteadyState(t *testing.T) {
 	set := window.MustSet(window.Tumbling(20), window.Tumbling(30), window.Tumbling(40))
-	for _, fn := range []agg.Fn{agg.Sum, agg.Count, agg.Min, agg.Max, agg.Avg, agg.StdDev} {
+	for _, fn := range []agg.Fn{agg.Sum, agg.Count, agg.Min, agg.Max, agg.Avg, agg.StdDev,
+		agg.Percentile, agg.Distinct, agg.TopK} {
 		for _, factored := range []bool{false, true} {
 			name := fn.String()
 			if factored {
@@ -40,9 +43,18 @@ func TestZeroAllocSteadyState(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				p.Param = agg.DefaultParam(fn)
 				r, err := New(p, &stream.CountingSink{})
 				if err != nil {
 					t.Fatal(err)
+				}
+				// Sketch columns: keep the per-key value domain under the
+				// top-k capacity so steady state recycles counters instead
+				// of churning them; quantile stays below K per instance, so
+				// warm level-0 buffers absorb every Add.
+				mod := int64(97)
+				if fn == agg.TopK {
+					mod = 31
 				}
 				// Batches of 4 keys × 30 ticks; each AllocsPerRun round
 				// continues the stream in time order and rolls every
@@ -56,7 +68,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 					for i := 0; i < 30; i++ {
 						for k := 0; k < 4; k++ {
 							batch = append(batch, stream.Event{
-								Time: tick, Key: uint64(k), Value: float64((tick + int64(k)) % 97),
+								Time: tick, Key: uint64(k), Value: float64((tick + int64(k)) % mod),
 							})
 						}
 						tick++

@@ -76,6 +76,12 @@ type instanceSnapshotV2 struct {
 	FrzSlots []int32
 	FrzCells []agg.Cell
 	FrzRaw   [][]float64
+	// Sketch/FrzSketch (parallel to Slots/FrzSlots) carry serialized
+	// sketch state for sketch-backed aggregates — gob-optional like the
+	// Frz* vectors, empty in blobs written before sketches existed (which
+	// could not have used a sketch-backed function anyway).
+	Sketch    [][]byte
+	FrzSketch [][]byte
 }
 
 // --- v1 (boxed-state era) wire types, kept for backward-compat decode ---
@@ -155,6 +161,13 @@ func (r *Runner) Snapshot() ([]byte, error) {
 				if n.store.Holistic() {
 					is.Raw = append(is.Raw, append([]float64(nil), n.store.RawAt(row)...))
 				}
+				if n.store.Sketched() {
+					blob, err := n.store.SketchAt(row)
+					if err != nil {
+						return nil, fmt.Errorf("engine: encoding sketch state of %v: %w", n.w, err)
+					}
+					is.Sketch = append(is.Sketch, blob)
+				}
 			}
 			if inst.frzCap > 0 {
 				for _, off := range n.store.AppendLive(inst.frz, inst.frzCap, nil) {
@@ -163,6 +176,13 @@ func (r *Runner) Snapshot() ([]byte, error) {
 					is.FrzCells = append(is.FrzCells, n.store.CellAt(row))
 					if n.store.Holistic() {
 						is.FrzRaw = append(is.FrzRaw, append([]float64(nil), n.store.RawAt(row)...))
+					}
+					if n.store.Sketched() {
+						blob, err := n.store.SketchAt(row)
+						if err != nil {
+							return nil, fmt.Errorf("engine: encoding frozen sketch state of %v: %w", n.w, err)
+						}
+						is.FrzSketch = append(is.FrzSketch, blob)
 					}
 				}
 			}
@@ -271,8 +291,12 @@ func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 			if j > 0 && is.M != ns.Instances[j-1].M+1 {
 				return nil, fmt.Errorf("engine: snapshot instances not consecutive at %v", n.w)
 			}
-			if len(is.Cells) != len(is.Slots) || (is.Raw != nil && len(is.Raw) != len(is.Slots)) {
+			if len(is.Cells) != len(is.Slots) || (is.Raw != nil && len(is.Raw) != len(is.Slots)) ||
+				(is.Sketch != nil && len(is.Sketch) != len(is.Slots)) {
 				return nil, fmt.Errorf("engine: snapshot instance %d of %v has ragged columns", is.M, n.w)
+			}
+			if n.store.Sketched() && len(is.Slots) > 0 && is.Sketch == nil {
+				return nil, fmt.Errorf("engine: snapshot instance %d of %v carries no sketch state", is.M, n.w)
 			}
 			inst := n.newInstance(is.M)
 			for idx, slot := range is.Slots {
@@ -293,8 +317,13 @@ func Restore(p *plan.Plan, sink stream.Sink, data []byte) (*Runner, error) {
 				if is.Raw != nil {
 					n.store.SetRawAt(inst.span+slot, is.Raw[idx])
 				}
+				if is.Sketch != nil {
+					if err := n.store.SetSketchAt(inst.span+slot, is.Sketch[idx]); err != nil {
+						return nil, fmt.Errorf("engine: snapshot sketch at %v: %w", n.w, err)
+					}
+				}
 			}
-			if err := n.setFrozen(inst, is.FrzSlots, is.FrzCells, is.FrzRaw, len(snap.Keys)); err != nil {
+			if err := n.setFrozen(inst, is.FrzSlots, is.FrzCells, is.FrzRaw, is.FrzSketch, len(snap.Keys)); err != nil {
 				return nil, err
 			}
 			n.insts = append(n.insts, inst)

@@ -166,8 +166,10 @@ func New(p *plan.Plan, sink stream.Sink) (*Runner, error) {
 	byOp := make(map[*plan.Operator]*node)
 	ops := p.Operators()
 	for _, op := range ops {
+		st := agg.NewStore(p.Fn)
+		st.SetParam(p.Param)
 		n := &node{w: op.W, k: op.W.K(), fn: p.Fn, exposed: op.Exposed, sink: sink,
-			shared: &r.keyed, store: agg.NewStore(p.Fn)}
+			shared: &r.keyed, store: st}
 		byOp[op] = n
 		r.all = append(r.all, n)
 	}

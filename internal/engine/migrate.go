@@ -63,12 +63,16 @@ import (
 
 // InstanceState is one open window instance's canonical per-key state:
 // the occupied key slots with their cells as parallel vectors, plus raw
-// values (parallel to Slots) for holistic functions.
+// values (parallel to Slots) for exact holistic functions, or serialized
+// sketch state (parallel to Slots; gob leaves it empty when decoding
+// exports taken before the sketch-backed aggregates existed) for
+// sketch-backed ones.
 type InstanceState struct {
-	M     int64
-	Slots []int32
-	Cells []agg.Cell
-	Raw   [][]float64
+	M      int64
+	Slots  []int32
+	Cells  []agg.Cell
+	Raw    [][]float64
+	Sketch [][]byte
 }
 
 // WindowState is the canonical migration state of one window: its open
@@ -277,6 +281,13 @@ func (r *Runner) ExportCanonical(horizon int64) (*Export, error) {
 				if scratch.Holistic() {
 					is.Raw = append(is.Raw, append([]float64(nil), scratch.RawAt(row)...))
 				}
+				if scratch.Sketched() {
+					blob, err := scratch.SketchAt(row)
+					if err != nil {
+						return nil, fmt.Errorf("engine: exporting sketch state of %v: %w", n.w, err)
+					}
+					is.Sketch = append(is.Sketch, blob)
+				}
 			}
 			ws.Instances = append(ws.Instances, is)
 		}
@@ -338,7 +349,7 @@ func (r *Runner) ImportCanonical(ex *Export, freshFloor int64) (int, error) {
 				return migrated, fmt.Errorf("engine: import instances not consecutive at %v", n.w)
 			}
 			inst := n.newInstance(is.M)
-			if err := n.setFrozen(inst, is.Slots, is.Cells, is.Raw, len(ex.Keys)); err != nil {
+			if err := n.setFrozen(inst, is.Slots, is.Cells, is.Raw, is.Sketch, len(ex.Keys)); err != nil {
 				return migrated, err
 			}
 			if len(is.Slots) > 0 {
@@ -371,12 +382,16 @@ func NewMigrated(p *plan.Plan, sink stream.Sink, ex *Export, freshFloor int64) (
 // setFrozen validates one instance's serialized frozen-state vectors —
 // the shared shape of migration imports and checkpointed mid-straddle
 // state — and materializes them as the instance's frozen span.
-func (n *node) setFrozen(inst *instance, slots []int32, cells []agg.Cell, raw [][]float64, keyCount int) error {
+func (n *node) setFrozen(inst *instance, slots []int32, cells []agg.Cell, raw [][]float64, sk [][]byte, keyCount int) error {
 	if len(slots) == 0 {
 		return nil
 	}
-	if len(cells) != len(slots) || (raw != nil && len(raw) != len(slots)) {
+	if len(cells) != len(slots) || (raw != nil && len(raw) != len(slots)) ||
+		(sk != nil && len(sk) != len(slots)) {
 		return fmt.Errorf("engine: instance %d of %v has ragged frozen columns", inst.m, n.w)
+	}
+	if n.store.Sketched() && sk == nil {
+		return fmt.Errorf("engine: instance %d of %v carries no sketch state for %v", inst.m, n.w, n.fn)
 	}
 	maxSlot := int32(-1)
 	for _, slot := range slots {
@@ -398,6 +413,11 @@ func (n *node) setFrozen(inst *instance, slots []int32, cells []agg.Cell, raw []
 		n.store.SetCellAt(inst.frz+slot, cells[idx])
 		if raw != nil {
 			n.store.SetRawAt(inst.frz+slot, raw[idx])
+		}
+		if sk != nil {
+			if err := n.store.SetSketchAt(inst.frz+slot, sk[idx]); err != nil {
+				return fmt.Errorf("engine: frozen sketch at %v: %w", n.w, err)
+			}
 		}
 	}
 	return nil

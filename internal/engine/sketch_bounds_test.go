@@ -1,0 +1,185 @@
+// Error-bound property tests for the sketch-backed aggregates at a
+// scale where the sketches actually approximate: enough values per
+// window instance to force KLL compaction (> K) while the value domain
+// is skewed so heavy hitters and distinct counts are meaningful. Every
+// engine answer — from the original plan and from the factor-window
+// plan, whose different merge histories may produce different (equally
+// valid) approximations — must land inside the sketch's published
+// error bound of the exact answer computed from the raw events.
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/sketch"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// denseSkewed emits several events per key per tick with a skewed value
+// distribution: mostly a hot domain of 20 values, with a long uniform
+// tail for cardinality.
+func denseSkewed(ticks, keys, perTick int, r *rand.Rand) []stream.Event {
+	events := make([]stream.Event, 0, ticks*keys*perTick)
+	for t := 0; t < ticks; t++ {
+		for k := 0; k < keys; k++ {
+			for i := 0; i < perTick; i++ {
+				v := float64(r.Intn(20))
+				if r.Intn(5) == 0 {
+					v = float64(r.Intn(100000))
+				}
+				events = append(events, stream.Event{Time: int64(t), Key: uint64(k), Value: v})
+			}
+		}
+	}
+	return events
+}
+
+// exactWindow returns the raw values of key's events inside [start, end).
+func exactWindow(events []stream.Event, key uint64, start, end int64) []float64 {
+	var vs []float64
+	for _, e := range events {
+		if e.Key == key && e.Time >= start && e.Time < end {
+			vs = append(vs, e.Value)
+		}
+	}
+	return vs
+}
+
+// checkPercentileBound asserts the answer's rank among the exact values
+// is within εn of φn. KLL with the default K has rank error well under
+// 2%; ε=0.05 (+2 for tiny instances) leaves deterministic headroom.
+func checkPercentileBound(t *testing.T, label string, got float64, exact []float64, phi float64) {
+	t.Helper()
+	n := float64(len(exact))
+	sort.Float64s(exact)
+	below, atOrBelow := 0, 0
+	for _, v := range exact {
+		if v < got {
+			below++
+		}
+		if v <= got {
+			atOrBelow++
+		}
+	}
+	slack := 0.05*n + 2
+	target := phi * n
+	if float64(below) > target+slack || float64(atOrBelow) < target-slack {
+		t.Errorf("%s: quantile answer %v has rank [%d,%d] of %d, want ≈ %.0f ± %.0f",
+			label, got, below, atOrBelow, len(exact), target, slack)
+	}
+}
+
+// checkDistinctBound asserts the HLL estimate is within 5 standard
+// errors (σ ≈ 1.04/√2^p) of the exact cardinality.
+func checkDistinctBound(t *testing.T, label string, got float64, exact []float64) {
+	t.Helper()
+	seen := make(map[float64]struct{}, len(exact))
+	for _, v := range exact {
+		seen[v] = struct{}{}
+	}
+	want := float64(len(seen))
+	tol := 5 * 1.04 / math.Sqrt(float64(int64(1)<<sketch.DefaultP)) * want
+	if tol < 1 {
+		tol = 1
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: distinct estimate %v, exact %v (tolerance %.1f)", label, got, want, tol)
+	}
+}
+
+// checkTopKBound asserts the Misra-Gries guarantee: the value reported
+// at rank k has a true frequency no more than n/(cap+1) below the true
+// k-th largest frequency.
+func checkTopKBound(t *testing.T, label string, got float64, exact []float64, k int) {
+	t.Helper()
+	freq := make(map[float64]int64, len(exact))
+	for _, v := range exact {
+		freq[v]++
+	}
+	if math.IsNaN(got) {
+		if len(freq) >= k {
+			t.Errorf("%s: NaN answer but %d distinct values tracked exactly", label, len(freq))
+		}
+		return
+	}
+	counts := make([]int64, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	if len(counts) < k {
+		return // sketch retained more than the exact domain; impossible
+	}
+	kth := counts[k-1]
+	delta := int64(len(exact))/int64(sketch.DefaultTopKCap+1) + 1
+	if freq[got] < kth-delta {
+		t.Errorf("%s: rank-%d answer %v has true count %d, k-th largest is %d (Δ=%d)",
+			label, k, got, freq[got], kth, delta)
+	}
+}
+
+// TestSketchErrorBounds drives all three sketch aggregates through the
+// original and the factor-window plans at compaction scale and holds
+// every emitted row to its sketch's error bound against the exact
+// answer recomputed from the raw stream.
+func TestSketchErrorBounds(t *testing.T) {
+	set := window.MustSet(window.Hopping(300, 150), window.Tumbling(400))
+	r := rand.New(rand.NewSource(42))
+	events := denseSkewed(1500, 2, 4, r) // ~1200 values per hopping instance per key > K
+
+	for _, tc := range []struct {
+		fn    agg.Fn
+		param float64
+	}{
+		{agg.Percentile, 0.9},
+		{agg.Percentile, 0.5},
+		{agg.Distinct, 0},
+		{agg.TopK, 3},
+	} {
+		plans := map[string]*plan.Plan{}
+		orig, err := plan.NewOriginal(set, tc.fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans["original"] = orig
+		res, err := core.Optimize(set, tc.fn, core.Options{Factors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := plan.FromGraph(res.Graph, tc.fn, plan.Factored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans["factored"] = fp
+
+		for name, p := range plans {
+			p.Param = tc.param
+			sink := &stream.CollectingSink{}
+			if _, err := Run(p, events, sink); err != nil {
+				t.Fatal(err)
+			}
+			if len(sink.Results) == 0 {
+				t.Fatalf("%v/%s: no results", tc.fn, name)
+			}
+			for _, row := range sink.Results {
+				exact := exactWindow(events, row.Key, row.Start, row.End)
+				label := tc.fn.String() + "/" + name
+				switch tc.fn {
+				case agg.Percentile:
+					checkPercentileBound(t, label, row.Value, exact, tc.param)
+				case agg.Distinct:
+					checkDistinctBound(t, label, row.Value, exact)
+				case agg.TopK:
+					checkTopKBound(t, label, row.Value, exact, int(tc.param))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/stream"
+)
+
+// TestSketchFnsAcrossShards pins shard-count invariance for the
+// sketch-backed aggregates with explicit finalize parameters: keys are
+// partitioned whole, so each key's sketch sees the same events in the
+// same order regardless of shard count, and the output must be
+// bit-identical to a single-core run — for prime and power-of-two shard
+// counts alike.
+func TestSketchFnsAcrossShards(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	events := make([]stream.Event, 0, 8000)
+	tick := int64(0)
+	for i := 0; i < 8000; i++ {
+		tick += int64(r.Intn(2))
+		events = append(events, stream.Event{
+			Time: tick, Key: uint64(r.Intn(32)), Value: float64(r.Intn(50)),
+		})
+	}
+
+	for _, tc := range []struct {
+		fn    agg.Fn
+		param float64
+	}{
+		{agg.Percentile, 0.95},
+		{agg.Distinct, 0},
+		{agg.TopK, 3},
+	} {
+		p := testPlan(t, tc.fn, true)
+		p.Param = tc.param
+
+		single := &stream.CollectingSink{}
+		if _, err := engine.Run(p, events, single); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4, 7} {
+			multi := &stream.CollectingSink{}
+			if _, err := Run(p, events, multi, shards); err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, tc.fn.String(), multi.Sorted(), single.Sorted())
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Plan struct {
 	// Fn is the aggregate function applied in every operator.
 	Fn agg.Fn
 
+	// Param is the finalize-time parameter for parameterized aggregates
+	// (φ for PERCENTILE, k for TOPK; zero selects the function default).
+	// It never affects operator state — only what finalization answers —
+	// so two plans differing only in Param are state-compatible.
+	Param float64
+
 	// Kind describes how the plan was produced (for reports).
 	Kind Kind
 
@@ -310,6 +316,12 @@ func trillAgg(f agg.Fn) string {
 		return "Average"
 	case agg.StdDev:
 		return "StandardDeviation"
+	case agg.Percentile:
+		return "Percentile"
+	case agg.Distinct:
+		return "CountDistinct"
+	case agg.TopK:
+		return "TopK"
 	default:
 		return "Median"
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"factorwindows/internal/sketch"
 	"factorwindows/internal/stream"
 	"factorwindows/internal/window"
 )
@@ -95,5 +96,43 @@ func TestSnapshotAfterCloseFails(t *testing.T) {
 	run.Close()
 	if _, err := run.Snapshot(); err == nil {
 		t.Error("Snapshot after Close must fail")
+	}
+}
+
+// TestDecodeRejectsForeignK pins the regression where snapshot slot data
+// built with a different compactor capacity than the fingerprint claims
+// slipped past restore. Unlike HLL, the KLL merge has no structural
+// mismatch to trip over — it silently merges sketches of different K and
+// quietly loses the configured error bound — so decode-time validation
+// is the only place the corruption is catchable.
+func TestDecodeRejectsForeignK(t *testing.T) {
+	c := codec(Options{K: 200, Phi: 0.5})
+	foreign, err := sketch.New(400).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(foreign); err == nil {
+		t.Fatal("decoding a k=400 state into a k=200 runner must fail")
+	}
+	native := sketch.New(200)
+	native.Add(42)
+	data, err := native.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data); err != nil {
+		t.Fatalf("native capacity rejected: %v", err)
+	}
+}
+
+// TestOpsMergeRejectsMixedK verifies the merge hook refuses sketches of
+// different K rather than concatenating them with a broken error bound.
+func TestOpsMergeRejectsMixedK(t *testing.T) {
+	o := ops(Options{K: 200, Phi: 0.5})
+	if err := o.Merge(sketch.New(200), sketch.New(400)); err == nil {
+		t.Fatal("merging k=200 with k=400 must error")
+	}
+	if err := o.Merge(sketch.New(200), sketch.New(200)); err != nil {
+		t.Fatalf("uniform merge errored: %v", err)
 	}
 }

@@ -78,9 +78,19 @@ type Runner struct {
 // ops builds the sketch operations for the given (defaulted) options.
 func ops(opts Options) sketchrun.Ops[*sketch.Quantile] {
 	return sketchrun.Ops[*sketch.Quantile]{
-		New:   func() *sketch.Quantile { return sketch.New(opts.K) },
-		Add:   func(s *sketch.Quantile, v float64) { s.Add(v) },
-		Merge: func(dst, src *sketch.Quantile) { dst.Merge(src) },
+		New: func() *sketch.Quantile { return sketch.New(opts.K) },
+		Add: func(s *sketch.Quantile, v float64) { s.Add(v) },
+		Merge: func(dst, src *sketch.Quantile) error {
+			// KLL merge happily concatenates levels of sketches built with
+			// different K — and silently loses the error bound K promises.
+			// Every state here comes from New or a Decode that validated K,
+			// so a mismatch is corruption, not configuration.
+			if dst.K() != src.K() {
+				return fmt.Errorf("quantile: merging sketches with k=%d and k=%d", dst.K(), src.K())
+			}
+			dst.Merge(src)
+			return nil
+		},
 		Reset: func(s *sketch.Quantile) { s.Reset() },
 		Final: func(s *sketch.Quantile) float64 { return s.Query(opts.Phi) },
 	}
@@ -131,6 +141,12 @@ func codec(opts Options) sketchrun.Codec[*sketch.Quantile] {
 			s := new(sketch.Quantile)
 			if err := s.UnmarshalBinary(data); err != nil {
 				return nil, err
+			}
+			// The snapshot fingerprint promises k; hold each decoded state
+			// to it, or a doctored blob smuggles foreign sketches past the
+			// fingerprint check and degrades every later merge unnoticed.
+			if s.K() != opts.K {
+				return nil, fmt.Errorf("quantile: snapshot state has k=%d, runner uses k=%d", s.K(), opts.K)
 			}
 			return s, nil
 		},

@@ -55,8 +55,14 @@ type Buffer struct {
 
 	h         eventHeap
 	watermark int64 // max event time seen
-	released  int64 // all events with time < released have been emitted
-	out       []stream.Event
+	// released is the sealed lateness horizon: every event with time
+	// below it has been emitted or judged late, and no future event
+	// below it will reach the consumer. Events AT the horizon are still
+	// admissible — emitting one equals the last emitted time, which
+	// keeps the output non-decreasing — so with bound 0 a run of equal
+	// timestamps may straddle Push calls without losing its tail.
+	released int64
+	out      []stream.Event
 
 	late   int64
 	seen   int64
@@ -159,8 +165,8 @@ func (b *Buffer) pushSorted(events []stream.Event) bool {
 	for _, e := range events[p:] {
 		b.h.push(e)
 	}
-	if horizon+1 > b.released {
-		b.released = horizon + 1
+	if horizon > b.released {
+		b.released = horizon
 	}
 	// Everything buffered precedes the batch (time ≤ old watermark ≤
 	// first), so drained-then-prefix release order is correct whether
@@ -190,16 +196,17 @@ func (b *Buffer) pushSorted(events []stream.Event) bool {
 const mergeLimit = 16384
 
 // release emits every buffered event with time ≤ horizon, in time order,
-// and seals the horizon: anything arriving at or below it afterwards is
-// late (ASA judges lateness against watermark − bound, whether or not an
-// event happened to be emitted there).
+// and seals the horizon: anything arriving strictly below it afterwards
+// is late (ASA judges lateness against watermark − bound, whether or not
+// an event happened to be emitted there). Arrivals AT the horizon stay
+// admissible: they emit immediately without breaking time order.
 func (b *Buffer) release(horizon int64) {
 	b.out = b.out[:0]
 	for b.h.len() > 0 && b.h.min().Time <= horizon {
 		b.out = append(b.out, b.h.pop())
 	}
-	if horizon+1 > b.released {
-		b.released = horizon + 1
+	if horizon > b.released {
+		b.released = horizon
 	}
 	if len(b.out) > 0 {
 		b.consumer.Process(b.out)
@@ -248,8 +255,8 @@ func (b *Buffer) Snapshot() State {
 }
 
 // NewFromState rebuilds a buffer from a Snapshot, feeding consumer.
-// Restoring Released preserves the lateness contract: events at or below
-// the sealed horizon stay late even though the buffer is new, so the
+// Restoring Released preserves the lateness contract: events below the
+// sealed horizon stay late even though the buffer is new, so the
 // consumer's in-order guarantee survives the swap. The state may come
 // from an untrusted checkpoint, so the pending events are validated
 // against the sealed horizon and re-heapified rather than trusted
@@ -278,7 +285,10 @@ func NewFromState(consumer Consumer, st State, onLate func(stream.Event)) (*Buff
 }
 
 // Released returns the sealed release horizon: every event with time
-// below it has already been handed to the consumer (or judged late).
+// below it has already been handed to the consumer (or judged late),
+// and no future event below it will be emitted. Events at the horizon
+// itself remain admissible, so a consumer may safely finalize exactly
+// the windows ending at or before it.
 func (b *Buffer) Released() int64 { return b.released }
 
 // Late returns the number of events that violated the disorder bound.

@@ -36,12 +36,16 @@ const checkpointVersion = 3
 
 // checkpoint is the gob-serialized server state.
 type checkpoint struct {
-	Version  int
-	Queries  []checkpointQuery // sorted by ID
-	NextID   int64
-	Fn       agg.Fn
-	HasFn    bool
-	Factors  bool
+	Version int
+	Queries []checkpointQuery // sorted by ID
+	NextID  int64
+	Fn      agg.Fn
+	HasFn   bool
+	Factors bool
+	// Param is the live set's finalize parameter (φ for PERCENTILE, k
+	// for TOPK). Gob-optional: pre-sketch checkpoints omit it and decode
+	// to 0, which is exactly the parameter their exact functions carry.
+	Param    float64
 	PlanEta  int64 // cost-model η the plan was optimized under (0: default)
 	Epoch    int64
 	Ingested int64
@@ -82,6 +86,7 @@ func (s *Server) Checkpoint() ([]byte, error) {
 		Fn:       s.fn,
 		HasFn:    s.hasFn,
 		Factors:  s.cfg.Factors,
+		Param:    s.param,
 		PlanEta:  s.planEta,
 		Epoch:    s.epoch,
 		Ingested: s.ingested,
@@ -148,7 +153,7 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 	// admission checks, and the whole set must agree on the aggregate.
 	queries := make(map[string]*registration, len(cp.Queries))
 	for _, cq := range cp.Queries {
-		q, err := admitQuery(cq.SQL)
+		q, err := admitQuery(cq.SQL, s.cfg.ExactMedian)
 		if err != nil {
 			return fmt.Errorf("server: checkpointed query %q: %w", cq.ID, err)
 		}
@@ -161,6 +166,14 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 		if q.Fn != cp.Fn {
 			return fmt.Errorf("server: checkpointed query %q aggregates with %v, checkpoint set uses %v",
 				cq.ID, q.Fn, cp.Fn)
+		}
+		if q.Param != cp.Param {
+			// The parameter is re-derived from the SQL; a blob whose header
+			// disagrees was tampered with or written by a server holding
+			// different rewrite rules — either way the sketch state inside
+			// would be finalized under the wrong φ/k.
+			return fmt.Errorf("server: checkpointed query %q uses parameter %v, checkpoint set uses %v",
+				cq.ID, q.Param, cp.Param)
 		}
 		queries[cq.ID] = &registration{id: cq.ID, sql: cq.SQL, q: q, ring: newRing(s.cfg.ResultBuffer)}
 	}
@@ -178,7 +191,7 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 	}
 	s.queries = queries
 	s.nextID = cp.NextID
-	s.fn, s.hasFn = cp.Fn, cp.HasFn
+	s.fn, s.param, s.hasFn = cp.Fn, cp.Param, cp.HasFn
 	s.planEta = cp.PlanEta
 	s.epoch = cp.Epoch
 	s.ingested = cp.Ingested

@@ -166,7 +166,34 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if len(rows) > 0 {
 		next = rows[len(rows)-1].Seq
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": rows, "next": next, "missed": missed})
+	// Hand-rolled for the same reason as the stream path: encoding/json
+	// rejects NaN (an under-filled TOPK window), aborting the body after
+	// the 200 header. Byte-compatible with the json.Encoder output it
+	// replaces; NaN renders as null.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bufp := streamio.GetEncodeBuf()
+	defer streamio.PutEncodeBuf(bufp)
+	buf := append((*bufp)[:0], `{"missed":`...)
+	buf = strconv.AppendInt(buf, missed, 10)
+	buf = append(buf, `,"next":`...)
+	buf = strconv.AppendInt(buf, next, 10)
+	buf = append(buf, `,"results":`...)
+	if rows == nil {
+		buf = append(buf, "null"...)
+	} else {
+		buf = append(buf, '[')
+		for i := range rows {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendRowJSON(buf, &rows[i])
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, '}', '\n')
+	*bufp = buf
+	w.Write(buf)
 }
 
 // streamChunk is how many buffered rows one stream poll drains.
@@ -184,12 +211,18 @@ var streamRowPool = sync.Pool{New: func() any {
 // follows the ResultRow struct tags); the fields shared with the batch
 // writers render through streamio's common encoder.
 func appendRowNDJSON(dst []byte, row *ResultRow) []byte {
+	dst = appendRowJSON(dst, row)
+	return append(dst, '\n')
+}
+
+// appendRowJSON appends one result row as a JSON object (no newline);
+// shared by the stream and cursor-read handlers.
+func appendRowJSON(dst []byte, row *ResultRow) []byte {
 	dst = append(dst, `{"seq":`...)
 	dst = strconv.AppendInt(dst, row.Seq, 10)
 	dst = append(dst, ',')
 	dst = streamio.AppendResultFields(dst, row.Range, row.Slide, row.Start, row.End, row.Key, row.Value)
-	dst = append(dst, '}', '\n')
-	return dst
+	return append(dst, '}')
 }
 
 // handleStream writes results as NDJSON, blocking for new rows until the

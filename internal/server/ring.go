@@ -22,8 +22,9 @@ type ResultRow struct {
 // buffer with monotonically increasing sequence numbers. Writers are the
 // execution shards (serialized by the parallel runner's sink lock, but a
 // ring takes no dependency on that); readers are HTTP handlers. When the
-// buffer is full the oldest rows are evicted and counted as dropped —
-// result delivery must never block ingestion.
+// buffer is full the oldest rows are overwritten and counted as evicted
+// (distinct from the server's "dropped" counter, which is events ingested
+// with no live query) — result delivery must never block ingestion.
 type ring struct {
 	mu       sync.Mutex
 	capacity int
@@ -31,7 +32,7 @@ type ring struct {
 	head     int   // index of the oldest row
 	firstSeq int64 // sequence number of rows[head]
 	nextSeq  int64
-	dropped  int64
+	evicted  int64         // rows overwritten before any reader saw them
 	wait     chan struct{} // closed on append, but only once fetched
 	waited   bool          // a waiter fetched wait since its last rotation
 	closed   bool
@@ -88,7 +89,7 @@ func (g *ring) appendLocked(res stream.Result) {
 		g.rows[g.head] = row
 		g.head = (g.head + 1) % g.capacity
 		g.firstSeq++
-		g.dropped++
+		g.evicted++
 	}
 }
 
@@ -162,8 +163,8 @@ func (g *ring) closeRing() {
 	g.mu.Unlock()
 }
 
-func (g *ring) counters() (delivered, dropped int64) {
+func (g *ring) counters() (delivered, evicted int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.nextSeq, g.dropped
+	return g.nextSeq, g.evicted
 }

@@ -96,6 +96,14 @@ type Config struct {
 	// cost ratio; values at or below 1 select the default 1.2 (re-plan
 	// when the running plan is ≥20% over the observed optimum).
 	AdaptiveOverpay float64
+
+	// ExactMedian is the holistic exactness knob. By default (false)
+	// MEDIAN queries are admitted by rewriting them to the sketch-backed
+	// PERCENTILE at φ=0.5 — bounded memory, approximate answers. When
+	// true the server promises exact medians only, and since the shared
+	// serving engine cannot evaluate holistic functions, MEDIAN queries
+	// are rejected at admission instead of approximated silently.
+	ExactMedian bool
 }
 
 // registration is one live query.
@@ -135,6 +143,7 @@ type Server struct {
 	closed   bool
 	queries  map[string]*registration
 	fn       agg.Fn
+	param    float64 // finalize parameter shared by the live set (φ / k)
 	hasFn    bool
 	pipe     *pipeline
 	epoch    int64
@@ -215,21 +224,29 @@ type WindowInfo struct {
 }
 
 // QueryInfo is the externally visible state of one registered query.
+// Evicted counts delivered rows overwritten in the result ring before
+// any reader consumed them (backpressure loss on the egress side);
+// events discarded on ingest because no query was live are the server
+// Stats' Dropped counter, a different failure with a different fix.
 type QueryInfo struct {
 	ID        string       `json:"id"`
 	SQL       string       `json:"query"`
 	Fn        string       `json:"fn"`
+	Param     float64      `json:"param,omitempty"`
 	Windows   []WindowInfo `json:"windows"`
 	Delivered int64        `json:"delivered"`
-	Dropped   int64        `json:"dropped"`
+	Evicted   int64        `json:"evicted"`
 }
 
-func (r *registration) info(fn agg.Fn) QueryInfo {
+func (r *registration) info(fn agg.Fn, param float64) QueryInfo {
 	qi := QueryInfo{ID: r.id, SQL: r.sql, Fn: fn.String()}
+	if agg.SketchBacked(fn) {
+		qi.Param = param
+	}
 	for _, nw := range r.q.Windows {
 		qi.Windows = append(qi.Windows, WindowInfo{Name: nw.Name, Range: nw.W.Range, Slide: nw.W.Slide})
 	}
-	qi.Delivered, qi.Dropped = r.ring.counters()
+	qi.Delivered, qi.Evicted = r.ring.counters()
 	return qi
 }
 
@@ -239,7 +256,7 @@ func (r *registration) info(fn agg.Fn) QueryInfo {
 // clauses and multi-aggregate SELECT lists are rejected because the
 // combined plan runs every query over the same event stream.
 func (s *Server) Register(id, sql string) (QueryInfo, error) {
-	q, err := admitQuery(sql)
+	q, err := admitQuery(sql, s.cfg.ExactMedian)
 	if err != nil {
 		return QueryInfo{}, err
 	}
@@ -251,6 +268,13 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 	}
 	if s.hasFn && q.Fn != s.fn {
 		return QueryInfo{}, fmt.Errorf("%w: live queries aggregate with %v, cannot mix in %v", ErrConflict, s.fn, q.Fn)
+	}
+	if s.hasFn && q.Param != s.param {
+		// The joint plan finalizes every query from the same shared state
+		// with one parameter; mixing φ/k values needs per-query finalize
+		// fan-out the combined plan does not have.
+		return QueryInfo{}, fmt.Errorf("%w: live %v queries use parameter %v, cannot mix in %v",
+			ErrConflict, s.fn, s.param, q.Param)
 	}
 	if id == "" {
 		for {
@@ -266,12 +290,12 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 
 	reg := &registration{id: id, sql: sql, q: q, ring: newRing(s.cfg.ResultBuffer)}
 	s.queries[id] = reg
-	prevFn, prevHas := s.fn, s.hasFn
-	s.fn, s.hasFn = q.Fn, true
+	prevFn, prevParam, prevHas := s.fn, s.param, s.hasFn
+	s.fn, s.param, s.hasFn = q.Fn, q.Param, true
 	hadPlan := s.pipe != nil
 	if err := s.replan(); err != nil {
 		delete(s.queries, id)
-		s.fn, s.hasFn = prevFn, prevHas
+		s.fn, s.param, s.hasFn = prevFn, prevParam, prevHas
 		return QueryInfo{}, err
 	}
 	if hadPlan {
@@ -279,14 +303,14 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 		// the initial plan with nothing to swap out.
 		s.replans.Register++
 	}
-	return reg.info(s.fn), nil
+	return reg.info(s.fn, s.param), nil
 }
 
 // admitQuery parses and validates one query under the server's
 // admission rules. RestoreCheckpoint runs the same gauntlet, so a
 // crafted checkpoint cannot smuggle in a query Register would reject
 // (and then silently serve wrong results for).
-func admitQuery(sql string) (*asaql.Query, error) {
+func admitQuery(sql string, exactMedian bool) (*asaql.Query, error) {
 	q, err := asaql.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -297,7 +321,20 @@ func admitQuery(sql string) (*asaql.Query, error) {
 	if len(q.Where) > 0 {
 		return nil, fmt.Errorf("server: WHERE clauses are per-query filters and cannot share the joint plan; filter the stream upstream")
 	}
-	if !agg.Shareable(q.Fn) {
+	if q.Fn == agg.Median && !exactMedian {
+		// Route MEDIAN through the mergeable quantile sketch at φ=0.5. The
+		// rewrite happens at admission so the whole pipeline (plan, engine,
+		// checkpoints) sees only the sketch-backed function; the stored SQL
+		// is untouched, so checkpoint restore re-derives the same rewrite.
+		q.Fn, q.Param = agg.Percentile, 0.5
+		for i := range q.Aggregates {
+			q.Aggregates[i].Fn, q.Aggregates[i].Param = agg.Percentile, 0.5
+		}
+	}
+	if !agg.Mergeable(q.Fn) {
+		if q.Fn == agg.Median {
+			return nil, fmt.Errorf("server: exact MEDIAN is holistic and not supported by the serving engine (unset ExactMedian to approximate it as PERCENTILE(v, 0.5))")
+		}
 		return nil, fmt.Errorf("server: aggregate %v is holistic and not supported by the serving engine", q.Fn)
 	}
 	return q, nil
@@ -319,6 +356,7 @@ func (s *Server) Unregister(id string) error {
 	delete(s.queries, id)
 	if len(s.queries) == 0 {
 		s.hasFn = false
+		s.param = 0
 	}
 	if err := s.replan(); err != nil {
 		// Re-planning a strict subset of a set that planned before cannot
@@ -456,6 +494,10 @@ func (s *Server) buildPipeline(freshFloor int64, carried *reorder.State, engineS
 	if err != nil {
 		return nil, 0, err
 	}
+	// The finalize parameter (φ / k) rides the combined plan down into
+	// every shard engine; it is not part of the plan's fingerprint, so
+	// state migrates unchanged across plans differing only in Param.
+	mp.Combined.Param = s.param
 	g := &gate{}
 	rings := make(map[string]*ring, len(ids))
 	for _, id := range ids {
@@ -730,7 +772,7 @@ func (s *Server) Queries() []QueryInfo {
 	defer s.mu.Unlock()
 	out := make([]QueryInfo, 0, len(s.queries))
 	for _, reg := range s.queries {
-		out = append(out, reg.info(s.fn))
+		out = append(out, reg.info(s.fn, s.param))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -744,7 +786,7 @@ func (s *Server) Query(id string) (QueryInfo, error) {
 	if !ok {
 		return QueryInfo{}, fmt.Errorf("%w: query %q", ErrNotFound, id)
 	}
-	return reg.info(s.fn), nil
+	return reg.info(s.fn, s.param), nil
 }
 
 // Results returns up to limit result rows of query id with sequence
@@ -771,22 +813,29 @@ func (s *Server) ringOf(id string) (*ring, error) {
 	return reg.ring, nil
 }
 
-// Stats is the server-wide state summary.
+// Stats is the server-wide state summary. Dropped and Evicted report
+// two different losses: Dropped counts events discarded on ingest
+// because no query was live (nothing existed to compute), Evicted sums
+// result rows overwritten in per-query rings before a reader consumed
+// them (results computed but not picked up in time). Earlier versions
+// folded both stories into one number.
 type Stats struct {
-	Queries      int    `json:"queries"`
-	Epoch        int64  `json:"epoch"`
-	Fn           string `json:"fn,omitempty"`
-	Shards       int    `json:"shards"`
-	Ingested     int64  `json:"ingested"`
-	Dropped      int64  `json:"dropped"`
-	Late         int64  `json:"late"`
-	Buffered     int    `json:"buffered"`
-	Released     int64  `json:"released"`
-	EngineEvents int64  `json:"engine_events"`
-	Updates      int64  `json:"engine_updates"`
-	CombinedCost string `json:"combined_cost,omitempty"`
-	SeparateCost string `json:"separate_cost,omitempty"`
-	Error        string `json:"error,omitempty"` // persistent pipeline failure, if any
+	Queries      int     `json:"queries"`
+	Epoch        int64   `json:"epoch"`
+	Fn           string  `json:"fn,omitempty"`
+	Param        float64 `json:"param,omitempty"`
+	Shards       int     `json:"shards"`
+	Ingested     int64   `json:"ingested"`
+	Dropped      int64   `json:"dropped"`
+	Evicted      int64   `json:"evicted"`
+	Late         int64   `json:"late"`
+	Buffered     int     `json:"buffered"`
+	Released     int64   `json:"released"`
+	EngineEvents int64   `json:"engine_events"`
+	Updates      int64   `json:"engine_updates"`
+	CombinedCost string  `json:"combined_cost,omitempty"`
+	SeparateCost string  `json:"separate_cost,omitempty"`
+	Error        string  `json:"error,omitempty"` // persistent pipeline failure, if any
 
 	// Re-planning and migration bookkeeping. Replans breaks plan swaps
 	// down by trigger; Migrated counts window instances handed over
@@ -826,6 +875,10 @@ func (s *Server) StatsNow() Stats {
 		ActiveKeys:  s.lastKeys,
 		Overpay:     s.lastOverpay,
 	}
+	for _, reg := range s.queries {
+		_, ev := reg.ring.counters()
+		st.Evicted += ev
+	}
 	if s.planEta > 1 {
 		st.Eta = s.planEta
 	} else if s.hasFn {
@@ -833,6 +886,9 @@ func (s *Server) StatsNow() Stats {
 	}
 	if s.hasFn {
 		st.Fn = s.fn.String()
+		if agg.SketchBacked(s.fn) {
+			st.Param = s.param
+		}
 	}
 	if s.engineErr != nil {
 		st.Error = s.engineErr.Error()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -101,7 +102,15 @@ func equalRows(a, b []row) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return false
+			// TOPK yields NaN for windows tracking fewer than k values;
+			// two NaN rows over the same window agree.
+			av, bv := a[i], b[i]
+			if math.IsNaN(av.value) && math.IsNaN(bv.value) {
+				av.value, bv.value = 0, 0
+			}
+			if av != bv {
+				return false
+			}
 		}
 	}
 	return true
@@ -190,8 +199,10 @@ func TestEpochSemantics(t *testing.T) {
 	if _, err := s.Ingest(events[:cut]); err != nil {
 		t.Fatal(err)
 	}
-	// With bound 0 everything ingested so far is released.
-	boundary := events[cut-1].Time + 1
+	// With bound 0 everything ingested so far is released; the horizon
+	// seals at the last released tick, which stays admissible so a run
+	// of equal timestamps can straddle the ingest batch boundary.
+	boundary := events[cut-1].Time
 	if got := s.StatsNow().Released; got != boundary {
 		t.Fatalf("released = %d, want %d", got, boundary)
 	}

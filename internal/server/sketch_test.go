@@ -1,0 +1,343 @@
+// Serving-layer coverage for the sketch-backed aggregates: admission,
+// the MEDIAN rewrite knob, parameter plumbing, checkpoint and re-plan
+// round-trips of sketch state, and the evicted/dropped split in /stats.
+//
+// Reference trick: at this test's scale no sketch ever compacts or
+// evicts (well under K=200 values per window instance per key, and a
+// value domain below the top-k capacity), so the sketch paths are
+// bit-deterministic — the sharded server must equal a single-core
+// engine run of the same plan exactly, whatever the merge history.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factorwindows/internal/asaql"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+)
+
+const (
+	pctQuery = `SELECT k, PERCENTILE(v, 0.9) FROM s GROUP BY k, Windows(
+		Window('8t', TumblingWindow(tick, 8)), TumblingWindow(tick, 16))`
+	distinctQuery = `SELECT k, COUNT(DISTINCT v) FROM s GROUP BY k, Windows(
+		HoppingWindow(tick, 12, 6), TumblingWindow(tick, 24))`
+	topkQuery   = `SELECT k, TOPK(v, 3) FROM s GROUP BY k, Windows(TumblingWindow(tick, 16))`
+	medianQuery = `SELECT k, MEDIAN(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 8))`
+)
+
+// sketchReference runs one query stand-alone on the single-core engine
+// with the sharing-free plan and the query's finalize parameter.
+func sketchReference(t *testing.T, sql string, events []stream.Event, keep func(row) bool) []row {
+	t.Helper()
+	q, err := asaql.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := q.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.NewOriginal(set, q.Fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Param = q.Param
+	sink := &stream.CollectingSink{}
+	if _, err := engine.Run(p, events, sink); err != nil {
+		t.Fatal(err)
+	}
+	var out []row
+	for _, r := range sink.Results {
+		if rw := fromResult(r); keep(rw) {
+			out = append(out, rw)
+		}
+	}
+	sortRows(out)
+	return out
+}
+
+// sparseEvents keeps per-instance counts far below every sketch
+// threshold: values from a small domain, few events per key per window.
+func sparseEvents(n, keys, domain int, seed int64) []stream.Event {
+	r := rand.New(rand.NewSource(seed))
+	events := make([]stream.Event, 0, n)
+	tick := int64(0)
+	for i := 0; i < n; i++ {
+		tick += int64(r.Intn(3))
+		events = append(events, stream.Event{
+			Time: tick, Key: uint64(r.Intn(keys)), Value: float64(r.Intn(domain)),
+		})
+	}
+	return events
+}
+
+func ingestAll(t *testing.T, s *Server, events []stream.Event) {
+	t.Helper()
+	for i := 0; i < len(events); i += 400 {
+		end := min(i+400, len(events))
+		if _, err := s.Ingest(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerSketchEndToEnd drives each sketch-backed function through
+// the full serving stack — register, sharded ingest, result rings — and
+// compares against the single-core engine.
+func TestServerSketchEndToEnd(t *testing.T) {
+	const flushTick = 1 << 20
+	for name, sql := range map[string]string{
+		"percentile": pctQuery, "distinct": distinctQuery, "topk": topkQuery,
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{Shards: 4, Factors: true})
+			defer s.Close()
+			qi, err := s.Register("q", sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "percentile" && qi.Param != 0.9 {
+				t.Fatalf("registered param = %v, want 0.9", qi.Param)
+			}
+			events := sparseEvents(2000, 5, 40, 11)
+			events = append(events, stream.Event{Time: flushTick, Key: 0, Value: 0})
+			ingestAll(t, s, events)
+			complete := func(r row) bool { return r.end <= flushTick }
+			want := sketchReference(t, sql, events, complete)
+			got := serverRows(t, s, "q")
+			if len(want) == 0 {
+				t.Fatal("empty reference")
+			}
+			if !equalRows(got, want) {
+				t.Errorf("server delivered %d rows, engine %d; outputs differ", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestServerMedianRewrite pins the exactness knob: by default MEDIAN is
+// admitted as sketch-backed PERCENTILE at φ=0.5 and answers match the
+// engine's sketch path; with ExactMedian set it is rejected at
+// admission — a typed plan-time error, never a runtime panic.
+func TestServerMedianRewrite(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	qi, err := s.Register("m", medianQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.Fn != "PERCENTILE" || qi.Param != 0.5 {
+		t.Fatalf("rewritten query is %s(param=%v), want PERCENTILE(param=0.5)", qi.Fn, qi.Param)
+	}
+	const flushTick = 1 << 20
+	events := sparseEvents(1200, 4, 50, 17)
+	events = append(events, stream.Event{Time: flushTick, Key: 0, Value: 0})
+	ingestAll(t, s, events)
+	complete := func(r row) bool { return r.end <= flushTick }
+	pctSQL := `SELECT k, PERCENTILE(v, 0.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 8))`
+	want := sketchReference(t, pctSQL, events, complete)
+	got := serverRows(t, s, "m")
+	if len(want) == 0 {
+		t.Fatal("empty reference")
+	}
+	if !equalRows(got, want) {
+		t.Errorf("rewritten MEDIAN delivered %d rows, PERCENTILE(0.5) engine run %d; outputs differ",
+			len(got), len(want))
+	}
+
+	exact := New(Config{ExactMedian: true})
+	defer exact.Close()
+	if _, err := exact.Register("m", medianQuery); err == nil {
+		t.Fatal("ExactMedian server must reject MEDIAN")
+	} else if !strings.Contains(err.Error(), "MEDIAN") {
+		t.Fatalf("rejection %v does not name MEDIAN", err)
+	}
+}
+
+// TestServerSketchParamConflict: the joint plan finalizes all queries
+// from shared state with one parameter, so mixing φ values is a
+// conflict, while re-registering the same parameter shares fine.
+func TestServerSketchParamConflict(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Register("a", pctQuery); err != nil {
+		t.Fatal(err)
+	}
+	other := `SELECT k, PERCENTILE(v, 0.5) FROM s GROUP BY k, Windows(TumblingWindow(tick, 8))`
+	if _, err := s.Register("b", other); !errors.Is(err, ErrConflict) {
+		t.Fatalf("mixed φ registration = %v, want ErrConflict", err)
+	}
+	same := `SELECT k, PERCENTILE(v, 0.9) FROM s GROUP BY k, Windows(TumblingWindow(tick, 32))`
+	if _, err := s.Register("b", same); err != nil {
+		t.Fatalf("same-φ registration failed: %v", err)
+	}
+}
+
+// TestServerSketchCheckpointAndReplan round-trips sketch state through
+// both state paths: a checkpoint restored onto a fresh server, and an
+// in-place manual re-plan (canonical export/import), each mid-window.
+// The continuation must deliver exactly what an uninterrupted server
+// delivers.
+func TestServerSketchCheckpointAndReplan(t *testing.T) {
+	const flushTick = 1 << 20
+	events := sparseEvents(2000, 5, 40, 23)
+	events = append(events, stream.Event{Time: flushTick, Key: 0, Value: 0})
+	cut := len(events) / 2
+	complete := func(r row) bool { return r.end <= flushTick }
+
+	for name, sql := range map[string]string{
+		"percentile": pctQuery, "distinct": distinctQuery, "topk": topkQuery,
+	} {
+		t.Run(name, func(t *testing.T) {
+			want := sketchReference(t, sql, events, complete)
+			if len(want) == 0 {
+				t.Fatal("empty reference")
+			}
+
+			// Checkpoint mid-stream, restore onto a fresh server, finish.
+			s1 := New(Config{Shards: 3, Factors: true})
+			if _, err := s1.Register("q", sql); err != nil {
+				t.Fatal(err)
+			}
+			ingestAll(t, s1, events[:cut])
+			blob, err := s1.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := serverRows(t, s1, "q")
+			s1.Close()
+
+			s2 := New(Config{Shards: 3, Factors: true})
+			defer s2.Close()
+			if err := s2.RestoreCheckpoint(blob); err != nil {
+				t.Fatal(err)
+			}
+			ingestAll(t, s2, events[cut:])
+			got := append(pre, serverRows(t, s2, "q")...)
+			sortRows(got)
+			if !equalRows(got, want) {
+				t.Errorf("checkpoint run delivered %d rows, reference %d; outputs differ", len(got), len(want))
+			}
+
+			// Manual re-plan mid-stream: canonical sketch state must migrate.
+			s3 := New(Config{Shards: 3, Factors: true})
+			defer s3.Close()
+			if _, err := s3.Register("q", sql); err != nil {
+				t.Fatal(err)
+			}
+			ingestAll(t, s3, events[:cut])
+			if err := s3.Replan(4); err != nil {
+				t.Fatal(err)
+			}
+			ingestAll(t, s3, events[cut:])
+			if got := serverRows(t, s3, "q"); !equalRows(got, want) {
+				t.Errorf("re-planned run delivered %d rows, reference %d; outputs differ", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestStatsSplitsEvictedFromDropped: events discarded for lack of a live
+// query count as Dropped; result rows overwritten in a full ring count
+// as Evicted — two different losses, reported separately.
+func TestStatsSplitsEvictedFromDropped(t *testing.T) {
+	s := New(Config{ResultBuffer: 4})
+	defer s.Close()
+	if _, err := s.Ingest([]stream.Event{{Time: 0, Key: 1, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.StatsNow(); st.Dropped != 1 || st.Evicted != 0 {
+		t.Fatalf("after queryless ingest: dropped=%d evicted=%d, want 1/0", st.Dropped, st.Evicted)
+	}
+	sql := `SELECT k, SUM(v) FROM s GROUP BY k, Windows(TumblingWindow(tick, 1))`
+	if _, err := s.Register("q", sql); err != nil {
+		t.Fatal(err)
+	}
+	// A 4-row ring and one result per tick per key: 40 ticks overflow it.
+	var events []stream.Event
+	for tick := int64(0); tick < 40; tick++ {
+		events = append(events, stream.Event{Time: tick, Key: 1, Value: 1})
+	}
+	ingestAll(t, s, events)
+	st := s.StatsNow()
+	if st.Evicted == 0 {
+		t.Fatal("full ring produced no evictions")
+	}
+	if st.Dropped != 1 {
+		t.Fatalf("ring evictions leaked into Dropped: %d", st.Dropped)
+	}
+	qi, err := s.Query("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.Evicted != st.Evicted {
+		t.Fatalf("per-query evicted %d != stats evicted %d", qi.Evicted, st.Evicted)
+	}
+}
+
+// TestResultsCursorRendersNaN pins the cursor-read wire path for
+// under-filled TOPK windows: encoding/json rejects NaN outright —
+// aborting the response body after the 200 header — so the handler must
+// render it as null, exactly like the NDJSON stream path does.
+func TestResultsCursorRendersNaN(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/queries?id=q", "text/plain", strings.NewReader(topkQuery))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	// Key 1 tracks two values — fewer than k=3 — so its window finalizes
+	// to NaN; the flush event fires it.
+	ingestAll(t, s, []stream.Event{
+		{Time: 0, Key: 1, Value: 1}, {Time: 1, Key: 1, Value: 2},
+		{Time: 100, Key: 2, Value: 0},
+	})
+	resp, err = http.Get(ts.URL + "/queries/q/results?after=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("cursor read: status %s, %d-byte body", resp.Status, len(body))
+	}
+	var decoded struct {
+		Missed  int64 `json:"missed"`
+		Next    int64 `json:"next"`
+		Results []struct {
+			Seq   int64    `json:"seq"`
+			Key   uint64   `json:"key"`
+			Value *float64 `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("cursor body is not JSON: %v\n%s", err, body)
+	}
+	var sawNull bool
+	for _, r := range decoded.Results {
+		if r.Key == 1 && r.Value == nil {
+			sawNull = true
+		}
+	}
+	if !sawNull {
+		t.Fatalf("no null TOPK row for the under-filled key in %s", body)
+	}
+	if decoded.Next != decoded.Results[len(decoded.Results)-1].Seq {
+		t.Fatalf("next=%d does not match last seq", decoded.Next)
+	}
+}

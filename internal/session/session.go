@@ -116,6 +116,11 @@ func New(gaps []int64, fn agg.Fn, sink Sink) (*Runner, error) {
 	if !fn.Valid() {
 		return nil, fmt.Errorf("session: invalid aggregate function %v", fn)
 	}
+	if agg.SketchBacked(fn) {
+		// Session levels aggregate through flat scalar cells; sketch
+		// states live in the windowed executors (engine, sketchrun).
+		return nil, fmt.Errorf("session: %v is sketch-backed and not supported over session windows", fn)
+	}
 	sorted := append([]int64(nil), gaps...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	r := &Runner{fn: fn, sink: sink}

@@ -50,6 +50,60 @@ func (q *Quantile) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+type topkWire struct {
+	Cap    int
+	N      int64
+	Vals   []float64
+	Counts []int64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Entries are
+// serialized in rank order so equal summaries produce identical bytes
+// regardless of map iteration history.
+func (t *TopK) MarshalBinary() ([]byte, error) {
+	t.sortOrder()
+	w := topkWire{Cap: t.cap, N: t.n}
+	for _, i := range t.order {
+		w.Vals = append(w.Vals, t.vals[i])
+		w.Counts = append(w.Counts, t.counts[i])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("sketch: encoding TopK: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's contents.
+func (t *TopK) UnmarshalBinary(data []byte) error {
+	var w topkWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("sketch: decoding TopK: %w", err)
+	}
+	if w.Cap < 1 || w.N < 0 || len(w.Vals) != len(w.Counts) || len(w.Vals) > w.Cap {
+		return fmt.Errorf("sketch: corrupt TopK snapshot (cap=%d, entries=%d/%d)",
+			w.Cap, len(w.Vals), len(w.Counts))
+	}
+	idx := make(map[float64]int, len(w.Vals))
+	var sum int64
+	for i, v := range w.Vals {
+		if w.Counts[i] <= 0 {
+			return fmt.Errorf("sketch: corrupt TopK snapshot (counter %d)", w.Counts[i])
+		}
+		if _, dup := idx[v]; dup {
+			return fmt.Errorf("sketch: corrupt TopK snapshot (duplicate value %v)", v)
+		}
+		idx[v] = i
+		sum += w.Counts[i]
+	}
+	if sum > w.N {
+		return fmt.Errorf("sketch: corrupt TopK snapshot (weight %d > count %d)", sum, w.N)
+	}
+	t.cap, t.n, t.vals, t.counts, t.idx = w.Cap, w.N, w.Vals, w.Counts, idx
+	return nil
+}
+
 type hllWire struct {
 	P    int
 	N    int64

@@ -23,6 +23,7 @@ package sketch
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -35,6 +36,8 @@ type Quantile struct {
 	rng    uint64
 	min    float64
 	max    float64
+
+	scratch []item // Query's weighted merge view, recycled; not state
 }
 
 // DefaultK is a practical default compactor capacity: about 0.5% observed
@@ -167,14 +170,26 @@ type item struct {
 }
 
 func (q *Quantile) items() []item {
-	var out []item
+	out := q.scratch[:0]
 	for h, buf := range q.levels {
 		w := int64(1) << uint(h)
 		for _, v := range buf {
 			out = append(out, item{v, w})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	// slices.SortFunc, unlike sort.Slice, sorts without boxing the
+	// comparator through reflection, keeping finalization heap-quiet.
+	slices.SortFunc(out, func(a, b item) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	q.scratch = out
 	return out
 }
 

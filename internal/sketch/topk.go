@@ -1,0 +1,232 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// TopK is a Misra-Gries heavy-hitters summary over float64 values: at
+// most cap counters, each an *underestimate* of its value's true
+// frequency by no more than n/(cap+1). Like Quantile and HLL it is
+// mergeable — two summaries combine by summing counters and re-applying
+// the Misra-Gries reduction — which makes TOPK(v, k), holistic in the
+// Gray et al. taxonomy, behave algebraically and therefore shareable
+// under "partitioned by" semantics. Merging is associative up to the
+// error bound, and every operation is deterministic (no RNG), so
+// results are reproducible across checkpoint/restore and re-planning.
+//
+// Any value whose true frequency exceeds n/(cap+1) is guaranteed to be
+// tracked; the k most frequent values are identified exactly whenever
+// consecutive true frequencies differ by more than the (additive)
+// error of both entries.
+type TopK struct {
+	cap    int
+	n      int64 // items added (with multiplicity)
+	idx    map[float64]int
+	vals   []float64
+	counts []int64
+
+	scratch []int64 // shrink's threshold selection, recycled
+	order   []int32 // kth-by-count selection, recycled
+}
+
+// DefaultTopKCap is the default counter capacity: guarantees tracking of
+// every value with frequency above n/65 (≈1.5% of the stream).
+const DefaultTopKCap = 64
+
+// NewTopK returns an empty summary with at most cap counters (cap
+// clamped to [1, 1<<20]).
+func NewTopK(cap int) *TopK {
+	if cap < 1 {
+		cap = 1
+	}
+	if cap > 1<<20 {
+		cap = 1 << 20
+	}
+	return &TopK{cap: cap, idx: make(map[float64]int, cap)}
+}
+
+// Cap returns the counter capacity the summary was built with.
+func (t *TopK) Cap() int { return t.cap }
+
+// Count returns the number of items added (with multiplicity).
+func (t *TopK) Count() int64 { return t.n }
+
+// Empty reports whether the summary has absorbed no input.
+func (t *TopK) Empty() bool { return t.n == 0 }
+
+// Reset clears the summary for reuse, keeping its capacity.
+func (t *TopK) Reset() {
+	clear(t.idx)
+	t.vals = t.vals[:0]
+	t.counts = t.counts[:0]
+	t.n = 0
+}
+
+// Add inserts one value. Values compare by float64 identity (as HLL.Add,
+// +0 and -0 are distinct; NaN never equals a tracked entry and so only
+// churns counters — callers feed it event values, which are ordinary
+// numbers).
+func (t *TopK) Add(v float64) {
+	t.n++
+	if i, ok := t.idx[v]; ok {
+		t.counts[i]++
+		return
+	}
+	if len(t.vals) < t.cap {
+		t.idx[v] = len(t.vals)
+		t.vals = append(t.vals, v)
+		t.counts = append(t.counts, 1)
+		return
+	}
+	// Misra-Gries step: all counters (and the arriving item, implicitly)
+	// decrement by one; exhausted counters free their slot.
+	t.decrement(1)
+}
+
+// decrement lowers every counter by d, compacting exhausted entries.
+func (t *TopK) decrement(d int64) {
+	w := 0
+	for i, v := range t.vals {
+		c := t.counts[i] - d
+		if c > 0 {
+			t.vals[w], t.counts[w] = v, c
+			t.idx[v] = w
+			w++
+		} else {
+			delete(t.idx, v)
+		}
+	}
+	t.vals, t.counts = t.vals[:w], t.counts[:w]
+}
+
+// Merge folds other into t. Both summaries must share the same capacity
+// — the executors build every summary of a pipeline from one
+// configuration, and mixing capacities would silently loosen the error
+// bound (the same construction-uniformity contract as HLL precision).
+func (t *TopK) Merge(other *TopK) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.cap != t.cap {
+		return fmt.Errorf("sketch: TopK capacity mismatch %d vs %d", t.cap, other.cap)
+	}
+	for i, v := range other.vals {
+		if j, ok := t.idx[v]; ok {
+			t.counts[j] += other.counts[i]
+		} else {
+			t.idx[v] = len(t.vals)
+			t.vals = append(t.vals, v)
+			t.counts = append(t.counts, other.counts[i])
+		}
+	}
+	t.n += other.n
+	t.shrink()
+	return nil
+}
+
+// shrink restores the capacity invariant after a merge: subtract the
+// (cap+1)-th largest counter from every entry and drop the exhausted
+// ones — the standard Misra-Gries merge, which keeps the additive error
+// bounds of both inputs.
+func (t *TopK) shrink() {
+	if len(t.vals) <= t.cap {
+		return
+	}
+	t.scratch = append(t.scratch[:0], t.counts...)
+	slices.SortFunc(t.scratch, func(a, b int64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		default:
+			return 0
+		}
+	})
+	t.decrement(t.scratch[t.cap])
+}
+
+// Retained returns the number of counters currently held.
+func (t *TopK) Retained() int { return len(t.vals) }
+
+// EstimateCount returns the summary's (under-)estimate of v's frequency:
+// the true frequency lies in [est, est + n/(cap+1)].
+func (t *TopK) EstimateCount(v float64) int64 {
+	if i, ok := t.idx[v]; ok {
+		return t.counts[i]
+	}
+	return 0
+}
+
+// KthValue returns the value with the k-th largest estimated frequency
+// (1-based; ties broken toward the smaller value), or NaN when fewer
+// than k values are tracked.
+func (t *TopK) KthValue(k int) float64 {
+	if k < 1 || k > len(t.vals) {
+		return math.NaN()
+	}
+	t.sortOrder()
+	return t.vals[t.order[k-1]]
+}
+
+// Top appends the tracked values in rank order (estimated frequency
+// descending, value ascending on ties) to out and returns it.
+func (t *TopK) Top(out []float64) []float64 {
+	t.sortOrder()
+	for _, i := range t.order {
+		out = append(out, t.vals[i])
+	}
+	return out
+}
+
+// sortOrder rebuilds the rank permutation over the current counters.
+func (t *TopK) sortOrder() {
+	t.order = t.order[:0]
+	for i := range t.vals {
+		t.order = append(t.order, int32(i))
+	}
+	// slices.SortFunc, unlike sort.Slice, needs no reflection boxing, so
+	// finalizing a fired window stays allocation-free.
+	slices.SortFunc(t.order, func(ia, ib int32) int {
+		switch {
+		case t.counts[ia] != t.counts[ib]:
+			if t.counts[ia] > t.counts[ib] {
+				return -1
+			}
+			return 1
+		case t.vals[ia] < t.vals[ib]:
+			return -1
+		case t.vals[ia] > t.vals[ib]:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// Invariant validates internal consistency (tests).
+func (t *TopK) Invariant() error {
+	if len(t.vals) != len(t.counts) || len(t.vals) > t.cap {
+		return fmt.Errorf("sketch: TopK holds %d/%d entries over capacity %d",
+			len(t.vals), len(t.counts), t.cap)
+	}
+	var sum int64
+	for i, v := range t.vals {
+		if t.counts[i] <= 0 {
+			return fmt.Errorf("sketch: TopK non-positive counter %d for %v", t.counts[i], v)
+		}
+		if j, ok := t.idx[v]; !ok || j != i {
+			return fmt.Errorf("sketch: TopK index desync at %v", v)
+		}
+		sum += t.counts[i]
+	}
+	if len(t.idx) != len(t.vals) {
+		return fmt.Errorf("sketch: TopK index holds %d entries, arrays %d", len(t.idx), len(t.vals))
+	}
+	if sum > t.n {
+		return fmt.Errorf("sketch: TopK counters sum to %d > count %d", sum, t.n)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// zipfStream returns a skewed stream of n values over the given domain.
+func zipfStream(r *rand.Rand, n, domain int) []float64 {
+	z := rand.NewZipf(r, 1.3, 1, uint64(domain-1))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(z.Uint64())
+	}
+	return out
+}
+
+func exactCounts(vals []float64) map[float64]int64 {
+	m := make(map[float64]int64)
+	for _, v := range vals {
+		m[v]++
+	}
+	return m
+}
+
+// TestTopKErrorBound checks the Misra-Gries guarantee: every estimate is
+// an underestimate by at most n/(cap+1), and every value with frequency
+// above n/(cap+1) is tracked.
+func TestTopKErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, cap := range []int{1, 8, 64} {
+		tk := NewTopK(cap)
+		vals := zipfStream(r, 20000, 1000)
+		for _, v := range vals {
+			tk.Add(v)
+		}
+		if err := tk.Invariant(); err != nil {
+			t.Fatal(err)
+		}
+		exact := exactCounts(vals)
+		bound := int64(len(vals) / (cap + 1))
+		for v, c := range exact {
+			est := tk.EstimateCount(v)
+			if est > c {
+				t.Fatalf("cap %d: estimate %d overestimates true %d for %v", cap, est, c, v)
+			}
+			if c-est > bound {
+				t.Fatalf("cap %d: estimate %d under true %d by more than %d for %v", cap, est, c, bound, v)
+			}
+			if c > bound && est == 0 {
+				t.Fatalf("cap %d: heavy hitter %v (freq %d > %d) not tracked", cap, v, c, bound)
+			}
+		}
+	}
+}
+
+// TestTopKMergeKeepsBound splits a stream into shards, merges the shard
+// summaries, and checks the combined summary still honours the additive
+// error bound against exact counts over the full stream.
+func TestTopKMergeKeepsBound(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	vals := zipfStream(r, 30000, 500)
+	for _, shards := range []int{2, 4, 7} {
+		parts := make([]*TopK, shards)
+		for i := range parts {
+			parts[i] = NewTopK(DefaultTopKCap)
+		}
+		for i, v := range vals {
+			parts[i%shards].Add(v)
+		}
+		merged := NewTopK(DefaultTopKCap)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := merged.Invariant(); err != nil {
+			t.Fatal(err)
+		}
+		if merged.Count() != int64(len(vals)) {
+			t.Fatalf("merged count %d, want %d", merged.Count(), len(vals))
+		}
+		bound := int64(len(vals) / (DefaultTopKCap + 1))
+		for v, c := range exactCounts(vals) {
+			est := merged.EstimateCount(v)
+			if est > c || c-est > bound {
+				t.Fatalf("%d shards: estimate %d for true %d outside [%d, %d] for %v",
+					shards, est, c, c-bound, c, v)
+			}
+		}
+	}
+}
+
+func TestTopKCapacityMismatch(t *testing.T) {
+	a, b := NewTopK(8), NewTopK(16)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched capacities must fail")
+	}
+	// Empty and nil others are no-ops regardless of capacity.
+	if err := a.Merge(NewTopK(16)); err != nil {
+		t.Fatalf("merging an empty summary: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil: %v", err)
+	}
+}
+
+func TestTopKRanking(t *testing.T) {
+	tk := NewTopK(8)
+	for i, reps := range []int{5, 3, 3, 1} { // values 0..3
+		for j := 0; j < reps; j++ {
+			tk.Add(float64(i))
+		}
+	}
+	if got := tk.KthValue(1); got != 0 {
+		t.Fatalf("KthValue(1) = %v, want 0", got)
+	}
+	// Ties (values 1 and 2, both count 3) break toward the smaller value.
+	if got := tk.KthValue(2); got != 1 {
+		t.Fatalf("KthValue(2) = %v, want 1", got)
+	}
+	if got := tk.KthValue(3); got != 2 {
+		t.Fatalf("KthValue(3) = %v, want 2", got)
+	}
+	if got := tk.KthValue(5); !math.IsNaN(got) {
+		t.Fatalf("KthValue beyond retained = %v, want NaN", got)
+	}
+	if got := tk.KthValue(0); !math.IsNaN(got) {
+		t.Fatalf("KthValue(0) = %v, want NaN", got)
+	}
+	if top := tk.Top(nil); len(top) != 4 || top[0] != 0 || top[1] != 1 {
+		t.Fatalf("Top = %v", top)
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK(4)
+	for i := 0; i < 100; i++ {
+		tk.Add(float64(i % 10))
+	}
+	tk.Reset()
+	if !tk.Empty() || tk.Retained() != 0 || tk.Count() != 0 {
+		t.Fatal("Reset must empty the summary")
+	}
+	if tk.Cap() != 4 {
+		t.Fatal("Reset must keep capacity")
+	}
+	tk.Add(7)
+	if tk.EstimateCount(7) != 1 {
+		t.Fatal("summary unusable after Reset")
+	}
+}
+
+func TestTopKMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tk := NewTopK(16)
+	for _, v := range zipfStream(r, 5000, 200) {
+		tk.Add(v)
+	}
+	blob, err := tk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TopK
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cap() != tk.Cap() || back.Count() != tk.Count() || back.Retained() != tk.Retained() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			back.Cap(), back.Count(), back.Retained(), tk.Cap(), tk.Count(), tk.Retained())
+	}
+	for _, v := range tk.Top(nil) {
+		if back.EstimateCount(v) != tk.EstimateCount(v) {
+			t.Fatalf("round trip changed counter for %v", v)
+		}
+	}
+	// Canonical bytes: marshaling twice (and after a map-order-perturbing
+	// round trip) yields identical blobs.
+	blob2, _ := back.MarshalBinary()
+	if string(blob) != string(blob2) {
+		t.Fatal("TopK marshaling is not canonical")
+	}
+}
+
+func TestTopKUnmarshalRejectsCorrupt(t *testing.T) {
+	enc := func(w topkWire) []byte {
+		tk := TopK{cap: w.Cap, n: w.N, vals: w.Vals, counts: w.Counts,
+			idx: make(map[float64]int)}
+		for i, v := range w.Vals {
+			tk.idx[v] = i
+		}
+		b, err := tk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"zero cap":       enc(topkWire{Cap: 0, N: 0}),
+		"negative count": enc(topkWire{Cap: 4, N: -1}),
+		"over capacity": enc(topkWire{Cap: 1, N: 10,
+			Vals: []float64{1, 2}, Counts: []int64{3, 3}}),
+		"non-positive counter": enc(topkWire{Cap: 4, N: 10,
+			Vals: []float64{1}, Counts: []int64{0}}),
+		"weight over count": enc(topkWire{Cap: 4, N: 2,
+			Vals: []float64{1}, Counts: []int64{5}}),
+		"garbage": []byte("not gob"),
+	}
+	for name, blob := range cases {
+		var tk TopK
+		if err := tk.UnmarshalBinary(blob); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}
+
+func TestNewTopKClamps(t *testing.T) {
+	if NewTopK(0).Cap() != 1 || NewTopK(-5).Cap() != 1 {
+		t.Fatal("cap must clamp to at least 1")
+	}
+	if NewTopK(1<<30).Cap() != 1<<20 {
+		t.Fatal("cap must clamp to at most 1<<20")
+	}
+}

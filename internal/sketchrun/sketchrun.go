@@ -35,8 +35,13 @@ type Ops[S comparable] struct {
 	// Add folds one raw event value into the state.
 	Add func(S, float64)
 	// Merge folds the sub-aggregate src into dst. The executor only
-	// merges disjoint partitions, per "partitioned by" semantics.
-	Merge func(dst, src S)
+	// merges disjoint partitions, per "partitioned by" semantics. A
+	// non-nil error means the two states are structurally incompatible
+	// (e.g. HLL sketches of different precision): Ops constructors build
+	// every state from one configuration and Codec.Decode must reject
+	// foreign ones, so the executor treats an error here as corrupted
+	// state and panics rather than swallowing it into wrong results.
+	Merge func(dst, src S) error
 	// Reset clears a state for pooling.
 	Reset func(S)
 	// Final computes the emitted result value.
@@ -230,7 +235,14 @@ func (n *node[S]) processSub(items []subState[S]) {
 		n.ensure(lo, hi)
 		for m := lo; m <= hi; m++ {
 			in := n.insts[n.head+int(m-n.base)]
-			n.r.ops.Merge(in.state(n, it.slot), it.st)
+			if err := n.r.ops.Merge(in.state(n, it.slot), it.st); err != nil {
+				// Uniform construction plus decode-time validation make this
+				// unreachable for well-formed state; reaching it means the
+				// states diverged (corruption), and continuing would emit
+				// silently wrong values for every window downstream.
+				panic(fmt.Sprintf("sketchrun: merging sub-state [%d,%d) slot %d into %v: %v",
+					it.start, it.end, it.slot, n.w, err))
+			}
 			n.r.merges++
 		}
 	}

@@ -20,7 +20,7 @@ func fullOps() Ops[*fake] {
 	return Ops[*fake]{
 		New:   func() *fake { return &fake{} },
 		Add:   func(f *fake, v float64) { f.sum += v },
-		Merge: func(dst, src *fake) { dst.sum += src.sum },
+		Merge: func(dst, src *fake) error { dst.sum += src.sum; return nil },
 		Reset: func(f *fake) { f.sum = 0 },
 		Final: func(f *fake) float64 { return f.sum },
 	}

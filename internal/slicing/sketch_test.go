@@ -1,0 +1,70 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/plan"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// TestSlicingSketchMatchesEngine pins the slice-merge path for the
+// sketch-backed aggregates. At this scale no sketch compacts or evicts
+// (few values per instance, value domain under the top-k capacity), so
+// pane merging is bit-deterministic and slicing must equal the engine's
+// original plan exactly; HLL distinct is register-exact at any scale.
+func TestSlicingSketchMatchesEngine(t *testing.T) {
+	set := window.MustSet(window.Hopping(8, 4), window.Tumbling(12))
+	r := rand.New(rand.NewSource(7))
+	var events []stream.Event
+	tick := int64(0)
+	for i := 0; i < 1200; i++ {
+		tick += int64(r.Intn(3))
+		events = append(events, stream.Event{
+			Time: tick, Key: uint64(r.Intn(4)), Value: float64(r.Intn(30)),
+		})
+	}
+
+	for _, tc := range []struct {
+		fn    agg.Fn
+		param float64
+	}{
+		{agg.Percentile, 0.9},
+		{agg.Distinct, 0},
+		{agg.TopK, 2},
+	} {
+		p, err := plan.NewOriginal(set, tc.fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Param = tc.param
+		want := &stream.CollectingSink{}
+		if _, err := engine.Run(p, events, want); err != nil {
+			t.Fatal(err)
+		}
+
+		got := &stream.CollectingSink{}
+		run, err := New(set, tc.fn, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.SetParam(tc.param)
+		run.Process(events)
+		run.Close()
+
+		a, b := got.Sorted(), want.Sorted()
+		if len(a) != len(b) {
+			t.Fatalf("%v: %d rows, engine %d", tc.fn, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] && !(math.IsNaN(a[i].Value) && math.IsNaN(b[i].Value) &&
+				a[i].W == b[i].W && a[i].Start == b[i].Start && a[i].Key == b[i].Key) {
+				t.Fatalf("%v: row %d = %+v, engine %+v", tc.fn, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -100,6 +100,11 @@ func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 	return r, nil
 }
 
+// SetParam sets the finalize-time parameter for parameterized aggregates
+// (φ for PERCENTILE, k for TOPK; ignored otherwise). Call before
+// processing; it only affects what finalization answers.
+func (r *Runner) SetParam(p float64) { r.store.SetParam(p) }
+
 // nextEdge returns the smallest slice edge strictly greater than t.
 // Edges are the multiples of any window slide; computing the minimum over
 // windows avoids materializing the edge set (whose period is the lcm of

@@ -21,12 +21,22 @@
 package sliding
 
 import (
+	"errors"
 	"fmt"
 
 	"factorwindows/internal/agg"
 	"factorwindows/internal/stream"
 	"factorwindows/internal/window"
 )
+
+// ErrHolistic is the typed planner error New wraps when the aggregate
+// cannot run on panes at all: an exact holistic function (MEDIAN) has no
+// mergeable pane state. Callers test with errors.Is and fail at plan
+// time — the alternative is the store's FinalizeCells panic at runtime.
+// Sketch-backed holistic functions (PERCENTILE, DISTINCT, TOPK) are NOT
+// rejected: their panes hold mergeable sketches (see the pane-span path
+// below).
+var ErrHolistic = errors.New("holistic aggregate has no mergeable pane state")
 
 // twoStacks is the classic FIFO aggregator: push panes at the back, pop
 // from the front, query the aggregate of everything inside in O(1).
@@ -99,6 +109,13 @@ type keyState struct {
 	seen  bool
 }
 
+// paneSpan is one sealed pane's per-key sketch state: a span of store
+// rows indexed by key slot. cap == 0 marks a pane that absorbed no
+// events for this window (no span was allocated).
+type paneSpan struct {
+	span, cap int32
+}
+
 // winState drives one window over the stream.
 type winState struct {
 	w     window.Window
@@ -109,7 +126,17 @@ type winState struct {
 	paneIdx int64
 	started bool
 
-	byKey []keyState // dense by key slot, held by value
+	byKey []keyState // dense by key slot, held by value (cell path)
+
+	// Sketch-backed pane-span path: the open pane's span plus a FIFO of
+	// the sealed panes still inside some future instance (≤ panes
+	// entries; head indexes the oldest). The two-stacks trick does not
+	// apply — suffix-aggregating would copy whole sketches per flip — so
+	// an emit merges the instance's ≤ panes pane spans through the store
+	// kernels instead, mirroring the slicing executor's emitInstance.
+	cur  paneSpan
+	ring []paneSpan
+	head int
 }
 
 // Runner evaluates an aggregate over a window set with per-window
@@ -118,6 +145,12 @@ type Runner struct {
 	fn      agg.Fn
 	windows []*winState
 	sink    stream.Sink
+
+	// store backs the sketch pane-span path (nil for cell-capable
+	// functions): pane spans and the merge scratch span live here.
+	store               *agg.Store
+	mergeSpan, mergeCap int32
+	liveBuf             []int32
 
 	slots map[uint64]int32
 	keys  []uint64
@@ -134,8 +167,10 @@ type Runner struct {
 	combs   int64 // pane combine operations (work counter)
 }
 
-// New builds the sliding-window runner. Holistic functions are rejected
-// (panes hold sub-aggregates).
+// New builds the sliding-window runner. Panes hold mergeable
+// sub-aggregates — flat cells for the exactly-shareable functions, store
+// spans of sketches for the sketch-backed ones — so exact holistic
+// MEDIAN is rejected with a plan-time error wrapping ErrHolistic.
 func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 	if set == nil || set.Len() == 0 {
 		return nil, fmt.Errorf("sliding: empty window set")
@@ -143,10 +178,13 @@ func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("sliding: nil sink")
 	}
-	if !agg.Shareable(fn) {
-		return nil, fmt.Errorf("sliding: %v is holistic; panes cannot express it", fn)
+	if !agg.Mergeable(fn) {
+		return nil, fmt.Errorf("sliding: %v: %w", fn, ErrHolistic)
 	}
 	r := &Runner{fn: fn, sink: sink, slots: make(map[uint64]int32)}
+	if agg.SketchBacked(fn) {
+		r.store = agg.NewStore(fn)
+	}
 	for _, w := range set.Sorted() {
 		if err := w.Validate(); err != nil {
 			return nil, err
@@ -154,6 +192,15 @@ func New(set *window.Set, fn agg.Fn, sink stream.Sink) (*Runner, error) {
 		r.windows = append(r.windows, &winState{w: w, panes: w.K()})
 	}
 	return r, nil
+}
+
+// SetParam sets the finalize-time parameter for parameterized aggregates
+// (φ for PERCENTILE, k for TOPK; ignored otherwise). Call before
+// processing; it only affects what finalization answers.
+func (r *Runner) SetParam(p float64) {
+	if r.store != nil {
+		r.store.SetParam(p)
+	}
 }
 
 // Process folds a batch of in-order events.
@@ -167,10 +214,25 @@ func (r *Runner) Process(events []stream.Event) {
 		slot := r.slot(e.Key)
 		for _, ws := range r.windows {
 			r.advanceWindow(ws, e.Time)
+			if r.store != nil {
+				r.paneAdd(ws, slot, e.Value)
+				continue
+			}
 			ks := r.keyState(ws, slot)
 			agg.CellAdd(r.fn, &ks.pane, e.Value)
 		}
 	}
+}
+
+// paneAdd folds one value into the open pane span (sketch path),
+// materializing or growing the span to cover the key slot.
+func (r *Runner) paneAdd(ws *winState, slot int32, v float64) {
+	if ws.cur.cap == 0 {
+		ws.cur.span, ws.cur.cap = r.store.Alloc(slot + 1)
+	} else if slot >= ws.cur.cap {
+		ws.cur.span, ws.cur.cap = r.store.Grow(ws.cur.span, ws.cur.cap, slot+1)
+	}
+	r.store.AddAt(ws.cur.span+slot, v)
 }
 
 func (r *Runner) slot(key uint64) int32 {
@@ -225,6 +287,10 @@ func (r *Runner) advanceWindow(ws *winState, t int64) {
 // instance's rows assemble in the recycled arena before a single
 // EmitAll.
 func (r *Runner) closePane(ws *winState) {
+	if r.store != nil {
+		r.closePaneSketch(ws)
+		return
+	}
 	end := ws.paneEnd
 	// A window instance [end-r, end) closes exactly when pane paneIdx
 	// closes and paneIdx+1 ≥ panes (instance index m = paneIdx+1-panes).
@@ -269,6 +335,78 @@ func (r *Runner) closePane(ws *winState) {
 		stream.EmitAll(r.sink, rs)
 	}
 	r.capEgressBuffers()
+}
+
+// closePaneSketch is the sketch-backed pane-close path: the open pane
+// span joins the FIFO ring, an ending instance merges its ≤ panes pane
+// spans into the scratch merge span through the store kernels (one
+// FinalizeSpan per fire, like the slicing executor), and the pane that
+// left the window returns its span to the store's free lists. Memory is
+// bounded by panes × keys × sketch size per window, never by rows.
+func (r *Runner) closePaneSketch(ws *winState) {
+	end := ws.paneEnd
+	emit := ws.paneIdx+1 >= ws.panes
+	start := end - ws.w.Range
+	ws.ring = append(ws.ring, ws.cur)
+	ws.cur = paneSpan{}
+	if emit {
+		if r.mergeCap < int32(len(r.keys)) {
+			// The scratch span is clear between emissions, so growth is a
+			// plain reallocation, not a row move.
+			if r.mergeCap > 0 {
+				r.store.Release(r.mergeSpan, r.mergeCap)
+			}
+			r.mergeSpan, r.mergeCap = r.store.Alloc(int32(len(r.keys)))
+		}
+		touched := false
+		for i := ws.head; i < len(ws.ring); i++ {
+			ps := ws.ring[i]
+			if ps.cap == 0 {
+				continue
+			}
+			offs := r.store.AppendLive(ps.span, ps.cap, r.liveBuf[:0])
+			r.liveBuf = offs
+			for _, off := range offs {
+				r.store.MergeAt(r.mergeSpan+off, r.store, ps.span+off)
+				r.combs++
+				touched = true
+			}
+		}
+		if touched {
+			offs := r.store.AppendLive(r.mergeSpan, r.mergeCap, r.liveBuf[:0])
+			r.liveBuf = offs
+			vals := r.store.FinalizeSpan(r.mergeSpan, offs, r.finBuf[:0])
+			r.finBuf = vals
+			rs := r.resBuf[:0]
+			if cap(rs) < len(offs) {
+				rs = make([]stream.Result, 0, len(offs))
+			}
+			for i, off := range offs {
+				rs = append(rs, stream.Result{W: ws.w, Start: start, End: end, Key: r.keys[off], Value: vals[i]})
+			}
+			r.resBuf = rs
+			stream.EmitAll(r.sink, rs)
+			r.store.Clear(r.mergeSpan, r.mergeCap)
+		}
+	}
+	// Evict the oldest pane once the ring holds a full window.
+	if int64(len(ws.ring)-ws.head) >= ws.panes {
+		if ps := ws.ring[ws.head]; ps.cap > 0 {
+			r.store.Release(ps.span, ps.cap)
+		}
+		ws.ring[ws.head] = paneSpan{}
+		ws.head++
+		// Compact once the dead prefix dominates, keeping the backing
+		// array bounded by ~2× the live pane count.
+		if ws.head*2 >= len(ws.ring) {
+			n := copy(ws.ring, ws.ring[ws.head:])
+			ws.ring, ws.head = ws.ring[:n], 0
+		}
+	}
+	r.capEgressBuffers()
+	if cap(r.liveBuf) > egressRetain {
+		r.liveBuf = nil
+	}
 }
 
 // egressRetain bounds the pane-close scratch kept across fires, in rows

@@ -1,6 +1,7 @@
 package sliding
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -190,12 +191,63 @@ func TestSlidingLateKey(t *testing.T) {
 func TestSlidingRejections(t *testing.T) {
 	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Median, &stream.CountingSink{}); err == nil {
 		t.Fatal("holistic must be rejected")
+	} else if !errors.Is(err, ErrHolistic) {
+		t.Fatalf("MEDIAN rejection %v is not errors.Is(ErrHolistic)", err)
 	}
 	if _, err := New(&window.Set{}, agg.Min, &stream.CountingSink{}); err == nil {
 		t.Fatal("empty set must fail")
 	}
 	if _, err := New(window.MustSet(window.Tumbling(4)), agg.Min, nil); err == nil {
 		t.Fatal("nil sink must fail")
+	}
+}
+
+// TestSlidingSketchDistinctMatchesEngine pins the sketch pane-span path
+// against the engine's original plan for COUNT(DISTINCT v): HLL merging
+// is order-insensitive and register-exact, so merging pane sketches must
+// reproduce the engine's direct-fed per-instance sketches bit-for-bit —
+// same rows, same estimates.
+func TestSlidingSketchDistinctMatchesEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		set := &window.Set{}
+		n := r.Intn(3) + 1
+		for set.Len() < n {
+			s := int64(r.Intn(6) + 1)
+			k := int64(r.Intn(4) + 1)
+			w := window.Window{Range: s * k, Slide: s}
+			if !set.Contains(w) {
+				_ = set.Add(w)
+			}
+		}
+		events := steadyStream(int64(r.Intn(60)+20), r.Intn(3)+1, r)
+		for i := range events {
+			events[i].Value = float64(r.Intn(40)) // repeated values, real cardinality
+		}
+		sameResults(t, set.String()+" DISTINCT",
+			runSliding(t, set, agg.Distinct, events), runOriginal(t, set, agg.Distinct, events))
+	}
+}
+
+// TestSlidingSketchRowsMatchEngine checks that the sketch pane path
+// fires exactly the rows (window, instance, key) the engine fires, for
+// the order-sensitive sketches too — values are approximations with
+// different merge histories, so only coordinates are compared.
+func TestSlidingSketchRowsMatchEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	set := window.MustSet(window.Tumbling(4), window.Hopping(12, 3))
+	events := steadyStream(50, 3, r)
+	for _, fn := range []agg.Fn{agg.Percentile, agg.TopK} {
+		got, want := runSliding(t, set, fn, events), runOriginal(t, set, fn, events)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d rows, want %d", fn, len(got), len(want))
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.W != w.W || g.Start != w.Start || g.End != w.End || g.Key != w.Key {
+				t.Fatalf("%v: row %d is %v, want %v", fn, i, g, w)
+			}
+		}
 	}
 }
 
