@@ -1,0 +1,201 @@
+// Wire-mode benchmark: drives the HTTP server in-process with a
+// pre-encoded ingest body in one codec and drains the result stream in
+// the matching encoding, so the codecs compare head-to-head on the
+// exact bytes a client would send.
+
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/server"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/streamio"
+	"factorwindows/internal/wire"
+	"factorwindows/internal/workload"
+)
+
+// wireCodec is one ingest/stream encoding under test.
+type wireCodec struct {
+	name        string
+	contentType string // POST /ingest Content-Type
+	accept      string // GET stream Accept
+	encode      func(io.Writer, []stream.Event) error
+}
+
+var wireCodecs = []wireCodec{
+	{"binary", server.ContentTypeFrame, server.ContentTypeFrame, streamio.WriteBinary},
+	{"ndjson", "application/x-ndjson", "application/x-ndjson", streamio.WriteJSONL},
+	{"csv", "text/csv", "application/x-ndjson", streamio.WriteCSV},
+}
+
+// wireRecord is the machine-readable outcome of one codec run.
+type wireRecord struct {
+	Wire            string  `json:"wire"`
+	Events          int     `json:"events"`
+	Reps            int     `json:"reps"`
+	BodyBytes       int     `json:"body_bytes"`
+	IngestNsPerOp   int64   `json:"ingest_ns_per_op"`
+	IngestEventsSec float64 `json:"ingest_events_per_sec"`
+	StreamRows      int     `json:"stream_rows"`
+	StreamBytes     int     `json:"stream_bytes"`
+	StreamNs        int64   `json:"stream_ns"`
+	TotalBytesAlloc uint64  `json:"total_bytes_alloc"`
+	TotalAllocs     uint64  `json:"total_allocs"`
+}
+
+// discardWriter absorbs response bodies while counting them.
+type discardWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *discardWriter) Header() http.Header { return w.h }
+func (w *discardWriter) WriteHeader(c int)   { w.code = c }
+func (w *discardWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *discardWriter) Flush() {}
+
+// runWire benchmarks one codec (or all of them) through the full HTTP
+// stack: best-of-reps ingest of the same pre-encoded body under the
+// adjust policy (so repeats keep exercising the engine instead of being
+// dropped as late), then one timed drain of the retained result ring in
+// the codec's stream encoding.
+func runWire(mode string, cfg wireConfig) ([]wireRecord, error) {
+	var picked []wireCodec
+	for _, c := range wireCodecs {
+		if mode == "all" || mode == c.name {
+			picked = append(picked, c)
+		}
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("unknown -wire %q (want binary, ndjson, csv, or all)", mode)
+	}
+	events := workload.Synthetic(workload.StreamConfig{
+		Events: cfg.events, Keys: cfg.keys, EventsPerTick: cfg.pace, Seed: cfg.seed,
+	})
+	fmt.Fprintf(cfg.out, "%-8s %12s %14s %14s %12s %10s\n",
+		"wire", "body_bytes", "ingest_ns/op", "events/sec", "stream_rows", "stream_ns")
+	var out []wireRecord
+	for _, c := range picked {
+		rec, err := runWireCodec(c, events, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("wire %s: %w", c.name, err)
+		}
+		fmt.Fprintf(cfg.out, "%-8s %12d %14d %14.0f %12d %10d\n",
+			c.name, rec.BodyBytes, rec.IngestNsPerOp, rec.IngestEventsSec, rec.StreamRows, rec.StreamNs)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// wireConfig carries the subset of fwbench flags the wire mode uses.
+type wireConfig struct {
+	events, keys, pace, reps int
+	seed                     int64
+	fn                       agg.Fn
+	out                      io.Writer
+}
+
+func runWireCodec(c wireCodec, events []stream.Event, cfg wireConfig) (wireRecord, error) {
+	var body bytes.Buffer
+	if err := c.encode(&body, events); err != nil {
+		return wireRecord{}, err
+	}
+	srv := server.New(server.Config{Policy: reorder.Adjust, ResultBuffer: 1 << 14})
+	defer srv.Close()
+	h := srv.Handler()
+	q := fmt.Sprintf("SELECT DeviceID, %s(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 16))", cfg.fn)
+	if code, msg := do(h, "POST", "/queries?id=q1", "text/plain", bytes.NewReader([]byte(q)), ""); code != http.StatusCreated {
+		return wireRecord{}, fmt.Errorf("register: status %d: %s", code, msg)
+	}
+
+	rec := wireRecord{Wire: c.name, Events: len(events), Reps: cfg.reps, BodyBytes: body.Len()}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	best := time.Duration(1<<62 - 1)
+	payload := body.Bytes()
+	for rep := 0; rep < cfg.reps; rep++ {
+		start := time.Now()
+		if code, msg := do(h, "POST", "/ingest", c.contentType, bytes.NewReader(payload), ""); code != http.StatusOK {
+			return wireRecord{}, fmt.Errorf("ingest: status %d: %s", code, msg)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	rec.IngestNsPerOp = best.Nanoseconds()
+	rec.IngestEventsSec = float64(len(events)) / best.Seconds()
+
+	// Close the server first: rings close but stay readable, so the
+	// stream drains the retained rows and ends instead of long-polling.
+	srv.Close()
+	start := time.Now()
+	req := httptest.NewRequest("GET", "/queries/q1/stream?after=-1", nil)
+	if c.accept != "" {
+		req.Header.Set("Accept", c.accept)
+	}
+	w := &discardWriter{h: make(http.Header)}
+	h.ServeHTTP(w, req)
+	rec.StreamNs = time.Since(start).Nanoseconds()
+	rec.StreamBytes = w.n
+	runtime.ReadMemStats(&after)
+	rec.TotalBytesAlloc = after.TotalAlloc - before.TotalAlloc
+	rec.TotalAllocs = after.Mallocs - before.Mallocs
+
+	// Row count via a counting pass; the ring retains the tail, and both
+	// encodings must agree on what it holds.
+	rec.StreamRows = countStreamRows(h, c.accept)
+	return rec, nil
+}
+
+// countStreamRows re-reads the drained (closed) ring and counts rows in
+// the negotiated encoding, checking the binary framing round-trips.
+func countStreamRows(h http.Handler, accept string) int {
+	req := httptest.NewRequest("GET", "/queries/q1/stream?after=-1", nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	body := rw.Body.Bytes()
+	if accept == server.ContentTypeFrame {
+		rows := 0
+		for len(body) > 0 {
+			f, rest, err := wire.Decode(body)
+			if err != nil {
+				return -1
+			}
+			rows += f.Rows()
+			body = rest
+		}
+		return rows
+	}
+	return bytes.Count(body, []byte{'\n'})
+}
+
+// do issues one in-process request and returns the status plus body.
+func do(h http.Handler, method, target, contentType string, body io.Reader, accept string) (int, string) {
+	req := httptest.NewRequest(method, target, body)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw.Code, rw.Body.String()
+}

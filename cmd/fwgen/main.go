@@ -7,9 +7,11 @@
 //	fwgen -kind windows -gen R -n 5 -tumbling -runs 10
 //	fwgen -kind stream -dataset synthetic -events 1000000 > events.csv
 //	fwgen -kind stream -dataset debs -events 1000000 -keys 8
+//	fwgen -kind stream -format binary -events 1000000 > events.fwf
 //
 // Window sets print one set per line as "r1,s1;r2,s2;..."; streams print
-// "time,key,value" rows.
+// "time,key,value" rows (-format csv), JSON objects (-format jsonl), or
+// length-prefixed columnar frames (-format binary, internal/wire layout).
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 		tumbling = flag.Bool("tumbling", true, "tumbling (true) or hopping (false) windows")
 		runs     = flag.Int("runs", 10, "number of window sets")
 		dataset  = flag.String("dataset", "synthetic", "stream dataset: synthetic or debs")
+		format   = flag.String("format", "csv", "stream output format: csv, jsonl, or binary")
 		events   = flag.Int("events", 1_000_000, "number of events")
 		keys     = flag.Int("keys", 4, "number of device keys")
 		pace     = flag.Int("pace", 4, "events per tick")
@@ -47,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	case "stream":
-		if err := genStream(os.Stdout, *dataset, *events, *keys, *pace, *seed); err != nil {
+		if err := genStream(os.Stdout, *dataset, *format, *events, *keys, *pace, *seed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -87,7 +90,7 @@ func genWindows(out io.Writer, gen string, n int, tumbling bool, runs int, seed 
 	return nil
 }
 
-func genStream(out io.Writer, dataset string, events, keys, pace int, seed int64) error {
+func genStream(out io.Writer, dataset, format string, events, keys, pace int, seed int64) error {
 	cfg := workload.StreamConfig{Events: events, Keys: keys, EventsPerTick: pace, Seed: seed}
 	var es []stream.Event
 	switch dataset {
@@ -98,7 +101,16 @@ func genStream(out io.Writer, dataset string, events, keys, pace int, seed int64
 	default:
 		return fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return streamio.WriteCSV(out, es)
+	switch format {
+	case "csv":
+		return streamio.WriteCSV(out, es)
+	case "jsonl":
+		return streamio.WriteJSONL(out, es)
+	case "binary", "frame":
+		return streamio.WriteBinary(out, es)
+	default:
+		return fmt.Errorf("unknown format %q (want csv, jsonl, or binary)", format)
+	}
 }
 
 func fatal(err error) {

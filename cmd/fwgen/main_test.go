@@ -28,15 +28,21 @@ func TestGenWindows(t *testing.T) {
 }
 
 func TestGenStream(t *testing.T) {
+	for _, format := range []string{"csv", "jsonl", "binary"} {
+		var buf bytes.Buffer
+		if err := genStream(&buf, "synthetic", format, 20, 2, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		events, err := streamio.ReadEvents(&buf, format, true)
+		if err != nil || len(events) != 20 {
+			t.Fatalf("%s round trip: %d %v", format, len(events), err)
+		}
+	}
 	var buf bytes.Buffer
-	if err := genStream(&buf, "synthetic", 20, 2, 2, 1); err != nil {
-		t.Fatal(err)
-	}
-	events, err := streamio.ReadEvents(&buf, "csv", true)
-	if err != nil || len(events) != 20 {
-		t.Fatalf("round trip: %d %v", len(events), err)
-	}
-	if err := genStream(&buf, "nope", 1, 1, 1, 1); err == nil {
+	if err := genStream(&buf, "nope", "csv", 1, 1, 1, 1); err == nil {
 		t.Fatal("unknown dataset must fail")
+	}
+	if err := genStream(&buf, "synthetic", "xml", 1, 1, 1, 1); err == nil {
+		t.Fatal("unknown format must fail")
 	}
 }

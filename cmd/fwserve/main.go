@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +35,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		listenStream = flag.String("listen-stream", "", "optional raw-TCP listener address for persistent multiplexed binary result streams (empty disables)")
 		shards       = flag.Int("shards", 0, "key shards (0 = GOMAXPROCS)")
 		factors      = flag.Bool("factors", true, "enable factor-window expansion (Algorithm 3)")
 		reorderBound = flag.Int64("reorder-bound", 0, "out-of-order tolerance in ticks")
@@ -60,6 +62,24 @@ func main() {
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	// The persistent streaming listener multiplexes query subscriptions
+	// as binary frames over one long-lived TCP connection per client,
+	// instead of long-poll HTTP re-requests.
+	var streamSrv *server.StreamServer
+	if *listenStream != "" {
+		ln, err := net.Listen("tcp", *listenStream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streamSrv = server.NewStreamServer(srv)
+		go func() {
+			if err := streamSrv.Serve(ln); err != nil {
+				log.Printf("fwserve: stream listener: %v", err)
+			}
+		}()
+		log.Printf("fwserve: streaming listener on %s", ln.Addr())
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -70,6 +90,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Close() // ends result streams so Shutdown can drain them
+		if streamSrv != nil {
+			streamSrv.Close()
+		}
 		httpSrv.Shutdown(ctx)
 	}()
 

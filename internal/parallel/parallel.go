@@ -45,17 +45,26 @@ func (s *lockedSink) emitBatch(rs []stream.Result) {
 
 // shardSink buffers one shard's emissions and flushes them to the shared
 // sink in batches, so high-cardinality outputs do not serialize the
-// shards on a per-row lock.
+// shards on a per-row lock. In ordered mode (SetOrderedDrain) the shard
+// stops flushing on its own below the spill high-water mark; the driving
+// goroutine drains the buffers in shard index order at each Barrier.
 type shardSink struct {
-	out *lockedSink
-	buf []stream.Result
+	out     *lockedSink
+	buf     []stream.Result
+	ordered bool
 }
 
 const shardSinkBatch = 1024
 
+// orderedSpill caps a shard's buffered results in ordered mode. A shard
+// whose buffer crosses it flushes eagerly — memory stays bounded, at the
+// cost of deterministic ordering for that barrier interval. Drivers that
+// barrier per bounded ingest chunk (the server) stay far below it.
+const orderedSpill = 1 << 15
+
 func (s *shardSink) Emit(r stream.Result) {
 	s.buf = append(s.buf, r)
-	if len(s.buf) >= shardSinkBatch {
+	if len(s.buf) >= s.flushAt() {
 		s.flush()
 	}
 }
@@ -64,17 +73,26 @@ func (s *shardSink) Emit(r stream.Result) {
 // lands here. Small batches coalesce into the shard buffer; a batch
 // already at flush size skips the copy and goes straight through the
 // serialized sink (after flushing the buffer, to keep per-key order) —
-// the batch is only borrowed for the call either way.
+// the batch is only borrowed for the call either way. Ordered mode
+// always copies: a passthrough would interleave with other shards at
+// whatever moment this shard's engine fired.
 func (s *shardSink) EmitBatch(rs []stream.Result) {
-	if len(rs) >= shardSinkBatch/2 {
+	if !s.ordered && len(rs) >= shardSinkBatch/2 {
 		s.flush()
 		s.out.emitBatch(rs)
 		return
 	}
 	s.buf = append(s.buf, rs...)
-	if len(s.buf) >= shardSinkBatch {
+	if len(s.buf) >= s.flushAt() {
 		s.flush()
 	}
+}
+
+func (s *shardSink) flushAt() int {
+	if s.ordered {
+		return orderedSpill
+	}
+	return shardSinkBatch
 }
 
 func (s *shardSink) flush() {
@@ -268,11 +286,14 @@ type shard struct {
 // with Close; Process, Advance, Barrier, Snapshot and Close must all be
 // called from the single goroutine driving the Runner (the shard rings
 // are single-producer). Results arrive on the sink concurrently; their
-// order is deterministic per key but interleaved across shards.
+// order is deterministic per key but interleaved across shards — unless
+// SetOrderedDrain is on, in which case Barrier and Close deliver the
+// shard buffers in shard index order.
 type Runner struct {
-	shards []*shard
-	closed bool
-	events int64
+	shards  []*shard
+	closed  bool
+	ordered bool
+	events  int64
 
 	// freeScatter recycles Process's staging buffers (see scatter).
 	freeScatter chan *scatter
@@ -385,7 +406,9 @@ func (sh *shard) consume() (err error) {
 		cur = msg
 		switch {
 		case msg.ack != nil:
-			sh.sink.flush()
+			if !sh.sink.ordered {
+				sh.sink.flush()
+			}
 			cur.ack = nil
 			msg.ack.complete()
 		case msg.advanceSet:
@@ -409,7 +432,9 @@ func (sh *shard) finish() (err error) {
 		}
 	}()
 	sh.runner.Close()
-	sh.sink.flush()
+	if !sh.sink.ordered {
+		sh.sink.flush()
+	}
 	return nil
 }
 
@@ -431,6 +456,35 @@ func (r *Runner) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.failure
+}
+
+// SetOrderedDrain makes the Runner's cross-shard result order
+// deterministic: shards stop flushing their buffers to the sink on
+// their own (below the orderedSpill high-water mark), and each Barrier
+// — and the final Close — drains them in shard index order on the
+// driving goroutine instead. Given a fixed ingest batch cadence the
+// sink then sees one reproducible result sequence, which is what lets
+// the server promise byte-identical result streams regardless of which
+// wire codec carried the events, and stable ring sequence numbers for
+// stream resume. Results become visible only at barriers, so callers
+// must barrier at their ingest cadence (the server barriers every
+// chunk). Call it right after construction, before the first Process;
+// flipping it mid-stream races with the shard goroutines.
+func (r *Runner) SetOrderedDrain(on bool) {
+	r.ordered = on
+	for _, sh := range r.shards {
+		sh.sink.ordered = on
+	}
+}
+
+// drainOrdered flushes every shard's buffered results in shard index
+// order. Only called from the driving goroutine while the shard loops
+// are quiescent (after a barrier ack or Close join), which is what
+// makes touching the shard-owned buffers safe.
+func (r *Runner) drainOrdered() {
+	for _, sh := range r.shards {
+		sh.sink.flush()
+	}
 }
 
 // shardOf maps a key to its shard via a Fibonacci hash, spreading
@@ -527,6 +581,9 @@ func (r *Runner) Barrier() {
 		sh.in.push(shardMsg{ack: &r.ack})
 	}
 	<-r.ack.done
+	if r.ordered {
+		r.drainOrdered()
+	}
 }
 
 // Close flushes every shard and waits for all pending results.
@@ -540,6 +597,9 @@ func (r *Runner) Close() {
 	}
 	for _, sh := range r.shards {
 		<-sh.done
+	}
+	if r.ordered {
+		r.drainOrdered()
 	}
 }
 

@@ -227,3 +227,56 @@ func BenchmarkShardScaling(b *testing.B) {
 		})
 	}
 }
+
+// TestOrderedDrainDeterministic pins SetOrderedDrain's contract: with a
+// fixed batch cadence and a barrier per batch, the sink sees one exact
+// result sequence — same rows, same order — on every run. The default
+// mode only promises the multiset (shards race to the shared sink), so
+// the unsorted comparison here is specifically what ordered mode adds.
+// The server's cross-codec byte-identical streams stand on this.
+func TestOrderedDrainDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	events := randomEvents(r, 20_000, 64)
+	p := testPlan(t, agg.Sum, true)
+
+	run := func() []stream.Result {
+		sink := &stream.CollectingSink{}
+		runner, err := New(p, sink, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner.SetOrderedDrain(true)
+		const batch = 512
+		for off := 0; off < len(events); off += batch {
+			end := off + batch
+			if end > len(events) {
+				end = len(events)
+			}
+			runner.Process(events[off:end])
+			runner.Barrier()
+		}
+		runner.Close()
+		return sink.Results
+	}
+
+	want := run()
+	if len(want) == 0 {
+		t.Fatal("workload produced no results")
+	}
+	for i := 0; i < 3; i++ {
+		assertSameResults(t, "ordered rerun", run(), want)
+	}
+
+	// Ordered draining must change only the order: the multiset still
+	// matches the default concurrent-flush mode.
+	free := &stream.CollectingSink{}
+	if _, err := Run(p, events, free, 4); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "vs default mode", sortedCopy(want), free.Sorted())
+}
+
+func sortedCopy(rs []stream.Result) []stream.Result {
+	c := stream.CollectingSink{Results: append([]stream.Result(nil), rs...)}
+	return c.Sorted()
+}

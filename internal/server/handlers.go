@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -15,12 +16,19 @@ import (
 
 	"factorwindows/internal/stream"
 	"factorwindows/internal/streamio"
+	"factorwindows/internal/wire"
 )
 
-// ndjsonBatch is how many NDJSON lines are grouped into one engine batch
-// while streaming ingest; batches release the ingest lock between each
-// other so concurrent clients interleave.
-const ndjsonBatch = 256
+// ingestChunk is how many events every ingest codec groups into one
+// engine batch. One shared granularity matters beyond tuning: the
+// watermark advances per engine batch, and together with the runner's
+// ordered drain (parallel.SetOrderedDrain, one shard-ordered flush per
+// batch) the batch cadence fully decides how result rows land in the
+// rings — so it must not depend on which Content-Type carried the
+// events (the cross-codec equivalence test pins this). Chunks also
+// release the ingest lock between each other so concurrent clients
+// interleave.
+const ingestChunk = 8192
 
 // ingestBatchPool recycles the per-request event staging batch (the
 // scanner's line buffer comes from streamio's shared pool). The
@@ -28,7 +36,7 @@ const ndjsonBatch = 256
 // the batch is staged into the reorder buffer / shard scatters), so
 // returning the buffers after the handler finishes is safe.
 var ingestBatchPool = sync.Pool{New: func() any {
-	s := make([]stream.Event, 0, ndjsonBatch)
+	s := make([]stream.Event, 0, ingestChunk)
 	return &s
 }}
 
@@ -39,8 +47,10 @@ var ingestBatchPool = sync.Pool{New: func() any {
 //	GET    /queries/{id}         one query's state
 //	DELETE /queries/{id}         unregister
 //	GET    /queries/{id}/results cursor read: ?after=<seq>&limit=<n>
-//	GET    /queries/{id}/stream  NDJSON long-poll stream: ?after=<seq>
-//	POST   /ingest               events: JSON array, NDJSON stream, or CSV
+//	GET    /queries/{id}/stream  long-poll result stream: ?after=<seq>; NDJSON,
+//	                             or binary frames via Accept: application/x-fw-frame
+//	POST   /ingest               events by Content-Type: JSON array, NDJSON
+//	                             stream, CSV, or binary frames (application/x-fw-frame)
 //	POST   /replan               re-optimize in place (?eta=<rate> re-prices the cost model)
 //	GET    /stats                server-wide stats
 //	GET    /checkpoint           binary state snapshot
@@ -98,7 +108,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := registerRequest{ID: r.URL.Query().Get("id")}
-	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt == "application/json" {
 		if err := json.Unmarshal(body, &req); err != nil {
 			httpError(w, fmt.Errorf("server: request body: %w", err))
 			return
@@ -225,11 +236,37 @@ func appendRowJSON(dst []byte, row *ResultRow) []byte {
 	return append(dst, '}')
 }
 
-// handleStream writes results as NDJSON, blocking for new rows until the
-// client disconnects, the query is unregistered, or the server closes.
-// The wire loop is allocation-free per poll: rows drain into a pooled
-// staging buffer, the whole chunk encodes via strconv appends into a
-// pooled byte buffer, and one Write hands it to the response.
+// acceptsFrames reports whether the request's Accept header asks for
+// the binary frame format. Parsing is per media type, like the ingest
+// dispatch — substring matching is what satellite types exploit.
+func acceptsFrames(r *http.Request) bool {
+	for part := range strings.SplitSeq(r.Header.Get("Accept"), ",") {
+		if mt, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && mt == ContentTypeFrame {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeFrameRows encodes one drained ring run as a single binary
+// result frame. Ring sequence numbers are assigned consecutively and
+// readAfterInto returns a contiguous range, so the frame carries only
+// rows[0].Seq and the per-row sequence column stays off the wire.
+func encodeFrameRows(dst []byte, rows []ResultRow) []byte {
+	enc := wire.BeginResultFrame(dst, 0, rows[0].Seq, len(rows))
+	for i := range rows {
+		enc.SetRow(i, rows[i].Range, rows[i].Slide, rows[i].Start, rows[i].End, rows[i].Key, rows[i].Value)
+	}
+	return enc.Bytes()
+}
+
+// handleStream writes results as NDJSON — or, when the Accept header
+// names the frame media type, as binary columnar frames (one frame per
+// drained chunk) — blocking for new rows until the client disconnects,
+// the query is unregistered, or the server closes. The wire loop is
+// allocation-free per poll either way: rows drain into a pooled staging
+// buffer, the whole chunk encodes into a pooled byte buffer, and one
+// Write hands it to the response.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	after, err := cursor(r)
 	if err != nil {
@@ -241,7 +278,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	binary := acceptsFrames(r)
+	if binary {
+		w.Header().Set("Content-Type", ContentTypeFrame)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	rowsp := streamRowPool.Get().(*[]ResultRow)
@@ -254,8 +296,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		*rowsp = rows
 		if len(rows) > 0 {
 			buf := (*bufp)[:0]
-			for i := range rows {
-				buf = appendRowNDJSON(buf, &rows[i])
+			if binary {
+				buf = encodeFrameRows(buf, rows)
+			} else {
+				for i := range rows {
+					buf = appendRowNDJSON(buf, &rows[i])
+				}
 			}
 			*bufp = buf
 			if _, err := w.Write(buf); err != nil {
@@ -283,18 +329,63 @@ type jsonEvent struct {
 	Value float64 `json:"value"`
 }
 
+// ContentTypeFrame is the media type of the binary columnar frame
+// format (internal/wire): POST /ingest accepts it as a request body,
+// and GET /queries/{id}/stream serves it when the client's Accept
+// header asks for it.
+const ContentTypeFrame = "application/x-fw-frame"
+
+// ingestMediaTypes maps each supported Content-Type onto its decode
+// path. Dispatch is on the exact parsed media type — substring sniffing
+// admitted garbage like "application/njsonx" as NDJSON.
+var ingestMediaTypes = map[string]string{
+	"application/json":     "json",
+	"application/x-ndjson": "ndjson",
+	"application/ndjson":   "ndjson",
+	"text/csv":             "csv",
+	"application/csv":      "csv",
+	ContentTypeFrame:       "frame",
+}
+
+// supportedIngestTypes lists the accepted media types for the 415 body,
+// stable order.
+var supportedIngestTypes = []string{
+	"application/json", "application/x-ndjson", "application/ndjson",
+	"text/csv", "application/csv", ContentTypeFrame,
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	ct := r.Header.Get("Content-Type")
-	switch {
-	case strings.Contains(ct, "ndjson"):
+	codec := "json" // historical default: a bare POST carries a JSON array
+	if ct := r.Header.Get("Content-Type"); strings.TrimSpace(ct) != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			writeJSON(w, http.StatusUnsupportedMediaType, map[string]any{
+				"error":     fmt.Sprintf("server: malformed Content-Type %q: %v", ct, err),
+				"supported": supportedIngestTypes,
+			})
+			return
+		}
+		var ok bool
+		if codec, ok = ingestMediaTypes[mt]; !ok {
+			writeJSON(w, http.StatusUnsupportedMediaType, map[string]any{
+				"error":     fmt.Sprintf("server: unsupported Content-Type %q", mt),
+				"supported": supportedIngestTypes,
+			})
+			return
+		}
+	}
+	switch codec {
+	case "ndjson":
 		s.ingestNDJSON(w, r)
-	case strings.Contains(ct, "csv"):
+	case "csv":
 		events, err := streamio.ReadCSV(r.Body)
 		if err != nil {
 			httpError(w, err)
 			return
 		}
 		s.ingestBatch(w, events)
+	case "frame":
+		s.ingestFrames(w, r)
 	default: // JSON array
 		var evs []jsonEvent
 		if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
@@ -309,17 +400,114 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// frameBatchPool recycles the binary ingest path's event staging batch.
+// Frames carry whole client-side batches (up to wire.MaxFrameRows), so
+// the slices grow larger than the NDJSON staging; oversized ones are
+// dropped instead of pooled.
+var frameBatchPool = sync.Pool{New: func() any {
+	s := make([]stream.Event, 0, 4096)
+	return &s
+}}
+
+// frameBatchRetain bounds the pooled staging capacity, in events.
+const frameBatchRetain = 1 << 16
+
+// ingestFrames consumes a stream of binary columnar event frames: the
+// frames' column vectors scatter straight into the pooled staging slice
+// (no per-event decode work or structs on the wire), which hands the
+// pipeline one batch per ingestChunk events regardless of how the
+// client framed them, so frame boundaries never change the watermark
+// cadence. Chunk flushes release the ingest lock between each other so
+// concurrent clients interleave, like the NDJSON path. A client that
+// frames in ingestChunk-row frames hits the exact-alignment fast path:
+// every flush drains the staging slice completely and no rows carry
+// over between frames.
+func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request) {
+	fr := wire.NewReader(r.Body)
+	defer fr.Close()
+	batchp := frameBatchPool.Get().(*[]stream.Event)
+	defer func() {
+		if cap(*batchp) <= frameBatchRetain {
+			*batchp = (*batchp)[:0]
+			frameBatchPool.Put(batchp)
+		}
+	}()
+	batch := (*batchp)[:0]
+	defer func() { *batchp = batch[:0] }()
+	var (
+		total  IngestStatus
+		frames int
+	)
+	flush := func(chunk []stream.Event) error {
+		st, err := s.Ingest(chunk)
+		if err != nil {
+			return err
+		}
+		total.Accepted += st.Accepted
+		total.Dropped += st.Dropped
+		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+		return nil
+	}
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		frames++
+		if err != nil {
+			httpError(w, fmt.Errorf("server: frame %d: %w", frames, err))
+			return
+		}
+		if f.Kind != wire.KindEvents {
+			httpError(w, fmt.Errorf("server: frame %d: kind %d is not an event frame", frames, f.Kind))
+			return
+		}
+		batch = f.AppendEvents(batch)
+		for len(batch) >= ingestChunk {
+			if err := flush(batch[:ingestChunk]); err != nil {
+				httpError(w, err)
+				return
+			}
+			batch = append(batch[:0], batch[ingestChunk:]...)
+		}
+	}
+	if len(batch) > 0 {
+		if err := flush(batch); err != nil {
+			httpError(w, err)
+			return
+		}
+		batch = batch[:0]
+	}
+	writeJSON(w, http.StatusOK, total)
+}
+
 func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
-	st, err := s.Ingest(events)
-	if err != nil {
-		httpError(w, err)
+	if len(events) == 0 {
+		st, err := s.Ingest(events)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	var total IngestStatus
+	for off := 0; off < len(events); off += ingestChunk {
+		end := min(off+ingestChunk, len(events))
+		st, err := s.Ingest(events[off:end])
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		total.Accepted += st.Accepted
+		total.Dropped += st.Dropped
+		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+	}
+	writeJSON(w, http.StatusOK, total)
 }
 
 // ingestNDJSON consumes an event-per-line stream incrementally, handing
-// the pipeline one batch per ndjsonBatch lines. The staging batch and
+// the pipeline one batch per ingestChunk lines. The staging batch and
 // scanner buffer are pooled, and lines decode from the scanner's byte
 // slice directly — no per-line string or per-request buffer allocation.
 func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
@@ -359,7 +547,7 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		batch = append(batch, stream.Event{Time: je.Time, Key: je.Key, Value: je.Value})
-		if len(batch) >= ndjsonBatch {
+		if len(batch) >= ingestChunk {
 			if err := flush(); err != nil {
 				httpError(w, err)
 				return

@@ -514,6 +514,12 @@ func (s *Server) buildPipeline(freshFloor int64, carried *reorder.State, engineS
 	if err != nil {
 		return nil, 0, err
 	}
+	// The server barriers after every ingestChunk batch, so ordered
+	// draining makes the cross-shard result order — and therefore ring
+	// sequence numbers and the bytes of both stream encodings — a pure
+	// function of the ingested events. The cross-codec equivalence test
+	// and binary stream resume both lean on this.
+	runner.SetOrderedDrain(true)
 	var buf *reorder.Buffer
 	if carried != nil {
 		buf, err = reorder.NewFromState(runner, *carried, s.onLate)

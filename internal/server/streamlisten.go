@@ -1,0 +1,316 @@
+// Persistent streaming listener: one raw TCP connection multiplexes any
+// number of query subscriptions as binary result frames, replacing
+// long-poll re-requests for high-fan-out subscribers.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"factorwindows/internal/streamio"
+	"factorwindows/internal/wire"
+)
+
+// streamWriteTimeout bounds one frame write; a subscriber that stops
+// reading loses its connection instead of parking a goroutine forever.
+const streamWriteTimeout = 30 * time.Second
+
+// subOp is one client → server control line (NDJSON): subscribe a query
+// under a client-chosen stream id, or unsubscribe that id. After is the
+// per-query resume cursor (sequence numbers are durable across
+// reconnects: resubscribe with the last sequence seen and delivery
+// continues exactly where it stopped, minus anything the ring evicted).
+type subOp struct {
+	Op     string `json:"op"`
+	Stream uint32 `json:"stream"`
+	ID     string `json:"id"`
+	After  int64  `json:"after"`
+}
+
+// subAck is the JSON payload of the control frame answering one subOp,
+// or announcing a subscription's end of stream.
+type subAck struct {
+	Stream uint32 `json:"stream"`
+	ID     string `json:"id,omitempty"`
+	OK     bool   `json:"ok,omitempty"`
+	EOF    bool   `json:"eof,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// StreamServer serves the persistent streaming protocol over raw TCP:
+//
+//	client → server  one JSON object per line —
+//	    {"op":"subscribe","stream":1,"id":"q1","after":-1}
+//	    {"op":"unsubscribe","stream":1}
+//	server → client  binary frames (internal/wire) —
+//	    control frames carrying subAck JSON (op acks, errors, EOF), and
+//	    result frames tagged with the subscription's stream id, one per
+//	    drained ring run, row 0's sequence number in the header.
+//
+// Stream ids are chosen by the client and scope every server frame to
+// one subscription, so frames of many queries interleave on one
+// connection without ambiguity. The server closes a subscription with
+// an EOF control frame when its query is unregistered or the server
+// shuts down; the connection itself stays usable.
+type StreamServer struct {
+	s *Server
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*streamConn]struct{}
+	closed    bool
+}
+
+// NewStreamServer wraps s with the persistent streaming protocol; serve
+// it on any number of listeners with Serve.
+func NewStreamServer(s *Server) *StreamServer {
+	return &StreamServer{
+		s:         s,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*streamConn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the
+// StreamServer closes. It blocks; run it in a goroutine.
+func (ss *StreamServer) Serve(l net.Listener) error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	ss.listeners[l] = struct{}{}
+	ss.mu.Unlock()
+	defer func() {
+		ss.mu.Lock()
+		delete(ss.listeners, l)
+		ss.mu.Unlock()
+		l.Close()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			ss.mu.Lock()
+			closed := ss.closed
+			ss.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sc := &streamConn{ss: ss, c: c, done: make(chan struct{}), subs: make(map[uint32]chan struct{})}
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		ss.conns[sc] = struct{}{}
+		ss.mu.Unlock()
+		go sc.run()
+	}
+}
+
+// Close stops accepting, severs every live connection, and leaves the
+// underlying Server untouched.
+func (ss *StreamServer) Close() {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.closed = true
+	lns := make([]net.Listener, 0, len(ss.listeners))
+	for l := range ss.listeners {
+		lns = append(lns, l)
+	}
+	conns := make([]*streamConn, 0, len(ss.conns))
+	for c := range ss.conns {
+		conns = append(conns, c)
+	}
+	ss.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// streamConn is one client connection: a control-line reader plus one
+// writer goroutine per live subscription, all frame writes serialized
+// on wmu so frames never interleave mid-frame.
+type streamConn struct {
+	ss   *StreamServer
+	c    net.Conn
+	done chan struct{}
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu     sync.Mutex // guards subs
+	subs   map[uint32]chan struct{}
+	closed bool
+}
+
+// run reads control lines until the client disconnects, then tears the
+// connection's subscriptions down.
+func (sc *streamConn) run() {
+	defer sc.close()
+	defer func() {
+		sc.ss.mu.Lock()
+		delete(sc.ss.conns, sc)
+		sc.ss.mu.Unlock()
+	}()
+	scan, putScanBuf := streamio.NewLineScanner(sc.c)
+	defer putScanBuf()
+	for scan.Scan() {
+		line := scan.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var op subOp
+		if err := json.Unmarshal(line, &op); err != nil {
+			sc.ack(subAck{Error: fmt.Sprintf("bad control line: %v", err)})
+			return
+		}
+		switch op.Op {
+		case "subscribe":
+			sc.subscribe(op)
+		case "unsubscribe":
+			sc.unsubscribe(op.Stream)
+		default:
+			sc.ack(subAck{Stream: op.Stream, Error: fmt.Sprintf("unknown op %q", op.Op)})
+		}
+	}
+}
+
+// subscribe resolves the query's ring and starts the subscription's
+// writer; errors come back as control frames so one bad subscribe does
+// not sever the other streams on the connection.
+func (sc *streamConn) subscribe(op subOp) {
+	rg, err := sc.ss.s.ringOf(op.ID)
+	if err != nil {
+		sc.ack(subAck{Stream: op.Stream, ID: op.ID, Error: err.Error()})
+		return
+	}
+	stop := make(chan struct{})
+	sc.mu.Lock()
+	if _, taken := sc.subs[op.Stream]; taken {
+		sc.mu.Unlock()
+		sc.ack(subAck{Stream: op.Stream, ID: op.ID, Error: fmt.Sprintf("stream %d already subscribed", op.Stream)})
+		return
+	}
+	sc.subs[op.Stream] = stop
+	sc.mu.Unlock()
+	sc.ack(subAck{Stream: op.Stream, ID: op.ID, OK: true})
+	go sc.streamSub(op.Stream, rg, op.After, stop)
+}
+
+// unsubscribe stops one subscription; unknown ids ack with an error.
+func (sc *streamConn) unsubscribe(streamID uint32) {
+	sc.mu.Lock()
+	stop, ok := sc.subs[streamID]
+	if ok {
+		delete(sc.subs, streamID)
+	}
+	sc.mu.Unlock()
+	if !ok {
+		sc.ack(subAck{Stream: streamID, Error: fmt.Sprintf("stream %d not subscribed", streamID)})
+		return
+	}
+	close(stop)
+	sc.ack(subAck{Stream: streamID, OK: true})
+}
+
+// streamSub is one subscription's writer loop: the persistent-stream
+// counterpart of handleStream, with the drained runs framed under the
+// subscription's stream id instead of NDJSON. Steady state is
+// allocation-free per poll: pooled row staging, pooled encode buffer,
+// one frame write per drained run.
+func (sc *streamConn) streamSub(streamID uint32, rg *ring, after int64, stop chan struct{}) {
+	rowsp := streamRowPool.Get().(*[]ResultRow)
+	defer func() { *rowsp = (*rowsp)[:0]; streamRowPool.Put(rowsp) }()
+	bufp := streamio.GetEncodeBuf()
+	defer streamio.PutEncodeBuf(bufp)
+	for {
+		wake := rg.waitCh() // fetch before reading: no missed wakeups
+		rows, _ := rg.readAfterInto(after, streamChunk, (*rowsp)[:0])
+		*rowsp = rows
+		if len(rows) > 0 {
+			enc := wire.BeginResultFrame((*bufp)[:0], streamID, rows[0].Seq, len(rows))
+			for i := range rows {
+				enc.SetRow(i, rows[i].Range, rows[i].Slide, rows[i].Start, rows[i].End, rows[i].Key, rows[i].Value)
+			}
+			buf := enc.Bytes()
+			*bufp = buf
+			if err := sc.write(buf); err != nil {
+				sc.close()
+				return
+			}
+			after = rows[len(rows)-1].Seq
+			continue
+		}
+		if rg.isClosed() {
+			sc.ack(subAck{Stream: streamID, EOF: true})
+			sc.dropSub(streamID)
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-sc.done:
+			return
+		case <-wake:
+		}
+	}
+}
+
+// dropSub removes a subscription that ended on its own (ring closed).
+func (sc *streamConn) dropSub(streamID uint32) {
+	sc.mu.Lock()
+	delete(sc.subs, streamID)
+	sc.mu.Unlock()
+}
+
+// ack sends one control frame; write failures sever the connection.
+func (sc *streamConn) ack(a subAck) {
+	payload, err := json.Marshal(a)
+	if err != nil {
+		return
+	}
+	buf := wire.AppendControlFrame(nil, a.Stream, payload)
+	if sc.write(buf) != nil {
+		sc.close()
+	}
+}
+
+// write sends one whole frame under the write lock with a deadline.
+func (sc *streamConn) write(buf []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	_, err := sc.c.Write(buf)
+	return err
+}
+
+// close severs the connection and stops every subscription goroutine.
+func (sc *streamConn) close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	for id, stop := range sc.subs {
+		close(stop)
+		delete(sc.subs, id)
+	}
+	sc.mu.Unlock()
+	close(sc.done)
+	sc.c.Close()
+}

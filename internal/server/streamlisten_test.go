@@ -1,0 +1,252 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"factorwindows/internal/stream"
+	"factorwindows/internal/wire"
+)
+
+// streamClient wraps one persistent-stream connection for tests.
+type streamClient struct {
+	t  *testing.T
+	c  net.Conn
+	fr *wire.Reader
+}
+
+func dialStream(t *testing.T, addr string) *streamClient {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	fr := wire.NewReader(c)
+	t.Cleanup(fr.Close)
+	return &streamClient{t: t, c: c, fr: fr}
+}
+
+func (cl *streamClient) send(op subOp) {
+	cl.t.Helper()
+	line, err := json.Marshal(op)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	if _, err := cl.c.Write(append(line, '\n')); err != nil {
+		cl.t.Fatal(err)
+	}
+}
+
+// next reads one frame with a test deadline.
+func (cl *streamClient) next() wire.Frame {
+	cl.t.Helper()
+	cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := cl.fr.Next()
+	if err != nil {
+		cl.t.Fatalf("reading frame: %v", err)
+	}
+	return f
+}
+
+func (cl *streamClient) expectAck(want subAck) {
+	cl.t.Helper()
+	f := cl.next()
+	if f.Kind != wire.KindControl {
+		cl.t.Fatalf("expected control frame, got kind %d", f.Kind)
+	}
+	var got subAck
+	if err := json.Unmarshal(f.Control(), &got); err != nil {
+		cl.t.Fatal(err)
+	}
+	if got.Stream != want.Stream || got.OK != want.OK || got.EOF != want.EOF ||
+		(want.Error == "") != (got.Error == "") {
+		cl.t.Fatalf("ack = %+v, want %+v", got, want)
+	}
+}
+
+// frameRow is one decoded result row for comparisons.
+type frameRow struct {
+	seq, rng, start int64
+	key             uint64
+	value           float64
+}
+
+// collectRows reads result frames for streamID until n rows arrived,
+// failing on unexpected frames.
+func (cl *streamClient) collectRows(streamID uint32, n int) []frameRow {
+	cl.t.Helper()
+	var out []frameRow
+	for len(out) < n {
+		f := cl.next()
+		if f.Kind != wire.KindResults {
+			cl.t.Fatalf("expected result frame, got kind %d (control=%q)", f.Kind, string(f.Control()))
+		}
+		if f.StreamID != streamID {
+			cl.t.Fatalf("frame for stream %d, want %d", f.StreamID, streamID)
+		}
+		for i := 0; i < f.Rows(); i++ {
+			seq, rng, _, start, _, key, value := f.Result(i)
+			out = append(out, frameRow{seq: seq, rng: rng, start: start, key: key, value: value})
+		}
+	}
+	return out
+}
+
+// TestStreamListener drives the persistent listener end to end: two
+// subscriptions multiplex over one connection, frames carry consecutive
+// sequence numbers per query, unsubscribe stops delivery, query
+// unregistration EOFs the subscription, and a reconnect with the
+// last-seen sequence resumes without loss or duplication.
+func TestStreamListener(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	if _, err := s.Register("a", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 10))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("b", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))"); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "a", After: -1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+	cl.send(subOp{Op: "subscribe", Stream: 2, ID: "b", After: -1})
+	cl.expectAck(subAck{Stream: 2, OK: true})
+	cl.send(subOp{Op: "subscribe", Stream: 2, ID: "a", After: -1})
+	cl.expectAck(subAck{Stream: 2, Error: "taken"})
+	cl.send(subOp{Op: "subscribe", Stream: 3, ID: "nope", After: -1})
+	cl.expectAck(subAck{Stream: 3, Error: "not found"})
+
+	// Two keys over [0,40): window a (range 10) completes 4 instances per
+	// key, window b (range 20) completes 2 per key.
+	var events []stream.Event
+	for tick := int64(0); tick <= 40; tick++ {
+		for k := uint64(0); k < 2; k++ {
+			events = append(events, stream.Event{Time: tick, Key: k, Value: 1})
+		}
+	}
+	if _, err := s.Ingest(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rows interleave across the two streams in any order; collect each
+	// stream's expected count separately by peeking at stream ids.
+	want1, want2 := 8, 4
+	got1, got2 := []frameRow{}, []frameRow{}
+	for len(got1) < want1 || len(got2) < want2 {
+		f := cl.next()
+		if f.Kind != wire.KindResults {
+			t.Fatalf("unexpected frame kind %d", f.Kind)
+		}
+		for i := 0; i < f.Rows(); i++ {
+			seq, rng, _, start, _, key, value := f.Result(i)
+			r := frameRow{seq: seq, rng: rng, start: start, key: key, value: value}
+			switch f.StreamID {
+			case 1:
+				got1 = append(got1, r)
+			case 2:
+				got2 = append(got2, r)
+			default:
+				t.Fatalf("frame for unknown stream %d", f.StreamID)
+			}
+		}
+	}
+	for i, r := range got1 {
+		if r.seq != int64(i) {
+			t.Fatalf("stream 1 row %d has seq %d; want consecutive", i, r.seq)
+		}
+		if r.rng != 10 || r.value != 10 {
+			t.Fatalf("stream 1 row %d = %+v; want range 10, SUM 10", i, r)
+		}
+	}
+	for i, r := range got2 {
+		if r.seq != int64(i) || r.rng != 20 || r.value != 20 {
+			t.Fatalf("stream 2 row %d = %+v; want consecutive seq, range 20, SUM 20", i, r)
+		}
+	}
+
+	// Unsubscribe stream 2; more events must only feed stream 1.
+	cl.send(subOp{Op: "unsubscribe", Stream: 2})
+	cl.expectAck(subAck{Stream: 2, OK: true})
+	var more []stream.Event
+	for tick := int64(41); tick <= 60; tick++ {
+		for k := uint64(0); k < 2; k++ {
+			more = append(more, stream.Event{Time: tick, Key: k, Value: 1})
+		}
+	}
+	if _, err := s.Ingest(more); err != nil {
+		t.Fatal(err)
+	}
+	next1 := cl.collectRows(1, 4)
+	if next1[0].seq != int64(want1) {
+		t.Fatalf("stream 1 resumed at seq %d, want %d", next1[0].seq, want1)
+	}
+
+	// Unregistering the query EOFs its subscription.
+	if err := s.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	cl.expectAck(subAck{Stream: 1, EOF: true})
+
+	// A fresh connection resumes query b from an explicit cursor: rows
+	// before it are skipped, rows after it arrive exactly once.
+	cl2 := dialStream(t, ln.Addr().String())
+	cl2.send(subOp{Op: "subscribe", Stream: 7, ID: "b", After: 1})
+	cl2.expectAck(subAck{Stream: 7, OK: true})
+	resumed := cl2.collectRows(7, want2-2)
+	if resumed[0].seq != 2 {
+		t.Fatalf("resume after=1 started at seq %d, want 2", resumed[0].seq)
+	}
+}
+
+// TestStreamListenerClose pins shutdown: closing the StreamServer severs
+// connections without disturbing the underlying Server.
+func TestStreamListenerClose(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 10))"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- ss.Serve(ln) }()
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+
+	ss.Close()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, err := cl.fr.Next(); err != nil {
+			break // connection severed
+		}
+	}
+	// The HTTP-facing server still works.
+	if _, err := s.Ingest([]stream.Event{{Time: 1, Key: 1, Value: 1}}); err != nil {
+		t.Fatalf("server broken after StreamServer close: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+	"factorwindows/internal/wire"
+)
+
+// TestZeroAllocWireSteadyState extends the engine's zero-alloc
+// guarantee across the binary wire paths: once buffers are warm,
+// decoding event frames into the engine and encoding drained ring runs
+// into result frames both run without heap allocations — the full
+// binary ingest→engine→egress loop allocates only at the HTTP layer.
+func TestZeroAllocWireSteadyState(t *testing.T) {
+	t.Run("ingest", func(t *testing.T) {
+		s := New(Config{Shards: 2, Policy: reorder.Adjust})
+		defer s.Close()
+		if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))"); err != nil {
+			t.Fatal(err)
+		}
+		// Frames of 512 rows over 4 keys. Re-ingesting the same body
+		// under the adjust policy clamps the repeated times to the
+		// release horizon, so every measured round still folds events
+		// and fires windows instead of short-circuiting as late drops.
+		var payload []byte
+		ev := make([]stream.Event, 512)
+		for frame := 0; frame < 8; frame++ {
+			for i := range ev {
+				tick := int64(frame*512+i) / 4
+				ev[i] = stream.Event{Time: tick, Key: uint64(i % 4), Value: float64(i%97) * 0.25}
+			}
+			payload = wire.AppendEventFrame(payload, ev)
+		}
+		br := bytes.NewReader(payload)
+		fr := wire.NewReader(br)
+		defer fr.Close()
+		batch := make([]stream.Event, 0, 512)
+		ingestBody := func() {
+			br.Reset(payload)
+			fr.Reset(br)
+			for {
+				f, err := fr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch = f.AppendEvents(batch[:0])
+				if _, err := s.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			ingestBody() // warm key table, spans, reorder and scatter buffers
+		}
+		if allocs := testing.AllocsPerRun(50, ingestBody); allocs != 0 {
+			t.Fatalf("binary ingest steady state: %v allocs per body, want 0", allocs)
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		rg := newRing(streamChunk)
+		w := window.Tumbling(20)
+		for i := 0; i < streamChunk; i++ {
+			rg.append(stream.Result{
+				W: w, Start: int64(i) * 20, End: int64(i+1) * 20,
+				Key: uint64(i % 64), Value: float64(i%997) + 0.5,
+			})
+		}
+		rows := make([]ResultRow, 0, streamChunk)
+		buf := make([]byte, 0, 1<<16)
+		poll := func() {
+			var n int64
+			rows, n = rg.readAfterInto(-1, streamChunk, rows[:0])
+			_ = n
+			if len(rows) != streamChunk {
+				t.Fatalf("drained %d rows, want %d", len(rows), streamChunk)
+			}
+			buf = encodeFrameRows(buf[:0], rows)
+		}
+		poll() // warm
+		if allocs := testing.AllocsPerRun(50, poll); allocs != 0 {
+			t.Fatalf("binary stream poll steady state: %v allocs per poll, want 0", allocs)
+		}
+	})
+}

@@ -1,7 +1,8 @@
-// Package streamio reads and writes event streams and result sets in the
-// two formats the command-line tools speak: CSV ("time,key,value" rows,
-// optional header) and JSON Lines (one object per line). Readers validate
-// ordering on request so executors can rely on the in-order contract.
+// Package streamio reads and writes event streams and result sets in
+// the formats the command-line tools speak: CSV ("time,key,value" rows,
+// optional header), JSON Lines (one object per line), and the binary
+// columnar frames of internal/wire. Readers validate ordering on
+// request so executors can rely on the in-order contract.
 package streamio
 
 import (
@@ -16,6 +17,7 @@ import (
 	"sync"
 
 	"factorwindows/internal/stream"
+	"factorwindows/internal/wire"
 )
 
 // scanBufPool recycles scanner line buffers across reads: decoding is on
@@ -332,8 +334,82 @@ func WriteResultsJSONL(w io.Writer, rs []stream.Result) error {
 	return err
 }
 
-// ReadEvents dispatches on format ("csv" or "jsonl") and optionally
-// validates ordering.
+// AppendResultFrame appends one binary columnar result frame (the
+// wire-package layout) carrying rs, with row 0's sequence number
+// firstSeq — the kernel behind the server's binary result stream and
+// the batch writer below.
+func AppendResultFrame(dst []byte, firstSeq int64, rs []stream.Result) []byte {
+	enc := wire.BeginResultFrame(dst, 0, firstSeq, len(rs))
+	for i := range rs {
+		enc.SetRow(i, rs[i].W.Range, rs[i].W.Slide, rs[i].Start, rs[i].End, rs[i].Key, rs[i].Value)
+	}
+	return enc.Bytes()
+}
+
+// frameChunk is how many rows one binary frame carries in the batch
+// writers; large dumps become a sequence of bounded frames instead of
+// one giant allocation.
+const frameChunk = 8192
+
+// WriteBinary writes events as a sequence of binary columnar frames.
+// Unlike the JSON writers it carries every float64 bit pattern,
+// non-finite values included.
+func WriteBinary(w io.Writer, events []stream.Event) error {
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	for len(events) > 0 {
+		n := min(len(events), frameChunk)
+		buf := wire.AppendEventFrame((*bufp)[:0], events[:n])
+		*bufp = buf
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		events = events[n:]
+	}
+	return nil
+}
+
+// ReadBinary reads a stream of binary columnar event frames until EOF.
+func ReadBinary(r io.Reader) ([]stream.Event, error) {
+	fr := wire.NewReader(r)
+	defer fr.Close()
+	var out []stream.Event
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("streamio: %w", err)
+		}
+		if f.Kind != wire.KindEvents {
+			return nil, fmt.Errorf("streamio: unexpected frame kind %d in event stream", f.Kind)
+		}
+		out = f.AppendEvents(out)
+	}
+}
+
+// WriteResultsBinary writes results as binary columnar frames; sequence
+// numbers restart at 0 (file dumps have no ring to resume against).
+func WriteResultsBinary(w io.Writer, rs []stream.Result) error {
+	bufp := GetEncodeBuf()
+	defer PutEncodeBuf(bufp)
+	seq := int64(0)
+	for len(rs) > 0 {
+		n := min(len(rs), frameChunk)
+		buf := AppendResultFrame((*bufp)[:0], seq, rs[:n])
+		*bufp = buf
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		seq += int64(n)
+		rs = rs[n:]
+	}
+	return nil
+}
+
+// ReadEvents dispatches on format ("csv", "jsonl" or "binary") and
+// optionally validates ordering.
 func ReadEvents(r io.Reader, format string, validate bool) ([]stream.Event, error) {
 	var (
 		events []stream.Event
@@ -344,6 +420,8 @@ func ReadEvents(r io.Reader, format string, validate bool) ([]stream.Event, erro
 		events, err = ReadCSV(r)
 	case "jsonl", "json":
 		events, err = ReadJSONL(r)
+	case "binary", "frame":
+		events, err = ReadBinary(r)
 	default:
 		return nil, fmt.Errorf("streamio: unknown format %q", format)
 	}

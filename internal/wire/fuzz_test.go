@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"factorwindows/internal/stream"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame decoder (and the
+// io.Reader wrapper over the same bytes) and pins the codec's safety
+// contract: decoding never panics, never over-reads past the declared
+// frame length, and every rejection is one of the package's typed
+// errors — a malicious or corrupted peer can produce garbage results at
+// worst, never a crash or an unbounded allocation.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendEventFrame(nil, nil))
+	f.Add(AppendEventFrame(nil, []stream.Event{
+		{Time: 1, Key: 7, Value: 21.5},
+		{Time: 2, Key: 7, Value: math.Inf(-1)},
+	}))
+	enc := BeginResultFrame(nil, 9, 420, 2)
+	enc.SetRow(0, 20, 20, 0, 20, 3, 1.5)
+	enc.SetRow(1, 20, 20, 20, 40, 3, math.NaN())
+	f.Add(enc.Bytes())
+	f.Add(AppendControlFrame(nil, 1, []byte(`{"stream":1,"ok":true}`)))
+	// Two concatenated frames, then corruptions of each header byte.
+	two := AppendEventFrame(AppendControlFrame(nil, 0, nil), []stream.Event{{Time: 3, Key: 1, Value: 0.25}})
+	f.Add(two)
+	for i := 0; i < prefixLen+headerLen; i++ {
+		mut := append([]byte(nil), two...)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	f.Add(two[:len(two)-3]) // severed mid-frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, rest, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrKind) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrSize) {
+				t.Fatalf("Decode returned untyped error %v", err)
+			}
+		} else {
+			if len(rest) > len(data) {
+				t.Fatalf("rest grew: %d > %d input bytes", len(rest), len(data))
+			}
+			exercise(t, fr)
+		}
+
+		// The streaming reader over the same bytes must agree: panic-free,
+		// and ending only in io.EOF (clean) or a typed error.
+		r := NewReader(bytes.NewReader(data))
+		defer r.Close()
+		for {
+			fr, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) &&
+					!errors.Is(err, ErrKind) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrSize) {
+					t.Fatalf("Reader.Next returned untyped error %v", err)
+				}
+				break
+			}
+			exercise(t, fr)
+		}
+	})
+}
+
+// exercise touches every accessor of a successfully decoded frame, so
+// the fuzzer catches any row-count/payload-length mismatch as an
+// out-of-range panic.
+func exercise(t *testing.T, f Frame) {
+	t.Helper()
+	n := f.Rows()
+	switch f.Kind {
+	case KindEvents:
+		for i := 0; i < n; i++ {
+			_ = f.Event(i)
+		}
+		if got := f.AppendEvents(nil); len(got) != n {
+			t.Fatalf("AppendEvents returned %d events, Rows says %d", len(got), n)
+		}
+	case KindResults:
+		for i := 0; i < n; i++ {
+			_, _, _, _, _, _, _ = f.Result(i)
+		}
+	case KindControl:
+		_ = f.Control()
+	default:
+		t.Fatalf("decoded frame has unknown kind %d", f.Kind)
+	}
+}
