@@ -1,0 +1,378 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash-kill harness: run the real fwserve binary with a WAL,
+// SIGKILL it at an arbitrary point mid-ingest, restart it from the log
+// directory, finish the same ingest script, and require the full result
+// read-out — both the NDJSON cursor read and the binary stream frames —
+// to be byte-identical to an uninterrupted reference run. Exercised
+// across shard counts, with a sketch-backed percentile query and a
+// manual re-plan in the middle of the script so both replay through
+// recovery.
+
+var (
+	buildOnce sync.Once
+	buildErr  error
+	binPath   string
+)
+
+func fwserveBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fwserve-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "fwserve")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building fwserve: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// serverProc is one running fwserve process plus the addresses parsed
+// from its startup log lines.
+type serverProc struct {
+	cmd        *exec.Cmd
+	addr       string // HTTP
+	streamAddr string // persistent binary listener
+}
+
+func startServer(t *testing.T, walDir string, shards int) *serverProc {
+	t.Helper()
+	cmd := exec.Command(fwserveBinary(t),
+		"-addr", "127.0.0.1:0",
+		"-listen-stream", "127.0.0.1:0",
+		"-shards", fmt.Sprint(shards),
+		"-reorder-bound", "6",
+		"-wal-dir", walDir,
+		"-fsync", "every",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serverProc{cmd: cmd}
+	addrCh := make(chan [2]string, 1)
+	go func() {
+		var httpAddr, streamAddr string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "streaming listener on "); i >= 0 {
+				streamAddr = strings.TrimSpace(line[i+len("streaming listener on "):])
+			} else if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				httpAddr = rest
+				addrCh <- [2]string{httpAddr, streamAddr}
+			}
+		}
+	}()
+	select {
+	case addrs := <-addrCh:
+		p.addr, p.streamAddr = addrs[0], addrs[1]
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("fwserve never reported its listen address")
+	}
+	return p
+}
+
+func (p *serverProc) kill() {
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	p.cmd.Wait()
+}
+
+// stop terminates cleanly and reports the exit code: a durable server
+// whose final flush failed exits non-zero, and the harness must notice.
+func (p *serverProc) stop(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fwserve exited uncleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatal("fwserve did not exit on SIGTERM")
+	}
+}
+
+func (p *serverProc) url(path string) string { return "http://" + p.addr + path }
+
+func postJSON(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// ingestEvent mirrors the server's JSON event shape.
+type ingestEvent struct {
+	Time  int64   `json:"time"`
+	Key   uint64  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// crashScript is the deterministic workload both runs execute: fixed
+// batches, two queries (an exact SUM and a sketch-backed percentile),
+// and a manual re-plan before batch replanAt.
+type crashScript struct {
+	batches  [][]ingestEvent
+	replanAt int
+}
+
+const (
+	csBatchSize = 150
+	csBatches   = 20
+	csReplanAt  = 7
+)
+
+func buildScript(seed int64) crashScript {
+	rng := rand.New(rand.NewSource(seed))
+	tick := int64(0)
+	batches := make([][]ingestEvent, csBatches)
+	for b := range batches {
+		batch := make([]ingestEvent, csBatchSize)
+		for i := range batch {
+			tick += int64(rng.Intn(3))
+			batch[i] = ingestEvent{Time: tick, Key: uint64(rng.Intn(5)), Value: float64(rng.Intn(100))}
+		}
+		batches[b] = batch
+	}
+	// Sentinel batch: one far-future event that flushes every completed
+	// window past the reorder horizon.
+	batches = append(batches, []ingestEvent{{Time: tick + (1 << 16), Key: 0, Value: 0}})
+	return crashScript{batches: batches, replanAt: csReplanAt}
+}
+
+// Live queries must share one aggregate, so both are sketch-backed
+// percentiles — the state recovery has to reproduce exactly is the
+// mergeable quantile sketch, the hardest case.
+const (
+	crashSumQuery = `SELECT DeviceID, PERCENTILE(T, 0.5) FROM In GROUP BY DeviceID, Windows(
+		Window('20t', TumblingWindow(tick, 20)), Window('40t', TumblingWindow(tick, 40)))`
+	crashPctQuery = `SELECT DeviceID, PERCENTILE(T, 0.5) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 32))`
+)
+
+func registerQueries(t *testing.T, p *serverProc) {
+	t.Helper()
+	for _, sql := range []string{crashSumQuery, crashPctQuery} {
+		resp, err := http.Post(p.url("/queries"), "text/plain", strings.NewReader(sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// runStats is the slice of /stats the resume logic needs.
+type runStats struct {
+	Ingested int64 `json:"ingested"`
+	Replans  struct {
+		Manual int64 `json:"manual"`
+	} `json:"replans"`
+}
+
+func readStats(t *testing.T, p *serverProc) runStats {
+	t.Helper()
+	var st runStats
+	if err := json.Unmarshal(getBody(t, p.url("/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// playFrom runs the script from batch index from (0 = the beginning).
+func playFrom(t *testing.T, p *serverProc, sc crashScript, from int, replansDone int64) {
+	t.Helper()
+	for i := from; i < len(sc.batches); i++ {
+		if i == sc.replanAt && replansDone == 0 {
+			postJSON(t, p.url("/replan?eta=64"), nil)
+		}
+		body, err := json.Marshal(sc.batches[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		postJSON(t, p.url("/ingest"), body)
+	}
+}
+
+// readout captures the complete client-visible result state: the raw
+// cursor-read HTTP body and the raw binary result-frame bytes from the
+// persistent listener, per query.
+func readout(t *testing.T, p *serverProc) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, id := range []string{"q1", "q2"} {
+		body := getBody(t, p.url("/queries/"+id+"/results?after=-1"))
+		out["http:"+id] = body
+		var rr struct {
+			Results []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Results) == 0 {
+			t.Fatalf("query %s delivered no rows; the comparison would be vacuous", id)
+		}
+		out["frames:"+id] = streamFrames(t, p.streamAddr, id, len(rr.Results))
+	}
+	return out
+}
+
+// streamFrames subscribes to one query on the binary listener and
+// returns the raw bytes of the result frames carrying its first n rows.
+func streamFrames(t *testing.T, streamAddr, id string, n int) []byte {
+	t.Helper()
+	c, err := net.Dial("tcp", streamAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub := fmt.Sprintf(`{"op":"subscribe","stream":1,"id":%q,"after":-1}`+"\n", id)
+	if _, err := c.Write([]byte(sub)); err != nil {
+		t.Fatal(err)
+	}
+	var frames bytes.Buffer
+	rows := 0
+	for rows < n {
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		var prefix [4]byte
+		if _, err := io.ReadFull(c, prefix[:]); err != nil {
+			t.Fatalf("reading frame prefix after %d/%d rows: %v", rows, n, err)
+		}
+		length := binary.LittleEndian.Uint32(prefix[:])
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatal(err)
+		}
+		// kind at header offset 3, row count at offset 4.
+		if buf[3] == 2 { // results frame
+			frames.Write(prefix[:])
+			frames.Write(buf)
+			rows += int(binary.LittleEndian.Uint32(buf[4:]))
+		}
+	}
+	return frames.Bytes()
+}
+
+func TestCrashKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	for _, shards := range []int{1, 4, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sc := buildScript(int64(shards) * 101)
+
+			// Uninterrupted reference run.
+			refDir := t.TempDir()
+			ref := startServer(t, refDir, shards)
+			registerQueries(t, ref)
+			playFrom(t, ref, sc, 0, 0)
+			want := readout(t, ref)
+			ref.stop(t)
+
+			// Crash run: SIGKILL while a batch is in flight, restart from
+			// the WAL, resume the script where the log says it stopped.
+			rng := rand.New(rand.NewSource(int64(shards)))
+			killAt := 1 + rng.Intn(csBatches-2)
+			crashDir := t.TempDir()
+			p := startServer(t, crashDir, shards)
+			registerQueries(t, p)
+			for i := 0; i < killAt; i++ {
+				if i == sc.replanAt {
+					postJSON(t, p.url("/replan?eta=64"), nil)
+				}
+				body, _ := json.Marshal(sc.batches[i])
+				postJSON(t, p.url("/ingest"), body)
+			}
+			// Fire the next batch without waiting and kill mid-flight.
+			go func() {
+				body, _ := json.Marshal(sc.batches[killAt])
+				http.Post(p.url("/ingest"), "application/json", bytes.NewReader(body))
+			}()
+			time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+			p.kill()
+
+			p2 := startServer(t, crashDir, shards)
+			st := readStats(t, p2)
+			if st.Ingested%csBatchSize != 0 {
+				t.Fatalf("recovered ingested = %d, not a whole number of %d-event batches", st.Ingested, csBatchSize)
+			}
+			resume := int(st.Ingested / csBatchSize)
+			if resume < killAt {
+				t.Fatalf("recovery lost acked batches: resumed at %d, %d were acked", resume, killAt)
+			}
+			playFrom(t, p2, sc, resume, st.Replans.Manual)
+			got := readout(t, p2)
+			p2.stop(t)
+
+			for key, wantBytes := range want {
+				if !bytes.Equal(got[key], wantBytes) {
+					t.Errorf("%s: replayed run differs from reference (%d vs %d bytes)", key, len(got[key]), len(wantBytes))
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"factorwindows/internal/reorder"
 	"factorwindows/internal/server"
+	"factorwindows/internal/wal"
 )
 
 func main() {
@@ -47,6 +48,11 @@ func main() {
 		adaptiveOverpay = flag.Float64("adaptive-overpay", 1.2, "re-plan when the running plan costs at least this multiple of the observed optimum")
 
 		exactMedian = flag.Bool("exact-median", false, "reject MEDIAN queries instead of approximating them as sketch-backed PERCENTILE(v, 0.5)")
+
+		walDir        = flag.String("wal-dir", "", "durable write-ahead log directory (empty disables durability)")
+		fsync         = flag.String("fsync", "every", "WAL fsync policy: every (sync before each ack), interval (background sync), or off")
+		fsyncInterval = flag.Duration("fsync-interval", 50*time.Millisecond, "background sync period for -fsync interval")
+		snapshotEvery = flag.Int64("snapshot-every", 0, "auto-snapshot after this many WAL records (0 disables; POST /checkpoint always works)")
 	)
 	flag.Parse()
 
@@ -59,8 +65,32 @@ func main() {
 	cfg.AdaptiveEpoch = *adaptiveEpoch
 	cfg.AdaptiveOverpay = *adaptiveOverpay
 	cfg.ExactMedian = *exactMedian
-	srv := server.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if *walDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fwserve: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Durable = true
+		cfg.WALDir = *walDir
+		cfg.Fsync = pol
+		cfg.FsyncInterval = *fsyncInterval
+		cfg.SnapshotEvery = *snapshotEvery
+	}
+
+	// Open recovers durable state before serving: newest valid snapshot,
+	// manifest chain verification, replay of the log tail. Corruption is
+	// fatal here — better to refuse to start than silently lose ingests.
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatalf("fwserve: recovery failed: %v", err)
+	}
+	if cfg.Durable {
+		st := srv.StatsNow()
+		log.Printf("fwserve: durable WAL in %s (fsync=%s) recovered to offset %d",
+			cfg.WALDir, cfg.Fsync, st.LastSnapshotOffset+st.WALLag)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	// The persistent streaming listener multiplexes query subscriptions
 	// as binary frames over one long-lived TCP connection per client,
@@ -80,6 +110,10 @@ func main() {
 		log.Printf("fwserve: streaming listener on %s", ln.Addr())
 	}
 
+	// exitCode carries a flush failure out of the signal goroutine: a
+	// durable server that could not seal its WAL or write the final
+	// snapshot must not exit zero and look cleanly shut down.
+	exitCode := 0
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -89,19 +123,34 @@ func main() {
 		log.Print("fwserve: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Close() // ends result streams so Shutdown can drain them
+		// Shutdown closes the engine (ending result streams so the HTTP
+		// drain below can finish), waits out any in-flight snapshot
+		// write, writes a final offset-stamped snapshot, and seals the
+		// active WAL segment into the manifest chain.
+		if err := srv.Shutdown(); err != nil {
+			log.Printf("fwserve: shutdown flush failed: %v", err)
+			exitCode = 1
+		}
 		if streamSrv != nil {
 			streamSrv.Close()
 		}
 		httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s adaptive=%t)",
-		*addr, cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy, cfg.Adaptive)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	// Listen explicitly (rather than ListenAndServe) so the log line
+	// below reports the actual bound address — with -addr :0 tooling
+	// like the crash-kill test harness parses the port from it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s adaptive=%t durable=%t)",
+		ln.Addr(), cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy, cfg.Adaptive, cfg.Durable)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done
+	os.Exit(exitCode)
 }
 
 // buildConfig validates the flag values into a server configuration.

@@ -1,0 +1,181 @@
+// Reconnect: a streaming client that survives disconnects. It runs a
+// durable server with a small result ring, subscribes over the binary
+// stream protocol, drops the connection mid-stream, and reconnects with
+// exponential backoff using its last-seen cursor. By the time it is
+// back, the ring has evicted past that cursor — the server answers the
+// stale subscribe with a typed gap control frame (gap:true, the number
+// of missed rows, and the first sequence still available) instead of
+// silently restarting at the ring head, so the client can log the loss
+// and resume without double-counting.
+//
+// Run with: go run ./examples/reconnect
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"factorwindows/internal/server"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/wal"
+	"factorwindows/internal/wire"
+)
+
+const query = `
+SELECT Key, SUM(V) AS Total
+FROM Input TIMESTAMP BY T
+GROUP BY Key, Windows(TumblingWindow(tick, 1))
+`
+
+// ctrlAuxGap mirrors the server's control-frame aux bit for gap
+// notices (bit 1; bit 0 is the durable ingest-ack flag).
+const ctrlAuxGap = 1 << 1
+
+// subAck is the JSON payload of subscribe acks and gap notices, as
+// documented in internal/server's streaming protocol.
+type subAck struct {
+	Stream uint32 `json:"stream"`
+	ID     string `json:"id,omitempty"`
+	OK     bool   `json:"ok,omitempty"`
+	EOF    bool   `json:"eof,omitempty"`
+	Gap    bool   `json:"gap,omitempty"`
+	Missed int64  `json:"missed,omitempty"`
+	First  int64  `json:"first,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "fw-reconnect-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A durable server with a deliberately tiny result ring (16 rows),
+	// so a short disconnect is enough for eviction to outrun a stale
+	// cursor.
+	srv, err := server.Open(server.Config{
+		Shards:       2,
+		Factors:      true,
+		ReorderBound: 2,
+		ResultBuffer: 16,
+		Durable:      true,
+		WALDir:       dir,
+		Fsync:        wal.FsyncEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Register("q", query); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss := server.NewStreamServer(srv)
+	go ss.Serve(ln)
+	defer ss.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("streaming listener on %s\n", addr)
+
+	// Feed one event per tick in the background; every tick closes a
+	// tumbling-1 window, so result sequence numbers advance steadily.
+	tick := int64(0)
+	produce := func(n int) {
+		for i := 0; i < n; i++ {
+			ev := []stream.Event{{Time: tick, Key: 1, Value: 1}}
+			if _, err := srv.Ingest(ev); err != nil {
+				log.Fatal(err)
+			}
+			tick++
+		}
+	}
+
+	cursor := int64(-1) // last sequence seen; -1 = from the beginning
+
+	// Session 1: subscribe fresh, read a handful of rows, hang up.
+	produce(12)
+	cursor = runSession(addr, cursor, 8)
+	fmt.Printf("disconnected at cursor %d\n", cursor)
+
+	// While we are away the producer keeps going: the 16-row ring
+	// evicts far past our cursor.
+	produce(80)
+
+	// Session 2: reconnect with exponential backoff and the stale
+	// cursor. The subscribe ack arrives as a typed gap frame.
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			fmt.Printf("reconnect attempt %d failed (%v), retrying in %s\n", attempt, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		c.Close()
+		break
+	}
+	cursor = runSession(addr, cursor, 8)
+	fmt.Printf("caught up to cursor %d\n", cursor)
+}
+
+// runSession subscribes at cursor+1, reads rows result frames, and
+// returns the new cursor. A gap notice is logged, and the cursor jumps
+// forward so the rows that follow are consumed seamlessly.
+func runSession(addr string, cursor int64, rows int) int64 {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	w := bufio.NewWriter(c)
+	fmt.Fprintf(w, `{"op":"subscribe","stream":1,"id":"q","after":%d}`+"\n", cursor)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fr := wire.NewReader(c)
+	defer fr.Close()
+	seen := 0
+	for seen < rows {
+		f, err := fr.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch f.Kind {
+		case wire.KindControl:
+			var ack subAck
+			if err := json.Unmarshal(f.Control(), &ack); err != nil {
+				log.Fatal(err)
+			}
+			if ack.Error != "" {
+				log.Fatalf("subscribe failed: %s", ack.Error)
+			}
+			if ack.Gap {
+				fmt.Printf("gap notice (aux bit %d): %d rows evicted, resuming at seq %d\n",
+					f.Seq&ctrlAuxGap, ack.Missed, ack.First)
+				cursor = ack.First - 1
+			}
+		case wire.KindResults:
+			for i := 0; i < f.Rows() && seen < rows; i++ {
+				seq, _, _, start, _, key, value := f.Result(i)
+				fmt.Printf("seq=%-3d window@%-3d key=%d total=%.0f\n", seq, start, key, value)
+				cursor = seq
+				seen++
+			}
+		}
+	}
+	return cursor
+}

@@ -17,6 +17,7 @@ package server
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -74,6 +75,13 @@ type checkpointQuery struct {
 func (s *Server) Checkpoint() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body for callers already holding
+// s.mu — the durable snapshot capture embeds a checkpoint while the
+// ingest lock pins the state to a record boundary.
+func (s *Server) checkpointLocked() ([]byte, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -180,6 +188,26 @@ func (s *Server) RestoreCheckpoint(data []byte) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	err := s.applyCheckpointLocked(&cp, queries)
+	if errors.Is(err, ErrClosed) {
+		return err
+	}
+	// The restored state replaced everything the log's earlier records
+	// describe, successfully or (fresh-state fallback) partially; either
+	// way a durable server must fence the log here — see
+	// restoreBarrierLocked.
+	if s.wal != nil && !s.walReplaying {
+		if berr := s.restoreBarrierLocked(); berr != nil && err == nil {
+			err = berr
+		}
+	}
+	return err
+}
+
+// applyCheckpointLocked swaps the validated checkpoint state in.
+// Callers hold s.mu.
+func (s *Server) applyCheckpointLocked(cpp *checkpoint, queries map[string]*registration) error {
+	cp := *cpp
 	if s.closed {
 		return ErrClosed
 	}

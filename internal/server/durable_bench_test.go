@@ -1,0 +1,94 @@
+package server
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/wal"
+)
+
+// benchWALDir returns a tmpfs-backed WAL directory when the host has
+// one, falling back to the test tempdir. The guarded numbers must pin
+// the WAL software path (frame encode, staging, group commit, the
+// write syscall) — not the block device: CI and developer disks differ
+// by orders of magnitude and virtualized disks throttle mid-run, which
+// would turn the regression guard into a disk lottery. Device
+// throughput is an operations concern (see the README runbook), not a
+// code property this benchmark can hold steady.
+func benchWALDir(b *testing.B) string {
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		dir, err := os.MkdirTemp("/dev/shm", "fw-wal-bench-*")
+		if err == nil {
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			return dir
+		}
+	}
+	return b.TempDir()
+}
+
+// BenchmarkDurablePipeline measures the cost of durability on the
+// ordered ingest path: the same 64k-event workload as the wire
+// benchmarks pushed through s.Ingest in 8192-event batches, with the
+// WAL disabled (none), appending without waiting for fsync
+// (wal-interval, the recommended production setting — ticker-driven
+// group fsync off the ack path), and fsyncing every group commit
+// (wal-every). The acceptance bar is wal-interval within 10% ns/op of
+// none; BENCH_wal.json records both so benchguard holds the line.
+func BenchmarkDurablePipeline(b *testing.B) {
+	const nevents = 1 << 16
+	events := wireBenchEvents(nevents)
+	configs := []struct {
+		name string
+		cfg  func(b *testing.B) Config
+	}{
+		{"none", func(b *testing.B) Config {
+			return Config{Shards: 2, Policy: reorder.Adjust}
+		}},
+		{"wal-interval", func(b *testing.B) Config {
+			return Config{
+				Shards: 2, Policy: reorder.Adjust,
+				Durable: true, WALDir: benchWALDir(b),
+				Fsync: wal.FsyncInterval, FsyncInterval: 50 * time.Millisecond,
+			}
+		}},
+		{"wal-every", func(b *testing.B) Config {
+			return Config{
+				Shards: 2, Policy: reorder.Adjust,
+				Durable: true, WALDir: benchWALDir(b),
+				Fsync: wal.FsyncEvery,
+			}
+		}},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := c.cfg(b)
+			var s *Server
+			var err error
+			if cfg.Durable {
+				s, err = Open(cfg)
+			} else {
+				s, err = New(cfg), nil
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 20))"); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(nevents * 24))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < nevents; off += 8192 {
+					if _, err := s.Ingest(events[off : off+8192]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(nevents)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+	}
+}

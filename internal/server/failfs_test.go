@@ -1,0 +1,81 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"factorwindows/internal/wal"
+)
+
+// failingFS wraps the real filesystem behind a kill switch: once fail
+// is set, every write and fsync errors, modeling a dead disk under a
+// live durable server.
+type failingFS struct {
+	inner wal.FS
+	fail  atomic.Bool
+}
+
+func newFailingFS() *failingFS { return &failingFS{inner: wal.OS{}} }
+
+var errDiskDead = errors.New("injected disk failure")
+
+type failingFile struct {
+	wal.File
+	fs *failingFS
+}
+
+func (f failingFile) Write(p []byte) (int, error) {
+	if f.fs.fail.Load() {
+		return 0, errDiskDead
+	}
+	return f.File.Write(p)
+}
+
+func (f failingFile) Sync() error {
+	if f.fs.fail.Load() {
+		return errDiskDead
+	}
+	return f.File.Sync()
+}
+
+func (f *failingFS) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+func (f *failingFS) Create(path string) (wal.File, error) {
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return failingFile{File: file, fs: f}, nil
+}
+
+func (f *failingFS) OpenAppend(path string) (wal.File, error) {
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return failingFile{File: file, fs: f}, nil
+}
+
+func (f *failingFS) Open(path string) (wal.File, error) { return f.inner.Open(path) }
+
+func (f *failingFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *failingFS) Rename(oldPath, newPath string) error {
+	if f.fail.Load() {
+		return errDiskDead
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *failingFS) Remove(path string) error { return f.inner.Remove(path) }
+
+func (f *failingFS) Truncate(path string, size int64) error { return f.inner.Truncate(path, size) }
+
+func (f *failingFS) Size(path string) (int64, error) { return f.inner.Size(path) }
+
+func (f *failingFS) SyncDir(dir string) error {
+	if f.fail.Load() {
+		return errDiskDead
+	}
+	return f.inner.SyncDir(dir)
+}

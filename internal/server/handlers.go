@@ -54,6 +54,8 @@ var ingestBatchPool = sync.Pool{New: func() any {
 //	POST   /replan               re-optimize in place (?eta=<rate> re-prices the cost model)
 //	GET    /stats                server-wide stats
 //	GET    /checkpoint           binary state snapshot
+//	POST   /checkpoint           durable servers: write a WAL-offset-stamped snapshot
+//	                             asynchronously and truncate the covered log prefix
 //	POST   /restore              replace state from a snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -67,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /replan", s.handleReplan)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /checkpoint", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
 	return mux
 }
@@ -435,8 +438,9 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request) {
 	batch := (*batchp)[:0]
 	defer func() { *batchp = batch[:0] }()
 	var (
-		total  IngestStatus
-		frames int
+		total   IngestStatus
+		frames  int
+		flushes int
 	)
 	flush := func(chunk []stream.Event) error {
 		st, err := s.Ingest(chunk)
@@ -446,6 +450,14 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request) {
 		total.Accepted += st.Accepted
 		total.Dropped += st.Dropped
 		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+		// The response's durable bit covers the whole request: every
+		// chunk's record must have been fsync-acked.
+		if flushes == 0 {
+			total.Durable = st.Durable
+		} else {
+			total.Durable = total.Durable && st.Durable
+		}
+		flushes++
 		return nil
 	}
 	for {
@@ -502,6 +514,11 @@ func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
 		total.Accepted += st.Accepted
 		total.Dropped += st.Dropped
 		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+		if off == 0 {
+			total.Durable = st.Durable
+		} else {
+			total.Durable = total.Durable && st.Durable
+		}
 	}
 	writeJSON(w, http.StatusOK, total)
 }
@@ -518,8 +535,9 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 	batch := (*batchp)[:0]
 	defer func() { *batchp = batch[:0] }()
 	var (
-		total IngestStatus
-		line  int
+		total   IngestStatus
+		line    int
+		flushes int
 	)
 	flush := func() error {
 		if len(batch) == 0 {
@@ -532,6 +550,12 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 		total.Accepted += st.Accepted
 		total.Dropped += st.Dropped
 		total.Late, total.Buffered, total.Epoch = st.Late, st.Buffered, st.Epoch
+		if flushes == 0 {
+			total.Durable = st.Durable
+		} else {
+			total.Durable = total.Durable && st.Durable
+		}
+		flushes++
 		batch = batch[:0]
 		return nil
 	}
@@ -598,6 +622,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// handleSnapshot (POST /checkpoint) captures a durable snapshot now and
+// writes it asynchronously; 202 with the offset it will cover. 404 on a
+// non-durable server, 409 while a previous write is still in flight.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	offset, err := s.Snapshot()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"snapshot_offset": offset})
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {

@@ -168,3 +168,58 @@ func (g *ring) counters() (delivered, evicted int64) {
 	defer g.mu.Unlock()
 	return g.nextSeq, g.evicted
 }
+
+// window reports the ring's live sequence span [firstSeq, nextSeq):
+// cursors below firstSeq have been evicted. The stream listener uses it
+// to detect stale resume cursors at subscribe time.
+func (g *ring) window() (firstSeq, nextSeq int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstSeq, g.nextSeq
+}
+
+// ringState is a ring's exported delivery state, carried inside durable
+// snapshots: crash recovery promises byte-identical result streams, and
+// those bytes include sequence numbers and eviction positions.
+type ringState struct {
+	ID       string
+	Rows     []ResultRow // oldest first
+	FirstSeq int64
+	NextSeq  int64
+	Evicted  int64
+}
+
+// exportState copies the ring's buffered rows (oldest first) and
+// sequence counters.
+func (g *ring) exportState(id string) ringState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := ringState{ID: id, FirstSeq: g.firstSeq, NextSeq: g.nextSeq, Evicted: g.evicted}
+	n := len(g.rows)
+	st.Rows = make([]ResultRow, 0, n)
+	for i := 0; i < n; i++ {
+		st.Rows = append(st.Rows, g.rows[(g.head+i)%n])
+	}
+	return st
+}
+
+// importState replaces the ring's contents with an exported state,
+// trimming the oldest rows if the importing ring is smaller than the
+// exporter's (a ResultBuffer change across a restart).
+func (g *ring) importState(st ringState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rows := st.Rows
+	first := st.FirstSeq
+	if len(rows) > g.capacity {
+		cut := len(rows) - g.capacity
+		rows = rows[cut:]
+		first += int64(cut)
+	}
+	g.rows = append(g.rows[:0], rows...)
+	g.head = 0
+	g.firstSeq = first
+	g.nextSeq = st.NextSeq
+	g.evicted = st.Evicted
+	g.wakeLocked()
+}

@@ -40,6 +40,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"factorwindows/internal/adaptive"
 	"factorwindows/internal/agg"
@@ -51,6 +52,7 @@ import (
 	"factorwindows/internal/parallel"
 	"factorwindows/internal/reorder"
 	"factorwindows/internal/stream"
+	"factorwindows/internal/wal"
 	"factorwindows/internal/window"
 )
 
@@ -104,6 +106,29 @@ type Config struct {
 	// serving engine cannot evaluate holistic functions, MEDIAN queries
 	// are rejected at admission instead of approximated silently.
 	ExactMedian bool
+
+	// Durable turns on the write-ahead log: every accepted ingest batch
+	// and registry mutation is appended (and, per Fsync, fsynced) before
+	// the client is acked, and server.Open recovers snapshot + log tail
+	// after a crash. Requires WALDir; use Open, not New, to construct a
+	// durable server.
+	Durable bool
+	// WALDir is the log directory (segments, manifest, snapshots).
+	WALDir string
+	// Fsync is the append durability policy (see wal.FsyncPolicy).
+	Fsync wal.FsyncPolicy
+	// FsyncInterval is the background sync cadence under
+	// wal.FsyncInterval (default 50ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes overrides the segment rotation threshold (tests).
+	WALSegmentBytes int64
+	// SnapshotEvery auto-captures a snapshot each time that many log
+	// records accumulate past the last one (0: manual POST /checkpoint
+	// and shutdown only). Snapshots bound both replay time and log disk
+	// use — the covered prefix is truncated once the write lands.
+	SnapshotEvery int64
+	// WALFS overrides the log's filesystem (fault-injection tests).
+	WALFS wal.FS
 }
 
 // registration is one live query.
@@ -182,6 +207,16 @@ type Server struct {
 	// engineErr records a pipeline failure; ingestion reports it until a
 	// registry change or checkpoint restore rebuilds the pipeline.
 	engineErr error
+
+	// Durability state (nil/zero on non-durable servers; durable.go).
+	wal            *wal.Log
+	walReplaying   bool  // recovery replay in flight: apply, don't re-append
+	walErr         error // sticky commit failure: mutations fail-stop
+	lastSnapOffset int64
+	snapBusy       bool  // one async snapshot write at a time
+	snapErr        error // last snapshot write failure, for /stats
+	snapWG         sync.WaitGroup
+	replayBatch    []stream.Event // replay decode scratch
 }
 
 // ReplanCounts breaks plan swaps down by what triggered them. Degraded
@@ -260,20 +295,33 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 	if err != nil {
 		return QueryInfo{}, err
 	}
-
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	qi, commit, err := s.registerLocked(id, sql, q)
+	s.mu.Unlock()
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	if _, err := s.awaitCommit(commit); err != nil {
+		return QueryInfo{}, err
+	}
+	return qi, nil
+}
+
+func (s *Server) registerLocked(id, sql string, q *asaql.Query) (QueryInfo, *wal.Commit, error) {
 	if s.closed {
-		return QueryInfo{}, ErrClosed
+		return QueryInfo{}, nil, ErrClosed
+	}
+	if err := s.walGateLocked(); err != nil {
+		return QueryInfo{}, nil, err
 	}
 	if s.hasFn && q.Fn != s.fn {
-		return QueryInfo{}, fmt.Errorf("%w: live queries aggregate with %v, cannot mix in %v", ErrConflict, s.fn, q.Fn)
+		return QueryInfo{}, nil, fmt.Errorf("%w: live queries aggregate with %v, cannot mix in %v", ErrConflict, s.fn, q.Fn)
 	}
 	if s.hasFn && q.Param != s.param {
 		// The joint plan finalizes every query from the same shared state
 		// with one parameter; mixing φ/k values needs per-query finalize
 		// fan-out the combined plan does not have.
-		return QueryInfo{}, fmt.Errorf("%w: live %v queries use parameter %v, cannot mix in %v",
+		return QueryInfo{}, nil, fmt.Errorf("%w: live %v queries use parameter %v, cannot mix in %v",
 			ErrConflict, s.fn, s.param, q.Param)
 	}
 	if id == "" {
@@ -285,7 +333,7 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 			}
 		}
 	} else if _, taken := s.queries[id]; taken {
-		return QueryInfo{}, fmt.Errorf("%w: query %q already registered", ErrConflict, id)
+		return QueryInfo{}, nil, fmt.Errorf("%w: query %q already registered", ErrConflict, id)
 	}
 
 	reg := &registration{id: id, sql: sql, q: q, ring: newRing(s.cfg.ResultBuffer)}
@@ -296,14 +344,19 @@ func (s *Server) Register(id, sql string) (QueryInfo, error) {
 	if err := s.replan(); err != nil {
 		delete(s.queries, id)
 		s.fn, s.param, s.hasFn = prevFn, prevParam, prevHas
-		return QueryInfo{}, err
+		return QueryInfo{}, nil, err
 	}
 	if hadPlan {
 		// The counters report plan *swaps*; the first registration builds
 		// the initial plan with nothing to swap out.
 		s.replans.Register++
 	}
-	return reg.info(s.fn, s.param), nil
+	// Logged with the assigned id, so replay re-registers it verbatim.
+	commit, err := s.stageControlLocked(walControl{Op: "register", ID: id, SQL: sql})
+	if err != nil {
+		return QueryInfo{}, nil, err
+	}
+	return reg.info(s.fn, s.param), commit, nil
 }
 
 // admitQuery parses and validates one query under the server's
@@ -345,13 +398,25 @@ func admitQuery(sql string, exactMedian bool) (*asaql.Query, error) {
 // streams drain.
 func (s *Server) Unregister(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	commit, err := s.unregisterLocked(id)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = s.awaitCommit(commit)
+	return err
+}
+
+func (s *Server) unregisterLocked(id string) (*wal.Commit, error) {
 	if s.closed {
-		return ErrClosed
+		return nil, ErrClosed
+	}
+	if err := s.walGateLocked(); err != nil {
+		return nil, err
 	}
 	reg, ok := s.queries[id]
 	if !ok {
-		return fmt.Errorf("%w: query %q", ErrNotFound, id)
+		return nil, fmt.Errorf("%w: query %q", ErrNotFound, id)
 	}
 	delete(s.queries, id)
 	if len(s.queries) == 0 {
@@ -363,11 +428,11 @@ func (s *Server) Unregister(id string) error {
 		// fail; if it somehow does, readmit the query to stay consistent.
 		s.queries[id] = reg
 		s.hasFn = true
-		return err
+		return nil, err
 	}
 	s.replans.Unregister++
 	reg.ring.closeRing()
-	return nil
+	return s.stageControlLocked(walControl{Op: "unregister", ID: id})
 }
 
 // Replan re-optimizes the live query set in place, migrating all open
@@ -378,12 +443,24 @@ func (s *Server) Unregister(id string) error {
 // thing automatically from observed ingest statistics.
 func (s *Server) Replan(eta int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	commit, err := s.replanManualLocked(eta)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = s.awaitCommit(commit)
+	return err
+}
+
+func (s *Server) replanManualLocked(eta int64) (*wal.Commit, error) {
 	if s.closed {
-		return ErrClosed
+		return nil, ErrClosed
+	}
+	if err := s.walGateLocked(); err != nil {
+		return nil, err
 	}
 	if len(s.queries) == 0 {
-		return fmt.Errorf("%w: no live queries to re-plan", ErrNotFound)
+		return nil, fmt.Errorf("%w: no live queries to re-plan", ErrNotFound)
 	}
 	prev := s.planEta
 	if eta > 0 {
@@ -391,10 +468,12 @@ func (s *Server) Replan(eta int64) error {
 	}
 	if err := s.replan(); err != nil {
 		s.planEta = prev
-		return err
+		return nil, err
 	}
 	s.replans.Manual++
-	return nil
+	// Manual re-plans are external inputs and must be logged; adaptive
+	// ones re-derive deterministically from the replayed batches.
+	return s.stageControlLocked(walControl{Op: "replan", Eta: eta})
 }
 
 // replan rebuilds the execution pipeline for the current query set,
@@ -566,20 +645,28 @@ func routeSink(mp *multiquery.Plan, g *gate, rings map[string]*ring) stream.Sink
 // Buffer.Push, which the server only calls under s.mu.
 func (s *Server) onLate(stream.Event) { s.late++ }
 
-// IngestStatus reports the outcome of one ingest call.
+// IngestStatus reports the outcome of one ingest call. Durable is true
+// only when the batch's WAL record was fsynced before the ack (a
+// durable server under the every policy); false means the batch is
+// accepted in memory — and, on a durable server with a lax fsync
+// policy, written but not yet synced.
 type IngestStatus struct {
 	Accepted int   `json:"accepted"`
 	Dropped  int   `json:"dropped"` // discarded: no live queries
 	Late     int64 `json:"late"`    // cumulative, server lifetime
 	Buffered int   `json:"buffered"`
 	Epoch    int64 `json:"epoch"`
+	Durable  bool  `json:"durable"`
 }
 
 // Ingest pushes one batch of events into the pipeline. Events may be out
 // of order up to the configured bound; negative timestamps are rejected.
 // Batches from concurrent clients serialize; disorder across them is
 // tolerated like any other disorder. On return, every result the batch
-// completed is visible to readers (the runner is barriered).
+// completed is visible to readers (the runner is barriered), and on a
+// durable server the batch's WAL record has been committed per the
+// fsync policy — the commit wait happens after the ingest lock is
+// released, so concurrent clients' records coalesce into one fsync.
 func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 	for i := range events {
 		if events[i].Time < 0 {
@@ -587,13 +674,44 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	st, commit, err := s.ingestLocked(events)
+	s.mu.Unlock()
+	if err != nil {
+		return st, err
+	}
+	// Only fsync=every holds the ack for the group commit. At interval
+	// and off the ack is non-durable by contract — durability arrives
+	// with the background ticker — so blocking on the buffered segment
+	// write would couple ingest latency to disk writeback for nothing;
+	// the record is already staged in order, and a write failure
+	// fail-stops the next mutation through the WAL gate.
+	if commit != nil && s.cfg.Fsync == wal.FsyncEvery {
+		durable, err := s.awaitCommit(commit)
+		if err != nil {
+			return IngestStatus{}, err
+		}
+		st.Durable = durable
+	}
+	return st, nil
+}
+
+// ingestLocked is Ingest's under-lock body: stage the batch into the
+// WAL (log order = application order), apply it, and hand the commit
+// ticket back for the caller to await outside the lock.
+func (s *Server) ingestLocked(events []stream.Event) (IngestStatus, *wal.Commit, error) {
 	if s.closed {
-		return IngestStatus{}, ErrClosed
+		return IngestStatus{}, nil, ErrClosed
 	}
 	if s.engineErr != nil {
-		return IngestStatus{}, fmt.Errorf("%w: %v (re-register queries or restore a valid checkpoint)",
+		return IngestStatus{}, nil, fmt.Errorf("%w: %v (re-register queries or restore a valid checkpoint)",
 			ErrEngine, s.engineErr)
+	}
+	if err := s.walGateLocked(); err != nil {
+		return IngestStatus{}, nil, err
+	}
+	commit, err := s.stageEventsLocked(events)
+	if err != nil {
+		return IngestStatus{}, nil, err
 	}
 	s.ingested += int64(len(events))
 	st := IngestStatus{Accepted: len(events), Epoch: s.epoch, Late: s.late}
@@ -601,7 +719,8 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 		s.dropped += int64(len(events))
 		st.Accepted = 0
 		st.Dropped = len(events)
-		return st, nil
+		s.maybeSnapshotLocked()
+		return st, commit, nil
 	}
 	sealed := s.pipe.buf.Released()
 	s.pipe.buf.Push(events)
@@ -624,7 +743,7 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 		s.teardown()
 		s.carry = &carried
 		s.engineErr = err
-		return IngestStatus{}, fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
+		return IngestStatus{}, commit, fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
 			ErrEngine, err)
 	}
 	if s.cfg.Adaptive {
@@ -637,7 +756,8 @@ func (s *Server) Ingest(events []stream.Event) (IngestStatus, error) {
 	st.Late = s.late
 	st.Buffered = s.pipe.buf.Buffered()
 	st.Epoch = s.epoch
-	return st, nil
+	s.maybeSnapshotLocked()
+	return st, commit, nil
 }
 
 // observe folds one ingested batch into the adaptive observation window
@@ -859,6 +979,19 @@ type Stats struct {
 	ObservedEta int64   `json:"observed_eta,omitempty"`
 	ActiveKeys  int     `json:"active_keys,omitempty"`
 	Overpay     float64 `json:"overpay,omitempty"`
+
+	// Durability state (present when Config.Durable). WALLag is the
+	// record count the newest snapshot does not cover — the replay debt
+	// a crash right now would incur; a lag stuck high means snapshot
+	// writes are failing (see Error fields) or SnapshotEvery is 0 and
+	// nobody POSTs /checkpoint.
+	Durable            bool   `json:"durable,omitempty"`
+	WALAppended        int64  `json:"wal_appended,omitempty"`
+	WALFsyncs          int64  `json:"wal_fsyncs,omitempty"`
+	WALLag             int64  `json:"wal_lag,omitempty"`
+	LastSnapshotOffset int64  `json:"last_snapshot_offset,omitempty"`
+	WALError           string `json:"wal_error,omitempty"`      // sticky commit failure
+	SnapshotError      string `json:"snapshot_error,omitempty"` // last async write failure
 }
 
 // StatsNow reports the current server state. The engine-update counter
@@ -898,6 +1031,20 @@ func (s *Server) StatsNow() Stats {
 	}
 	if s.engineErr != nil {
 		st.Error = s.engineErr.Error()
+	}
+	if s.wal != nil {
+		ls := s.wal.Stats()
+		st.Durable = true
+		st.WALAppended = ls.Appended
+		st.WALFsyncs = ls.Fsyncs
+		st.WALLag = ls.NextOffset - s.lastSnapOffset
+		st.LastSnapshotOffset = s.lastSnapOffset
+		if s.walErr != nil {
+			st.WALError = s.walErr.Error()
+		}
+		if s.snapErr != nil {
+			st.SnapshotError = s.snapErr.Error()
+		}
 	}
 	if s.pipe != nil {
 		s.pipe.runner.Barrier()

@@ -5,12 +5,15 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"factorwindows/internal/stream"
 	"factorwindows/internal/streamio"
 	"factorwindows/internal/wire"
 )
@@ -19,11 +22,24 @@ import (
 // reading loses its connection instead of parking a goroutine forever.
 const streamWriteTimeout = 30 * time.Second
 
+// Control-frame aux flags (wire.AppendControlFrameAux / Frame.Seq).
+const (
+	// ctrlAuxDurable marks an ingest ack whose WAL record was fsynced
+	// before the ack — the binary counterpart of IngestStatus.Durable.
+	ctrlAuxDurable int64 = 1 << 0
+	// ctrlAuxGap marks a typed gap notice: rows before subAck.First were
+	// evicted from the ring and will never be delivered. Sent instead of
+	// silently resuming at the ring head, so a resuming client can tell
+	// exactly-resumed from data-lost.
+	ctrlAuxGap int64 = 1 << 1
+)
+
 // subOp is one client → server control line (NDJSON): subscribe a query
 // under a client-chosen stream id, or unsubscribe that id. After is the
 // per-query resume cursor (sequence numbers are durable across
-// reconnects: resubscribe with the last sequence seen and delivery
-// continues exactly where it stopped, minus anything the ring evicted).
+// reconnects and crash recoveries: resubscribe with the last sequence
+// seen and delivery continues exactly where it stopped; anything the
+// ring evicted meanwhile is announced with a gap control frame).
 type subOp struct {
 	Op     string `json:"op"`
 	Stream uint32 `json:"stream"`
@@ -32,13 +48,30 @@ type subOp struct {
 }
 
 // subAck is the JSON payload of the control frame answering one subOp,
-// or announcing a subscription's end of stream.
+// announcing a subscription's end of stream, or (Gap set, with the
+// ctrlAuxGap aux flag) reporting Missed evicted rows — delivery resumes
+// at sequence First.
 type subAck struct {
 	Stream uint32 `json:"stream"`
 	ID     string `json:"id,omitempty"`
 	OK     bool   `json:"ok,omitempty"`
 	EOF    bool   `json:"eof,omitempty"`
+	Gap    bool   `json:"gap,omitempty"`
+	Missed int64  `json:"missed,omitempty"`
+	First  int64  `json:"first,omitempty"`
 	Error  string `json:"error,omitempty"`
+}
+
+// ingestAck is the JSON payload answering one client event frame; the
+// carrying control frame's aux word has ctrlAuxDurable set when the
+// batch's WAL record was fsynced before the ack.
+type ingestAck struct {
+	Stream   uint32 `json:"stream"`
+	Ingest   bool   `json:"ingest"`
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped"`
+	Durable  bool   `json:"durable"`
+	Error    string `json:"error,omitempty"`
 }
 
 // StreamServer serves the persistent streaming protocol over raw TCP:
@@ -46,16 +79,25 @@ type subAck struct {
 //	client → server  one JSON object per line —
 //	    {"op":"subscribe","stream":1,"id":"q1","after":-1}
 //	    {"op":"unsubscribe","stream":1}
+//	  or binary event frames (internal/wire), ingested like POST /ingest
 //	server → client  binary frames (internal/wire) —
-//	    control frames carrying subAck JSON (op acks, errors, EOF), and
-//	    result frames tagged with the subscription's stream id, one per
-//	    drained ring run, row 0's sequence number in the header.
+//	    control frames carrying subAck JSON (op acks, errors, EOF, gap
+//	    notices) or ingestAck JSON (per event frame, with the durable
+//	    aux flag), and result frames tagged with the subscription's
+//	    stream id, one per drained ring run, row 0's sequence number in
+//	    the header.
+//
+// The two client encodings share the connection unambiguously: a JSON
+// line starts with '{' (0x7b, odd), while a frame starts with the low
+// byte of its u32 length — header plus 8-byte column words, always ≡ 4
+// (mod 8), never odd — so one peeked byte decides the decoder.
 //
 // Stream ids are chosen by the client and scope every server frame to
-// one subscription, so frames of many queries interleave on one
-// connection without ambiguity. The server closes a subscription with
-// an EOF control frame when its query is unregistered or the server
-// shuts down; the connection itself stays usable.
+// one subscription (event frames echo theirs in the ingest ack), so
+// frames of many queries interleave on one connection without
+// ambiguity. The server closes a subscription with an EOF control frame
+// when its query is unregistered or the server shuts down; the
+// connection itself stays usable.
 type StreamServer struct {
 	s *Server
 
@@ -157,8 +199,9 @@ type streamConn struct {
 	closed bool
 }
 
-// run reads control lines until the client disconnects, then tears the
-// connection's subscriptions down.
+// run reads client input — JSON control lines and binary event frames,
+// dispatched on one peeked byte — until the client disconnects, then
+// tears the connection's subscriptions down.
 func (sc *streamConn) run() {
 	defer sc.close()
 	defer func() {
@@ -166,27 +209,107 @@ func (sc *streamConn) run() {
 		delete(sc.ss.conns, sc)
 		sc.ss.mu.Unlock()
 	}()
-	scan, putScanBuf := streamio.NewLineScanner(sc.c)
-	defer putScanBuf()
-	for scan.Scan() {
-		line := scan.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var op subOp
-		if err := json.Unmarshal(line, &op); err != nil {
-			sc.ack(subAck{Error: fmt.Sprintf("bad control line: %v", err)})
+	br := bufio.NewReaderSize(sc.c, 64<<10)
+	fr := wire.NewReader(br)
+	defer fr.Close()
+	for {
+		first, err := br.Peek(1)
+		if err != nil {
 			return
 		}
-		switch op.Op {
-		case "subscribe":
-			sc.subscribe(op)
-		case "unsubscribe":
-			sc.unsubscribe(op.Stream)
+		switch {
+		case first[0] == '{':
+			if !sc.controlLine(br) {
+				return
+			}
+		case first[0] == '\n' || first[0] == '\r' || first[0] == ' ' || first[0] == '\t':
+			br.ReadByte() // stray whitespace between control lines
 		default:
-			sc.ack(subAck{Stream: op.Stream, Error: fmt.Sprintf("unknown op %q", op.Op)})
+			f, err := fr.Next()
+			if err != nil {
+				sc.ack(subAck{Error: fmt.Sprintf("bad frame: %v", err)})
+				return
+			}
+			if f.Kind != wire.KindEvents {
+				sc.ack(subAck{Stream: f.StreamID, Error: fmt.Sprintf("frame kind %d is not an event frame", f.Kind)})
+				return
+			}
+			sc.ingestFrame(f)
 		}
 	}
+}
+
+// controlLine reads and applies one JSON control line; false severs the
+// connection.
+func (sc *streamConn) controlLine(br *bufio.Reader) bool {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			sc.ack(subAck{Error: "control line too long"})
+		}
+		return false
+	}
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return true
+	}
+	var op subOp
+	if err := json.Unmarshal(line, &op); err != nil {
+		sc.ack(subAck{Error: fmt.Sprintf("bad control line: %v", err)})
+		return false
+	}
+	switch op.Op {
+	case "subscribe":
+		sc.subscribe(op)
+	case "unsubscribe":
+		sc.unsubscribe(op.Stream)
+	default:
+		sc.ack(subAck{Stream: op.Stream, Error: fmt.Sprintf("unknown op %q", op.Op)})
+	}
+	return true
+}
+
+// ingestFrame pushes one client event frame through the regular ingest
+// path — chunked at ingestChunk like every HTTP codec, each chunk one
+// WAL record on a durable server — and acks it with a control frame
+// echoing the frame's stream id, ctrlAuxDurable set when every chunk
+// was fsync-acked. Ingest failures ack with the error instead of
+// severing the connection: the client's other subscriptions are fine.
+func (sc *streamConn) ingestFrame(f wire.Frame) {
+	batchp := frameBatchPool.Get().(*[]stream.Event)
+	batch := f.AppendEvents((*batchp)[:0])
+	var (
+		total IngestStatus
+		ierr  error
+	)
+	for off := 0; off < len(batch); off += ingestChunk {
+		end := min(off+ingestChunk, len(batch))
+		st, err := sc.ss.s.Ingest(batch[off:end])
+		if err != nil {
+			ierr = err
+			break
+		}
+		total.Accepted += st.Accepted
+		total.Dropped += st.Dropped
+		if off == 0 {
+			total.Durable = st.Durable
+		} else {
+			total.Durable = total.Durable && st.Durable
+		}
+	}
+	if cap(batch) <= frameBatchRetain {
+		*batchp = batch[:0]
+		frameBatchPool.Put(batchp)
+	}
+	ack := ingestAck{Stream: f.StreamID, Ingest: true, Accepted: total.Accepted, Dropped: total.Dropped}
+	var aux int64
+	if ierr != nil {
+		ack.Error = ierr.Error()
+	} else if total.Durable {
+		ack.Durable = true
+		aux = ctrlAuxDurable
+	}
+	sc.ackAux(f.StreamID, aux, ack)
 }
 
 // subscribe resolves the query's ring and starts the subscription's
@@ -207,8 +330,20 @@ func (sc *streamConn) subscribe(op subOp) {
 	}
 	sc.subs[op.Stream] = stop
 	sc.mu.Unlock()
-	sc.ack(subAck{Stream: op.Stream, ID: op.ID, OK: true})
-	go sc.streamSub(op.Stream, rg, op.After, stop)
+	after := op.After
+	if first, _ := rg.window(); after >= 0 && after+1 < first {
+		// Stale resume cursor: the ring evicted rows past it. Say so with
+		// a typed gap frame (and advance the cursor to the surviving
+		// head) instead of silently resuming as if nothing was lost.
+		sc.ackAux(op.Stream, ctrlAuxGap, subAck{
+			Stream: op.Stream, ID: op.ID, OK: true,
+			Gap: true, Missed: first - (after + 1), First: first,
+		})
+		after = first - 1
+	} else {
+		sc.ack(subAck{Stream: op.Stream, ID: op.ID, OK: true})
+	}
+	go sc.streamSub(op.Stream, rg, after, stop)
 }
 
 // unsubscribe stops one subscription; unknown ids ack with an error.
@@ -239,8 +374,16 @@ func (sc *streamConn) streamSub(streamID uint32, rg *ring, after int64, stop cha
 	defer streamio.PutEncodeBuf(bufp)
 	for {
 		wake := rg.waitCh() // fetch before reading: no missed wakeups
-		rows, _ := rg.readAfterInto(after, streamChunk, (*rowsp)[:0])
+		rows, missed := rg.readAfterInto(after, streamChunk, (*rowsp)[:0])
 		*rowsp = rows
+		if missed > 0 {
+			// Eviction outran this subscriber mid-stream; announce the
+			// hole before delivering what survives.
+			sc.ackAux(streamID, ctrlAuxGap, subAck{
+				Stream: streamID, Gap: true, Missed: missed, First: after + 1 + missed,
+			})
+			after += missed
+		}
 		if len(rows) > 0 {
 			enc := wire.BeginResultFrame((*bufp)[:0], streamID, rows[0].Seq, len(rows))
 			for i := range rows {
@@ -277,13 +420,18 @@ func (sc *streamConn) dropSub(streamID uint32) {
 	sc.mu.Unlock()
 }
 
-// ack sends one control frame; write failures sever the connection.
-func (sc *streamConn) ack(a subAck) {
-	payload, err := json.Marshal(a)
+// ack sends one plain control frame; write failures sever the
+// connection.
+func (sc *streamConn) ack(a subAck) { sc.ackAux(a.Stream, 0, a) }
+
+// ackAux sends one control frame with the given aux flags and JSON
+// payload; write failures sever the connection.
+func (sc *streamConn) ackAux(streamID uint32, aux int64, v any) {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	buf := wire.AppendControlFrame(nil, a.Stream, payload)
+	buf := wire.AppendControlFrameAux(nil, streamID, aux, payload)
 	if sc.write(buf) != nil {
 		sc.close()
 	}

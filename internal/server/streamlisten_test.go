@@ -210,6 +210,195 @@ func TestStreamListener(t *testing.T) {
 	}
 }
 
+// TestStreamListenerBinaryIngest drives the listener's binary ingest
+// path: event frames interleave with JSON control lines on the same
+// connection, each frame is acked with an ingest ack echoing its
+// stream id, and on a durable server the ack carries durable=true plus
+// the aux durability flag.
+func TestStreamListenerBinaryIngest(t *testing.T) {
+	s := openDurable(t, durableConfig(t.TempDir()))
+	defer s.Shutdown()
+	if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 10))"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+
+	// durableConfig sets ReorderBound 4: run ticks past the window end
+	// plus the bound so [0,10) actually fires.
+	var events []stream.Event
+	for tick := int64(0); tick <= 15; tick++ {
+		events = append(events, stream.Event{Time: tick, Key: 3, Value: 1})
+	}
+	if _, err := cl.c.Write(wire.AppendEventFrame(nil, events)); err != nil {
+		t.Fatal(err)
+	}
+	// Result rows race the ingest ack (delivery is asynchronous), so
+	// accept both until the ack and at least one row arrived.
+	var (
+		rows   []frameRow
+		acked  bool
+		ackFr  wire.Frame
+		ackVal ingestAck
+	)
+	for !acked || len(rows) == 0 {
+		f := cl.next()
+		switch f.Kind {
+		case wire.KindControl:
+			ackFr = f
+			if err := json.Unmarshal(f.Control(), &ackVal); err != nil {
+				t.Fatal(err)
+			}
+			acked = true
+		case wire.KindResults:
+			for i := 0; i < f.Rows(); i++ {
+				seq, rng, _, start, _, key, value := f.Result(i)
+				rows = append(rows, frameRow{seq: seq, rng: rng, start: start, key: key, value: value})
+			}
+		default:
+			t.Fatalf("unexpected frame kind %d", f.Kind)
+		}
+	}
+	if !ackVal.Ingest || ackVal.Stream != 0 || ackVal.Accepted != len(events) || ackVal.Error != "" {
+		t.Fatalf("ingest ack = %+v", ackVal)
+	}
+	if !ackVal.Durable {
+		t.Fatal("durable server acked binary ingest durable=false")
+	}
+	if ackFr.Seq&ctrlAuxDurable == 0 {
+		t.Fatalf("ack aux = %#x, durability flag missing", ackFr.Seq)
+	}
+	if rows[0].value != 10 || rows[0].key != 3 {
+		t.Fatalf("row = %+v, want SUM 10 for key 3", rows[0])
+	}
+
+	// A non-events binary frame is a protocol error: error ack, then the
+	// connection is severed.
+	if _, err := cl.c.Write(wire.AppendControlFrame(nil, 9, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		g, err := cl.fr.Next()
+		if err != nil {
+			break // severed, as promised
+		}
+		if g.Kind == wire.KindControl {
+			var e ingestAck
+			json.Unmarshal(g.Control(), &e)
+			if e.Error == "" {
+				t.Fatalf("expected error ack, got %q", string(g.Control()))
+			}
+		}
+	}
+}
+
+// TestStreamListenerNonDurableAck: without a WAL the ingest ack says
+// durable=false and carries no aux flag, so clients can tell the
+// difference.
+func TestStreamListenerNonDurableAck(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 10))"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	cl := dialStream(t, ln.Addr().String())
+	if _, err := cl.c.Write(wire.AppendEventFrame(nil, []stream.Event{{Time: 1, Key: 1, Value: 1}})); err != nil {
+		t.Fatal(err)
+	}
+	f := cl.next()
+	var ack ingestAck
+	if err := json.Unmarshal(f.Control(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Ingest || ack.Durable || f.Seq != 0 {
+		t.Fatalf("non-durable ack = %+v aux=%#x", ack, f.Seq)
+	}
+}
+
+// TestStreamListenerGapOnStaleCursor: subscribing with a cursor the
+// ring has already evicted past yields a typed gap control frame — the
+// missed count and the first available sequence — instead of silently
+// resuming from the ring head.
+func TestStreamListenerGapOnStaleCursor(t *testing.T) {
+	s := New(Config{Shards: 1, ResultBuffer: 4})
+	defer s.Close()
+	if _, err := s.Register("q", "SELECT DeviceID, SUM(T) FROM In GROUP BY DeviceID, Windows(TumblingWindow(tick, 1))"); err != nil {
+		t.Fatal(err)
+	}
+	// 20 one-tick windows fire for one key; the 4-row ring keeps seqs
+	// 16..19 and evicts 0..15.
+	var events []stream.Event
+	for tick := int64(0); tick <= 20; tick++ {
+		events = append(events, stream.Event{Time: tick, Key: 1, Value: 1})
+	}
+	if _, err := s.Ingest(events); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "q", After: 3})
+	f := cl.next()
+	if f.Kind != wire.KindControl {
+		t.Fatalf("expected gap control frame, got kind %d", f.Kind)
+	}
+	var ack subAck
+	if err := json.Unmarshal(f.Control(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.OK || !ack.Gap || ack.First != 16 || ack.Missed != 12 {
+		t.Fatalf("gap ack = %+v, want Gap first=16 missed=12", ack)
+	}
+	if f.Seq&ctrlAuxGap == 0 {
+		t.Fatalf("gap ack aux = %#x, gap flag missing", f.Seq)
+	}
+	// Delivery resumes at the advertised first sequence, no duplicates.
+	rows := cl.collectRows(1, 4)
+	if rows[0].seq != 16 || rows[3].seq != 19 {
+		t.Fatalf("rows after gap = %+v", rows)
+	}
+
+	// A fresh cursor inside the ring gets a plain ack, no gap.
+	cl.send(subOp{Op: "subscribe", Stream: 2, ID: "q", After: 17})
+	f = cl.next()
+	var ack2 subAck
+	if err := json.Unmarshal(f.Control(), &ack2); err != nil {
+		t.Fatal(err)
+	}
+	if !ack2.OK || ack2.Gap || f.Seq != 0 {
+		t.Fatalf("in-window subscribe ack = %+v aux=%#x", ack2, f.Seq)
+	}
+	rows = cl.collectRows(2, 2)
+	if rows[0].seq != 18 {
+		t.Fatalf("resume inside window started at %d, want 18", rows[0].seq)
+	}
+}
+
 // TestStreamListenerClose pins shutdown: closing the StreamServer severs
 // connections without disturbing the underlying Server.
 func TestStreamListenerClose(t *testing.T) {

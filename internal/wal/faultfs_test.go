@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// errInjected marks every fault the harness injects, so tests can tell
+// an injected failure from a real one.
+var errInjected = errors.New("injected fault")
+
+// faultFS wraps another FS and injects the failure modes a real disk
+// produces at the worst moments: failed or short (torn) writes, failed
+// fsyncs, and failed renames. A short write persists a prefix of the
+// buffer and then reports an error — exactly the torn-tail shape a
+// crash mid-append leaves behind — and once the write budget is spent
+// every later write fails too, modeling "the process died here".
+type faultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// writeBudget is the number of bytes Writes may persist before the
+	// injected crash point; negative means unlimited. The write that
+	// crosses zero persists only its allowed prefix.
+	writeBudget int64
+	failSync    bool
+	failRename  bool
+	failWrites  bool // every write fails without persisting anything
+
+	writeFails int
+	syncFails  int
+}
+
+func newFaultFS(inner FS) *faultFS {
+	return &faultFS{inner: inner, writeBudget: -1}
+}
+
+func (f *faultFS) setBudget(n int64) {
+	f.mu.Lock()
+	f.writeBudget = n
+	f.mu.Unlock()
+}
+
+// admit reserves up to n bytes of write budget, reporting how many may
+// be persisted and whether the write must fail.
+func (f *faultFS) admit(n int) (allowed int, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWrites {
+		f.writeFails++
+		return 0, true
+	}
+	if f.writeBudget < 0 {
+		return n, false
+	}
+	if int64(n) <= f.writeBudget {
+		f.writeBudget -= int64(n)
+		return n, false
+	}
+	allowed = int(f.writeBudget)
+	f.writeBudget = 0
+	f.writeFails++
+	return allowed, true
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (ff faultFile) Write(p []byte) (int, error) {
+	allowed, fail := ff.fs.admit(len(p))
+	if allowed > 0 {
+		if n, err := ff.File.Write(p[:allowed]); err != nil {
+			return n, err
+		}
+	}
+	if fail {
+		return allowed, errInjected
+	}
+	return len(p), nil
+}
+
+func (ff faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	fail := ff.fs.failSync || ff.fs.writeBudget == 0
+	if fail {
+		ff.fs.syncFails++
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		return errInjected
+	}
+	return ff.File.Sync()
+}
+
+func (f *faultFS) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+func (f *faultFS) Create(path string) (File, error) {
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) Open(path string) (File, error) { return f.inner.Open(path) }
+
+func (f *faultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *faultFS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.mu.Unlock()
+	if fail {
+		return errInjected
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *faultFS) Remove(path string) error { return f.inner.Remove(path) }
+
+func (f *faultFS) Truncate(path string, size int64) error { return f.inner.Truncate(path, size) }
+
+func (f *faultFS) Size(path string) (int64, error) { return f.inner.Size(path) }
+
+func (f *faultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	fail := f.failSync
+	f.mu.Unlock()
+	if fail {
+		return errInjected
+	}
+	return f.inner.SyncDir(dir)
+}

@@ -1,0 +1,101 @@
+// Filesystem seam for the write-ahead log. Every byte the WAL persists
+// goes through the FS interface, so the recovery code paths can be
+// property-tested under injected faults (failed or short writes, failed
+// fsyncs, failed renames) without a real disk misbehaving on cue — the
+// fault-injection harness in wal_test.go wraps OS with exactly those
+// failures. Production code uses OS, a thin veneer over package os.
+
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the part of *os.File the log needs: sequential reads and
+// writes plus a durability barrier.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// FS abstracts the directory the log lives in. Paths are always joined
+// under the log directory by the caller; implementations get absolute
+// paths and need no state beyond what the OS provides.
+type FS interface {
+	MkdirAll(path string) error
+	// Create opens path for writing, truncating any previous content.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	// Truncate cuts path to size bytes (torn-tail repair).
+	Truncate(path string, size int64) error
+	// Size reports path's current length in bytes.
+	Size(path string) (int64, error)
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// durable (on POSIX the directory entry is metadata of the parent).
+	SyncDir(dir string) error
+}
+
+// OS is the production FS over package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) Open(path string) (File, error) { return os.Open(path) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -91,8 +91,9 @@ var (
 type Frame struct {
 	Kind     byte
 	StreamID uint32
-	// Seq is the sequence number of row 0 for result frames (row i is
-	// Seq+i); 0 for other kinds.
+	// Seq is the header's aux word: the sequence number of row 0 for
+	// result frames (row i is Seq+i), a flag bitmask for control
+	// frames, and 0 for event frames.
 	Seq     int64
 	rows    int
 	payload []byte
@@ -252,10 +253,18 @@ func (e ResultEncoder) Bytes() []byte { return e.buf }
 // AppendControlFrame appends a control frame (row count 0) carrying
 // payload — the persistent listener's subscription acks and errors.
 func AppendControlFrame(dst []byte, streamID uint32, payload []byte) []byte {
+	return AppendControlFrameAux(dst, streamID, 0, payload)
+}
+
+// AppendControlFrameAux is AppendControlFrame with the header's aux
+// word set — a flag field decoded back into Frame.Seq, carrying
+// per-frame signals (durable ingest acks, subscription gap notices)
+// without touching the JSON payload.
+func AppendControlFrameAux(dst []byte, streamID uint32, aux int64, payload []byte) []byte {
 	if len(payload) > MaxFrameRows {
 		panic("wire: control payload exceeds bounds")
 	}
-	dst = appendHeader(dst, KindControl, 0, streamID, 0, len(payload))
+	dst = appendHeader(dst, KindControl, 0, streamID, aux, len(payload))
 	return append(dst, payload...)
 }
 
@@ -317,6 +326,7 @@ func decodeBody(b []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("%w: %d payload bytes for %d result rows", ErrSize, len(f.payload), f.rows)
 		}
 	case KindControl:
+		f.Seq = int64(binary.LittleEndian.Uint64(b[12:]))
 		if f.rows != 0 {
 			return Frame{}, fmt.Errorf("%w: control frame with %d rows", ErrSize, f.rows)
 		}
