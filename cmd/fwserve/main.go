@@ -49,10 +49,25 @@ func main() {
 
 		exactMedian = flag.Bool("exact-median", false, "reject MEDIAN queries instead of approximating them as sketch-backed PERCENTILE(v, 0.5)")
 
-		walDir        = flag.String("wal-dir", "", "durable write-ahead log directory (empty disables durability)")
-		fsync         = flag.String("fsync", "every", "WAL fsync policy: every (sync before each ack), interval (background sync), or off")
-		fsyncInterval = flag.Duration("fsync-interval", 50*time.Millisecond, "background sync period for -fsync interval")
-		snapshotEvery = flag.Int64("snapshot-every", 0, "auto-snapshot after this many WAL records (0 disables; POST /checkpoint always works)")
+		walDir          = flag.String("wal-dir", "", "durable write-ahead log directory (empty disables durability)")
+		fsync           = flag.String("fsync", "every", "WAL fsync policy: every (sync before each ack), interval (background sync), or off")
+		fsyncInterval   = flag.Duration("fsync-interval", 50*time.Millisecond, "background sync period for -fsync interval")
+		snapshotEvery   = flag.Int64("snapshot-every", 0, "auto-snapshot after this many WAL records (0 disables; POST /checkpoint always works)")
+		walRetries      = flag.Int("wal-retries", 3, "transient WAL write/sync fault retries before fail-stopping into degraded mode")
+		walRetryBackoff = flag.Duration("wal-retry-backoff", 5*time.Millisecond, "initial WAL retry backoff (doubles per retry)")
+
+		maxInflight      = flag.Int64("max-inflight-bytes", 128<<20, "global in-flight ingest byte budget; over-budget requests shed with 429 (0 disables)")
+		maxSourceBytes   = flag.Int64("max-source-bytes", 32<<20, "per-client-IP in-flight ingest byte budget (0 disables)")
+		admitWait        = flag.Duration("admit-wait", 100*time.Millisecond, "how long an over-budget ingest may wait for capacity before shedding")
+		retryAfter       = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 sheds")
+		reorderCap       = flag.Int("reorder-cap", 1<<20, "reorder buffer pending-event cap in events (0 = unbounded)")
+		reorderCapPolicy = flag.String("reorder-cap-policy", "release", "at the reorder cap: release (force out oldest) or reject (drop newest)")
+		maxStreamSubs    = flag.Int("max-stream-subs", 1024, "live subscriptions per streaming connection (-1 disables the cap)")
+		maxBodyBytes     = flag.Int64("max-body-bytes", 64<<20, "request body cap for the buffering ingest codecs (JSON array, CSV)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "HTTP header read deadline (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 5*time.Minute, "whole-request read deadline, body included")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
 	)
 	flag.Parse()
 
@@ -65,6 +80,19 @@ func main() {
 	cfg.AdaptiveEpoch = *adaptiveEpoch
 	cfg.AdaptiveOverpay = *adaptiveOverpay
 	cfg.ExactMedian = *exactMedian
+	capPolicy, err := reorder.ParseCapPolicy(*reorderCapPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fwserve: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.MaxInflightBytes = *maxInflight
+	cfg.MaxSourceBytes = *maxSourceBytes
+	cfg.AdmitWait = *admitWait
+	cfg.RetryAfter = *retryAfter
+	cfg.ReorderCap = *reorderCap
+	cfg.ReorderCapPolicy = capPolicy
+	cfg.MaxStreamSubs = *maxStreamSubs
+	cfg.MaxBodyBytes = *maxBodyBytes
 	if *walDir != "" {
 		pol, err := wal.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -76,6 +104,8 @@ func main() {
 		cfg.Fsync = pol
 		cfg.FsyncInterval = *fsyncInterval
 		cfg.SnapshotEvery = *snapshotEvery
+		cfg.WALRetries = *walRetries
+		cfg.WALRetryBackoff = *walRetryBackoff
 	}
 
 	// Open recovers durable state before serving: newest valid snapshot,
@@ -90,7 +120,16 @@ func main() {
 		log.Printf("fwserve: durable WAL in %s (fsync=%s) recovered to offset %d",
 			cfg.WALDir, cfg.Fsync, st.LastSnapshotOffset+st.WALLag)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The timeouts bound what a slow or hostile client can hold open:
+	// header trickling (slowloris), endless request bodies, and idle
+	// keep-alive connections. Result streams are exempt from a write
+	// deadline on purpose — they are long-lived by design.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	// The persistent streaming listener multiplexes query subscriptions
 	// as binary frames over one long-lived TCP connection per client,

@@ -1,0 +1,392 @@
+// Package chaos is a deterministic fault-injection harness for the
+// overload and degraded-mode property tests.
+//
+// An Injector owns a seeded PRNG and a Spec of fault probabilities.
+// Wrappers route every operation of a wal.FS, a net.Conn, or a
+// net.Listener through the injector, which decides per call whether to
+// inject an error, a short (partial) write, or latency. The same seed
+// and call sequence always produce the same fault schedule, so every
+// chaos test failure replays exactly from its committed seed.
+//
+// Besides probabilistic schedules, ForceFail scripts the next n calls
+// of a named operation to fail — the tool for targeted tests ("the
+// second fsync fails, then the disk heals").
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"factorwindows/internal/wal"
+)
+
+// ErrInjected is the root of every injected failure; injected errors
+// wrap it, so errors.Is(err, chaos.ErrInjected) identifies harness
+// faults in assertions.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Spec configures an Injector's probabilistic fault schedule. The zero
+// Spec injects nothing (only ForceFail fires).
+type Spec struct {
+	// FailProb is the per-call probability of injecting an error.
+	FailProb float64
+	// PartialProb is the probability, given an injected write failure,
+	// that a random prefix of the buffer is written before the error —
+	// the torn-write case durability code must survive.
+	PartialProb float64
+	// LatencyProb is the per-call probability of sleeping a random
+	// duration up to MaxLatency before the operation proceeds.
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// Streak makes each probabilistic fault repeat on the next Streak-1
+	// calls of the same op, modeling a fault that persists briefly
+	// (default 1: independent faults).
+	Streak int
+	// Ops restricts probabilistic faults to the named operations
+	// (e.g. "write", "sync", "conn.read"). Nil means all operations are
+	// eligible. ForceFail ignores this filter.
+	Ops map[string]bool
+}
+
+// Injector decides faults. Safe for concurrent use; decisions are
+// serialized, so a single-threaded caller sequence is deterministic.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	spec    Spec
+	enabled bool
+	streak  map[string]int   // remaining forced/streak failures per op
+	counts  map[string]int64 // injected faults per op
+	calls   map[string]int64 // total calls per op
+}
+
+// NewInjector returns an enabled Injector seeded with seed.
+func NewInjector(seed int64, spec Spec) *Injector {
+	if spec.Streak <= 0 {
+		spec.Streak = 1
+	}
+	return &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		spec:    spec,
+		enabled: true,
+		streak:  make(map[string]int),
+		counts:  make(map[string]int64),
+		calls:   make(map[string]int64),
+	}
+}
+
+// SetEnabled toggles all injection; disabled injectors pass every call
+// through untouched (used for the healed phases of a test).
+func (in *Injector) SetEnabled(on bool) {
+	in.mu.Lock()
+	in.enabled = on
+	in.mu.Unlock()
+}
+
+// ForceFail schedules the next n calls of op to fail deterministically,
+// regardless of probabilities or the enabled flag's random schedule.
+func (in *Injector) ForceFail(op string, n int) {
+	in.mu.Lock()
+	in.streak[op] += n
+	in.mu.Unlock()
+}
+
+// Calls reports how many times op has been decided.
+func (in *Injector) Calls(op string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Injected reports how many faults have been injected for op; with
+// op == "" it sums across all operations.
+func (in *Injector) Injected(op string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if op != "" {
+		return in.counts[op]
+	}
+	var total int64
+	for _, n := range in.counts {
+		total += n
+	}
+	return total
+}
+
+// fault is one decision: an optional error, an optional partial-write
+// fraction (only meaningful for writes, only with err set), and
+// optional latency.
+type fault struct {
+	err     error
+	partial float64
+	latency time.Duration
+}
+
+func (in *Injector) decide(op string) fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[op]++
+	var f fault
+	if in.streak[op] > 0 {
+		in.streak[op]--
+		in.counts[op]++
+		f.err = fmt.Errorf("%w: %s", ErrInjected, op)
+		return f
+	}
+	if !in.enabled {
+		return f
+	}
+	if in.spec.Ops != nil && !in.spec.Ops[op] {
+		return f
+	}
+	if in.spec.LatencyProb > 0 && in.rng.Float64() < in.spec.LatencyProb {
+		f.latency = time.Duration(in.rng.Int63n(int64(in.spec.MaxLatency) + 1))
+	}
+	if in.spec.FailProb > 0 && in.rng.Float64() < in.spec.FailProb {
+		in.counts[op]++
+		if in.spec.Streak > 1 {
+			in.streak[op] += in.spec.Streak - 1
+		}
+		f.err = fmt.Errorf("%w: %s", ErrInjected, op)
+		if in.spec.PartialProb > 0 && in.rng.Float64() < in.spec.PartialProb {
+			f.partial = in.rng.Float64()
+		}
+	}
+	return f
+}
+
+// apply sleeps the decided latency and returns the decided error.
+func (f fault) apply() error {
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	return f.err
+}
+
+// ---------------------------------------------------------------------------
+// wal.FS wrapper
+
+// FS wraps a wal.FS, injecting faults on every operation. Op names:
+// mkdirall, create, openappend, open, readdir, rename, remove,
+// truncate, size, syncdir, write, sync, read, close.
+type FS struct {
+	inner wal.FS
+	inj   *Injector
+}
+
+// WrapFS wraps inner (wal.OS when nil) with inj.
+func WrapFS(inner wal.FS, inj *Injector) *FS {
+	if inner == nil {
+		inner = wal.OS{}
+	}
+	return &FS{inner: inner, inj: inj}
+}
+
+func (f *FS) MkdirAll(path string) error {
+	if err := f.inj.decide("mkdirall").apply(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *FS) Create(path string) (wal.File, error) {
+	if err := f.inj.decide("create").apply(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *FS) OpenAppend(path string) (wal.File, error) {
+	if err := f.inj.decide("openappend").apply(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *FS) Open(path string) (wal.File, error) {
+	if err := f.inj.decide("open").apply(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if err := f.inj.decide("readdir").apply(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	if err := f.inj.decide("rename").apply(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FS) Remove(path string) error {
+	if err := f.inj.decide("remove").apply(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FS) Truncate(path string, size int64) error {
+	if err := f.inj.decide("truncate").apply(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FS) Size(path string) (int64, error) {
+	if err := f.inj.decide("size").apply(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(path)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.inj.decide("syncdir").apply(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// chaosFile injects on write, sync, and read. Close passes through:
+// injecting close failures wedges cleanup paths without exercising
+// anything the durability story cares about.
+type chaosFile struct {
+	inner wal.File
+	inj   *Injector
+}
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	d := c.inj.decide("write")
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err == nil {
+		return c.inner.Write(p)
+	}
+	if d.partial > 0 && len(p) > 1 {
+		// Torn write: a strict prefix reaches the file, then the error.
+		n := int(float64(len(p)) * d.partial)
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		if n > 0 {
+			if wn, werr := c.inner.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		return n, d.err
+	}
+	return 0, d.err
+}
+
+func (c *chaosFile) Read(p []byte) (int, error) {
+	if err := c.inj.decide("read").apply(); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(p)
+}
+
+func (c *chaosFile) Sync() error {
+	if err := c.inj.decide("sync").apply(); err != nil {
+		return err
+	}
+	return c.inner.Sync()
+}
+
+func (c *chaosFile) Close() error { return c.inner.Close() }
+
+// ---------------------------------------------------------------------------
+// net.Conn wrapper
+
+// Conn wraps a net.Conn, injecting faults on reads ("conn.read"),
+// writes ("conn.write", with torn-write support), and write-deadline
+// arming ("conn.setwritedeadline" — the dead-socket case the stream
+// listener must evict on).
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn wraps c with inj.
+func WrapConn(c net.Conn, inj *Injector) *Conn { return &Conn{Conn: c, inj: inj} }
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.inj.decide("conn.read").apply(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.inj.decide("conn.write")
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err == nil {
+		return c.Conn.Write(p)
+	}
+	if d.partial > 0 && len(p) > 1 {
+		n := int(float64(len(p)) * d.partial)
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		if n > 0 {
+			if wn, werr := c.Conn.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		return n, d.err
+	}
+	return 0, d.err
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if err := c.inj.decide("conn.setwritedeadline").apply(); err != nil {
+		return err
+	}
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// ---------------------------------------------------------------------------
+// net.Listener wrapper
+
+// Listener wraps accepted connections with the injector, so the
+// server-side half of every connection runs under fault injection.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener wraps l with inj.
+func WrapListener(l net.Listener, inj *Injector) *Listener {
+	return &Listener{Listener: l, inj: inj}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}

@@ -301,6 +301,13 @@ type Runner struct {
 	// ack is the reusable barrier acknowledgement (see barrierAck).
 	ack barrierAck
 
+	// egressPeak is the high-water mark of any single shard's buffered
+	// result rows, sampled at ordered-drain points (atomic: read by
+	// /stats without the driving goroutine's cooperation). Bounded by
+	// orderedSpill, which is the egress-scratch budget /stats reports
+	// against.
+	egressPeak atomic.Int64
+
 	mu      sync.Mutex
 	failure error
 }
@@ -482,10 +489,28 @@ func (r *Runner) SetOrderedDrain(on bool) {
 // are quiescent (after a barrier ack or Close join), which is what
 // makes touching the shard-owned buffers safe.
 func (r *Runner) drainOrdered() {
+	peak := 0
 	for _, sh := range r.shards {
+		if n := len(sh.sink.buf); n > peak {
+			peak = n
+		}
 		sh.sink.flush()
 	}
+	if p := int64(peak); p > r.egressPeak.Load() {
+		r.egressPeak.Store(p)
+	}
 }
+
+// EgressPeak reports the high-water mark of per-shard buffered result
+// rows observed at ordered-drain points — the server's egress-scratch
+// telemetry. In ordered mode it is bounded by OrderedSpill; unordered
+// runners flush on their own schedule and report only what barriers
+// happened to observe.
+func (r *Runner) EgressPeak() int64 { return r.egressPeak.Load() }
+
+// OrderedSpill exposes the per-shard buffered-result bound so budget
+// checks can assert against the same constant the sinks enforce.
+const OrderedSpill = orderedSpill
 
 // shardOf maps a key to its shard via a Fibonacci hash, spreading
 // clustered key spaces (0, 1, 2, ...) evenly.

@@ -1,0 +1,228 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"factorwindows/internal/stream"
+)
+
+// orderedCollector records the stream and fails the test on any output
+// time regression — the invariant the cap must never break.
+type orderedCollector struct {
+	t      *testing.T
+	last   int64
+	count  int64
+	primed bool
+}
+
+func (c *orderedCollector) Process(events []stream.Event) {
+	for _, e := range events {
+		if c.primed && e.Time < c.last {
+			c.t.Fatalf("output regressed: %d after %d", e.Time, c.last)
+		}
+		c.last, c.primed = e.Time, true
+		c.count++
+	}
+}
+
+// floodEvents builds a sustained out-of-order flood: timestamps walk
+// forward but each is displaced backwards by up to disorder ticks.
+func floodEvents(rng *rand.Rand, n int, disorder int64) []stream.Event {
+	events := make([]stream.Event, n)
+	for i := range events {
+		t := int64(i)
+		if d := rng.Int63n(disorder + 1); d < t {
+			t -= d
+		}
+		events[i] = stream.Event{Time: t, Key: uint64(rng.Int63n(64)), Value: float64(i)}
+	}
+	return events
+}
+
+// TestCapReleaseOldestBoundsHeap floods a buffer whose disorder bound
+// far exceeds its cap and checks, at every step, heap ≤ cap, in-order
+// output, and that the accounting reconciles exactly:
+// seen == delivered + buffered + lateDropped + capDropped.
+func TestCapReleaseOldestBoundsHeap(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20260808} {
+		rng := rand.New(rand.NewSource(seed))
+		c := &orderedCollector{t: t}
+		// bound 1<<40: without the cap, nothing would ever release.
+		b, err := New(c, 1<<40, Drop, nil)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		const cap = 100
+		b.SetCap(cap, ReleaseOldest)
+		events := floodEvents(rng, 5000, 1<<30)
+		for lo := 0; lo < len(events); lo += 17 {
+			hi := lo + 17
+			if hi > len(events) {
+				hi = len(events)
+			}
+			b.Push(events[lo:hi])
+			if got := b.Buffered(); got > cap {
+				t.Fatalf("seed %d: heap %d > cap %d after push", seed, got, cap)
+			}
+		}
+		if b.CapReleased() == 0 {
+			t.Fatalf("seed %d: flood at cap never forced a release", seed)
+		}
+		lateDropped := b.Late() // Drop policy: every late event is dropped
+		got := c.count + int64(b.Buffered()) + lateDropped + b.CapDropped()
+		if b.Seen() != got {
+			t.Fatalf("seed %d: seen %d != delivered %d + buffered %d + late %d + capDropped %d",
+				seed, b.Seen(), c.count, b.Buffered(), lateDropped, b.CapDropped())
+		}
+	}
+}
+
+// TestCapRejectNewestBoundsHeap does the same under the reject policy:
+// the heap never exceeds cap, rejected events are counted, and nothing
+// is emitted out of order.
+func TestCapRejectNewestBoundsHeap(t *testing.T) {
+	for _, seed := range []int64{7, 99, 123456} {
+		rng := rand.New(rand.NewSource(seed))
+		c := &orderedCollector{t: t}
+		b, err := New(c, 1<<40, Drop, nil)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		const cap = 64
+		b.SetCap(cap, RejectNewest)
+		events := floodEvents(rng, 3000, 1<<30)
+		for lo := 0; lo < len(events); lo += 13 {
+			hi := lo + 13
+			if hi > len(events) {
+				hi = len(events)
+			}
+			b.Push(events[lo:hi])
+			if got := b.Buffered(); got > cap {
+				t.Fatalf("seed %d: heap %d > cap %d", seed, got, cap)
+			}
+		}
+		if b.CapDropped() == 0 {
+			t.Fatalf("seed %d: flood at cap rejected nothing", seed)
+		}
+		if b.CapReleased() != 0 {
+			t.Fatalf("seed %d: reject policy force-released %d events", seed, b.CapReleased())
+		}
+		got := c.count + int64(b.Buffered()) + b.Late() + b.CapDropped()
+		if b.Seen() != got {
+			t.Fatalf("seed %d: accounting mismatch: seen %d, reconstructed %d", seed, b.Seen(), got)
+		}
+	}
+}
+
+// TestCapSortedFastPath drives the sorted fast path (ascending batches
+// with a huge bound) into the cap and checks order and bounds hold
+// there too.
+func TestCapSortedFastPath(t *testing.T) {
+	c := &orderedCollector{t: t}
+	b, err := New(c, 1<<40, Drop, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const cap = 32
+	b.SetCap(cap, ReleaseOldest)
+	// Strictly ascending input: pushSorted handles every batch; the
+	// giant bound keeps everything buffered until the cap forces it out.
+	var batch []stream.Event
+	for i := 0; i < 500; i++ {
+		batch = append(batch, stream.Event{Time: int64(i), Key: 1, Value: float64(i)})
+		if len(batch) == 10 {
+			b.Push(batch)
+			batch = batch[:0]
+			if got := b.Buffered(); got > cap {
+				t.Fatalf("heap %d > cap %d", got, cap)
+			}
+		}
+	}
+	if b.CapReleased() == 0 {
+		t.Fatal("cap never engaged on the sorted path")
+	}
+	b.Close()
+	if c.count+b.CapDropped() != b.Seen() {
+		t.Fatalf("after Close: delivered %d + capDropped %d != seen %d", c.count, b.CapDropped(), b.Seen())
+	}
+}
+
+// TestSetCapTrimsExistingHeap checks that lowering the cap on a full
+// buffer under ReleaseOldest trims it immediately.
+func TestSetCapTrimsExistingHeap(t *testing.T) {
+	c := &orderedCollector{t: t}
+	b, err := New(c, 1<<40, Drop, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var events []stream.Event
+	for i := 0; i < 200; i++ {
+		events = append(events, stream.Event{Time: int64(i), Key: 1})
+	}
+	b.Push(events)
+	if got := b.Buffered(); got != 200 {
+		t.Fatalf("Buffered() = %d, want 200", got)
+	}
+	b.SetCap(50, ReleaseOldest)
+	if got := b.Buffered(); got > 50 {
+		t.Fatalf("Buffered() = %d after SetCap(50), want <= 50", got)
+	}
+	if b.CapReleased() < 150 {
+		t.Fatalf("CapReleased() = %d, want >= 150", b.CapReleased())
+	}
+}
+
+// TestCapCountersSurviveSnapshot checks the drop accounting rides
+// State across a snapshot/restore while the cap itself does not.
+func TestCapCountersSurviveSnapshot(t *testing.T) {
+	c := &orderedCollector{t: t}
+	b, err := New(c, 1<<40, Drop, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b.SetCap(16, RejectNewest)
+	var events []stream.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, stream.Event{Time: int64(i), Key: 1})
+	}
+	b.Push(events)
+	if b.CapDropped() == 0 {
+		t.Fatal("expected cap drops before snapshot")
+	}
+	st := b.Snapshot()
+	c2 := &orderedCollector{t: t}
+	b2, err := NewFromState(c2, st, nil)
+	if err != nil {
+		t.Fatalf("NewFromState: %v", err)
+	}
+	if b2.CapDropped() != b.CapDropped() || b2.CapReleased() != b.CapReleased() {
+		t.Fatalf("counters lost in restore: got (%d,%d), want (%d,%d)",
+			b2.CapDropped(), b2.CapReleased(), b.CapDropped(), b.CapReleased())
+	}
+	// The restored buffer is uncapped until SetCap is reapplied.
+	var more []stream.Event
+	for i := 100; i < 200; i++ {
+		more = append(more, stream.Event{Time: int64(i), Key: 1})
+	}
+	before := b2.CapDropped()
+	b2.Push(more)
+	if b2.CapDropped() != before {
+		t.Fatal("restored buffer enforced a cap that was not reapplied")
+	}
+}
+
+func TestParseCapPolicy(t *testing.T) {
+	if p, err := ParseCapPolicy("release"); err != nil || p != ReleaseOldest {
+		t.Fatalf("release: %v %v", p, err)
+	}
+	if p, err := ParseCapPolicy("reject"); err != nil || p != RejectNewest {
+		t.Fatalf("reject: %v %v", p, err)
+	}
+	if _, err := ParseCapPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+	if ReleaseOldest.String() != "release" || RejectNewest.String() != "reject" {
+		t.Fatal("String() round-trip mismatch")
+	}
+}

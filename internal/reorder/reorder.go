@@ -46,6 +46,41 @@ func (p Policy) String() string {
 	return "drop"
 }
 
+// CapPolicy says what to do when the buffer's pending-event heap hits
+// its configured memory cap (SetCap). Either way the heap never grows
+// past the cap: overload degrades explicitly instead of growing memory
+// without bound.
+type CapPolicy int
+
+const (
+	// ReleaseOldest force-releases the oldest buffered events to make
+	// room, sealing the horizon early. In-bound stragglers that arrive
+	// below the forced horizon afterwards are judged by the ordinary
+	// lateness policy — bounded memory is bought with earlier lateness.
+	ReleaseOldest CapPolicy = iota
+	// RejectNewest drops the arriving event instead (counted in
+	// CapDropped); buffered events keep their full disorder tolerance.
+	RejectNewest
+)
+
+func (p CapPolicy) String() string {
+	if p == RejectNewest {
+		return "reject"
+	}
+	return "release"
+}
+
+// ParseCapPolicy parses the flag spelling of a CapPolicy.
+func ParseCapPolicy(s string) (CapPolicy, error) {
+	switch s {
+	case "release":
+		return ReleaseOldest, nil
+	case "reject":
+		return RejectNewest, nil
+	}
+	return 0, fmt.Errorf("reorder: unknown cap policy %q (want release or reject)", s)
+}
+
 // Buffer is the bounded-disorder reorder buffer.
 type Buffer struct {
 	bound    int64
@@ -63,6 +98,15 @@ type Buffer struct {
 	// timestamps may straddle Push calls without losing its tail.
 	released int64
 	out      []stream.Event
+
+	// cap bounds the heap (0: unbounded); capPolicy picks the overflow
+	// behavior. Both live in server configuration, not State: a restored
+	// checkpoint gets the current deployment's cap via SetCap, not the
+	// one it was taken under.
+	cap         int
+	capPolicy   CapPolicy
+	capDropped  int64
+	capReleased int64
 
 	late   int64
 	seen   int64
@@ -116,12 +160,51 @@ func (b *Buffer) Push(events []stream.Event) {
 			}
 			e.Time = b.released // Adjust: move into the oldest open tick
 		}
-		b.h.push(e)
 		if e.Time > b.watermark {
 			b.watermark = e.Time
 		}
+		b.capPush(e)
 	}
 	b.release(b.watermark - b.bound)
+}
+
+// capPush inserts e into the heap, enforcing the memory cap first. The
+// watermark must already reflect e: a cap-rejected event still advances
+// the clock (it was seen), it just never reaches the consumer.
+func (b *Buffer) capPush(e stream.Event) {
+	if b.cap > 0 && b.h.len() >= b.cap {
+		if b.capPolicy == RejectNewest {
+			b.capDropped++
+			return
+		}
+		b.forceRelease(b.h.len() - b.cap + 1)
+		if e.Time < b.released {
+			// The forced horizon overtook this event; emitting it now
+			// would regress the output clock, so it degrades by the
+			// lateness policy — but is accounted to the cap, which
+			// caused it.
+			if b.policy != Adjust {
+				b.capDropped++
+				return
+			}
+			e.Time = b.released
+		}
+	}
+	b.h.push(e)
+}
+
+// forceRelease seals the horizon upward until at least k buffered
+// events have been emitted, oldest first. Each step releases every
+// event sharing the current minimum timestamp, so the output clock
+// never regresses.
+func (b *Buffer) forceRelease(k int) {
+	for k > 0 && b.h.len() > 0 {
+		before := b.h.len()
+		b.release(b.h.min().Time)
+		n := before - b.h.len()
+		k -= n
+		b.capReleased += int64(n)
+	}
 }
 
 // pushSorted is Push's batch fast path. It applies when the batch is
@@ -162,9 +245,6 @@ func (b *Buffer) pushSorted(events []stream.Event) bool {
 		out = append(out, b.h.pop())
 	}
 	b.out = out
-	for _, e := range events[p:] {
-		b.h.push(e)
-	}
 	if horizon > b.released {
 		b.released = horizon
 	}
@@ -180,13 +260,19 @@ func (b *Buffer) pushSorted(events []stream.Event) bool {
 		out = append(out, events[:p]...)
 		b.out = out
 		b.consumer.Process(out)
-		return true
+	} else {
+		if len(out) > 0 {
+			b.consumer.Process(out)
+		}
+		if p > 0 {
+			b.consumer.Process(events[:p])
+		}
 	}
-	if len(out) > 0 {
-		b.consumer.Process(out)
-	}
-	if p > 0 {
-		b.consumer.Process(events[:p])
+	// Tail events (> horizon) enter the heap only after the releasable
+	// prefix went downstream, so a cap-forced release inside capPush can
+	// never emit a tail event ahead of the prefix.
+	for _, e := range events[p:] {
+		b.capPush(e)
 	}
 	return true
 }
@@ -213,6 +299,19 @@ func (b *Buffer) release(horizon int64) {
 	}
 }
 
+// SetCap bounds the pending-event heap at n events (0 removes the
+// bound) with the given overflow policy. Under ReleaseOldest an
+// already-over-cap heap is trimmed immediately (emitting the overflow
+// to the consumer); under RejectNewest an oversized heap only shrinks
+// as the watermark advances, but admits nothing while at or over cap.
+func (b *Buffer) SetCap(n int, policy CapPolicy) {
+	b.cap = n
+	b.capPolicy = policy
+	if n > 0 && policy == ReleaseOldest && b.h.len() > n {
+		b.forceRelease(b.h.len() - n)
+	}
+}
+
 // Close drains the buffer into the consumer. The consumer's own Close
 // (flush) remains the caller's responsibility.
 func (b *Buffer) Close() {
@@ -236,18 +335,24 @@ type State struct {
 	Late      int64
 	Seen      int64
 	Pending   []stream.Event
+	// Cap drop accounting survives consumer swaps and checkpoints; the
+	// cap itself does not (see SetCap — it is deployment configuration).
+	CapDropped  int64
+	CapReleased int64
 }
 
 // Snapshot captures the buffer's current state. The buffer remains
 // usable; take snapshots between Push calls.
 func (b *Buffer) Snapshot() State {
 	return State{
-		Bound:     b.bound,
-		Policy:    b.policy,
-		Watermark: b.watermark,
-		Released:  b.released,
-		Late:      b.late,
-		Seen:      b.seen,
+		Bound:       b.bound,
+		Policy:      b.policy,
+		Watermark:   b.watermark,
+		Released:    b.released,
+		Late:        b.late,
+		Seen:        b.seen,
+		CapDropped:  b.capDropped,
+		CapReleased: b.capReleased,
 		// The heap array is copied as-is; the heap property is positional,
 		// so the copy is a valid heap for the restored buffer.
 		Pending: append([]stream.Event(nil), b.h.es...),
@@ -271,6 +376,8 @@ func NewFromState(consumer Consumer, st State, onLate func(stream.Event)) (*Buff
 	b.released = st.Released
 	b.late = st.Late
 	b.seen = st.Seen
+	b.capDropped = st.CapDropped
+	b.capReleased = st.CapReleased
 	for _, e := range st.Pending {
 		if e.Time < st.Released {
 			return nil, fmt.Errorf("reorder: pending event at %d precedes the sealed horizon %d",
@@ -299,6 +406,13 @@ func (b *Buffer) Seen() int64 { return b.seen }
 
 // Buffered returns the number of events currently held back.
 func (b *Buffer) Buffered() int { return b.h.len() }
+
+// CapDropped returns the number of events dropped by the memory cap.
+func (b *Buffer) CapDropped() int64 { return b.capDropped }
+
+// CapReleased returns the number of events the cap force-released
+// early (ReleaseOldest policy).
+func (b *Buffer) CapReleased() int64 { return b.capReleased }
 
 // eventHeap is a typed min-heap of events on (Time, Key) — the key
 // tiebreak keeps release order deterministic for equal timestamps, and

@@ -85,6 +85,8 @@ func Open(cfg Config) (*Server, error) {
 		SegmentBytes:  cfg.WALSegmentBytes,
 		MinOffset:     snapOff,
 		FS:            cfg.WALFS,
+		RetryAttempts: cfg.WALRetries,
+		RetryBackoff:  cfg.WALRetryBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -185,7 +187,7 @@ func (s *Server) stageEventsLocked(events []stream.Event) (*wal.Commit, error) {
 	c, err := s.wal.Append(events)
 	if err != nil {
 		s.walErr = err
-		return nil, fmt.Errorf("server: wal append: %w", err)
+		return nil, fmt.Errorf("server: %w: wal append: %v", ErrDegraded, err)
 	}
 	return c, nil
 }
@@ -203,7 +205,7 @@ func (s *Server) stageControlLocked(op walControl) (*wal.Commit, error) {
 	c, err := s.wal.AppendControl(payload)
 	if err != nil {
 		s.walErr = err
-		return nil, fmt.Errorf("server: wal append: %w", err)
+		return nil, fmt.Errorf("server: %w: wal append: %v", ErrDegraded, err)
 	}
 	return c, nil
 }
@@ -223,17 +225,19 @@ func (s *Server) awaitCommit(c *wal.Commit) (durable bool, err error) {
 			s.walErr = err
 		}
 		s.mu.Unlock()
-		return false, fmt.Errorf("server: wal commit: %w", err)
+		return false, fmt.Errorf("server: %w: wal commit: %v", ErrDegraded, err)
 	}
 	return durable, nil
 }
 
 // walGateLocked rejects mutations once the durable path has failed:
 // applying changes the log cannot hold would silently void the
-// recovery guarantee. Callers hold s.mu.
+// recovery guarantee. The wrapped ErrDegraded maps to 503 with a
+// Retry-After at the transport — ingest sheds while reads keep
+// serving (read-only degraded mode). Callers hold s.mu.
 func (s *Server) walGateLocked() error {
 	if s.walErr != nil {
-		return fmt.Errorf("server: durable log failed: %w (restart to recover)", s.walErr)
+		return fmt.Errorf("server: %w: %v (ingest sheds; reads still serve; restart to recover)", ErrDegraded, s.walErr)
 	}
 	return nil
 }

@@ -9,11 +9,14 @@ import (
 	"fmt"
 	"io"
 	"mime"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"factorwindows/internal/admit"
 	"factorwindows/internal/stream"
 	"factorwindows/internal/streamio"
 	"factorwindows/internal/wire"
@@ -57,6 +60,13 @@ var ingestBatchPool = sync.Pool{New: func() any {
 //	POST   /checkpoint           durable servers: write a WAL-offset-stamped snapshot
 //	                             asynchronously and truncate the covered log prefix
 //	POST   /restore              replace state from a snapshot
+//	GET    /healthz              liveness: 200 unless the server is closed
+//	GET    /readyz               readiness: 503 + Retry-After while degraded or closed
+//
+// Overloaded ingest sheds with 429 + Retry-After (see Config's
+// admission budgets); a fail-stopped durable log degrades ingest to
+// 503 while reads keep serving. Handler panics are recovered into 500s
+// and counted in /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleRegister)
@@ -71,24 +81,81 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /checkpoint", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a 500 JSON error instead
+// of tearing down the connection, and counts it in /stats so operators
+// see a panic rate. http.ErrAbortHandler re-panics: it is the
+// sanctioned way to abort a response mid-body and must keep working.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error": fmt.Sprintf("server: internal error: %v", v),
+			})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // httpError maps server errors onto statuses: registry misses are 404,
-// conflicts 409, closure 503, anything else (parse/validation) 400.
-func httpError(w http.ResponseWriter, err error) {
+// conflicts 409, body limits 413, admission sheds 429 + Retry-After,
+// degraded durable log or closure 503 (degraded also hints
+// Retry-After), anything else (parse/validation) 400.
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("server: request body exceeds the %d-byte limit", maxErr.Limit),
+		})
+		return
+	}
+	if shed := (*admit.ShedError)(nil); errors.As(err, &shed) {
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	}
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		code = http.StatusConflict
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, admit.ErrOverloaded):
+		// Sheds normally arrive as *ShedError above; the bare sentinel
+		// still maps to 429 with the configured hint.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrEngine):
 		code = http.StatusInternalServerError
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds renders a backoff hint in the whole-second form the
+// Retry-After header requires, rounding up and never below 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -104,17 +171,31 @@ type registerRequest struct {
 	Query string `json:"query"`
 }
 
+// maxRegisterBody caps POST /queries bodies; a query over a mebibyte
+// is a client bug, not a workload. Oversized bodies get a 413 naming
+// the limit instead of being silently truncated into a parse error.
+const maxRegisterBody = 1 << 20
+
+// maxRestoreBody caps POST /restore snapshot uploads the same way.
+const maxRestoreBody = 64 << 20
+
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRegisterBody+1))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
+		return
+	}
+	if len(body) > maxRegisterBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("server: register body exceeds the %d-byte limit", maxRegisterBody),
+		})
 		return
 	}
 	req := registerRequest{ID: r.URL.Query().Get("id")}
 	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if mt == "application/json" {
 		if err := json.Unmarshal(body, &req); err != nil {
-			httpError(w, fmt.Errorf("server: request body: %w", err))
+			s.httpError(w, fmt.Errorf("server: request body: %w", err))
 			return
 		}
 	} else {
@@ -122,7 +203,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	qi, err := s.Register(req.ID, req.Query)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, qi)
@@ -135,7 +216,7 @@ func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
 	qi, err := s.Query(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, qi)
@@ -143,7 +224,7 @@ func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.Unregister(r.PathValue("id")); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -161,19 +242,19 @@ func cursor(r *http.Request) (int64, error) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	after, err := cursor(r)
 	if err != nil {
-		httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
+		s.httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
 		return
 	}
 	limit := 0
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		if limit, err = strconv.Atoi(raw); err != nil {
-			httpError(w, fmt.Errorf("server: bad limit: %w", err))
+			s.httpError(w, fmt.Errorf("server: bad limit: %w", err))
 			return
 		}
 	}
 	rows, missed, err := s.Results(r.PathValue("id"), after, limit)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	next := after
@@ -273,12 +354,12 @@ func encodeFrameRows(dst []byte, rows []ResultRow) []byte {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	after, err := cursor(r)
 	if err != nil {
-		httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
+		s.httpError(w, fmt.Errorf("server: bad after cursor: %w", err))
 		return
 	}
 	rg, err := s.ringOf(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	binary := acceptsFrames(r)
@@ -357,7 +438,40 @@ var supportedIngestTypes = []string{
 	"text/csv", "application/csv", ContentTypeFrame,
 }
 
+// ingestDefaultCharge is the admission charge for an ingest request
+// that declares no Content-Length (chunked transfer): without a size
+// up front, charge a conservative 1 MiB so unbounded chunked floods
+// still meet the budgets.
+const ingestDefaultCharge = 1 << 20
+
+// ingestCharge converts a request's Content-Length into the byte
+// charge admission holds for the request's lifetime.
+func ingestCharge(contentLength int64) int64 {
+	if contentLength < 0 {
+		return ingestDefaultCharge
+	}
+	return contentLength // Acquire rounds 0 up to 1
+}
+
+// sourceOf reduces a RemoteAddr to the per-source admission key: the
+// host without the ephemeral port, so one client's connections share a
+// budget.
+func sourceOf(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.admit != nil {
+		g, err := s.admit.Acquire(sourceOf(r.RemoteAddr), ingestCharge(r.ContentLength))
+		if err != nil {
+			s.httpError(w, err)
+			return
+		}
+		defer g.Release()
+	}
 	codec := "json" // historical default: a bare POST carries a JSON array
 	if ct := r.Header.Get("Content-Type"); strings.TrimSpace(ct) != "" {
 		mt, _, err := mime.ParseMediaType(ct)
@@ -381,9 +495,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case "ndjson":
 		s.ingestNDJSON(w, r)
 	case "csv":
-		events, err := streamio.ReadCSV(r.Body)
+		// The buffering codecs (CSV, JSON array) must read the whole body
+		// before the first event reaches the pipeline, so they get a hard
+		// body cap; the streaming codecs (NDJSON, frames) hold at most one
+		// chunk and are bounded by admission instead.
+		events, err := streamio.ReadCSV(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 		s.ingestBatch(w, events)
@@ -391,8 +509,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestFrames(w, r)
 	default: // JSON array
 		var evs []jsonEvent
-		if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
-			httpError(w, fmt.Errorf("server: request body: %w", err))
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&evs); err != nil {
+			s.httpError(w, fmt.Errorf("server: request body: %w", err))
 			return
 		}
 		events := make([]stream.Event, len(evs))
@@ -467,17 +585,17 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request) {
 		}
 		frames++
 		if err != nil {
-			httpError(w, fmt.Errorf("server: frame %d: %w", frames, err))
+			s.httpError(w, fmt.Errorf("server: frame %d: %w", frames, err))
 			return
 		}
 		if f.Kind != wire.KindEvents {
-			httpError(w, fmt.Errorf("server: frame %d: kind %d is not an event frame", frames, f.Kind))
+			s.httpError(w, fmt.Errorf("server: frame %d: kind %d is not an event frame", frames, f.Kind))
 			return
 		}
 		batch = f.AppendEvents(batch)
 		for len(batch) >= ingestChunk {
 			if err := flush(batch[:ingestChunk]); err != nil {
-				httpError(w, err)
+				s.httpError(w, err)
 				return
 			}
 			batch = append(batch[:0], batch[ingestChunk:]...)
@@ -485,7 +603,7 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(batch) > 0 {
 		if err := flush(batch); err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 		batch = batch[:0]
@@ -497,7 +615,7 @@ func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
 	if len(events) == 0 {
 		st, err := s.Ingest(events)
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -508,7 +626,7 @@ func (s *Server) ingestBatch(w http.ResponseWriter, events []stream.Event) {
 		end := min(off+ingestChunk, len(events))
 		st, err := s.Ingest(events[off:end])
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 		total.Accepted += st.Accepted
@@ -567,23 +685,23 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 		}
 		var je jsonEvent
 		if err := json.Unmarshal(text, &je); err != nil {
-			httpError(w, fmt.Errorf("server: line %d: %w", line, err))
+			s.httpError(w, fmt.Errorf("server: line %d: %w", line, err))
 			return
 		}
 		batch = append(batch, stream.Event{Time: je.Time, Key: je.Key, Value: je.Value})
 		if len(batch) >= ingestChunk {
 			if err := flush(); err != nil {
-				httpError(w, err)
+				s.httpError(w, err)
 				return
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if err := flush(); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, total)
@@ -591,6 +709,32 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsNow())
+}
+
+// handleHealthz is liveness: 200 while the process can serve anything
+// at all — including degraded mode, where reads still work — and 503
+// only once the server is closed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status == "closed" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleReadyz is readiness: 503 + Retry-After whenever the server
+// cannot accept mutations (degraded durable log, engine failure, or
+// closed), so load balancers stop routing writes while reads keep
+// draining through the still-200 /healthz backends.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if !h.Ready {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // handleReplan re-optimizes the live query set in place. Open window
@@ -601,13 +745,13 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("eta"); raw != "" {
 		v, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil || v < 1 {
-			httpError(w, fmt.Errorf("server: bad eta %q (want a positive integer)", raw))
+			s.httpError(w, fmt.Errorf("server: bad eta %q (want a positive integer)", raw))
 			return
 		}
 		eta = v
 	}
 	if err := s.Replan(eta); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.StatsNow())
@@ -616,7 +760,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	data, err := s.Checkpoint()
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -630,20 +774,26 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	offset, err := s.Snapshot()
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"snapshot_offset": offset})
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxRestoreBody+1))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
+		return
+	}
+	if len(data) > maxRestoreBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("server: restore body exceeds the %d-byte limit", maxRestoreBody),
+		})
 		return
 	}
 	if err := s.RestoreCheckpoint(data); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"queries": s.Queries(), "stats": s.StatsNow()})

@@ -1,0 +1,630 @@
+// Overload-protection and graceful-degradation tests: admission
+// shedding and recovery over HTTP, request body limits, health and
+// readiness endpoints through a WAL fail-stop, panic containment,
+// stream-listener bounds, and the flagship chaos property — under
+// injected fault schedules the server either serves a batch exactly or
+// sheds it cleanly, with results byte-identical to a reference run over
+// the applied batches.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"factorwindows/internal/admit"
+	"factorwindows/internal/chaos"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/reorder"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/wire"
+)
+
+// ndjsonBody renders events as an NDJSON ingest body.
+func ndjsonBody(events []stream.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, `{"time":%d,"key":%d,"value":%g}`+"\n", e.Time, e.Key, e.Value)
+	}
+	return b.String()
+}
+
+func postIngest(t *testing.T, url, contentType, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestIngestAdmissionShedsAndRecovers(t *testing.T) {
+	s := New(Config{Shards: 1, MaxInflightBytes: 1 << 10})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `[{"time":1,"key":1,"value":1}]`
+
+	// Budget free: admitted.
+	resp := postIngest(t, ts.URL, "application/json", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unloaded ingest status = %d", resp.StatusCode)
+	}
+
+	// A grant holding the whole global budget sheds the next request.
+	blocker, err := s.Admission().Acquire("blocker", 1<<10)
+	if err != nil {
+		t.Fatalf("blocker grant: %v", err)
+	}
+	resp = postIngest(t, ts.URL, "application/json", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded ingest status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carried no Retry-After header")
+	}
+
+	// Releasing the budget restores service.
+	blocker.Release()
+	resp = postIngest(t, ts.URL, "application/json", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release ingest status = %d", resp.StatusCode)
+	}
+	if st := s.StatsNow(); st.AdmitShed < 1 {
+		t.Fatalf("StatsNow().AdmitShed = %d, want >= 1", st.AdmitShed)
+	}
+}
+
+// TestIngestAdmissionBoundedWait: with AdmitWait set, an over-budget
+// request parks instead of shedding and is admitted when capacity
+// frees within the window.
+func TestIngestAdmissionBoundedWait(t *testing.T) {
+	s := New(Config{Shards: 1, MaxInflightBytes: 1 << 10, AdmitWait: 5 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	blocker, err := s.Admission().Acquire("blocker", 1<<10)
+	if err != nil {
+		t.Fatalf("blocker grant: %v", err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		blocker.Release()
+	}()
+	resp := postIngest(t, ts.URL, "application/json", `[{"time":1,"key":1,"value":1}]`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("waited ingest status = %d, want 200 after capacity freed", resp.StatusCode)
+	}
+	if st := s.StatsNow(); st.AdmitWaits < 1 {
+		t.Fatalf("StatsNow().AdmitWaits = %d, want >= 1", st.AdmitWaits)
+	}
+}
+
+// TestBodyLimits413 pins the request body caps: oversized register and
+// restore bodies get a 413 naming the limit instead of a silent
+// truncation, and the buffering ingest codecs respect MaxBodyBytes.
+func TestBodyLimits413(t *testing.T) {
+	s := New(Config{Shards: 1, MaxBodyBytes: 1 << 10})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	expect413 := func(path, contentType string, body []byte, wantLimit int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with %d bytes: status %d, want 413", path, len(body), resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(e.Error, fmt.Sprintf("%d", wantLimit)) {
+			t.Fatalf("%s 413 error %q does not name the %d-byte limit", path, e.Error, wantLimit)
+		}
+	}
+
+	expect413("/queries", "text/plain", bytes.Repeat([]byte("x"), maxRegisterBody+10), maxRegisterBody)
+	expect413("/restore", "application/octet-stream", bytes.Repeat([]byte("x"), maxRestoreBody+10), maxRestoreBody)
+	// The buffering ingest codecs (JSON array, CSV) get the configured
+	// cap; a well-formed but oversized body must 413, not OOM or 400 —
+	// the bodies here stay valid right up to where the cap cuts them.
+	bigJSON := []byte("[" + strings.Repeat(`{"time":1,"key":1,"value":1},`, 200) + `{"time":1,"key":1,"value":1}]`)
+	expect413("/ingest", "application/json", bigJSON, 1<<10)
+	expect413("/ingest", "text/csv", bytes.Repeat([]byte("1,2,3.5\n"), 600), 1<<10)
+}
+
+// TestDegradedModeKeepsServingReads drives a durable server into WAL
+// fail-stop with injected write faults and checks the degradation
+// contract: ingest sheds 503 + Retry-After, queries and results keep
+// serving, /healthz stays alive, /readyz flips to 503, and /stats
+// reports degraded.
+func TestDegradedModeKeepsServingReads(t *testing.T) {
+	inj := chaos.NewInjector(11, chaos.Spec{})
+	cfg := durableConfig(t.TempDir())
+	cfg.WALFS = chaos.WrapFS(nil, inj)
+	s := openDurable(t, cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	events := genEvents(600, 5, 31)
+	ingestScript(t, s, events, 200)
+	before := allRows(t, s, "q")
+	if len(before) == 0 {
+		t.Fatal("no rows before the fault; test needs data to keep serving")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy %s status = %d", path, resp.StatusCode)
+		}
+	}
+
+	// Permanent write fault: the retry budget (none configured here)
+	// exhausts and the durable path fail-stops.
+	inj.ForceFail("write", 100)
+	resp := postIngest(t, ts.URL, "application/x-ndjson", ndjsonBody(genEvents(10, 5, 32)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest at the WAL fault: status %d, want 503", resp.StatusCode)
+	}
+
+	// Ingest is now shed with 503 + Retry-After via the sticky gate.
+	resp = postIngest(t, ts.URL, "application/x-ndjson", ndjsonBody(genEvents(10, 5, 33)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("degraded 503 carried no Retry-After header")
+	}
+	if _, err := s.Ingest(genEvents(5, 5, 34)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("direct Ingest err = %v, want ErrDegraded", err)
+	}
+
+	// Liveness survives; readiness does not.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "degraded" || h.Ready {
+		t.Fatalf("degraded /healthz = %d %+v", resp.StatusCode, h)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("/readyz 503 carried no Retry-After header")
+	}
+
+	// Reads still serve, and serve everything applied before the fault.
+	after := allRows(t, s, "q")
+	if len(after) < len(before) {
+		t.Fatalf("degraded server lost rows: %d -> %d", len(before), len(after))
+	}
+	if st := s.StatsNow(); !st.Degraded || st.WALError == "" {
+		t.Fatalf("StatsNow() = degraded=%t wal_error=%q, want degraded with the cause", st.Degraded, st.WALError)
+	}
+}
+
+// TestWALRetriesRideThroughTransientFaults: with a retry budget, a
+// burst of transient write faults is absorbed without degrading and
+// the retries surface in /stats.
+func TestWALRetriesRideThroughTransientFaults(t *testing.T) {
+	inj := chaos.NewInjector(12, chaos.Spec{})
+	cfg := durableConfig(t.TempDir())
+	cfg.WALFS = chaos.WrapFS(nil, inj)
+	cfg.WALRetries = 5
+	cfg.WALRetryBackoff = 50 * time.Microsecond
+	s := openDurable(t, cfg)
+	defer s.Shutdown()
+
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	inj.ForceFail("write", 3)
+	st, err := s.Ingest(genEvents(50, 5, 41))
+	if err != nil {
+		t.Fatalf("ingest under transient faults: %v", err)
+	}
+	if !st.Durable {
+		t.Fatal("ride-through ingest not durable")
+	}
+	stats := s.StatsNow()
+	if stats.Degraded {
+		t.Fatal("server degraded on a transient fault within budget")
+	}
+	if stats.WALRetries < 3 {
+		t.Fatalf("StatsNow().WALRetries = %d, want >= 3", stats.WALRetries)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "boom") {
+		t.Fatalf("500 body %q does not carry the panic value", rec.Body.String())
+	}
+	if got := s.StatsNow().Panics; got != 1 {
+		t.Fatalf("StatsNow().Panics = %d, want 1", got)
+	}
+
+	// http.ErrAbortHandler must keep its sanctioned meaning: re-panic,
+	// not a 500.
+	abort := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Fatal("ErrAbortHandler was swallowed")
+			}
+		}()
+		abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	if got := s.StatsNow().Panics; got != 1 {
+		t.Fatalf("ErrAbortHandler counted as a panic: %d", got)
+	}
+}
+
+// TestReorderCapBoundsServerBuffer floods a capped server with events
+// in shuffled order and no natural release horizon: the buffer must
+// hold at the cap with the overflow accounted in /stats.
+func TestReorderCapBoundsServerBuffer(t *testing.T) {
+	s := New(Config{
+		Shards:           1,
+		ReorderBound:     1 << 40, // nothing releases naturally
+		ReorderCap:       64,
+		ReorderCapPolicy: reorder.ReleaseOldest,
+	})
+	defer s.Close()
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	times := rng.Perm(1000)
+	for _, tm := range times {
+		if _, err := s.Ingest([]stream.Event{{Time: int64(tm), Key: uint64(tm % 7), Value: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.StatsNow()
+	if st.Buffered > 64 {
+		t.Fatalf("Buffered = %d events, cap is 64", st.Buffered)
+	}
+	if st.ReorderCapReleased+st.ReorderCapDropped == 0 {
+		t.Fatal("flood at the cap left no cap accounting in /stats")
+	}
+	if total := st.ReorderCapReleased + st.ReorderCapDropped + int64(st.Buffered) + st.Late + st.Dropped; total < 1000-64 {
+		t.Fatalf("cap accounting does not reconcile: released=%d dropped=%d buffered=%d late=%d",
+			st.ReorderCapReleased, st.ReorderCapDropped, st.Buffered, st.Late)
+	}
+}
+
+// TestStreamSubscriptionCap: one connection cannot hold more than
+// MaxStreamSubs live subscriptions; unsubscribing frees a slot.
+func TestStreamSubscriptionCap(t *testing.T) {
+	s := New(Config{Shards: 1, MaxStreamSubs: 2})
+	defer s.Close()
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+	cl.send(subOp{Op: "subscribe", Stream: 2, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 2, OK: true})
+	cl.send(subOp{Op: "subscribe", Stream: 3, ID: "q", After: -1})
+	f := cl.next()
+	var ack subAck
+	if err := json.Unmarshal(f.Control(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Stream != 3 || !strings.Contains(ack.Error, "limit") {
+		t.Fatalf("over-cap subscribe ack = %+v, want a limit error", ack)
+	}
+	cl.send(subOp{Op: "unsubscribe", Stream: 1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+	cl.send(subOp{Op: "subscribe", Stream: 3, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 3, OK: true})
+}
+
+// TestStreamDeadConnEvicted: a connection whose write deadline cannot
+// even be armed is dead; the subscriber is evicted instead of wedging
+// a writer goroutine on an unbounded Write.
+func TestStreamDeadConnEvicted(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.NewInjector(13, chaos.Spec{})
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(chaos.WrapListener(ln, inj))
+
+	cl := dialStream(t, ln.Addr().String())
+	cl.send(subOp{Op: "subscribe", Stream: 1, ID: "q", After: -1})
+	cl.expectAck(subAck{Stream: 1, OK: true})
+
+	// The next server-side write fails to arm its deadline; results for
+	// this ingest must sever the connection rather than hang.
+	inj.ForceFail("conn.setwritedeadline", 1)
+	if _, err := s.Ingest(genEvents(400, 3, 61)); err != nil {
+		t.Fatal(err)
+	}
+	cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, err := cl.fr.Next(); err != nil {
+			return // severed, as required
+		}
+	}
+}
+
+// TestStreamIngestShedAck: an over-budget binary event frame is shed
+// with an error ack carrying the typed shed aux flag; the connection
+// itself stays usable.
+func TestStreamIngestShedAck(t *testing.T) {
+	s := New(Config{Shards: 1, MaxInflightBytes: 1 << 10})
+	defer s.Close()
+	if _, err := s.Register("q", demoQuery1); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamServer(s)
+	defer ss.Close()
+	go ss.Serve(ln)
+
+	blocker, err := s.Admission().Acquire("blocker", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dialStream(t, ln.Addr().String())
+	if _, err := cl.c.Write(wire.AppendEventFrame(nil, genEvents(100, 3, 71))); err != nil {
+		t.Fatal(err)
+	}
+	f := cl.next()
+	var ack ingestAck
+	if err := json.Unmarshal(f.Control(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Ingest || ack.Error == "" || ack.Accepted != 0 {
+		t.Fatalf("shed ingest ack = %+v, want an error with nothing accepted", ack)
+	}
+	if !strings.Contains(ack.Error, "overloaded") {
+		t.Fatalf("shed ack error %q does not say overloaded", ack.Error)
+	}
+	if f.Seq&ctrlAuxShed == 0 {
+		t.Fatalf("shed ack aux = %#x, shed flag missing", f.Seq)
+	}
+	if g := s.StatsNow(); g.AdmitShed < 1 {
+		t.Fatalf("AdmitShed = %d, want >= 1", g.AdmitShed)
+	}
+
+	// Budget freed: the same connection ingests fine.
+	blocker.Release()
+	if _, err := cl.c.Write(wire.AppendEventFrame(nil, genEvents(100, 3, 72))); err != nil {
+		t.Fatal(err)
+	}
+	f = cl.next()
+	var ok ingestAck
+	if err := json.Unmarshal(f.Control(), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Error != "" || ok.Accepted != 100 {
+		t.Fatalf("post-release ingest ack = %+v", ok)
+	}
+}
+
+// chaosSeeds are the committed fault schedules the flagship property
+// runs under; the same seed always replays the same schedule.
+var chaosSeeds = []int64{1, 42, 1234, 987654321}
+
+// TestChaosShedOrServeByteIdentical is the flagship degradation
+// property. A durable server runs under a seeded fault schedule:
+// transient torn WAL writes (absorbed by the retry budget),
+// deterministic admission sheds (a blocker grant holds the whole byte
+// budget for randomly chosen batches), and finally a permanent WAL
+// fault that degrades the server mid-stream. Every batch therefore
+// ends in exactly one of three observable states: acked 200 (applied),
+// shed 429 (not applied), or failed 503 at the fault boundary —
+// applied in memory but unacked, because application precedes the
+// commit wait by design. A reference server fed precisely the applied
+// batches must produce byte-identical result rings, sequence numbers
+// included, and the run must stay inside every memory budget.
+func TestChaosShedOrServeByteIdentical(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := chaos.NewInjector(seed, chaos.Spec{
+				FailProb:    0.10,
+				PartialProb: 0.5,
+				Ops:         map[string]bool{"write": true, "sync": true},
+			})
+			cfg := durableConfig(t.TempDir())
+			cfg.WALFS = chaos.WrapFS(nil, inj)
+			cfg.WALRetries = 12
+			cfg.WALRetryBackoff = 20 * time.Microsecond
+			cfg.MaxInflightBytes = 1 << 20
+			cfg.ReorderCap = 1 << 16
+			cfg.ReorderCapPolicy = reorder.ReleaseOldest
+			s := openDurable(t, cfg)
+			defer s.Close()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			refCfg := cfg
+			refCfg.Durable = false
+			refCfg.WALDir = ""
+			refCfg.WALFS = nil
+			refCfg.MaxInflightBytes = 0
+			ref := New(refCfg)
+			defer ref.Close()
+
+			for _, srv := range []*Server{s, ref} {
+				if _, err := srv.Register("a", demoQuery1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := srv.Register("b", demoQuery2); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			events := genEvents(2000, 5, seed)
+			rng := rand.New(rand.NewSource(seed))
+			const batchSize = 50
+			var applied, shed, failed int
+			for off := 0; off < len(events); off += batchSize {
+				batch := events[off:min(off+batchSize, len(events))]
+				// Roughly a third of the batches arrive while the budget is
+				// exhausted; the schedule is part of the committed seed.
+				var blocker *admit.Grant
+				if rng.Float64() < 0.3 {
+					var err error
+					if blocker, err = s.Admission().Acquire("blocker", 1<<20); err != nil {
+						t.Fatalf("blocker grant: %v", err)
+					}
+				}
+				resp := postIngest(t, ts.URL, "application/x-ndjson", ndjsonBody(batch))
+				resp.Body.Close()
+				blocker.Release()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					applied++
+					if _, err := ref.Ingest(batch); err != nil {
+						t.Fatal(err)
+					}
+				case http.StatusTooManyRequests:
+					if blocker == nil {
+						t.Fatal("429 without the blocker held")
+					}
+					shed++ // not applied anywhere
+				default:
+					t.Fatalf("batch at %d: status %d", off, resp.StatusCode)
+				}
+			}
+			if shed == 0 {
+				t.Fatal("schedule shed no batches; property vacuous")
+			}
+			if inj.Injected("") == 0 {
+				t.Fatal("schedule injected no WAL faults; property vacuous")
+			}
+
+			// Permanent fault: the next non-shed batch fails 503 at the
+			// boundary — applied in memory, unacked — then the sticky gate
+			// sheds everything after without applying it.
+			inj.ForceFail("write", 1000)
+			tail := genEvents(300, 5, seed+1)
+			for i := range tail {
+				tail[i].Time += events[len(events)-1].Time
+			}
+			for off := 0; off < len(tail); off += batchSize {
+				batch := tail[off : off+batchSize]
+				resp := postIngest(t, ts.URL, "application/x-ndjson", ndjsonBody(batch))
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("tail batch at %d: status %d, want 503", off, resp.StatusCode)
+				}
+				if failed == 0 {
+					// The boundary batch reached the pipeline before its
+					// commit failed; the reference must include it.
+					if _, err := ref.Ingest(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				failed++
+			}
+
+			// Degraded, but reads byte-identical to the reference over the
+			// applied batches.
+			for _, id := range []string{"a", "b"} {
+				want, got := allRows(t, ref, id), allRows(t, s, id)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("query %s: degraded rows diverge from reference (ref %d rows, got %d; applied=%d shed=%d failed=%d)",
+						id, len(want), len(got), applied, shed, failed)
+				}
+			}
+
+			// Memory budgets held throughout.
+			st := s.StatsNow()
+			if !st.Degraded {
+				t.Fatal("server not degraded after the permanent fault")
+			}
+			if int(st.Buffered) > cfg.ReorderCap {
+				t.Fatalf("Buffered = %d events, reorder cap %d", st.Buffered, cfg.ReorderCap)
+			}
+			if st.EgressPeakRows > parallel.OrderedSpill {
+				t.Fatalf("EgressPeakRows = %d, ordered-drain budget %d", st.EgressPeakRows, parallel.OrderedSpill)
+			}
+			// Staged WAL bytes are bounded by one group-commit's worth of
+			// batches: a batch encodes to <24 bytes per event plus frame
+			// overhead, and sequential driving keeps at most one batch
+			// staged.
+			if limit := int64(batchSize*32 + 4096); st.WALStagedPeak > limit {
+				t.Fatalf("WALStagedPeak = %d bytes, budget %d", st.WALStagedPeak, limit)
+			}
+		})
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"factorwindows/internal/adaptive"
+	"factorwindows/internal/admit"
 	"factorwindows/internal/agg"
 	"factorwindows/internal/asaql"
 	"factorwindows/internal/core"
@@ -66,6 +67,12 @@ var (
 	// pipeline is torn down; recovery is a registry change or a restore
 	// from a valid checkpoint.
 	ErrEngine = errors.New("engine failure")
+	// ErrDegraded marks read-only degraded mode: the durable log has
+	// failed its retry budget, so every mutation sheds (503 with a
+	// Retry-After hint) while queries and result streams keep serving
+	// what was already accepted. Recovery is a process restart, which
+	// replays the verified log. /readyz reports it to load balancers.
+	ErrDegraded = errors.New("degraded: durable log failed")
 )
 
 // Config configures a Server.
@@ -129,6 +136,41 @@ type Config struct {
 	SnapshotEvery int64
 	// WALFS overrides the log's filesystem (fault-injection tests).
 	WALFS wal.FS
+	// WALRetries is the transient-fault retry budget for WAL segment
+	// writes and fsyncs (exponential backoff) before the durable path
+	// fail-stops into degraded mode. Zero keeps strict fail-fast.
+	WALRetries int
+	// WALRetryBackoff is the first WAL retry's backoff, doubling per
+	// attempt (default 1ms).
+	WALRetryBackoff time.Duration
+
+	// MaxInflightBytes caps the total ingest request bytes admitted at
+	// once across all clients (0: no admission control). Requests over
+	// budget wait up to AdmitWait, then shed with 429 + Retry-After.
+	MaxInflightBytes int64
+	// MaxSourceBytes is the same budget per source (client IP).
+	MaxSourceBytes int64
+	// AdmitWait bounds how long an over-budget ingest may wait for
+	// capacity before it sheds (0: shed immediately).
+	AdmitWait time.Duration
+	// RetryAfter is the backoff hint attached to 429/503 sheds
+	// (default 1s).
+	RetryAfter time.Duration
+
+	// ReorderCap bounds the reorder buffer's pending-event heap in
+	// events (0: unbounded); ReorderCapPolicy picks what happens at the
+	// cap (force-release oldest vs reject newest). Drops are accounted
+	// in /stats, never silent.
+	ReorderCap       int
+	ReorderCapPolicy reorder.CapPolicy
+	// MaxStreamSubs caps live subscriptions per stream-listener
+	// connection (0 selects 1024; negative disables the cap).
+	MaxStreamSubs int
+	// MaxBodyBytes caps request bodies on the buffering ingest codecs
+	// — JSON array and CSV, which read the whole body before decoding
+	// (0 selects 64 MiB). The streaming codecs (NDJSON, frames) are
+	// bounded by admission instead.
+	MaxBodyBytes int64
 }
 
 // registration is one live query.
@@ -217,6 +259,12 @@ type Server struct {
 	snapErr        error // last snapshot write failure, for /stats
 	snapWG         sync.WaitGroup
 	replayBatch    []stream.Event // replay decode scratch
+
+	// admit is the ingest admission controller (nil: no budgets
+	// configured). panics counts HTTP handler panics recovered by the
+	// middleware in handlers.go.
+	admit  *admit.Controller
+	panics atomic.Int64
 }
 
 // ReplanCounts breaks plan swaps down by what triggered them. Degraded
@@ -246,10 +294,31 @@ func New(cfg Config) *Server {
 	if cfg.AdaptiveOverpay <= 1 {
 		cfg.AdaptiveOverpay = 1.2
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxStreamSubs == 0 {
+		cfg.MaxStreamSubs = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
 	s := &Server{cfg: cfg, queries: make(map[string]*registration)}
+	if cfg.MaxInflightBytes > 0 || cfg.MaxSourceBytes > 0 {
+		s.admit = admit.New(admit.Options{
+			GlobalBytes: cfg.MaxInflightBytes,
+			SourceBytes: cfg.MaxSourceBytes,
+			MaxWait:     cfg.AdmitWait,
+			RetryAfter:  cfg.RetryAfter,
+		})
+	}
 	s.obs.start = -1
 	return s
 }
+
+// Admission exposes the ingest admission controller (nil when no byte
+// budgets are configured) for operators and tests.
+func (s *Server) Admission() *admit.Controller { return s.admit }
 
 // WindowInfo describes one window of a registered query.
 type WindowInfo struct {
@@ -609,6 +678,12 @@ func (s *Server) buildPipeline(freshFloor int64, carried *reorder.State, engineS
 		g.muted.Store(true)
 		runner.Close()
 		return nil, 0, err
+	}
+	// The memory cap is deployment configuration, reapplied to every
+	// epoch's buffer (carried state brings the drop accounting along,
+	// not the cap itself).
+	if s.cfg.ReorderCap > 0 {
+		buf.SetCap(s.cfg.ReorderCap, s.cfg.ReorderCapPolicy)
 	}
 	return &pipeline{plan: mp, runner: runner, buf: buf, gate: g, rings: rings}, migrated, nil
 }
@@ -992,6 +1067,22 @@ type Stats struct {
 	LastSnapshotOffset int64  `json:"last_snapshot_offset,omitempty"`
 	WALError           string `json:"wal_error,omitempty"`      // sticky commit failure
 	SnapshotError      string `json:"snapshot_error,omitempty"` // last async write failure
+
+	// Overload-protection telemetry. The admission counters are present
+	// when byte budgets are configured; the cap counters when the
+	// reorder buffer is bounded. Degraded mirrors /readyz: the durable
+	// log fail-stopped and mutations shed while reads keep serving.
+	Degraded           bool  `json:"degraded,omitempty"`
+	Panics             int64 `json:"panics,omitempty"`
+	AdmitShed          int64 `json:"admit_shed,omitempty"`
+	AdmitWaits         int64 `json:"admit_waits,omitempty"`
+	AdmitInflightBytes int64 `json:"admit_inflight_bytes,omitempty"`
+	AdmitPeakBytes     int64 `json:"admit_peak_bytes,omitempty"`
+	ReorderCapDropped  int64 `json:"reorder_cap_dropped,omitempty"`
+	ReorderCapReleased int64 `json:"reorder_cap_released,omitempty"`
+	EgressPeakRows     int64 `json:"egress_peak_rows,omitempty"`
+	WALRetries         int64 `json:"wal_retries,omitempty"`
+	WALStagedPeak      int64 `json:"wal_staged_peak,omitempty"`
 }
 
 // StatsNow reports the current server state. The engine-update counter
@@ -1039,12 +1130,30 @@ func (s *Server) StatsNow() Stats {
 		st.WALFsyncs = ls.Fsyncs
 		st.WALLag = ls.NextOffset - s.lastSnapOffset
 		st.LastSnapshotOffset = s.lastSnapOffset
+		st.WALRetries = ls.Retries
+		st.WALStagedPeak = ls.StagedPeak
 		if s.walErr != nil {
 			st.WALError = s.walErr.Error()
+			st.Degraded = true
 		}
 		if s.snapErr != nil {
 			st.SnapshotError = s.snapErr.Error()
 		}
+	}
+	st.Panics = s.panics.Load()
+	if s.admit != nil {
+		as := s.admit.Stats()
+		st.AdmitShed = as.Shed
+		st.AdmitWaits = as.Waits
+		st.AdmitInflightBytes = as.InFlight
+		st.AdmitPeakBytes = as.Peak
+	}
+	if s.pipe != nil {
+		st.ReorderCapDropped = s.pipe.buf.CapDropped()
+		st.ReorderCapReleased = s.pipe.buf.CapReleased()
+	} else if s.carry != nil {
+		st.ReorderCapDropped = s.carry.CapDropped
+		st.ReorderCapReleased = s.carry.CapReleased
 	}
 	if s.pipe != nil {
 		s.pipe.runner.Barrier()
@@ -1057,8 +1166,35 @@ func (s *Server) StatsNow() Stats {
 		st.Updates = s.pipe.runner.TotalUpdates()
 		st.CombinedCost = s.pipe.plan.CombinedCost
 		st.SeparateCost = s.pipe.plan.SeparateCost
+		st.EgressPeakRows = s.pipe.runner.EgressPeak()
 	}
 	return st
+}
+
+// Health is the operator-facing liveness/readiness summary behind
+// /healthz and /readyz. Ready is false while the server cannot accept
+// mutations: closed, degraded (durable log fail-stopped), or running
+// without an execution pipeline after an engine failure. Reads may
+// still serve in the non-ready states short of closed.
+type Health struct {
+	Status string `json:"status"` // ok | degraded | closed
+	Reason string `json:"reason,omitempty"`
+	Ready  bool   `json:"ready"`
+}
+
+// Health reports the server's current health.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return Health{Status: "closed", Reason: "server closed"}
+	case s.walErr != nil:
+		return Health{Status: "degraded", Reason: fmt.Sprintf("durable log failed: %v (reads still serve; restart to recover)", s.walErr)}
+	case s.engineErr != nil:
+		return Health{Status: "degraded", Reason: fmt.Sprintf("engine failure: %v (re-register queries or restore a checkpoint)", s.engineErr)}
+	}
+	return Health{Status: "ok", Ready: true}
 }
 
 // Close tears down the pipeline and closes every result ring. Streaming

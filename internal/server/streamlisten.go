@@ -32,6 +32,11 @@ const (
 	// silently resuming at the ring head, so a resuming client can tell
 	// exactly-resumed from data-lost.
 	ctrlAuxGap int64 = 1 << 1
+	// ctrlAuxShed marks an ingest ack whose event frame was shed by
+	// admission control (nothing was applied); the ack's Error carries
+	// the Retry-After hint. The typed flag lets binary clients back off
+	// without parsing the message text.
+	ctrlAuxShed int64 = 1 << 2
 )
 
 // subOp is one client → server control line (NDJSON): subscribe a query
@@ -275,7 +280,20 @@ func (sc *streamConn) controlLine(br *bufio.Reader) bool {
 // echoing the frame's stream id, ctrlAuxDurable set when every chunk
 // was fsync-acked. Ingest failures ack with the error instead of
 // severing the connection: the client's other subscriptions are fine.
+// frameAdmitCharge estimates one event frame's memory footprint for
+// admission: the decoded events (three 8-byte words each) plus a small
+// fixed overhead for the frame header and staging bookkeeping.
+func frameAdmitCharge(rows int) int64 { return int64(rows)*24 + 64 }
+
 func (sc *streamConn) ingestFrame(f wire.Frame) {
+	if s := sc.ss.s; s.admit != nil {
+		g, err := s.admit.Acquire(sourceOf(sc.c.RemoteAddr().String()), frameAdmitCharge(f.Rows()))
+		if err != nil {
+			sc.ackAux(f.StreamID, ctrlAuxShed, ingestAck{Stream: f.StreamID, Ingest: true, Error: err.Error()})
+			return
+		}
+		defer g.Release()
+	}
 	batchp := frameBatchPool.Get().(*[]stream.Event)
 	batch := f.AppendEvents((*batchp)[:0])
 	var (
@@ -323,6 +341,14 @@ func (sc *streamConn) subscribe(op subOp) {
 	}
 	stop := make(chan struct{})
 	sc.mu.Lock()
+	if limit := sc.ss.s.cfg.MaxStreamSubs; limit > 0 && len(sc.subs) >= limit {
+		// Each subscription costs a goroutine plus a pooled staging
+		// buffer; an unbounded count lets one connection exhaust the
+		// process. The limit errs the op, not the connection.
+		sc.mu.Unlock()
+		sc.ack(subAck{Stream: op.Stream, ID: op.ID, Error: fmt.Sprintf("subscription limit reached (%d per connection)", limit)})
+		return
+	}
 	if _, taken := sc.subs[op.Stream]; taken {
 		sc.mu.Unlock()
 		sc.ack(subAck{Stream: op.Stream, ID: op.ID, Error: fmt.Sprintf("stream %d already subscribed", op.Stream)})
@@ -437,11 +463,16 @@ func (sc *streamConn) ackAux(streamID uint32, aux int64, v any) {
 	}
 }
 
-// write sends one whole frame under the write lock with a deadline.
+// write sends one whole frame under the write lock with a deadline. A
+// connection that cannot even arm its deadline is dead; failing here
+// lets the caller evict the subscriber immediately instead of issuing
+// an unbounded Write on a wedged socket.
 func (sc *streamConn) write(buf []byte) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	sc.c.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	if err := sc.c.SetWriteDeadline(time.Now().Add(streamWriteTimeout)); err != nil {
+		return err
+	}
 	_, err := sc.c.Write(buf)
 	return err
 }

@@ -137,6 +137,20 @@ type Options struct {
 	// flush drains the buffer — bounded memory under sustained overload
 	// instead of an unbounded in-process queue.
 	StagedBytes int64
+	// RetryAttempts is how many times a failed segment write or fsync
+	// is retried (with exponential backoff starting at RetryBackoff)
+	// before the log fail-stops. Zero preserves strict fail-fast. A
+	// partial write resumes where it left off, and accounting (hash,
+	// byte counts) tracks exactly the bytes that reached the file, so a
+	// final failure leaves a truncatable torn tail, never a mis-hashed
+	// segment. Retrying an fsync is only a best effort — a kernel may
+	// have dropped the dirty pages the first failure covered — which is
+	// why the budget is bounded and exhaustion still fail-stops rather
+	// than limping on.
+	RetryAttempts int
+	// RetryBackoff is the first retry's backoff, doubling per attempt
+	// (default 1ms).
+	RetryBackoff time.Duration
 	// FS overrides the filesystem (fault-injection tests); nil uses OS.
 	FS FS
 }
@@ -218,6 +232,12 @@ type LogStats struct {
 	// NextOffset is the offset the next appended record will get; equal
 	// to the total record count when the numbering has no snapshot gap.
 	NextOffset int64
+	// Retries counts write/fsync attempts that were retried after a
+	// transient failure (degraded-mode telemetry).
+	Retries int64
+	// StagedPeak is the high-water mark of the staged-but-unwritten
+	// backlog in bytes; bounded by Options.StagedBytes plus one record.
+	StagedPeak int64
 }
 
 // Log is the write-ahead log. Appends are safe for concurrent use;
@@ -238,11 +258,14 @@ type Log struct {
 	closed     bool
 	started    bool
 
+	stagedPeak int64 // high-water mark of len(staged), under mu
+
 	kickCh chan struct{}
 	quit   chan struct{}
 	done   chan struct{}
 
-	fsyncs atomic.Int64
+	fsyncs  atomic.Int64
+	retries atomic.Int64 // write/fsync attempts retried after a failure
 
 	// Committer-owned file state (fileMu only where it meets the
 	// manifest: seal/rotate vs TruncateBefore).
@@ -300,6 +323,9 @@ func Open(opts Options) (*Log, error) {
 	}
 	if opts.StagedBytes <= 0 {
 		opts.StagedBytes = defaultStagedBytes
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = time.Millisecond
 	}
 	fsys := opts.FS
 	if fsys == nil {
@@ -632,6 +658,9 @@ func (l *Log) stage(enc func([]byte) []byte) (*Commit, error) {
 		l.drained.Wait()
 	}
 	l.staged = enc(l.staged)
+	if n := int64(len(l.staged)); n > l.stagedPeak {
+		l.stagedPeak = n
+	}
 	l.stagedRecs++
 	c := &Commit{offset: l.nextRec, done: make(chan struct{})}
 	l.nextRec++
@@ -689,18 +718,13 @@ func (l *Log) flush() {
 
 	var err error
 	if len(buf) > 0 {
-		if _, err = l.seg.Write(buf); err == nil {
-			l.segHasher.Write(buf)
-			l.segBytes += int64(len(buf))
+		if err = l.writeRetry(buf); err == nil {
 			l.segRecs += recs
-			l.dirty = true
 		}
 	}
 	durable := false
 	if err == nil && l.opts.Fsync == FsyncEvery && l.dirty {
-		if err = l.seg.Sync(); err == nil {
-			l.fsyncs.Add(1)
-			l.dirty = false
+		if err = l.syncRetry(); err == nil {
 			durable = true
 		}
 	}
@@ -737,18 +761,73 @@ func (l *Log) flush() {
 	}
 }
 
+// writeRetry writes buf to the active segment, resuming after partial
+// writes and retrying transient failures up to the configured budget.
+// The hasher, byte count, and dirty flag track exactly the bytes that
+// reached the file, so an eventual failure leaves a truncatable torn
+// tail — never a segment whose recorded hash disagrees with its bytes.
+func (l *Log) writeRetry(buf []byte) error {
+	backoff := l.opts.RetryBackoff
+	attempts := 0
+	for len(buf) > 0 {
+		n, err := l.seg.Write(buf)
+		if n > 0 {
+			l.segHasher.Write(buf[:n])
+			l.segBytes += int64(n)
+			l.dirty = true
+			buf = buf[n:]
+		}
+		if len(buf) == 0 {
+			// Every byte landed; any error that rode along is moot.
+			return nil
+		}
+		if err == nil {
+			if n > 0 {
+				continue // short write with progress: resume at once
+			}
+			err = io.ErrShortWrite // zero-progress nil-error writer
+		}
+		if attempts >= l.opts.RetryAttempts {
+			return err
+		}
+		attempts++
+		l.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil
+}
+
+// syncRetry fsyncs the active segment, retrying transient failures up
+// to the configured budget. A successful sync clears the dirty flag;
+// exhaustion returns the last error for the caller to fail-stop on.
+func (l *Log) syncRetry() error {
+	backoff := l.opts.RetryBackoff
+	for attempts := 0; ; attempts++ {
+		err := l.seg.Sync()
+		if err == nil {
+			l.fsyncs.Add(1)
+			l.dirty = false
+			return nil
+		}
+		if attempts >= l.opts.RetryAttempts {
+			return err
+		}
+		l.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
 // syncNow flushes written-but-unsynced bytes (FsyncInterval's ticker and
 // Close both land here).
 func (l *Log) syncNow() {
 	if !l.dirty || l.seg == nil {
 		return
 	}
-	if err := l.seg.Sync(); err != nil {
+	if err := l.syncRetry(); err != nil {
 		l.fail(err)
-		return
 	}
-	l.fsyncs.Add(1)
-	l.dirty = false
 }
 
 // fail fail-stops the log: the sticky error rejects every later append,
@@ -800,11 +879,9 @@ func (l *Log) rotate() error {
 // of the append policy. The caller arranges for the next segment (or
 // closes the log).
 func (l *Log) sealActive() error {
-	if err := l.seg.Sync(); err != nil {
+	if err := l.syncRetry(); err != nil {
 		return fmt.Errorf("wal: syncing segment before seal: %w", err)
 	}
-	l.fsyncs.Add(1)
-	l.dirty = false
 	if err := l.seg.Close(); err != nil {
 		return fmt.Errorf("wal: closing sealed segment: %w", err)
 	}
@@ -946,9 +1023,15 @@ func (l *Log) NextOffset() int64 {
 // Stats reports the log's counters.
 func (l *Log) Stats() LogStats {
 	l.mu.Lock()
-	appended, next := l.appended, l.nextRec
+	appended, next, stagedPeak := l.appended, l.nextRec, l.stagedPeak
 	l.mu.Unlock()
-	return LogStats{Appended: appended, Fsyncs: l.fsyncs.Load(), NextOffset: next}
+	return LogStats{
+		Appended:   appended,
+		Fsyncs:     l.fsyncs.Load(),
+		NextOffset: next,
+		Retries:    l.retries.Load(),
+		StagedPeak: stagedPeak,
+	}
 }
 
 // Err reports the sticky failure, if the log has fail-stopped.
@@ -984,11 +1067,8 @@ func (l *Log) Close(seal bool) error {
 	l.mu.Unlock()
 	if l.seg != nil {
 		if firstErr == nil && l.dirty {
-			if err := l.seg.Sync(); err != nil {
+			if err := l.syncRetry(); err != nil {
 				firstErr = fmt.Errorf("wal: final sync: %w", err)
-			} else {
-				l.fsyncs.Add(1)
-				l.dirty = false
 			}
 		}
 		if firstErr == nil && seal && l.segRecs > 0 {
