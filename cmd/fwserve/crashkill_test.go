@@ -65,14 +65,21 @@ type serverProc struct {
 
 func startServer(t *testing.T, walDir string, shards int) *serverProc {
 	t.Helper()
-	cmd := exec.Command(fwserveBinary(t),
+	return startServerArgs(t, shards, "-wal-dir", walDir, "-fsync", "every")
+}
+
+// startServerArgs launches fwserve with the shared harness flags plus
+// extra, and parses the bound addresses from its startup log.
+func startServerArgs(t *testing.T, shards int, extra ...string) *serverProc {
+	t.Helper()
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-listen-stream", "127.0.0.1:0",
 		"-shards", fmt.Sprint(shards),
 		"-reorder-bound", "6",
-		"-wal-dir", walDir,
-		"-fsync", "every",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(fwserveBinary(t), args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The multi-process distributed harness: real fwserve + real fwworker
+// processes over real TCP, running the same deterministic ingest
+// script as an uninterrupted single-process fwserve — with an elastic
+// scale-out, a re-plan, a SIGKILLed worker, and a drain in the middle
+// — and requiring the complete client-visible readout (NDJSON cursor
+// reads and binary stream frames, sequence numbers included) to be
+// byte-identical. Seeds are fixed so every CI run replays the same
+// schedule.
+
+var (
+	workerBuildOnce sync.Once
+	workerBuildErr  error
+	workerBinPath   string
+)
+
+func fwworkerBinary(t *testing.T) string {
+	t.Helper()
+	workerBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fwworker-bin")
+		if err != nil {
+			workerBuildErr = err
+			return
+		}
+		workerBinPath = filepath.Join(dir, "fwworker")
+		out, err := exec.Command("go", "build", "-o", workerBinPath, "factorwindows/cmd/fwworker").CombinedOutput()
+		if err != nil {
+			workerBuildErr = fmt.Errorf("building fwworker: %v\n%s", err, out)
+		}
+	})
+	if workerBuildErr != nil {
+		t.Fatal(workerBuildErr)
+	}
+	return workerBinPath
+}
+
+// workerProc is one running fwworker process.
+type workerProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startWorkerProc(t *testing.T) *workerProc {
+	t.Helper()
+	cmd := exec.Command(fwworkerBinary(t), "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &workerProc{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case w.addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("fwworker never reported its listen address")
+	}
+	t.Cleanup(func() {
+		w.cmd.Process.Kill()
+		w.cmd.Wait()
+	})
+	return w
+}
+
+func (w *workerProc) kill() {
+	w.cmd.Process.Signal(syscall.SIGKILL)
+	w.cmd.Wait()
+}
+
+// topoStats is the /stats slice the harness asserts on.
+type topoStats struct {
+	Topology *struct {
+		Workers []struct {
+			Addr   string `json:"addr"`
+			Live   bool   `json:"live"`
+			Shards []int  `json:"shards"`
+		} `json:"workers"`
+		ShedShards []int `json:"shed_shards"`
+		ShedEvents int64 `json:"shed_events"`
+		Failovers  int64 `json:"failovers"`
+		Rebalances int64 `json:"rebalances"`
+	} `json:"topology"`
+}
+
+func readTopology(t *testing.T, p *serverProc) topoStats {
+	t.Helper()
+	var st topoStats
+	if err := json.Unmarshal(getBody(t, p.url("/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDistributedProcessHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	const shards = 4
+	sc := buildScript(404)
+
+	// Uninterrupted single-process reference, same script and re-plan.
+	ref := startServerArgs(t, shards)
+	registerQueries(t, ref)
+	playFrom(t, ref, sc, 0, 0)
+	want := readout(t, ref)
+	ref.stop(t)
+
+	// Distributed run: two workers at boot, a third joining mid-stream,
+	// one SIGKILLed, one drained. -worker-checkpoint-every 5 makes the
+	// kill land past a journal compaction, so failover replays from a
+	// transferred engine checkpoint plus a short tail — the interesting
+	// recovery path, not a from-scratch replay.
+	w1, w2 := startWorkerProc(t), startWorkerProc(t)
+	var w3 *workerProc
+	p := startServerArgs(t, shards,
+		"-workers", w1.addr+","+w2.addr,
+		"-worker-checkpoint-every", "5",
+	)
+	registerQueries(t, p)
+	for i, batch := range sc.batches {
+		switch i {
+		case 4:
+			// Scale out: admit a third worker and move a shard onto it
+			// through the zero-gap migration.
+			w3 = startWorkerProc(t)
+			postJSON(t, p.url("/topology"), []byte(fmt.Sprintf(`{"op":"add-worker","addr":%q}`, w3.addr)))
+			postJSON(t, p.url("/topology"), []byte(fmt.Sprintf(`{"op":"move","shard":1,"addr":%q}`, w3.addr)))
+		case sc.replanAt:
+			// Re-plan across the router: every shard exports its
+			// canonical state and the new epoch resumes it on workers.
+			postJSON(t, p.url("/replan?eta=64"), nil)
+		case 12:
+			w1.kill()
+		case 16:
+			// Scale in: empty a worker and retire it.
+			postJSON(t, p.url("/topology"), []byte(fmt.Sprintf(`{"op":"drain","addr":%q}`, w2.addr)))
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postJSON(t, p.url("/ingest"), body)
+	}
+
+	st := readTopology(t, p)
+	if st.Topology == nil {
+		t.Fatal("/stats has no topology document")
+	}
+	if st.Topology.Failovers == 0 {
+		t.Fatalf("SIGKILLed worker left no failover trace: %+v", st.Topology)
+	}
+	if len(st.Topology.ShedShards) != 0 || st.Topology.ShedEvents != 0 {
+		t.Fatalf("failover shed shards instead of recovering: %+v", st.Topology)
+	}
+	if st.Topology.Rebalances < 1 {
+		t.Fatalf("move/drain left no rebalance trace: %+v", st.Topology)
+	}
+	placed := 0
+	for _, w := range st.Topology.Workers {
+		if w.Addr == w3.addr && !w.Live {
+			t.Fatalf("joined worker not live: %+v", st.Topology)
+		}
+		placed += len(w.Shards)
+	}
+	if placed != shards {
+		t.Fatalf("%d shards placed, want %d: %+v", placed, shards, st.Topology)
+	}
+
+	got := readout(t, p)
+	p.stop(t)
+	for key, wantBytes := range want {
+		if !bytes.Equal(got[key], wantBytes) {
+			t.Errorf("%s: distributed run differs from single-process reference (%d vs %d bytes)",
+				key, len(got[key]), len(wantBytes))
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +66,9 @@ func main() {
 		maxStreamSubs    = flag.Int("max-stream-subs", 1024, "live subscriptions per streaming connection (-1 disables the cap)")
 		maxBodyBytes     = flag.Int64("max-body-bytes", 64<<20, "request body cap for the buffering ingest codecs (JSON array, CSV)")
 
+		workers              = flag.String("workers", "", "comma-separated fwworker addresses; non-empty runs shard engines on those processes instead of in-process (see cmd/fwworker)")
+		workerCheckpointEvry = flag.Int64("worker-checkpoint-every", 0, "distributed: compact each shard's failover journal every N barriers (0 = router default)")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "HTTP header read deadline (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 5*time.Minute, "whole-request read deadline, body included")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
@@ -93,6 +97,14 @@ func main() {
 	cfg.ReorderCapPolicy = capPolicy
 	cfg.MaxStreamSubs = *maxStreamSubs
 	cfg.MaxBodyBytes = *maxBodyBytes
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
+		}
+		cfg.WorkerCheckpointEvery = *workerCheckpointEvry
+	}
 	if *walDir != "" {
 		pol, err := wal.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -183,8 +195,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s adaptive=%t durable=%t)",
-		ln.Addr(), cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy, cfg.Adaptive, cfg.Durable)
+	log.Printf("fwserve: listening on %s (shards=%d factors=%t reorder-bound=%d policy=%s adaptive=%t durable=%t workers=%d)",
+		ln.Addr(), cfg.Shards, cfg.Factors, cfg.ReorderBound, cfg.Policy, cfg.Adaptive, cfg.Durable, len(cfg.Workers))
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -512,11 +512,19 @@ func (r *Runner) EgressPeak() int64 { return r.egressPeak.Load() }
 // checks can assert against the same constant the sinks enforce.
 const OrderedSpill = orderedSpill
 
-// shardOf maps a key to its shard via a Fibonacci hash, spreading
-// clustered key spaces (0, 1, 2, ...) evenly.
-func (r *Runner) shardOf(key uint64) int {
+// ShardOf maps a key to its shard in [0, n) via a Fibonacci hash,
+// spreading clustered key spaces (0, 1, 2, ...) evenly. Exported so
+// remote shard placements (the distributed router) partition keys
+// exactly as an in-process Runner with the same shard count would —
+// the distributed/local byte-identity property depends on it.
+func ShardOf(key uint64, n int) int {
 	h := key * 0x9e3779b97f4a7c15
-	return int((h >> 32) % uint64(len(r.shards)))
+	return int((h >> 32) % uint64(n))
+}
+
+// shardOf maps a key to its shard via the shared Fibonacci hash.
+func (r *Runner) shardOf(key uint64) int {
+	return ShardOf(key, len(r.shards))
 }
 
 // Process partitions one in-order batch by key hash and hands each shard

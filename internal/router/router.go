@@ -1,0 +1,1220 @@
+// Package router promotes the engine's shard boundary to a network
+// boundary: the same key-sharded execution parallel runs across cores,
+// run across worker processes speaking the binary frame protocol (see
+// internal/shardworker for the other side).
+//
+// # Determinism contract
+//
+// The router honors the exact contract parallel's ordered drain
+// promises the server: the result sequence the sink sees is a pure
+// function of the ingested events. Keys partition by the same Fibonacci
+// hash (parallel.ShardOf) over the same shard count, each shard's
+// engine is rebuilt deterministically from the same plan inputs, and
+// every Barrier merges per-shard results in shard index order — one
+// EmitAll per non-empty shard, just like parallel.drainOrdered. Worker
+// placement, worker count, failovers, and rebalances are therefore
+// invisible in the output: moving a shard between workers changes which
+// process computes it, never what it emits.
+//
+// # Failure model
+//
+// The router journals everything it sends each shard (event batches,
+// watermarks, barrier points) and periodically compacts the journal by
+// asking the worker for a canonical export (engine.ExportCanonical —
+// the PR 5 migration state). When a worker dies, each of its shards is
+// replayed onto a surviving worker: hello with the last export, then
+// the journal tail. Journaled barriers are re-run and their regenerated
+// rows discarded — they were already delivered — so delivery stays
+// exactly-once and byte-identical through worker death. When no worker
+// can take a shard, that key range is shed (ShardDownError; events for
+// it are dropped and counted) while every other shard keeps serving —
+// the PR 9 degradation playbook applied to placement.
+//
+// Rebalancing is the same machinery invoked deliberately: export the
+// shard, hello the target worker with the blob, release the source
+// session without flushing. Zero-gap, like a re-plan.
+//
+// The router is fully synchronous and single-goroutine: every method
+// must be called from the goroutine driving the pipeline (the server
+// serializes on its own mutex). Workers still execute concurrently —
+// barrier writes fan out to all shards before any ack is awaited.
+package router
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/engine"
+	"factorwindows/internal/multiquery"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+	"factorwindows/internal/wire"
+)
+
+// ShardDownError reports that a shard's key range is shed: its last
+// host died and no live worker could take the replay. It unwraps to
+// ErrShardDown for errors.Is checks.
+type ShardDownError struct {
+	Shard int
+	// Addr is the last worker that hosted the shard.
+	Addr string
+}
+
+// ErrShardDown is the sentinel under every ShardDownError.
+var ErrShardDown = errors.New("router: shard down")
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("router: shard %d down (last worker %s); its key range is shed", e.Shard, e.Addr)
+}
+
+func (e *ShardDownError) Unwrap() error { return ErrShardDown }
+
+// Spec describes one epoch of a distributed pipeline: the deterministic
+// plan inputs every worker rebuilds the joint plan from, the shard
+// placement, and optionally the state carried in from the previous
+// epoch (a canonical export per shard) or a checkpoint (one engine
+// snapshot per shard).
+type Spec struct {
+	// Queries, Fn, Param, Eta, Factors are the plan inputs — the same
+	// values the server's own multiquery.Optimize call uses, so every
+	// worker derives the identical combined plan.
+	Queries []multiquery.Query
+	Fn      agg.Fn
+	Param   float64
+	Eta     int64
+	Factors bool
+
+	// Shards is the key-partition count. Ignored when Exports or
+	// Snapshots carry state (their count wins: the key→shard hash is a
+	// pure function of the count, so state must keep its count).
+	Shards int
+
+	// Workers are the worker addresses. Assign maps shard → worker
+	// index; nil defaults to round-robin (shard i on worker i mod N).
+	Workers []string
+	Assign  []int
+
+	// FreshFloor suppresses results of window instances starting before
+	// it for windows with no carried state (multiquery's new-query
+	// contract), and Exports resumes the previous epoch's canonical
+	// state per shard (its horizon also seeds the router's watermark).
+	FreshFloor int64
+	Exports    []*engine.Export
+
+	// Snapshots restores each shard engine from a checkpoint blob
+	// (engine.Snapshot codec); Events is the restored ingest counter
+	// that rides alongside, as in parallel's snapshot.
+	Snapshots [][]byte
+	Events    int64
+
+	// Dial opens a worker connection; nil defaults to net.Dial("tcp").
+	Dial func(addr string) (net.Conn, error)
+
+	// CheckpointEvery compacts each shard's replay journal with a
+	// canonical export every that-many barriers (0 defaults to 16).
+	// Smaller keeps failover replay short; larger spends less time
+	// exporting.
+	CheckpointEvery int64
+}
+
+// journal op kinds: everything a shard session consumed since its last
+// compaction point, in order.
+const (
+	opEvents = byte(iota)
+	opAdvance
+	opBarrier
+	opFloor
+)
+
+type journalOp struct {
+	kind   byte
+	events []stream.Event
+	value  int64 // advance horizon or floor value
+}
+
+// shardState is one shard's session bookkeeping.
+type shardState struct {
+	idx    int
+	worker int // index into Runner.workers; meaningless when down
+	conn   net.Conn
+	fr     *wire.Reader
+	asm    wire.CtrlAssembler
+
+	// state/snap/floor are the hello payload: the canonical export (or
+	// engine snapshot) the session resumes from, and the fresh floor
+	// for windows it does not cover.
+	state []byte
+	snap  bool
+	floor int64
+
+	journal []journalOp
+
+	rows        []stream.Result // collected this barrier, pending emit
+	updates     int64           // engine update counter from the last ack
+	barrierSent bool            // current barrier round written to this session
+	down        bool
+	downErr     *ShardDownError
+
+	out []byte // write scratch
+}
+
+type workerState struct {
+	addr string
+	live bool
+}
+
+// Runner drives N worker processes as one deterministic sharded engine.
+// It implements the same surface parallel.Runner offers the server.
+type Runner struct {
+	spec Spec
+	sink stream.Sink
+	dial func(addr string) (net.Conn, error)
+
+	shards  []*shardState
+	workers []*workerState
+
+	events     int64
+	horizon    int64
+	hasHorizon bool
+	barriers   int64
+
+	failure error
+
+	shedEvents int64
+	failovers  int64
+	rebalances int64
+	egressPeak int64
+
+	closed bool
+}
+
+// New connects one shard session per shard and returns the running
+// router. Construction fails if any shard cannot be placed on a live
+// worker — a pipeline that cannot host its whole key space should not
+// start (shedding is for death mid-stream, not birth).
+func New(spec Spec, sink stream.Sink) (*Runner, error) {
+	if len(spec.Workers) == 0 {
+		return nil, errors.New("router: no workers")
+	}
+	if len(spec.Queries) == 0 {
+		return nil, errors.New("router: no queries")
+	}
+	n := spec.Shards
+	if spec.Exports != nil {
+		n = len(spec.Exports)
+		if n == 0 {
+			return nil, errors.New("router: empty export set")
+		}
+		for i, ex := range spec.Exports[1:] {
+			if ex.Horizon != spec.Exports[0].Horizon {
+				return nil, fmt.Errorf("router: shard %d exported at horizon %d, shard 0 at %d",
+					i+1, ex.Horizon, spec.Exports[0].Horizon)
+			}
+		}
+	}
+	if spec.Snapshots != nil {
+		if spec.Exports != nil {
+			return nil, errors.New("router: both exports and snapshots carried")
+		}
+		n = len(spec.Snapshots)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("router: %d shards", n)
+	}
+	r := &Runner{spec: spec, sink: sink, dial: spec.Dial}
+	r.spec.Shards = n
+	if r.dial == nil {
+		r.dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if r.spec.CheckpointEvery <= 0 {
+		r.spec.CheckpointEvery = 16
+	}
+	for _, addr := range spec.Workers {
+		r.workers = append(r.workers, &workerState{addr: addr, live: true})
+	}
+	for i := 0; i < n; i++ {
+		sc := &shardState{idx: i, floor: spec.FreshFloor}
+		switch {
+		case spec.Exports != nil:
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(spec.Exports[i]); err != nil {
+				return nil, fmt.Errorf("router: encoding shard %d export: %w", i, err)
+			}
+			sc.state = buf.Bytes()
+		case spec.Snapshots != nil:
+			sc.state = spec.Snapshots[i]
+			sc.snap = true
+		}
+		r.shards = append(r.shards, sc)
+	}
+	if spec.Exports != nil {
+		for _, ex := range spec.Exports {
+			r.events += ex.Events
+		}
+		r.horizon = spec.Exports[0].Horizon
+		r.hasHorizon = true
+	} else if spec.Snapshots != nil {
+		r.events = spec.Events
+	}
+	for i, sc := range r.shards {
+		preferred := i % len(r.workers)
+		if spec.Assign != nil {
+			if len(spec.Assign) != n {
+				r.teardown()
+				return nil, fmt.Errorf("router: %d assignments for %d shards", len(spec.Assign), n)
+			}
+			preferred = spec.Assign[i]
+			if preferred < 0 || preferred >= len(r.workers) {
+				r.teardown()
+				return nil, fmt.Errorf("router: shard %d assigned to worker %d of %d", i, preferred, len(r.workers))
+			}
+		}
+		if err := r.placeShard(sc, preferred); err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("router: placing shard %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// teardown severs every open session without protocol niceties.
+func (r *Runner) teardown() {
+	for _, sc := range r.shards {
+		r.dropConn(sc)
+	}
+}
+
+func (r *Runner) dropConn(sc *shardState) {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+	}
+	if sc.fr != nil {
+		sc.fr.Close()
+		sc.fr = nil
+	}
+	sc.asm = wire.CtrlAssembler{}
+}
+
+// fail poisons the Runner: like a parallel shard panic, the caller
+// observes it via Err after the current Barrier and tears down.
+func (r *Runner) fail(err error) {
+	if r.failure == nil {
+		r.failure = err
+	}
+}
+
+// Err returns the first unrecoverable failure — a worker-reported
+// engine error (corrupt state, contract violation), as opposed to
+// worker death, which the router absorbs by failover or shedding.
+func (r *Runner) Err() error { return r.failure }
+
+// helloCtrl builds the session-opening envelope for sc.
+func (r *Runner) helloCtrl(sc *shardState) *wire.Ctrl {
+	c := &wire.Ctrl{
+		Op:      wire.CtrlHello,
+		Shard:   sc.idx,
+		Shards:  r.spec.Shards,
+		Fn:      int(r.spec.Fn),
+		Param:   r.spec.Param,
+		Eta:     r.spec.Eta,
+		Factors: r.spec.Factors,
+		Floor:   sc.floor,
+		State:   sc.state,
+		Snap:    sc.snap,
+	}
+	for _, q := range r.spec.Queries {
+		cq := wire.CtrlQuery{ID: q.ID}
+		for _, w := range q.Windows {
+			cq.Windows = append(cq.Windows, wire.CtrlWindow{Range: w.Range, Slide: w.Slide})
+		}
+		c.Queries = append(c.Queries, cq)
+	}
+	return c
+}
+
+// errPoison marks a worker-reported (rather than transport) failure:
+// retrying it on another worker would fail identically.
+type errPoison struct{ err error }
+
+func (e errPoison) Error() string { return e.err.Error() }
+func (e errPoison) Unwrap() error { return e.err }
+
+// placeShard connects sc to a live worker — preferred first, then by
+// load — replaying its journal. Transport failures retire the worker
+// and move on; a worker-reported error is poison and sheds the shard
+// after poisoning the Runner. Returns non-nil only when the shard ends
+// up down.
+func (r *Runner) placeShard(sc *shardState, preferred int) error {
+	tried := make(map[int]bool)
+	next := func() int {
+		if preferred >= 0 && !tried[preferred] && r.workers[preferred].live {
+			return preferred
+		}
+		best, load := -1, 0
+		for wi, w := range r.workers {
+			if !w.live || tried[wi] {
+				continue
+			}
+			n := 0
+			for _, other := range r.shards {
+				if other != sc && !other.down && other.conn != nil && other.worker == wi {
+					n++
+				}
+			}
+			if best == -1 || n < load {
+				best, load = wi, n
+			}
+		}
+		return best
+	}
+	for {
+		wi := next()
+		if wi < 0 {
+			r.shedShard(sc)
+			return sc.downErr
+		}
+		tried[wi] = true
+		err := r.openSession(sc, wi)
+		if err == nil {
+			sc.worker = wi
+			sc.down = false
+			sc.downErr = nil
+			sc.barrierSent = false
+			return nil
+		}
+		r.dropConn(sc)
+		var poison errPoison
+		if errors.As(err, &poison) {
+			r.fail(fmt.Errorf("router: shard %d: %w", sc.idx, poison.err))
+			r.shedShard(sc)
+			return sc.downErr
+		}
+		r.retireWorker(wi)
+	}
+}
+
+// shedShard marks sc's key range shed.
+func (r *Runner) shedShard(sc *shardState) {
+	r.dropConn(sc)
+	addr := ""
+	if sc.worker >= 0 && sc.worker < len(r.workers) {
+		addr = r.workers[sc.worker].addr
+	}
+	sc.down = true
+	sc.downErr = &ShardDownError{Shard: sc.idx, Addr: addr}
+	sc.rows = sc.rows[:0]
+	sc.journal = nil
+	sc.barrierSent = false
+}
+
+// retireWorker marks a worker dead and severs its sessions. The caller
+// re-places the orphaned shards.
+func (r *Runner) retireWorker(wi int) (orphans []*shardState) {
+	w := r.workers[wi]
+	if !w.live {
+		return nil
+	}
+	w.live = false
+	for _, sc := range r.shards {
+		if !sc.down && sc.worker == wi {
+			if sc.conn != nil {
+				r.dropConn(sc)
+			}
+			sc.barrierSent = false
+			orphans = append(orphans, sc)
+		}
+	}
+	return orphans
+}
+
+// failoverShard handles a transport failure on sc's session: its worker
+// is retired and every shard it hosted (sc included) is re-placed.
+func (r *Runner) failoverShard(sc *shardState) {
+	orphans := r.retireWorker(sc.worker)
+	if orphans == nil {
+		// Worker already retired (a sibling's failover got here first);
+		// just re-place this shard.
+		orphans = []*shardState{sc}
+	}
+	for _, o := range orphans {
+		o.rows = o.rows[:0]
+		if r.placeShard(o, -1) == nil {
+			r.failovers++
+		}
+	}
+}
+
+// openSession dials worker wi, replays sc's session onto it (hello
+// with carried state, then the journal), and leaves the session at the
+// stream position every live session shares. Transport errors come
+// back raw; worker-reported errors come back wrapped in errPoison.
+func (r *Runner) openSession(sc *shardState, wi int) error {
+	conn, err := r.dial(r.workers[wi].addr)
+	if err != nil {
+		return err
+	}
+	sc.conn = conn
+	sc.fr = wire.NewReader(conn)
+	sc.asm = wire.CtrlAssembler{}
+	if err := r.sendCtrl(sc, r.helloCtrl(sc)); err != nil {
+		return err
+	}
+	if _, err := r.readAck(sc, wire.CtrlAck, false); err != nil {
+		return err
+	}
+	// Replay the journal: the worker re-derives exactly the state the
+	// dead session held. Journaled barriers are re-run so the engine
+	// flushes at the same points it originally did, and the regenerated
+	// rows are discarded — the original rows were already delivered.
+	for _, op := range sc.journal {
+		switch op.kind {
+		case opEvents:
+			if err := r.sendEvents(sc, op.events); err != nil {
+				return err
+			}
+		case opAdvance:
+			if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlAdvance, Horizon: op.value}); err != nil {
+				return err
+			}
+		case opFloor:
+			if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlFloor, Floor: op.value}); err != nil {
+				return err
+			}
+			if _, err := r.readAck(sc, wire.CtrlAck, false); err != nil {
+				return err
+			}
+		case opBarrier:
+			if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlBarrier}); err != nil {
+				return err
+			}
+			if _, err := r.readAck(sc, wire.CtrlAck, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendCtrl writes one control envelope on sc's session.
+func (r *Runner) sendCtrl(sc *shardState, c *wire.Ctrl) error {
+	sc.out = wire.AppendCtrl(sc.out[:0], uint32(sc.idx), c)
+	_, err := sc.conn.Write(sc.out)
+	return err
+}
+
+// sendEvents writes an event batch, chunked to the frame row bound.
+func (r *Runner) sendEvents(sc *shardState, events []stream.Event) error {
+	for off := 0; off < len(events); off += wire.MaxFrameRows {
+		chunk := events[off:min(off+wire.MaxFrameRows, len(events))]
+		sc.out = wire.AppendEventFrame(sc.out[:0], chunk)
+		if _, err := sc.conn.Write(sc.out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAck reads sc's session until a control envelope of op arrives and
+// returns it. discardRows accepts (and drops) result frames on the way
+// — the journal-replay barrier case; otherwise a result frame is a
+// protocol violation. A CtrlError envelope returns errPoison.
+func (r *Runner) readAck(sc *shardState, op string, discardRows bool) (wire.Ctrl, error) {
+	for {
+		f, err := sc.fr.Next()
+		if err != nil {
+			return wire.Ctrl{}, err
+		}
+		switch f.Kind {
+		case wire.KindResults:
+			if !discardRows {
+				return wire.Ctrl{}, fmt.Errorf("router: unexpected result frame awaiting %q", op)
+			}
+		case wire.KindControl:
+			c, done, err := sc.asm.Add(f)
+			if err != nil {
+				return wire.Ctrl{}, err
+			}
+			if !done {
+				continue
+			}
+			switch c.Op {
+			case op:
+				return c, nil
+			case wire.CtrlError:
+				return wire.Ctrl{}, errPoison{errors.New(c.Error)}
+			default:
+				return wire.Ctrl{}, fmt.Errorf("router: unexpected control op %q awaiting %q", c.Op, op)
+			}
+		default:
+			return wire.Ctrl{}, fmt.Errorf("router: unexpected frame kind %d", f.Kind)
+		}
+	}
+}
+
+// Process partitions one in-order batch by the shared key hash and
+// routes each shard its subsequence. Events for shed shards are dropped
+// and counted. Mirrors parallel.Runner.Process's asynchrony: no worker
+// round-trip happens here.
+func (r *Runner) Process(events []stream.Event) {
+	if r.closed {
+		panic("router: Process after Close")
+	}
+	r.events += int64(len(events))
+	if len(events) == 0 {
+		return
+	}
+	n := r.spec.Shards
+	parts := make([][]stream.Event, n)
+	if n == 1 {
+		parts[0] = append([]stream.Event(nil), events...)
+	} else {
+		for i := range events {
+			s := parallel.ShardOf(events[i].Key, n)
+			parts[s] = append(parts[s], events[i])
+		}
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		sc := r.shards[i]
+		if sc.down {
+			r.shedEvents += int64(len(part))
+			continue
+		}
+		// Journal first: if the write fails, the failover replay must
+		// include this batch.
+		sc.journal = append(sc.journal, journalOp{kind: opEvents, events: part})
+		if err := r.sendEvents(sc, part); err != nil {
+			r.failoverShard(sc)
+		}
+	}
+}
+
+// Advance broadcasts the release horizon to every live shard.
+func (r *Runner) Advance(t int64) {
+	if r.closed {
+		panic("router: Advance after Close")
+	}
+	r.horizon = t
+	r.hasHorizon = true
+	for _, sc := range r.shards {
+		if sc.down {
+			continue
+		}
+		sc.journal = append(sc.journal, journalOp{kind: opAdvance, value: t})
+		if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlAdvance, Horizon: t}); err != nil {
+			r.failoverShard(sc)
+		}
+	}
+}
+
+// Barrier flushes every shard and merges the results into the sink in
+// shard index order — the distributed drainOrdered. After it returns,
+// counters are consistent and (absent failures) every result produced
+// by prior Process/Advance calls has been emitted.
+func (r *Runner) Barrier() {
+	if r.closed {
+		return
+	}
+	// Phase 1: fan the barrier out to every live shard before awaiting
+	// any ack, so the workers flush concurrently.
+	for _, sc := range r.shards {
+		r.ensureBarrierSent(sc)
+	}
+	// Phase 2: collect per shard, in shard index order.
+	for _, sc := range r.shards {
+		r.collectBarrier(sc)
+	}
+	r.barriers++
+	// Phase 3: journal compaction on the checkpoint cadence. The export
+	// is the engine's complete canonical state at the watermark — every
+	// journaled op up to here is absorbed by it, and this barrier's rows
+	// are already collected above (the worker flushed before exporting),
+	// so a failover after compaction regenerates nothing twice.
+	if r.hasHorizon && r.barriers%r.spec.CheckpointEvery == 0 {
+		for _, sc := range r.shards {
+			if !sc.down {
+				r.checkpointShard(sc)
+			}
+		}
+	}
+	// Phase 4: ordered emit, exactly one EmitAll per non-empty shard.
+	peak := 0
+	for _, sc := range r.shards {
+		if n := len(sc.rows); n > peak {
+			peak = n
+		}
+		stream.EmitAll(r.sink, sc.rows)
+		sc.rows = sc.rows[:0]
+	}
+	if p := int64(peak); p > r.egressPeak {
+		r.egressPeak = p
+	}
+}
+
+// ensureBarrierSent writes the current barrier round to sc if it has
+// not been written yet, failing over (and retrying on the new session)
+// until written or shed.
+func (r *Runner) ensureBarrierSent(sc *shardState) {
+	for !sc.down && !sc.barrierSent {
+		if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlBarrier}); err != nil {
+			r.failoverShard(sc)
+			continue
+		}
+		sc.barrierSent = true
+	}
+}
+
+// collectBarrier reads sc's result frames until the barrier ack. A
+// transport failure mid-read triggers failover: the journal replay
+// regenerates (and discards) prior barriers, then the current barrier
+// is re-sent and re-read fresh.
+func (r *Runner) collectBarrier(sc *shardState) {
+	for {
+		if sc.down {
+			return
+		}
+		// A failover inside ensureBarrierSent or a sibling's collect may
+		// have reassigned us with the barrier still unsent.
+		r.ensureBarrierSent(sc)
+		if sc.down {
+			return
+		}
+		f, err := sc.fr.Next()
+		if err != nil {
+			sc.rows = sc.rows[:0]
+			r.failoverShard(sc)
+			continue
+		}
+		switch f.Kind {
+		case wire.KindResults:
+			for j := 0; j < f.Rows(); j++ {
+				_, rng, slide, start, end, key, value := f.Result(j)
+				sc.rows = append(sc.rows, stream.Result{
+					W:     window.Window{Range: rng, Slide: slide},
+					Start: start,
+					End:   end,
+					Key:   key,
+					Value: value,
+				})
+			}
+		case wire.KindControl:
+			c, done, err := sc.asm.Add(f)
+			if err != nil {
+				sc.rows = sc.rows[:0]
+				r.failoverShard(sc)
+				continue
+			}
+			if !done {
+				continue
+			}
+			switch c.Op {
+			case wire.CtrlAck:
+				sc.updates = c.Updates
+				sc.journal = append(sc.journal, journalOp{kind: opBarrier})
+				sc.barrierSent = false
+				return
+			case wire.CtrlError:
+				// Worker-side engine failure: poison, like a parallel
+				// shard panic. The shard stops serving; the caller sees
+				// Err and tears the pipeline down.
+				r.fail(fmt.Errorf("router: shard %d: %s", sc.idx, c.Error))
+				r.shedShard(sc)
+				return
+			default:
+				r.fail(fmt.Errorf("router: shard %d: unexpected control op %q at barrier", sc.idx, c.Op))
+				r.shedShard(sc)
+				return
+			}
+		}
+	}
+}
+
+// checkpointShard compacts sc's journal into a canonical export at the
+// current watermark. Best-effort: a transport failure fails over (the
+// old journal still replays) and a worker-reported failure poisons.
+func (r *Runner) checkpointShard(sc *shardState) {
+	if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlExport, Horizon: r.horizon}); err != nil {
+		r.failoverShard(sc)
+		return
+	}
+	c, err := r.readAck(sc, wire.CtrlExport, false)
+	if err != nil {
+		var poison errPoison
+		if errors.As(err, &poison) {
+			r.fail(fmt.Errorf("router: shard %d export: %w", sc.idx, poison.err))
+			r.shedShard(sc)
+			return
+		}
+		r.failoverShard(sc)
+		return
+	}
+	sc.state = append([]byte(nil), c.State...)
+	sc.snap = false
+	sc.journal = nil
+}
+
+// ExportCanonical quiesces the shards and returns each one's canonical
+// migration state at horizon — the distributed face of
+// parallel.ExportCanonical, feeding the same zero-gap re-plan handover.
+// It fails if any key range is shed: a partial export would silently
+// drop the shed range's open state, so the caller (the server's
+// re-plan) must degrade explicitly instead.
+func (r *Runner) ExportCanonical(horizon int64) ([]*engine.Export, error) {
+	if r.closed {
+		return nil, errors.New("router: ExportCanonical after Close")
+	}
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("router: ExportCanonical of failed runner: %w", err)
+	}
+	out := make([]*engine.Export, len(r.shards))
+	for i, sc := range r.shards {
+		if sc.down {
+			return nil, sc.downErr
+		}
+		blob, err := r.shardExport(sc, horizon)
+		if err != nil {
+			return nil, err
+		}
+		ex := new(engine.Export)
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(ex); err != nil {
+			return nil, fmt.Errorf("router: decoding shard %d export: %w", i, err)
+		}
+		out[i] = ex
+	}
+	return out, nil
+}
+
+// shardExport fetches one shard's export blob at horizon, retrying
+// across a failover once before giving up.
+func (r *Runner) shardExport(sc *shardState, horizon int64) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		if sc.down {
+			return nil, sc.downErr
+		}
+		err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlExport, Horizon: horizon})
+		if err == nil {
+			var c wire.Ctrl
+			c, err = r.readAck(sc, wire.CtrlExport, false)
+			if err == nil {
+				return append([]byte(nil), c.State...), nil
+			}
+		}
+		var poison errPoison
+		if errors.As(err, &poison) {
+			return nil, fmt.Errorf("router: shard %d export: %w", sc.idx, poison.err)
+		}
+		if attempt >= len(r.workers) {
+			return nil, fmt.Errorf("router: shard %d export: %w", sc.idx, err)
+		}
+		r.failoverShard(sc)
+	}
+}
+
+// routerSnapshot is gob-compatible with parallel's snapshot (fields
+// match by name), so a distributed checkpoint restores into an
+// in-process Runner and vice versa — the durable path is topology-
+// independent.
+type routerSnapshot struct {
+	Shards int
+	Events int64
+	State  [][]byte
+}
+
+// Snapshot quiesces the shards and serializes their engine state in the
+// same blob format parallel.Runner.Snapshot writes.
+func (r *Runner) Snapshot() ([]byte, error) {
+	if r.closed {
+		return nil, errors.New("router: Snapshot after Close")
+	}
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("router: Snapshot of failed runner: %w", err)
+	}
+	snap := routerSnapshot{Shards: r.spec.Shards, Events: r.events}
+	for _, sc := range r.shards {
+		if sc.down {
+			return nil, sc.downErr
+		}
+		var blob []byte
+		for attempt := 0; ; attempt++ {
+			if sc.down {
+				return nil, sc.downErr
+			}
+			err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlSnapshot})
+			if err == nil {
+				var c wire.Ctrl
+				c, err = r.readAck(sc, wire.CtrlSnapshot, false)
+				if err == nil {
+					blob = append([]byte(nil), c.State...)
+					break
+				}
+			}
+			var poison errPoison
+			if errors.As(err, &poison) {
+				return nil, fmt.Errorf("router: shard %d snapshot: %w", sc.idx, poison.err)
+			}
+			if attempt >= len(r.workers) {
+				return nil, fmt.Errorf("router: shard %d snapshot: %w", sc.idx, err)
+			}
+			r.failoverShard(sc)
+		}
+		snap.State = append(snap.State, blob)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("router: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot splits a parallel-format snapshot blob into per-shard
+// engine states for Spec.Snapshots.
+func DecodeSnapshot(data []byte) (states [][]byte, events int64, err error) {
+	var snap routerSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("router: decoding snapshot: %w", err)
+	}
+	if snap.Shards <= 0 || len(snap.State) != snap.Shards {
+		return nil, 0, fmt.Errorf("router: snapshot has %d shards, %d states", snap.Shards, len(snap.State))
+	}
+	return snap.State, snap.Events, nil
+}
+
+// RaiseEmitFloor raises every shard engine's exposed-result floor to at
+// least v. Call it before driving the Runner.
+func (r *Runner) RaiseEmitFloor(v int64) {
+	for _, sc := range r.shards {
+		if sc.down {
+			continue
+		}
+		sc.journal = append(sc.journal, journalOp{kind: opFloor, value: v})
+		if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlFloor, Floor: v}); err != nil {
+			r.failoverShard(sc)
+			continue
+		}
+		if _, err := r.readAck(sc, wire.CtrlAck, false); err != nil {
+			var poison errPoison
+			if errors.As(err, &poison) {
+				r.fail(fmt.Errorf("router: shard %d floor: %w", sc.idx, poison.err))
+				r.shedShard(sc)
+				continue
+			}
+			r.failoverShard(sc)
+		}
+	}
+}
+
+// SetOrderedDrain is a no-op: the router's drain is inherently ordered
+// (that is its reason to exist). Present for interface parity with
+// parallel.Runner.
+func (r *Runner) SetOrderedDrain(bool) {}
+
+// Close flushes every shard engine (open window instances fire) and
+// merges the final rows in shard index order, then severs the sessions.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	// Fan out like Barrier: every worker flushes concurrently.
+	type pending struct{ sc *shardState }
+	var sent []pending
+	for _, sc := range r.shards {
+		if sc.down {
+			continue
+		}
+		if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlClose}); err != nil {
+			r.failoverShard(sc)
+			if sc.down {
+				continue
+			}
+			if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlClose}); err != nil {
+				r.shedShard(sc)
+				continue
+			}
+		}
+		sent = append(sent, pending{sc})
+	}
+	for _, p := range sent {
+		sc := p.sc
+		for !sc.down {
+			f, err := sc.fr.Next()
+			if err != nil {
+				// The dead worker's final flush is lost mid-read; replay
+				// onto a survivor and re-close to regenerate it.
+				sc.rows = sc.rows[:0]
+				r.failoverShard(sc)
+				if sc.down {
+					break
+				}
+				if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlClose}); err != nil {
+					r.shedShard(sc)
+					break
+				}
+				continue
+			}
+			if f.Kind == wire.KindResults {
+				for j := 0; j < f.Rows(); j++ {
+					_, rng, slide, start, end, key, value := f.Result(j)
+					sc.rows = append(sc.rows, stream.Result{
+						W:     window.Window{Range: rng, Slide: slide},
+						Start: start, End: end, Key: key, Value: value,
+					})
+				}
+				continue
+			}
+			if f.Kind == wire.KindControl {
+				c, done, aerr := sc.asm.Add(f)
+				if aerr != nil || (done && c.Op != wire.CtrlBye) {
+					r.shedShard(sc)
+					break
+				}
+				if !done {
+					continue
+				}
+				sc.updates = c.Updates
+				break
+			}
+		}
+	}
+	r.closed = true
+	peak := 0
+	for _, sc := range r.shards {
+		if n := len(sc.rows); n > peak {
+			peak = n
+		}
+		stream.EmitAll(r.sink, sc.rows)
+		sc.rows = nil
+	}
+	if p := int64(peak); p > r.egressPeak {
+		r.egressPeak = p
+	}
+	r.teardown()
+}
+
+// Events returns the number of raw events accepted (shed ones included:
+// they were accepted, then dropped by degradation).
+func (r *Runner) Events() int64 { return r.events }
+
+// Shards returns the key-partition count.
+func (r *Runner) Shards() int { return r.spec.Shards }
+
+// TotalUpdates sums the per-shard engine update counters as of each
+// shard's last barrier ack.
+func (r *Runner) TotalUpdates() int64 {
+	var t int64
+	for _, sc := range r.shards {
+		t += sc.updates
+	}
+	return t
+}
+
+// EgressPeak reports the high-water mark of per-shard buffered result
+// rows observed at merge points, mirroring parallel's telemetry.
+func (r *Runner) EgressPeak() int64 { return r.egressPeak }
+
+// ShedError returns a typed error describing the first shed key range,
+// or nil when every shard is serving. Degradation, not poison: the
+// pipeline keeps serving the live ranges either way.
+func (r *Runner) ShedError() error {
+	for _, sc := range r.shards {
+		if sc.down && sc.downErr != nil {
+			return sc.downErr
+		}
+	}
+	return nil
+}
+
+// AddWorker adds (or revives) a worker address for future placements
+// and rebalances. It does not move any shard by itself.
+func (r *Runner) AddWorker(addr string) error {
+	for _, w := range r.workers {
+		if w.addr == addr {
+			if w.live {
+				return fmt.Errorf("router: worker %s already live", addr)
+			}
+			w.live = true
+			return nil
+		}
+	}
+	r.workers = append(r.workers, &workerState{addr: addr, live: true})
+	return nil
+}
+
+// Rebalance moves one shard to the worker at addr, zero-gap: quiesce,
+// export the shard's canonical state, open a session on the target with
+// it, release the source session without flushing. The result stream is
+// unaffected — placement is invisible to the determinism contract.
+func (r *Runner) Rebalance(shard int, addr string) error {
+	if r.closed {
+		return errors.New("router: Rebalance after Close")
+	}
+	if shard < 0 || shard >= len(r.shards) {
+		return fmt.Errorf("router: no shard %d", shard)
+	}
+	wi := -1
+	for i, w := range r.workers {
+		if w.addr == addr && w.live {
+			wi = i
+			break
+		}
+	}
+	if wi < 0 {
+		return fmt.Errorf("router: no live worker %s", addr)
+	}
+	sc := r.shards[shard]
+	if sc.down {
+		return sc.downErr
+	}
+	if sc.worker == wi {
+		return nil
+	}
+	// Quiesce so the export cut is a barrier boundary, then compact the
+	// journal into an export — the "frame transfer" of the migration.
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sc.down {
+		return sc.downErr
+	}
+	if r.hasHorizon {
+		r.checkpointShard(sc)
+		if sc.down {
+			return sc.downErr
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	old, oldFr, oldWorker := sc.conn, sc.fr, sc.worker
+	sc.conn, sc.fr = nil, nil
+	sc.asm = wire.CtrlAssembler{}
+	if err := r.openSession(sc, wi); err != nil {
+		// Target refused; keep serving from the source session.
+		r.dropConn(sc)
+		sc.conn, sc.fr = old, oldFr
+		sc.worker = oldWorker
+		var poison errPoison
+		if errors.As(err, &poison) {
+			return fmt.Errorf("router: rebalance shard %d: %w", shard, poison.err)
+		}
+		r.workers[wi].live = false
+		return fmt.Errorf("router: rebalance shard %d to %s: %w", shard, addr, err)
+	}
+	sc.worker = wi
+	sc.barrierSent = false
+	r.rebalances++
+	// Release the source: its engine state has moved, so it must not
+	// flush. Best-effort — the source may already be gone.
+	relOut := wire.AppendCtrl(nil, uint32(sc.idx), &wire.Ctrl{Op: wire.CtrlRelease})
+	old.Write(relOut)
+	old.Close()
+	oldFr.Close()
+	return nil
+}
+
+// Drain moves every shard off the worker at addr and retires it —
+// scale-in. Fails if any shard has nowhere to go.
+func (r *Runner) Drain(addr string) error {
+	if r.closed {
+		return errors.New("router: Drain after Close")
+	}
+	wi := -1
+	for i, w := range r.workers {
+		if w.addr == addr && w.live {
+			wi = i
+			break
+		}
+	}
+	if wi < 0 {
+		return fmt.Errorf("router: no live worker %s", addr)
+	}
+	live := 0
+	for _, w := range r.workers {
+		if w.live {
+			live++
+		}
+	}
+	if live <= 1 {
+		return fmt.Errorf("router: cannot drain %s: it is the last live worker", addr)
+	}
+	for _, sc := range r.shards {
+		if sc.down || sc.worker != wi {
+			continue
+		}
+		// Pick the least-loaded other live worker.
+		best, load := -1, 0
+		for ti, w := range r.workers {
+			if !w.live || ti == wi {
+				continue
+			}
+			n := 0
+			for _, other := range r.shards {
+				if !other.down && other.conn != nil && other.worker == ti {
+					n++
+				}
+			}
+			if best == -1 || n < load {
+				best, load = ti, n
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("router: cannot drain %s: no live target", addr)
+		}
+		if err := r.Rebalance(sc.idx, r.workers[best].addr); err != nil {
+			return err
+		}
+	}
+	r.workers[wi].live = false
+	return nil
+}
+
+// WorkerInfo is one worker's row in the topology report.
+type WorkerInfo struct {
+	Addr   string `json:"addr"`
+	Live   bool   `json:"live"`
+	Shards []int  `json:"shards"`
+}
+
+// Topology is the /stats view of the distributed layout.
+type Topology struct {
+	Workers    []WorkerInfo `json:"workers"`
+	ShedShards []int        `json:"shed_shards,omitempty"`
+	ShedEvents int64        `json:"shed_events,omitempty"`
+	Failovers  int64        `json:"failovers,omitempty"`
+	Rebalances int64        `json:"rebalances,omitempty"`
+}
+
+// Topology reports the current worker/shard layout and degradation
+// counters.
+func (r *Runner) Topology() Topology {
+	t := Topology{
+		ShedEvents: r.shedEvents,
+		Failovers:  r.failovers,
+		Rebalances: r.rebalances,
+	}
+	for wi, w := range r.workers {
+		info := WorkerInfo{Addr: w.addr, Live: w.live}
+		for _, sc := range r.shards {
+			if !sc.down && sc.conn != nil && sc.worker == wi {
+				info.Shards = append(info.Shards, sc.idx)
+			}
+		}
+		t.Workers = append(t.Workers, info)
+	}
+	for _, sc := range r.shards {
+		if sc.down {
+			t.ShedShards = append(t.ShedShards, sc.idx)
+		}
+	}
+	return t
+}

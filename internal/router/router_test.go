@@ -1,0 +1,491 @@
+package router_test
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"factorwindows/internal/agg"
+	"factorwindows/internal/core"
+	"factorwindows/internal/cost"
+	"factorwindows/internal/multiquery"
+	"factorwindows/internal/parallel"
+	"factorwindows/internal/router"
+	"factorwindows/internal/shardworker"
+	"factorwindows/internal/stream"
+	"factorwindows/internal/window"
+)
+
+// startWorker spawns an in-process shard worker on a loopback listener.
+func startWorker(t *testing.T) (string, *shardworker.Worker) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	w := shardworker.New()
+	go w.Serve(ln)
+	t.Cleanup(w.Close)
+	return ln.Addr().String(), w
+}
+
+var testQueries = []multiquery.Query{
+	{ID: "q1", Windows: []window.Window{{Range: 16, Slide: 16}, {Range: 12, Slide: 6}}},
+	{ID: "q2", Windows: []window.Window{{Range: 24, Slide: 8}}},
+}
+
+// refPlan builds the single-process reference plan from the same inputs
+// the workers rebuild theirs from.
+func refPlan(t *testing.T, qs []multiquery.Query) *multiquery.Plan {
+	t.Helper()
+	mp, err := multiquery.Optimize(qs, agg.Sum, core.Options{Factors: true, Model: cost.Model{Eta: 1}})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return mp
+}
+
+// genEvents produces a seeded, time-nondecreasing event stream.
+func genEvents(seed int64, n, keys int) []stream.Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]stream.Event, n)
+	t := int64(0)
+	for i := range events {
+		t += int64(rng.Intn(3))
+		events[i] = stream.Event{Time: t, Key: uint64(rng.Intn(keys)), Value: float64(rng.Intn(100))}
+	}
+	return events
+}
+
+// drive feeds events to any runner with the server's cadence: chunked
+// Process, Advance to the chunk's last time, Barrier per chunk.
+type driven interface {
+	Process([]stream.Event)
+	Advance(int64)
+	Barrier()
+	Close()
+}
+
+func drive(r driven, events []stream.Event, chunk int, between func(i int)) {
+	for off := 0; off < len(events); off += chunk {
+		part := events[off:min(off+chunk, len(events))]
+		r.Process(part)
+		r.Advance(part[len(part)-1].Time)
+		r.Barrier()
+		if between != nil {
+			between(off / chunk)
+		}
+	}
+	r.Close()
+}
+
+// reference runs the in-process parallel engine over events and returns
+// its ordered result sequence.
+func reference(t *testing.T, qs []multiquery.Query, shards int, events []stream.Event, chunk int) []stream.Result {
+	t.Helper()
+	mp := refPlan(t, qs)
+	sink := &stream.CollectingSink{}
+	ref, _, err := parallel.Migrate(mp.Combined, sink, shards, nil, 0)
+	if err != nil {
+		t.Fatalf("parallel.Migrate: %v", err)
+	}
+	ref.SetOrderedDrain(true)
+	drive(ref, events, chunk, nil)
+	if err := ref.Err(); err != nil {
+		t.Fatalf("reference runner: %v", err)
+	}
+	return sink.Results
+}
+
+func newRouter(t *testing.T, qs []multiquery.Query, shards int, addrs []string, every int64) (*router.Runner, *stream.CollectingSink) {
+	t.Helper()
+	sink := &stream.CollectingSink{}
+	r, err := router.New(router.Spec{
+		Queries:         qs,
+		Fn:              agg.Sum,
+		Eta:             1,
+		Factors:         true,
+		Shards:          shards,
+		Workers:         addrs,
+		CheckpointEvery: every,
+	}, sink)
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	return r, sink
+}
+
+func assertSameResults(t *testing.T, got, want []stream.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRouterMatchesParallel is the core determinism property: the
+// distributed drain is byte-equal to the in-process ordered drain, for
+// every shard count × worker count combination.
+func TestRouterMatchesParallel(t *testing.T) {
+	events := genEvents(401, 4000, 40)
+	const chunk = 256
+	for _, shards := range []int{1, 4, 7} {
+		want := reference(t, testQueries, shards, events, chunk)
+		for _, nWorkers := range []int{1, 2, 4} {
+			addrs := make([]string, nWorkers)
+			for i := range addrs {
+				addrs[i], _ = startWorker(t)
+			}
+			r, sink := newRouter(t, testQueries, shards, addrs, 4)
+			drive(r, events, chunk, nil)
+			if err := r.Err(); err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, nWorkers, err)
+			}
+			assertSameResults(t, sink.Results, want)
+		}
+	}
+}
+
+// TestRouterWorkerKillFailover kills a worker mid-stream: its shards
+// replay onto survivors and the output stays byte-identical.
+func TestRouterWorkerKillFailover(t *testing.T) {
+	events := genEvents(77, 6000, 60)
+	const chunk = 256
+	const shards = 7
+	want := reference(t, testQueries, shards, events, chunk)
+	for _, every := range []int64{1, 4, 1000} { // checkpoint cadences: every barrier, periodic, never-yet
+		addrs := make([]string, 3)
+		workers := make([]*shardworker.Worker, 3)
+		for i := range addrs {
+			addrs[i], workers[i] = startWorker(t)
+		}
+		r, sink := newRouter(t, testQueries, shards, addrs, every)
+		drive(r, events, chunk, func(i int) {
+			if i == 9 {
+				workers[1].Close() // mid-stream kill, between barriers
+			}
+		})
+		if err := r.Err(); err != nil {
+			t.Fatalf("every=%d: router: %v", every, err)
+		}
+		assertSameResults(t, sink.Results, want)
+		topo := r.Topology()
+		if topo.Failovers == 0 {
+			t.Fatalf("every=%d: kill did not register a failover: %+v", every, topo)
+		}
+		if len(topo.ShedShards) != 0 {
+			t.Fatalf("every=%d: shards shed despite live workers: %+v", every, topo)
+		}
+	}
+}
+
+// TestRouterKillDuringBarrier kills the worker while the router is
+// blocked reading its barrier acks, exercising the mid-collect failover
+// path (sibling shards on the dead worker re-send the barrier).
+func TestRouterKillDuringBarrier(t *testing.T) {
+	events := genEvents(13, 4000, 50)
+	const shards = 4
+	half := len(events) / 2
+	// The ordered drain's sequence depends on the barrier schedule, so
+	// the reference must share this test's two-barrier cadence.
+	mp := refPlan(t, testQueries)
+	refSink := &stream.CollectingSink{}
+	ref, _, err := parallel.Migrate(mp.Combined, refSink, shards, nil, 0)
+	if err != nil {
+		t.Fatalf("parallel.Migrate: %v", err)
+	}
+	ref.SetOrderedDrain(true)
+	ref.Process(events[:half])
+	ref.Advance(events[half-1].Time)
+	ref.Barrier()
+	ref.Process(events[half:])
+	ref.Advance(events[len(events)-1].Time)
+	ref.Barrier()
+	ref.Close()
+	want := refSink.Results
+	addrs := make([]string, 2)
+	workers := make([]*shardworker.Worker, 2)
+	for i := range addrs {
+		addrs[i], workers[i] = startWorker(t)
+	}
+	r, sink := newRouter(t, testQueries, shards, addrs, 2)
+	r.Process(events[:half])
+	r.Advance(events[half-1].Time)
+	r.Barrier()
+	// Kill between Process and Barrier: the events for worker 0's
+	// shards are journaled but their barrier ack will never come; the
+	// collect phase must fail over and re-run the barrier elsewhere.
+	r.Process(events[half:])
+	workers[0].Close()
+	r.Advance(events[len(events)-1].Time)
+	r.Barrier()
+	r.Close()
+	if err := r.Err(); err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	assertSameResults(t, sink.Results, want)
+}
+
+// TestRouterShedTypedError: when the last worker dies, shards shed with
+// the typed error and the router keeps functioning (degraded), rather
+// than poisoning or panicking.
+func TestRouterShedTypedError(t *testing.T) {
+	events := genEvents(5, 1000, 30)
+	addr, w := startWorker(t)
+	r, _ := newRouter(t, testQueries, 4, []string{addr}, 4)
+	r.Process(events[:500])
+	r.Advance(events[499].Time)
+	r.Barrier()
+	w.Close()
+	// First post-kill round: writes may still land in kernel buffers,
+	// but the barrier read detects the death and sheds.
+	r.Process(events[500:750])
+	r.Advance(events[749].Time)
+	r.Barrier()
+	if err := r.Err(); err != nil {
+		t.Fatalf("worker death must degrade, not poison: %v", err)
+	}
+	// Second round: events routed to shed shards are counted dropped.
+	r.Process(events[750:])
+	r.Advance(events[999].Time)
+	r.Barrier()
+	err := r.ShedError()
+	if err == nil {
+		t.Fatal("no shed error after losing the only worker")
+	}
+	if !errors.Is(err, router.ErrShardDown) {
+		t.Fatalf("shed error %v does not wrap ErrShardDown", err)
+	}
+	var sde *router.ShardDownError
+	if !errors.As(err, &sde) {
+		t.Fatalf("shed error %T is not a *ShardDownError", err)
+	}
+	if sde.Addr != addr {
+		t.Fatalf("ShardDownError.Addr = %q, want %q", sde.Addr, addr)
+	}
+	topo := r.Topology()
+	if len(topo.ShedShards) != 4 {
+		t.Fatalf("expected all 4 shards shed, topology %+v", topo)
+	}
+	if topo.ShedEvents == 0 {
+		t.Fatal("shed events not counted")
+	}
+	// Recovery path: a fresh worker cannot resurrect shed shards (their
+	// journals are gone), but the router must not crash handling it.
+	addr2, _ := startWorker(t)
+	if err := r.AddWorker(addr2); err != nil {
+		t.Fatalf("AddWorker: %v", err)
+	}
+	if err := r.Rebalance(0, addr2); !errors.Is(err, router.ErrShardDown) {
+		t.Fatalf("Rebalance of shed shard: err = %v, want ErrShardDown", err)
+	}
+	r.Close()
+}
+
+// TestRouterScaleOutIn rebalances mid-stream — scale-out onto a worker
+// added after start, then drain it back out — without disturbing the
+// output stream.
+func TestRouterScaleOutIn(t *testing.T) {
+	events := genEvents(99, 6000, 50)
+	const chunk = 256
+	const shards = 7
+	want := reference(t, testQueries, shards, events, chunk)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i], _ = startWorker(t)
+	}
+	var late string
+	r, sink := newRouter(t, testQueries, shards, addrs, 4)
+	drive(r, events, chunk, func(i int) {
+		switch i {
+		case 5: // scale out: add a worker and move two shards onto it
+			late, _ = startWorker(t)
+			if err := r.AddWorker(late); err != nil {
+				t.Fatalf("AddWorker: %v", err)
+			}
+			if err := r.Rebalance(0, late); err != nil {
+				t.Fatalf("Rebalance(0): %v", err)
+			}
+			if err := r.Rebalance(3, late); err != nil {
+				t.Fatalf("Rebalance(3): %v", err)
+			}
+		case 15: // scale back in
+			if err := r.Drain(late); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		}
+	})
+	if err := r.Err(); err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	assertSameResults(t, sink.Results, want)
+	topo := r.Topology()
+	if topo.Rebalances < 2 {
+		t.Fatalf("expected at least 2 rebalances, topology %+v", topo)
+	}
+}
+
+// TestRouterSnapshotParallelInterop proves checkpoint blobs are
+// topology-independent: a distributed snapshot restores into the
+// in-process engine and an in-process snapshot restores into the
+// distributed engine, both continuing byte-identically.
+func TestRouterSnapshotParallelInterop(t *testing.T) {
+	events := genEvents(2024, 4000, 40)
+	const chunk = 256
+	const shards = 4
+	// The split point must sit on a chunk boundary so both runs share
+	// the reference's barrier schedule.
+	const half = 2048
+	want := reference(t, testQueries, shards, events, chunk)
+
+	// Distributed first half → snapshot → in-process second half.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i], _ = startWorker(t)
+	}
+	r, sink := newRouter(t, testQueries, shards, addrs, 4)
+	for off := 0; off < half; off += chunk {
+		part := events[off:min(off+chunk, half)]
+		r.Process(part)
+		r.Advance(part[len(part)-1].Time)
+		r.Barrier()
+	}
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("router.Snapshot: %v", err)
+	}
+	routerEvents := r.Events()
+	// Tear the distributed epoch down and snip its close-flush rows:
+	// the restored runner re-emits those open instances itself.
+	preClose := len(sink.Results)
+	r.Close()
+	sink.Results = sink.Results[:preClose]
+	mp := refPlan(t, testQueries)
+	cont, err := parallel.Restore(mp.Combined, sink, blob)
+	if err != nil {
+		t.Fatalf("parallel.Restore(router snapshot): %v", err)
+	}
+	cont.SetOrderedDrain(true)
+	if cont.Events() != routerEvents {
+		t.Fatalf("restored event counter %d, want %d", cont.Events(), routerEvents)
+	}
+	drive(cont, events[half:], chunk, nil)
+	assertSameResults(t, sink.Results, want)
+
+	// In-process first half → snapshot → distributed second half.
+	sink2 := &stream.CollectingSink{}
+	ref, _, err := parallel.Migrate(mp.Combined, sink2, shards, nil, 0)
+	if err != nil {
+		t.Fatalf("parallel.Migrate: %v", err)
+	}
+	ref.SetOrderedDrain(true)
+	for off := 0; off < half; off += chunk {
+		part := events[off:min(off+chunk, half)]
+		ref.Process(part)
+		ref.Advance(part[len(part)-1].Time)
+		ref.Barrier()
+	}
+	blob2, err := ref.Snapshot()
+	if err != nil {
+		t.Fatalf("parallel.Snapshot: %v", err)
+	}
+	states, restoredEvents, err := router.DecodeSnapshot(blob2)
+	if err != nil {
+		t.Fatalf("router.DecodeSnapshot(parallel snapshot): %v", err)
+	}
+	r2, err := router.New(router.Spec{
+		Queries:   testQueries,
+		Fn:        agg.Sum,
+		Eta:       1,
+		Factors:   true,
+		Workers:   addrs,
+		Snapshots: states,
+		Events:    restoredEvents,
+	}, sink2)
+	if err != nil {
+		t.Fatalf("router.New(snapshots): %v", err)
+	}
+	if r2.Events() != restoredEvents {
+		t.Fatalf("router restored event counter %d, want %d", r2.Events(), restoredEvents)
+	}
+	drive(r2, events[half:], chunk, nil)
+	if err := r2.Err(); err != nil {
+		t.Fatalf("restored router: %v", err)
+	}
+	assertSameResults(t, sink2.Results, want)
+}
+
+// TestRouterExportMigratesToParallel: a distributed epoch's canonical
+// export resumes in the in-process engine — the re-plan handover works
+// across the process boundary.
+func TestRouterExportMigratesToParallel(t *testing.T) {
+	events := genEvents(311, 3000, 30)
+	const chunk = 256
+	const shards = 4
+	want := reference(t, testQueries, shards, events, chunk)
+	addrs := []string{""}
+	addrs[0], _ = startWorker(t)
+	r, sink := newRouter(t, testQueries, shards, addrs, 4)
+	half := 1536 // chunk boundary
+	var horizon int64
+	for off := 0; off < half; off += chunk {
+		part := events[off : off+chunk]
+		r.Process(part)
+		horizon = part[len(part)-1].Time
+		r.Advance(horizon)
+		r.Barrier()
+	}
+	exports, err := r.ExportCanonical(horizon)
+	if err != nil {
+		t.Fatalf("router.ExportCanonical: %v", err)
+	}
+	if len(exports) != shards {
+		t.Fatalf("%d exports for %d shards", len(exports), shards)
+	}
+	// Tear down the distributed epoch, snipping its close-flush rows —
+	// the migrated runner owns those open instances now.
+	preClose := len(sink.Results)
+	r.Close()
+	sink.Results = sink.Results[:preClose]
+	mp := refPlan(t, testQueries)
+	cont, _, err := parallel.Migrate(mp.Combined, sink, shards, exports, horizon)
+	if err != nil {
+		t.Fatalf("parallel.Migrate(router exports): %v", err)
+	}
+	cont.SetOrderedDrain(true)
+	drive(cont, events[half:], chunk, nil)
+	assertSameResults(t, sink.Results, want)
+}
+
+// TestRouterTopologyShape sanity-checks the stats surface.
+func TestRouterTopologyShape(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i], _ = startWorker(t)
+	}
+	r, _ := newRouter(t, testQueries, 4, addrs, 4)
+	defer r.Close()
+	topo := r.Topology()
+	if len(topo.Workers) != 2 {
+		t.Fatalf("topology workers: %+v", topo)
+	}
+	var placed []int
+	for _, w := range topo.Workers {
+		if !w.Live {
+			t.Fatalf("fresh worker not live: %+v", w)
+		}
+		placed = append(placed, w.Shards...)
+	}
+	if len(placed) != 4 {
+		t.Fatalf("placed shards %v, want all 4", placed)
+	}
+	if !reflect.DeepEqual(r.Topology(), topo) {
+		t.Fatal("Topology not stable across calls")
+	}
+}

@@ -60,6 +60,8 @@ var ingestBatchPool = sync.Pool{New: func() any {
 //	POST   /checkpoint           durable servers: write a WAL-offset-stamped snapshot
 //	                             asynchronously and truncate the covered log prefix
 //	POST   /restore              replace state from a snapshot
+//	POST   /topology             distributed servers: mutate the worker topology
+//	                             ({"op":"add-worker"|"move"|"drain","addr",...,"shard"})
 //	GET    /healthz              liveness: 200 unless the server is closed
 //	GET    /readyz               readiness: 503 + Retry-After while degraded or closed
 //
@@ -81,6 +83,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /checkpoint", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
+	mux.HandleFunc("POST /topology", s.handleTopology)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s.recoverPanics(mux)
@@ -797,4 +800,44 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"queries": s.Queries(), "stats": s.StatsNow()})
+}
+
+// topologyRequest is the JSON body of POST /topology.
+type topologyRequest struct {
+	Op    string `json:"op"`    // add-worker | move | drain
+	Addr  string `json:"addr"`  // worker address the op targets
+	Shard *int   `json:"shard"` // move only: which shard to reassign
+}
+
+// handleTopology mutates the distributed worker topology: admit or
+// revive a worker, move one shard, or drain a worker entirely. Replies
+// with the resulting topology so the caller sees placement, not just
+// success. Single-process servers answer 409.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var req topologyRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRegisterBody)).Decode(&req); err != nil {
+		s.httpError(w, fmt.Errorf("server: decoding topology request: %w", err))
+		return
+	}
+	var err error
+	switch req.Op {
+	case "add-worker":
+		err = s.AddWorker(req.Addr)
+	case "move":
+		if req.Shard == nil {
+			s.httpError(w, errors.New(`server: topology op "move" needs a shard`))
+			return
+		}
+		err = s.MoveShard(*req.Shard, req.Addr)
+	case "drain":
+		err = s.DrainWorker(req.Addr)
+	default:
+		s.httpError(w, fmt.Errorf("server: unknown topology op %q", req.Op))
+		return
+	}
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "topology": s.TopologyNow()})
 }

@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +54,7 @@ import (
 	"factorwindows/internal/multiquery"
 	"factorwindows/internal/parallel"
 	"factorwindows/internal/reorder"
+	"factorwindows/internal/router"
 	"factorwindows/internal/stream"
 	"factorwindows/internal/wal"
 	"factorwindows/internal/window"
@@ -171,6 +174,22 @@ type Config struct {
 	// (0 selects 64 MiB). The streaming codecs (NDJSON, frames) are
 	// bounded by admission instead.
 	MaxBodyBytes int64
+
+	// Workers switches execution to the distributed tier: shard engines
+	// run in fwworker processes at these addresses instead of in-process
+	// goroutines, with the router consistent-hashing keys across them.
+	// Shards still fixes the shard count; workers may be added, drained,
+	// and reassigned at runtime (POST /topology) without changing key
+	// placement. Empty keeps the single-process parallel runner.
+	Workers []string
+	// WorkerDial overrides how worker connections are opened (tests);
+	// nil selects net.Dial("tcp", addr).
+	WorkerDial func(addr string) (net.Conn, error)
+	// WorkerCheckpointEvery is the router's journal-compaction cadence
+	// in barriers (0 selects the router default). Smaller values bound
+	// failover replay work; larger ones trade that for fewer state
+	// exports on the barrier path.
+	WorkerCheckpointEvery int64
 }
 
 // registration is one live query.
@@ -189,11 +208,39 @@ type gate struct {
 	muted atomic.Bool
 }
 
+// execRunner is the execution tier under the reorder buffer: the
+// in-process key-sharded parallel.Runner, or the distributed
+// router.Runner speaking the frame protocol to fwworker processes.
+// Both honor the same contract — ordered drain determinism, canonical
+// export/snapshot for zero-gap re-plans and checkpoints, poison
+// reported through Err — so everything above the runner is oblivious
+// to where the shard engines live.
+type execRunner interface {
+	Process(events []stream.Event)
+	Advance(t int64)
+	Barrier()
+	Close()
+	Err() error
+	Events() int64
+	Shards() int
+	TotalUpdates() int64
+	EgressPeak() int64
+	SetOrderedDrain(on bool)
+	ExportCanonical(horizon int64) ([]*engine.Export, error)
+	Snapshot() ([]byte, error)
+	RaiseEmitFloor(v int64)
+}
+
+var (
+	_ execRunner = (*parallel.Runner)(nil)
+	_ execRunner = (*router.Runner)(nil)
+)
+
 // pipeline is one epoch's execution stack: reorder buffer → key-sharded
 // runner → routing sink → per-query rings.
 type pipeline struct {
 	plan   *multiquery.Plan
-	runner *parallel.Runner
+	runner execRunner
 	buf    *reorder.Buffer
 	gate   *gate
 	rings  map[string]*ring // immutable snapshot of the epoch's queries
@@ -240,6 +287,12 @@ type Server struct {
 	lastEta     int64
 	lastKeys    int
 	lastOverpay float64
+
+	// workers is the live distributed worker set (nil: single-process
+	// execution). Seeded from Config.Workers and grown by AddWorker, it
+	// outlives any one pipeline so re-plans and checkpoint restores
+	// rebuild onto the current topology, not the boot-time one.
+	workers []string
 
 	// carry preserves the reorder buffer's state (sealed horizon,
 	// pending events) while no pipeline exists — unregistering the last
@@ -304,6 +357,7 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 64 << 20
 	}
 	s := &Server{cfg: cfg, queries: make(map[string]*registration)}
+	s.workers = append([]string(nil), cfg.Workers...)
 	if cfg.MaxInflightBytes > 0 || cfg.MaxSourceBytes > 0 {
 		s.admit = admit.New(admit.Options{
 			GlobalBytes: cfg.MaxInflightBytes,
@@ -652,9 +706,43 @@ func (s *Server) buildPipeline(freshFloor int64, carried *reorder.State, engineS
 		rings[id] = s.queries[id].ring
 	}
 	sink := routeSink(mp, g, rings)
-	var runner *parallel.Runner
+	var runner execRunner
 	migrated := 0
-	if engineState != nil {
+	if len(s.workers) > 0 {
+		// Distributed tier: the same plan inputs go to every worker so
+		// each shard rebuilds the identical plan, and the same state
+		// forms (canonical exports, gob engine snapshots) carry across —
+		// a checkpoint taken in-process restores onto workers and vice
+		// versa. The migrated-instance count stays inside the workers'
+		// imports and is not reported here.
+		spec := router.Spec{
+			Queries:         qs,
+			Fn:              s.fn,
+			Param:           s.param,
+			Eta:             s.planEta,
+			Factors:         s.cfg.Factors,
+			Shards:          s.cfg.Shards,
+			Workers:         append([]string(nil), s.workers...),
+			FreshFloor:      freshFloor,
+			Exports:         exports,
+			Dial:            s.cfg.WorkerDial,
+			CheckpointEvery: s.cfg.WorkerCheckpointEvery,
+		}
+		if spec.Shards <= 0 {
+			// The parallel tier's default, applied here so a config that
+			// leaves Shards unset keys events identically in both tiers.
+			spec.Shards = runtime.GOMAXPROCS(0)
+		}
+		if engineState != nil {
+			states, events, derr := router.DecodeSnapshot(engineState)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			spec.Snapshots, spec.Events = states, events
+			spec.Exports = nil
+		}
+		runner, err = router.New(spec, sink)
+	} else if engineState != nil {
 		runner, err = parallel.Restore(mp.Combined, sink, engineState)
 	} else {
 		runner, migrated, err = parallel.Migrate(mp.Combined, sink, s.cfg.Shards, exports, freshFloor)
@@ -807,19 +895,7 @@ func (s *Server) ingestLocked(events []stream.Event) (IngestStatus, *wal.Commit,
 	}
 	s.pipe.runner.Barrier()
 	if err := s.pipe.runner.Err(); err != nil {
-		// A poisoned shard means the epoch's output is incomplete and
-		// its state unusable; tear the pipeline down rather than keep
-		// serving wrong answers, and report the failure persistently.
-		// Only the engine is compromised: the reorder buffer's sealed
-		// horizon is still sound, and carrying it keeps the next epoch
-		// (after re-registration) from delivering partial straddling
-		// windows as exact.
-		carried := s.pipe.buf.Snapshot()
-		s.teardown()
-		s.carry = &carried
-		s.engineErr = err
-		return IngestStatus{}, commit, fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
-			ErrEngine, err)
+		return IngestStatus{}, commit, s.poisonLocked(err)
 	}
 	if s.cfg.Adaptive {
 		// The pipeline is barriered and healthy: a clean point to fold
@@ -833,6 +909,154 @@ func (s *Server) ingestLocked(events []stream.Event) (IngestStatus, *wal.Commit,
 	st.Epoch = s.epoch
 	s.maybeSnapshotLocked()
 	return st, commit, nil
+}
+
+// poisonLocked tears the pipeline down after the runner reported a
+// poisoned shard. A poisoned shard means the epoch's output is
+// incomplete and its state unusable; tear the pipeline down rather
+// than keep serving wrong answers, and report the failure
+// persistently. Only the engine is compromised: the reorder buffer's
+// sealed horizon is still sound, and carrying it keeps the next epoch
+// (after re-registration) from delivering partial straddling windows
+// as exact. Callers hold s.mu with a live pipeline.
+func (s *Server) poisonLocked(err error) error {
+	carried := s.pipe.buf.Snapshot()
+	s.teardown()
+	s.carry = &carried
+	s.engineErr = err
+	return fmt.Errorf("%w: %v (pipeline reset; re-register queries or restore a valid checkpoint)",
+		ErrEngine, err)
+}
+
+// distributedLocked gates the topology mutations: they only mean
+// something on a server executing on workers. Callers hold s.mu.
+func (s *Server) distributedLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.workers) == 0 {
+		return fmt.Errorf("%w: server is not distributed (no workers configured)", ErrConflict)
+	}
+	return nil
+}
+
+// hasWorker reports whether addr is in the server's worker set.
+func (s *Server) hasWorker(addr string) bool {
+	for _, w := range s.workers {
+		if w == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// AddWorker admits a worker process at addr into the distributed
+// topology, or revives one that previously died. The worker carries no
+// shards until MoveShard (or a failover) places some; the address also
+// joins the server's worker set so later re-plans and checkpoint
+// restores rebuild onto it.
+func (s *Server) AddWorker(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.distributedLocked(); err != nil {
+		return err
+	}
+	if addr == "" {
+		return errors.New("server: empty worker address")
+	}
+	if s.pipe != nil {
+		if err := s.pipe.runner.(*router.Runner).AddWorker(addr); err != nil {
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+	} else if s.hasWorker(addr) {
+		return fmt.Errorf("%w: worker %s already present", ErrConflict, addr)
+	}
+	if !s.hasWorker(addr) {
+		s.workers = append(s.workers, addr)
+	}
+	return nil
+}
+
+// MoveShard reassigns one shard to the worker at addr through the
+// zero-gap migration: the router barriers, exports the shard's
+// canonical state at the horizon, transfers it, and the target resumes
+// behind the same emit floors — the result stream continues exactly.
+// Serializes with ingest on s.mu, so no batch is in flight mid-move.
+func (s *Server) MoveShard(shard int, addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.distributedLocked(); err != nil {
+		return err
+	}
+	if s.engineErr != nil {
+		return fmt.Errorf("%w: %v (re-register queries or restore a valid checkpoint)", ErrEngine, s.engineErr)
+	}
+	if s.pipe == nil {
+		return fmt.Errorf("%w: no live pipeline (register queries first)", ErrConflict)
+	}
+	rr := s.pipe.runner.(*router.Runner)
+	err := rr.Rebalance(shard, addr)
+	if perr := rr.Err(); perr != nil {
+		return s.poisonLocked(perr)
+	}
+	if err != nil {
+		// Keep the router's typed errors (e.g. ErrShardDown) reachable
+		// through the HTTP-status sentinel.
+		return fmt.Errorf("%w: %w", ErrConflict, err)
+	}
+	return nil
+}
+
+// DrainWorker migrates every shard off the worker at addr (each via
+// the same zero-gap move as MoveShard) and retires it from the
+// topology and the server's worker set, so later re-plans stop
+// dialing it. The last live worker refuses to drain.
+func (s *Server) DrainWorker(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.distributedLocked(); err != nil {
+		return err
+	}
+	if s.engineErr != nil {
+		return fmt.Errorf("%w: %v (re-register queries or restore a valid checkpoint)", ErrEngine, s.engineErr)
+	}
+	if !s.hasWorker(addr) {
+		return fmt.Errorf("%w: worker %s", ErrNotFound, addr)
+	}
+	if s.pipe != nil {
+		rr := s.pipe.runner.(*router.Runner)
+		err := rr.Drain(addr)
+		if perr := rr.Err(); perr != nil {
+			return s.poisonLocked(perr)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrConflict, err)
+		}
+	} else if len(s.workers) == 1 {
+		return fmt.Errorf("%w: cannot drain the last worker", ErrConflict)
+	}
+	kept := s.workers[:0]
+	for _, w := range s.workers {
+		if w != addr {
+			kept = append(kept, w)
+		}
+	}
+	s.workers = kept
+	return nil
+}
+
+// TopologyNow reports the distributed topology (nil when the server is
+// single-process or has no live pipeline).
+func (s *Server) TopologyNow() *router.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pipe != nil {
+		if rr, ok := s.pipe.runner.(*router.Runner); ok {
+			t := rr.Topology()
+			return &t
+		}
+	}
+	return nil
 }
 
 // observe folds one ingested batch into the adaptive observation window
@@ -1083,6 +1307,13 @@ type Stats struct {
 	EgressPeakRows     int64 `json:"egress_peak_rows,omitempty"`
 	WALRetries         int64 `json:"wal_retries,omitempty"`
 	WALStagedPeak      int64 `json:"wal_staged_peak,omitempty"`
+
+	// Distributed topology (present when the server runs on workers):
+	// per-worker liveness and shard placement, plus the degradation
+	// counters — shards shed after losing their last placement, events
+	// dropped for shed shards, transparent failovers, and explicit
+	// rebalances (see router.Topology).
+	Topology *router.Topology `json:"topology,omitempty"`
 }
 
 // StatsNow reports the current server state. The engine-update counter
@@ -1167,6 +1398,10 @@ func (s *Server) StatsNow() Stats {
 		st.CombinedCost = s.pipe.plan.CombinedCost
 		st.SeparateCost = s.pipe.plan.SeparateCost
 		st.EgressPeakRows = s.pipe.runner.EgressPeak()
+		if rr, ok := s.pipe.runner.(*router.Runner); ok {
+			topo := rr.Topology()
+			st.Topology = &topo
+		}
 	}
 	return st
 }

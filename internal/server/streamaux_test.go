@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"factorwindows/internal/wire"
+)
+
+// TestCtrlAuxFlagsRoundTrip pins the stream listener's control-frame
+// aux vocabulary: the three typed flags occupy distinct bits, survive
+// an encode/decode round trip in every combination, and decode back
+// through Frame.Seq exactly. The bit positions are wire protocol —
+// binary clients branch on them without parsing the JSON payload — so
+// a renumbering is a breaking change this test makes loud.
+func TestCtrlAuxFlagsRoundTrip(t *testing.T) {
+	if ctrlAuxDurable != 1<<0 || ctrlAuxGap != 1<<1 || ctrlAuxShed != 1<<2 {
+		t.Fatalf("aux flag bits moved: durable=%#x gap=%#x shed=%#x",
+			ctrlAuxDurable, ctrlAuxGap, ctrlAuxShed)
+	}
+	flags := []struct {
+		name string
+		bit  int64
+	}{
+		{"durable", ctrlAuxDurable},
+		{"gap", ctrlAuxGap},
+		{"shed", ctrlAuxShed},
+	}
+	payload := []byte(`{"stream":7,"ok":true}`)
+	// Every subset of the three flags, including none and all together:
+	// flags are independent signals and must compose without clobbering
+	// each other or the payload.
+	for mask := int64(0); mask < 1<<3; mask++ {
+		var aux int64
+		name := "none"
+		for _, f := range flags {
+			if mask&f.bit != 0 {
+				aux |= f.bit
+				if name == "none" {
+					name = f.name
+				} else {
+					name += "+" + f.name
+				}
+			}
+		}
+		t.Run(fmt.Sprintf("mask=%#x(%s)", mask, name), func(t *testing.T) {
+			buf := wire.AppendControlFrameAux(nil, 7, aux, payload)
+			f, rest, err := wire.Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d trailing bytes", len(rest))
+			}
+			if f.Kind != wire.KindControl || f.StreamID != 7 {
+				t.Fatalf("frame = kind %d stream %d", f.Kind, f.StreamID)
+			}
+			if f.Seq != aux {
+				t.Fatalf("aux word = %#x, want %#x", f.Seq, aux)
+			}
+			for _, fl := range flags {
+				if got, want := f.Seq&fl.bit != 0, mask&fl.bit != 0; got != want {
+					t.Errorf("%s flag = %t, want %t", fl.name, got, want)
+				}
+			}
+			if !bytes.Equal(f.Control(), payload) {
+				t.Fatalf("payload corrupted: %q", f.Control())
+			}
+		})
+	}
+}

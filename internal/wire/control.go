@@ -1,0 +1,199 @@
+// Distributed shard protocol: the control-frame vocabulary the router
+// tier and shard workers speak on top of the binary frame format. Data
+// stays columnar — event frames flow router→worker, result frames flow
+// back — while everything else (session setup, watermarks, barriers,
+// state transfer) rides in control frames whose payload is one JSON
+// Ctrl envelope.
+//
+// The envelope is JSON rather than another columnar layout because
+// control traffic is rare (a handful of frames per ingest barrier) and
+// structural: it carries query sets, gob state blobs, and error text.
+// State blobs can exceed a single control frame's payload bound, so
+// AppendCtrl splits State across consecutive frames (More=true on every
+// frame but the last) and CtrlAssembler reassembles them; every other
+// field rides on the first frame.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Control ops. The router initiates every exchange; "ack", "bye" and
+// "error" are worker replies.
+const (
+	// CtrlHello opens a shard session: plan inputs (queries, fn, param,
+	// η, factors), the shard's identity, and optionally carried state —
+	// a canonical export (migration) or an engine snapshot (restore).
+	// The worker replies with an ack, or an error naming what failed.
+	CtrlHello = "hello"
+	// CtrlAdvance broadcasts the release horizon (watermark). Pipelined:
+	// no reply.
+	CtrlAdvance = "advance"
+	// CtrlBarrier asks the worker to flush everything its engine has
+	// emitted since the last barrier as result frames, terminated by an
+	// ack carrying the engine's update counter.
+	CtrlBarrier = "barrier"
+	// CtrlExport asks for the engine's canonical migration state at the
+	// given horizon; the reply is an export envelope whose State is the
+	// gob-encoded engine.Export.
+	CtrlExport = "export"
+	// CtrlSnapshot asks for an engine snapshot blob (checkpoint codec).
+	CtrlSnapshot = "snapshot"
+	// CtrlFloor raises the engine's exposed-result floor (restoring
+	// pre-migration-era checkpoints); acked.
+	CtrlFloor = "floor"
+	// CtrlRelease ends the session discarding the engine without a
+	// flush — the state has migrated elsewhere and a flush would emit
+	// rows the new host will also emit. The worker replies bye.
+	CtrlRelease = "release"
+	// CtrlClose ends the session flushing the engine: open instances
+	// fire, their rows ship as result frames, then bye.
+	CtrlClose = "close"
+	// CtrlAck acknowledges a hello, barrier, or floor.
+	CtrlAck = "ack"
+	// CtrlBye acknowledges a release or close; the worker is about to
+	// drop the connection.
+	CtrlBye = "bye"
+	// CtrlError reports a worker-side failure (an engine contract
+	// violation, a corrupt state blob). The session is dead.
+	CtrlError = "error"
+)
+
+// CtrlWindow is one window in a hello's query set.
+type CtrlWindow struct {
+	Range int64 `json:"range"`
+	Slide int64 `json:"slide"`
+}
+
+// CtrlQuery is one query in a hello's query set: the inputs the worker
+// needs to rebuild the identical joint plan deterministically.
+type CtrlQuery struct {
+	ID      string       `json:"id"`
+	Windows []CtrlWindow `json:"windows"`
+}
+
+// Ctrl is the distributed protocol's control envelope. Only the fields
+// relevant to the op are set; State auto-base64s through encoding/json.
+type Ctrl struct {
+	Op string `json:"op"`
+
+	// Hello: session identity and plan inputs.
+	Shard   int         `json:"shard,omitempty"`
+	Shards  int         `json:"shards,omitempty"`
+	Fn      int         `json:"fn,omitempty"`
+	Param   float64     `json:"param,omitempty"`
+	Eta     int64       `json:"eta,omitempty"`
+	Factors bool        `json:"factors,omitempty"`
+	Queries []CtrlQuery `json:"queries,omitempty"`
+
+	// Horizon carries the watermark (advance), the export cut (export),
+	// or the floor value (floor).
+	Horizon int64 `json:"horizon,omitempty"`
+	// Floor is a hello's exposed-result floor for windows the carried
+	// state does not cover (or all windows, when State is empty).
+	Floor int64 `json:"floor,omitempty"`
+
+	// State is a carried blob: a gob engine.Export (hello, export
+	// replies) or an engine snapshot (hello with Snap, snapshot
+	// replies). Split across frames when it exceeds the chunk bound.
+	State []byte `json:"state,omitempty"`
+	// Snap marks a hello's State as an engine snapshot rather than a
+	// canonical export.
+	Snap bool `json:"snap,omitempty"`
+	// More marks a continuation: the next control frame on this stream
+	// extends State.
+	More bool `json:"more,omitempty"`
+
+	// Ack/bye bookkeeping: the engine's cumulative update and event
+	// counters, for the router's aggregated stats.
+	Updates int64 `json:"updates,omitempty"`
+	Events  int64 `json:"events,omitempty"`
+
+	// Error is CtrlError's failure text.
+	Error string `json:"error,omitempty"`
+}
+
+// ctrlStateChunk bounds the raw State bytes per control frame. Base64
+// inflates by 4/3 and the envelope adds field overhead; 256 KiB of raw
+// state keeps each frame's payload well under the control payload bound
+// AppendControlFrameAux enforces.
+const ctrlStateChunk = 256 << 10
+
+// AppendCtrl appends c as one or more control frames: oversized State
+// splits across consecutive frames with More set on every frame but the
+// last. The inverse is CtrlAssembler.
+func AppendCtrl(dst []byte, streamID uint32, c *Ctrl) []byte {
+	if len(c.State) <= ctrlStateChunk {
+		payload, err := json.Marshal(c)
+		if err != nil {
+			panic(fmt.Sprintf("wire: encoding control envelope: %v", err))
+		}
+		return AppendControlFrame(dst, streamID, payload)
+	}
+	state := c.State
+	head := *c
+	head.State = state[:ctrlStateChunk]
+	head.More = true
+	payload, err := json.Marshal(&head)
+	if err != nil {
+		panic(fmt.Sprintf("wire: encoding control envelope: %v", err))
+	}
+	dst = AppendControlFrame(dst, streamID, payload)
+	for off := ctrlStateChunk; off < len(state); off += ctrlStateChunk {
+		end := min(off+ctrlStateChunk, len(state))
+		cont := Ctrl{Op: c.Op, State: state[off:end], More: end < len(state)}
+		payload, err := json.Marshal(&cont)
+		if err != nil {
+			panic(fmt.Sprintf("wire: encoding control continuation: %v", err))
+		}
+		dst = AppendControlFrame(dst, streamID, payload)
+	}
+	return dst
+}
+
+// CtrlAssembler reassembles a Ctrl from its control frames. Feed every
+// control frame to Add; it returns the completed envelope once the last
+// chunk lands (immediately, for single-frame envelopes).
+type CtrlAssembler struct {
+	cur *Ctrl
+}
+
+// Pending reports whether a partially assembled envelope is in flight.
+func (a *CtrlAssembler) Pending() bool { return a.cur != nil }
+
+// Add decodes one control frame. done is true when a complete envelope
+// is ready; until then the assembler buffers continuation chunks.
+func (a *CtrlAssembler) Add(f Frame) (c Ctrl, done bool, err error) {
+	if f.Kind != KindControl {
+		return Ctrl{}, false, fmt.Errorf("%w: expected a control frame, got kind %d", ErrKind, f.Kind)
+	}
+	var next Ctrl
+	if err := json.Unmarshal(f.Control(), &next); err != nil {
+		return Ctrl{}, false, fmt.Errorf("wire: decoding control envelope: %w", err)
+	}
+	if a.cur == nil {
+		if !next.More {
+			return next, true, nil
+		}
+		head := next
+		head.More = false
+		// The head's State slice aliases the reader's frame buffer; the
+		// continuation appends below must not scribble over it.
+		head.State = append([]byte(nil), next.State...)
+		a.cur = &head
+		return Ctrl{}, false, nil
+	}
+	if next.Op != a.cur.Op {
+		op := a.cur.Op
+		a.cur = nil
+		return Ctrl{}, false, fmt.Errorf("wire: control continuation op %q inside %q", next.Op, op)
+	}
+	a.cur.State = append(a.cur.State, next.State...)
+	if next.More {
+		return Ctrl{}, false, nil
+	}
+	out := *a.cur
+	a.cur = nil
+	return out, true, nil
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -37,6 +38,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(mut)
 	}
 	f.Add(two[:len(two)-3]) // severed mid-frame
+	// Row counts whose payload size arithmetic would overflow the u32
+	// length prefix if computed in 32 bits: the decoder must reject on
+	// the declared count alone, before any rows × column-stride math.
+	f.Add(overflowRowsFrame(KindEvents, 0xFFFFFFFF))
+	f.Add(overflowRowsFrame(KindResults, 0xFFFFFFFF/colWidth+1))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, rest, err := Decode(data)
@@ -71,6 +77,59 @@ func FuzzDecodeFrame(f *testing.F) {
 			exercise(t, fr)
 		}
 	})
+}
+
+// overflowRowsFrame hand-assembles a frame whose header is well-formed
+// (valid prefix, magic, version, kind) but declares a row count far
+// beyond what the length prefix could ever carry: rows × the 8-byte
+// column stride wraps a u32. The payload is empty — the decoder must
+// never get as far as comparing payload lengths.
+func overflowRowsFrame(kind byte, rows uint32) []byte {
+	body := make([]byte, headerLen)
+	body[0], body[1], body[2] = 'F', 'W', Version
+	body[3] = kind
+	binary.LittleEndian.PutUint32(body[4:], rows)
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	return append(buf, body...)
+}
+
+// TestDecodeRejectsRowsOverflow pins the typed rejection for declared
+// row counts that would overflow 32-bit payload-size arithmetic: the
+// decoder bounds rows against MaxFrameRows before multiplying by any
+// column stride, so a 2^32-1 declaration fails with ErrTooLarge rather
+// than wrapping into a plausible payload length and over-reading.
+func TestDecodeRejectsRowsOverflow(t *testing.T) {
+	cases := []struct {
+		name string
+		kind byte
+		rows uint32
+	}{
+		{"events/max-u32", KindEvents, 0xFFFFFFFF},
+		{"results/stride-wrap", KindResults, 0xFFFFFFFF/colWidth + 1},
+		{"events/just-over-cap", KindEvents, MaxFrameRows + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := overflowRowsFrame(tc.kind, tc.rows)
+			if _, _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("Decode(rows=%#x) = %v, want ErrTooLarge", tc.rows, err)
+			}
+			// The streaming reader must reach the same typed verdict.
+			r := NewReader(bytes.NewReader(buf))
+			defer r.Close()
+			if _, err := r.Next(); !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("Reader.Next(rows=%#x) = %v, want ErrTooLarge", tc.rows, err)
+			}
+		})
+	}
+	// Sanity anchor: the same hand-built frame with an in-bounds row
+	// count of zero decodes cleanly, proving the rejections above come
+	// from the row bound and not a malformed header.
+	for _, kind := range []byte{KindEvents, KindResults} {
+		if _, _, err := Decode(overflowRowsFrame(kind, 0)); err != nil {
+			t.Fatalf("control frame (kind %d, 0 rows) rejected: %v", kind, err)
+		}
+	}
 }
 
 // exercise touches every accessor of a successfully decoded frame, so
