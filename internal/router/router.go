@@ -154,9 +154,16 @@ type shardState struct {
 
 	journal []journalOp
 
-	rows        []stream.Result // collected this barrier, pending emit
-	updates     int64           // engine update counter from the last ack
-	barrierSent bool            // current barrier round written to this session
+	// rows holds results collected but not yet emitted. Invariant:
+	// outside an active collectBarrier/Close read of THIS shard, rows
+	// is complete through the shard's last acked barrier — so failover
+	// and shedding must keep it (the journaled barrier replays with its
+	// rows discarded; these are the only copy). Only the reader whose
+	// own mid-barrier read failed clears it, because that barrier is
+	// not journaled yet and re-runs live.
+	rows        []stream.Result
+	updates     int64 // engine update counter from the last ack
+	barrierSent bool  // current barrier round written to this session
 	down        bool
 	downErr     *ShardDownError
 
@@ -181,6 +188,8 @@ type Runner struct {
 	events     int64
 	horizon    int64
 	hasHorizon bool
+	lastTime   int64 // highest routed event time
+	hasTime    bool  // any event routed yet
 	barriers   int64
 
 	failure error
@@ -395,11 +404,22 @@ func (r *Runner) placeShard(sc *shardState, preferred int) error {
 			r.shedShard(sc)
 			return sc.downErr
 		}
-		r.retireWorker(wi)
+		// Retiring the worker severs every session it hosted; those
+		// shards must be re-placed too, or they would be stranded
+		// connection-less without being down. Recursion is bounded:
+		// every retire shrinks the live-worker set.
+		for _, o := range r.retireWorker(wi) {
+			if r.placeShard(o, -1) == nil {
+				r.failovers++
+			}
+		}
 	}
 }
 
-// shedShard marks sc's key range shed.
+// shedShard marks sc's key range shed. Collected rows stay pending —
+// they are complete through the last acked barrier (see the shardState
+// invariant) and the next emit phase still owes them to the sink;
+// callers abandoning a partial mid-barrier read clear sc.rows first.
 func (r *Runner) shedShard(sc *shardState) {
 	r.dropConn(sc)
 	addr := ""
@@ -408,13 +428,15 @@ func (r *Runner) shedShard(sc *shardState) {
 	}
 	sc.down = true
 	sc.downErr = &ShardDownError{Shard: sc.idx, Addr: addr}
-	sc.rows = sc.rows[:0]
 	sc.journal = nil
 	sc.barrierSent = false
 }
 
-// retireWorker marks a worker dead and severs its sessions. The caller
-// re-places the orphaned shards.
+// retireWorker marks a worker dead and severs its connected sessions.
+// The caller re-places the orphaned shards. Only shards with an open
+// connection are orphaned: a shard whose worker index merely points at
+// wi with no session (mid-placement, or never placed) is someone else's
+// responsibility.
 func (r *Runner) retireWorker(wi int) (orphans []*shardState) {
 	w := r.workers[wi]
 	if !w.live {
@@ -422,10 +444,8 @@ func (r *Runner) retireWorker(wi int) (orphans []*shardState) {
 	}
 	w.live = false
 	for _, sc := range r.shards {
-		if !sc.down && sc.worker == wi {
-			if sc.conn != nil {
-				r.dropConn(sc)
-			}
+		if !sc.down && sc.conn != nil && sc.worker == wi {
+			r.dropConn(sc)
 			sc.barrierSent = false
 			orphans = append(orphans, sc)
 		}
@@ -435,6 +455,14 @@ func (r *Runner) retireWorker(wi int) (orphans []*shardState) {
 
 // failoverShard handles a transport failure on sc's session: its worker
 // is retired and every shard it hosted (sc included) is re-placed.
+//
+// Pending rows are deliberately left alone. A sibling shard that
+// already acked the current barrier holds collected-but-unemitted rows,
+// and its journal already ends with that barrier, so the replay re-runs
+// it with the regenerated rows discarded — the rows in hand are the
+// only copy and the emit phase still owes them to the sink. The caller
+// whose own mid-barrier read failed clears its rows itself (that
+// barrier is not journaled yet and re-runs live).
 func (r *Runner) failoverShard(sc *shardState) {
 	orphans := r.retireWorker(sc.worker)
 	if orphans == nil {
@@ -443,7 +471,6 @@ func (r *Runner) failoverShard(sc *shardState) {
 		orphans = []*shardState{sc}
 	}
 	for _, o := range orphans {
-		o.rows = o.rows[:0]
 		if r.placeShard(o, -1) == nil {
 			r.failovers++
 		}
@@ -569,6 +596,12 @@ func (r *Runner) Process(events []stream.Event) {
 	if len(events) == 0 {
 		return
 	}
+	// Batches are in-order, so the last event carries the batch maximum;
+	// it backs the compaction cut when no watermark has arrived yet.
+	if t := events[len(events)-1].Time; !r.hasTime || t > r.lastTime {
+		r.lastTime = t
+	}
+	r.hasTime = true
 	n := r.spec.Shards
 	parts := make([][]stream.Event, n)
 	if n == 1 {
@@ -634,11 +667,14 @@ func (r *Runner) Barrier() {
 	}
 	r.barriers++
 	// Phase 3: journal compaction on the checkpoint cadence. The export
-	// is the engine's complete canonical state at the watermark — every
+	// is the engine's complete canonical state at the cut point — every
 	// journaled op up to here is absorbed by it, and this barrier's rows
 	// are already collected above (the worker flushed before exporting),
-	// so a failover after compaction regenerates nothing twice.
-	if r.hasHorizon && r.barriers%r.spec.CheckpointEvery == 0 {
+	// so a failover after compaction regenerates nothing twice. The cut
+	// works without a watermark too (see exportHorizon), so a pipeline
+	// that barriers but never Advances still compacts instead of
+	// journaling every event batch forever.
+	if r.canCheckpoint() && r.barriers%r.spec.CheckpointEvery == 0 {
 		for _, sc := range r.shards {
 			if !sc.down {
 				r.checkpointShard(sc)
@@ -725,23 +761,50 @@ func (r *Runner) collectBarrier(sc *shardState) {
 				// Worker-side engine failure: poison, like a parallel
 				// shard panic. The shard stops serving; the caller sees
 				// Err and tears the pipeline down.
+				sc.rows = sc.rows[:0]
 				r.fail(fmt.Errorf("router: shard %d: %s", sc.idx, c.Error))
 				r.shedShard(sc)
 				return
 			default:
+				sc.rows = sc.rows[:0]
 				r.fail(fmt.Errorf("router: shard %d: unexpected control op %q at barrier", sc.idx, c.Op))
 				r.shedShard(sc)
 				return
 			}
+		default:
+			// Same protocol enforcement readAck applies: a frame kind no
+			// worker should send here is poison, not something to skip.
+			sc.rows = sc.rows[:0]
+			r.fail(fmt.Errorf("router: shard %d: unexpected frame kind %d at barrier", sc.idx, f.Kind))
+			r.shedShard(sc)
+			return
 		}
 	}
 }
 
+// exportHorizon is the cut point for journal compaction: the release
+// horizon when one exists, else the highest routed event time — valid
+// without a watermark because the engine applies events on arrival and
+// the in-order contract keeps every future event at or above it.
+func (r *Runner) exportHorizon() int64 {
+	if r.hasHorizon {
+		return r.horizon
+	}
+	return r.lastTime
+}
+
+// canCheckpoint reports whether a compaction cut point exists yet. A
+// restored-but-idle pipeline (no event routed, no watermark) has none:
+// its engines may hold state far ahead of time zero, and exporting at
+// zero could materialize every instance index up to that state.
+func (r *Runner) canCheckpoint() bool { return r.hasHorizon || r.hasTime }
+
 // checkpointShard compacts sc's journal into a canonical export at the
-// current watermark. Best-effort: a transport failure fails over (the
-// old journal still replays) and a worker-reported failure poisons.
+// current cut point (exportHorizon). Best-effort: a transport failure
+// fails over (the old journal still replays) and a worker-reported
+// failure poisons.
 func (r *Runner) checkpointShard(sc *shardState) {
-	if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlExport, Horizon: r.horizon}); err != nil {
+	if err := r.sendCtrl(sc, &wire.Ctrl{Op: wire.CtrlExport, Horizon: r.exportHorizon()}); err != nil {
 		r.failoverShard(sc)
 		return
 	}
@@ -974,6 +1037,7 @@ func (r *Runner) Close() {
 			if f.Kind == wire.KindControl {
 				c, done, aerr := sc.asm.Add(f)
 				if aerr != nil || (done && c.Op != wire.CtrlBye) {
+					sc.rows = sc.rows[:0]
 					r.shedShard(sc)
 					break
 				}
@@ -983,6 +1047,11 @@ func (r *Runner) Close() {
 				sc.updates = c.Updates
 				break
 			}
+			// Unexpected frame kind: protocol violation, same treatment
+			// as at a barrier.
+			sc.rows = sc.rows[:0]
+			r.shedShard(sc)
+			break
 		}
 	}
 	r.closed = true
@@ -1086,7 +1155,7 @@ func (r *Runner) Rebalance(shard int, addr string) error {
 	if sc.down {
 		return sc.downErr
 	}
-	if r.hasHorizon {
+	if r.canCheckpoint() {
 		r.checkpointShard(sc)
 		if sc.down {
 			return sc.downErr
@@ -1107,7 +1176,21 @@ func (r *Runner) Rebalance(shard int, addr string) error {
 		if errors.As(err, &poison) {
 			return fmt.Errorf("router: rebalance shard %d: %w", shard, poison.err)
 		}
-		r.workers[wi].live = false
+		// A refused new session doesn't prove the target's existing
+		// sessions are dead — leave them serving and let their own
+		// traffic detect death. Only a target hosting nothing is safe
+		// to retire on this evidence, keeping it out of placement until
+		// an AddWorker revives it.
+		hosts := false
+		for _, other := range r.shards {
+			if !other.down && other.conn != nil && other.worker == wi {
+				hosts = true
+				break
+			}
+		}
+		if !hosts {
+			r.retireWorker(wi)
+		}
 		return fmt.Errorf("router: rebalance shard %d to %s: %w", shard, addr, err)
 	}
 	sc.worker = wi
@@ -1147,31 +1230,46 @@ func (r *Runner) Drain(addr string) error {
 	if live <= 1 {
 		return fmt.Errorf("router: cannot drain %s: it is the last live worker", addr)
 	}
-	for _, sc := range r.shards {
-		if sc.down || sc.worker != wi {
-			continue
-		}
-		// Pick the least-loaded other live worker.
-		best, load := -1, 0
-		for ti, w := range r.workers {
-			if !w.live || ti == wi {
+	// Every Rebalance below runs a Barrier, during which an unrelated
+	// worker death can fail an already-moved shard back onto wi — so
+	// keep re-scanning until a full pass finds nothing left before
+	// retiring the worker. Each fail-back requires a worker death, so
+	// the pass count is bounded by the worker count.
+	for pass := 0; ; pass++ {
+		remaining := false
+		for _, sc := range r.shards {
+			if sc.down || sc.worker != wi {
 				continue
 			}
-			n := 0
-			for _, other := range r.shards {
-				if !other.down && other.conn != nil && other.worker == ti {
-					n++
+			remaining = true
+			// Pick the least-loaded other live worker.
+			best, load := -1, 0
+			for ti, w := range r.workers {
+				if !w.live || ti == wi {
+					continue
+				}
+				n := 0
+				for _, other := range r.shards {
+					if !other.down && other.conn != nil && other.worker == ti {
+						n++
+					}
+				}
+				if best == -1 || n < load {
+					best, load = ti, n
 				}
 			}
-			if best == -1 || n < load {
-				best, load = ti, n
+			if best < 0 {
+				return fmt.Errorf("router: cannot drain %s: no live target", addr)
+			}
+			if err := r.Rebalance(sc.idx, r.workers[best].addr); err != nil {
+				return err
 			}
 		}
-		if best < 0 {
-			return fmt.Errorf("router: cannot drain %s: no live target", addr)
+		if !remaining {
+			break
 		}
-		if err := r.Rebalance(sc.idx, r.workers[best].addr); err != nil {
-			return err
+		if pass > len(r.workers) {
+			return fmt.Errorf("router: cannot drain %s: shards keep failing back onto it", addr)
 		}
 	}
 	r.workers[wi].live = false
@@ -1192,6 +1290,11 @@ type Topology struct {
 	ShedEvents int64        `json:"shed_events,omitempty"`
 	Failovers  int64        `json:"failovers,omitempty"`
 	Rebalances int64        `json:"rebalances,omitempty"`
+	// JournaledEvents counts event rows currently held in per-shard
+	// replay journals — the failover replay backlog, bounded by the
+	// compaction cadence. Unbounded growth here means compaction is
+	// not running (no cut point yet) or not keeping up.
+	JournaledEvents int64 `json:"journaled_events,omitempty"`
 }
 
 // Topology reports the current worker/shard layout and degradation
@@ -1201,6 +1304,11 @@ func (r *Runner) Topology() Topology {
 		ShedEvents: r.shedEvents,
 		Failovers:  r.failovers,
 		Rebalances: r.rebalances,
+	}
+	for _, sc := range r.shards {
+		for _, op := range sc.journal {
+			t.JournaledEvents += int64(len(op.events))
+		}
 	}
 	for wi, w := range r.workers {
 		info := WorkerInfo{Addr: w.addr, Live: w.live}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"factorwindows/internal/agg"
@@ -228,6 +230,235 @@ func TestRouterKillDuringBarrier(t *testing.T) {
 	r.Close()
 	if err := r.Err(); err != nil {
 		t.Fatalf("router: %v", err)
+	}
+	assertSameResults(t, sink.Results, want)
+}
+
+// failingConn wraps a session's connection so its reads fail once armed
+// — a transport fault on one specific shard session while the worker
+// process (and its sibling sessions) stays healthy.
+type failingConn struct {
+	net.Conn
+	armed *atomic.Bool
+}
+
+func (c *failingConn) Read(p []byte) (int, error) {
+	if c.armed.Load() {
+		return 0, errors.New("injected read failure")
+	}
+	return c.Conn.Read(p)
+}
+
+// faultDialer dials for real but wraps the nth connection to addr in a
+// failingConn tied to armed.
+func faultDialer(addr string, nth int, armed *atomic.Bool) func(string) (net.Conn, error) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	return func(a string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", a)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		counts[a]++
+		n := counts[a]
+		mu.Unlock()
+		if a == addr && n == nth {
+			return &failingConn{Conn: conn, armed: armed}, nil
+		}
+		return conn, nil
+	}
+}
+
+// TestRouterKillBetweenBarrierAcks pins the nastiest failover
+// interleaving: a worker hosting two shards dies *between* its shards'
+// barrier acks. With 4 shards on 2 workers, worker 0 hosts shards 0 and
+// 2; the collect phase runs in shard order, so when shard 2's read
+// fails, sibling shard 0 has already acked the current barrier — its
+// journal ends with that barrier and its collected rows are pending
+// emit. The failover must keep those rows (the replay regenerates and
+// discards them) or they are permanently lost.
+func TestRouterKillBetweenBarrierAcks(t *testing.T) {
+	events := genEvents(271, 4000, 50)
+	const chunk = 256
+	const shards = 4
+	want := reference(t, testQueries, shards, events, chunk)
+	for _, every := range []int64{3, 1000} { // with and without compaction in play
+		addrs := make([]string, 2)
+		for i := range addrs {
+			addrs[i], _ = startWorker(t)
+		}
+		var armed atomic.Bool
+		sink := &stream.CollectingSink{}
+		// Session dials during placement run in shard order, so the 2nd
+		// dial to worker 0 is shard 2's session.
+		r, err := router.New(router.Spec{
+			Queries:         testQueries,
+			Fn:              agg.Sum,
+			Eta:             1,
+			Factors:         true,
+			Shards:          shards,
+			Workers:         addrs,
+			CheckpointEvery: every,
+			Dial:            faultDialer(addrs[0], 2, &armed),
+		}, sink)
+		if err != nil {
+			t.Fatalf("router.New: %v", err)
+		}
+		drive(r, events, chunk, func(i int) {
+			if i == 5 {
+				// Arm between barriers: the next Barrier's phase 1 writes
+				// still land, shard 0 acks and journals the barrier, then
+				// shard 2's collect read fails and fails both over.
+				armed.Store(true)
+			}
+		})
+		if err := r.Err(); err != nil {
+			t.Fatalf("every=%d: router: %v", every, err)
+		}
+		topo := r.Topology()
+		if topo.Failovers < 2 {
+			t.Fatalf("every=%d: expected both of worker 0's shards failed over, topology %+v", every, topo)
+		}
+		if len(topo.ShedShards) != 0 {
+			t.Fatalf("every=%d: shards shed despite a live worker: %+v", every, topo)
+		}
+		assertSameResults(t, sink.Results, want)
+	}
+}
+
+// TestRouterRebalanceRefusedKeepsTarget: a target that refuses the
+// rebalance dial but still hosts healthy sessions must stay live and
+// keep serving them; a refused target hosting nothing is retired.
+func TestRouterRebalanceRefusedKeepsTarget(t *testing.T) {
+	events := genEvents(52, 3000, 40)
+	const chunk = 256
+	const shards = 4
+	want := reference(t, testQueries, shards, events, chunk)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i], _ = startWorker(t)
+	}
+	// An address with nothing listening behind it: dials are refused.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+	var refuse atomic.Bool
+	sink := &stream.CollectingSink{}
+	r, err := router.New(router.Spec{
+		Queries:         testQueries,
+		Fn:              agg.Sum,
+		Eta:             1,
+		Factors:         true,
+		Shards:          shards,
+		Workers:         addrs,
+		CheckpointEvery: 4,
+		Dial: func(a string) (net.Conn, error) {
+			if refuse.Load() && a == addrs[1] {
+				return nil, errors.New("injected dial refusal")
+			}
+			return net.Dial("tcp", a)
+		},
+	}, sink)
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	drive(r, events, chunk, func(i int) {
+		if i != 4 {
+			return
+		}
+		// New dials to worker 1 refused; its existing sessions (shards
+		// 1 and 3) stay healthy.
+		refuse.Store(true)
+		if err := r.Rebalance(0, addrs[1]); err == nil {
+			t.Fatal("Rebalance onto a refusing target succeeded")
+		}
+		topo := r.Topology()
+		if !topo.Workers[1].Live {
+			t.Fatalf("refused dial retired a worker with healthy sessions: %+v", topo)
+		}
+		if got := topo.Workers[1].Shards; len(got) != 2 {
+			t.Fatalf("worker 1 lost its shards on a refused dial: %+v", topo)
+		}
+		refuse.Store(false)
+		// A refused target hosting nothing is retired instead.
+		if err := r.AddWorker(deadAddr); err != nil {
+			t.Fatalf("AddWorker: %v", err)
+		}
+		if err := r.Rebalance(0, deadAddr); err == nil {
+			t.Fatal("Rebalance onto a dead address succeeded")
+		}
+		for _, w := range r.Topology().Workers {
+			if w.Addr == deadAddr && w.Live {
+				t.Fatalf("empty dead worker left live: %+v", w)
+			}
+		}
+	})
+	if err := r.Err(); err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	topo := r.Topology()
+	if topo.Failovers != 0 {
+		t.Fatalf("refused rebalance dials caused failovers: %+v", topo)
+	}
+	assertSameResults(t, sink.Results, want)
+}
+
+// TestRouterCompactsWithoutWatermark: a pipeline that ingests and
+// barriers but never Advances must still compact its replay journals
+// (the export cuts at the highest routed event time), keep the
+// journaled backlog bounded, and stay byte-identical through a worker
+// kill replayed from those watermark-less checkpoints.
+func TestRouterCompactsWithoutWatermark(t *testing.T) {
+	events := genEvents(613, 5000, 40)
+	const chunk = 250
+	const shards = 4
+	// Reference driven with the same Advance-free cadence.
+	mp := refPlan(t, testQueries)
+	refSink := &stream.CollectingSink{}
+	ref, _, err := parallel.Migrate(mp.Combined, refSink, shards, nil, 0)
+	if err != nil {
+		t.Fatalf("parallel.Migrate: %v", err)
+	}
+	ref.SetOrderedDrain(true)
+	for off := 0; off < len(events); off += chunk {
+		ref.Process(events[off : off+chunk])
+		ref.Barrier()
+	}
+	ref.Close()
+	want := refSink.Results
+
+	addrs := make([]string, 2)
+	workers := make([]*shardworker.Worker, 2)
+	for i := range addrs {
+		addrs[i], workers[i] = startWorker(t)
+	}
+	r, sink := newRouter(t, testQueries, shards, addrs, 2)
+	for i, off := 0, 0; off < len(events); i, off = i+1, off+chunk {
+		r.Process(events[off : off+chunk])
+		r.Barrier()
+		// Compaction runs every 2 barriers, so at most 2 chunks of
+		// events may sit journaled across all shards.
+		if j := r.Topology().JournaledEvents; j > 2*chunk {
+			t.Fatalf("chunk %d: %d journaled events without a watermark (journals not compacting)", i, j)
+		}
+		if i == 12 {
+			workers[0].Close() // replay must come from watermark-less checkpoints
+		}
+	}
+	r.Close()
+	if err := r.Err(); err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	topo := r.Topology()
+	if topo.Failovers == 0 {
+		t.Fatalf("kill did not register a failover: %+v", topo)
+	}
+	if len(topo.ShedShards) != 0 {
+		t.Fatalf("shards shed despite a live worker: %+v", topo)
 	}
 	assertSameResults(t, sink.Results, want)
 }
